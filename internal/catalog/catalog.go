@@ -1,0 +1,259 @@
+// Package catalog implements the system catalog: the registry of tables and
+// of user-defined functions (UDFs). The catalog is where a function is
+// declared to be server-site or client-site, and where the per-UDF metadata
+// needed by the cost model lives (typical argument size, result size, per-call
+// processing cost).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"csq/internal/types"
+)
+
+// Site identifies where a UDF executes.
+type Site uint8
+
+const (
+	// SiteServer marks a conventional server-site UDF or built-in function.
+	SiteServer Site = iota
+	// SiteClient marks a client-site UDF: the function body is only available
+	// at the client and every invocation crosses the network.
+	SiteClient
+)
+
+// String implements fmt.Stringer.
+func (s Site) String() string {
+	if s == SiteClient {
+		return "client"
+	}
+	return "server"
+}
+
+// Function is the Go signature of a UDF body. Server-site UDFs registered in
+// the catalog carry their body; client-site UDFs registered at the server
+// usually have a nil body (the body lives in the client runtime) but tests and
+// in-process setups may provide one.
+type Function func(args []types.Value) (types.Value, error)
+
+// UDF describes a user-defined function known to the catalog.
+type UDF struct {
+	// Name is the function's SQL name, case-insensitive.
+	Name string
+	// Site says where the function executes.
+	Site Site
+	// ArgKinds are the declared parameter types.
+	ArgKinds []types.Kind
+	// ResultKind is the declared return type.
+	ResultKind types.Kind
+	// Body is the executable implementation, when available at this site.
+	Body Function
+
+	// Cost metadata used by the optimizer and cost model. All sizes in bytes.
+
+	// ResultSize is the typical encoded size of one result (R in the paper).
+	ResultSize int
+	// PerCallCost is the client CPU cost of one invocation, in arbitrary
+	// work units comparable across UDFs (used to detect client bottlenecks).
+	PerCallCost float64
+	// Selectivity is the fraction of tuples that satisfy the UDF when it is
+	// used as a predicate (only meaningful for boolean-returning UDFs).
+	Selectivity float64
+}
+
+// Validate checks that the UDF declaration is self-consistent.
+func (u *UDF) Validate() error {
+	if strings.TrimSpace(u.Name) == "" {
+		return fmt.Errorf("catalog: UDF with empty name")
+	}
+	if u.ResultKind == types.KindInvalid {
+		return fmt.Errorf("catalog: UDF %q has no result kind", u.Name)
+	}
+	for i, k := range u.ArgKinds {
+		if k == types.KindInvalid {
+			return fmt.Errorf("catalog: UDF %q argument %d has invalid kind", u.Name, i)
+		}
+	}
+	if u.Selectivity < 0 || u.Selectivity > 1 {
+		return fmt.Errorf("catalog: UDF %q selectivity %g outside [0,1]", u.Name, u.Selectivity)
+	}
+	if u.ResultSize < 0 {
+		return fmt.Errorf("catalog: UDF %q negative result size", u.Name)
+	}
+	return nil
+}
+
+// IsClientSite reports whether the UDF must execute at the client.
+func (u *UDF) IsClientSite() bool { return u.Site == SiteClient }
+
+// Table describes a stored relation.
+type Table struct {
+	// Name is the table's SQL name, case-insensitive.
+	Name string
+	// Schema is the table's column layout.
+	Schema *types.Schema
+	// Stats carries simple statistics maintained by the storage layer.
+	Stats TableStats
+}
+
+// TableStats holds per-table statistics used for costing.
+type TableStats struct {
+	// RowCount is the number of rows currently stored.
+	RowCount int
+	// AvgRowSize is the average encoded row size in bytes (I in the paper).
+	AvgRowSize int
+	// DistinctFraction estimates, per column ordinal, the fraction of
+	// distinct values (D in the paper when computed over argument columns).
+	DistinctFraction map[int]float64
+}
+
+// Catalog is a thread-safe registry of tables and UDFs.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	udfs   map[string]*UDF
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*Table),
+		udfs:   make(map[string]*UDF),
+	}
+}
+
+func key(name string) string { return strings.ToLower(strings.TrimSpace(name)) }
+
+// AddTable registers a table. It fails if a table with the same
+// (case-insensitive) name already exists.
+func (c *Catalog) AddTable(t *Table) error {
+	if t == nil || strings.TrimSpace(t.Name) == "" {
+		return fmt.Errorf("catalog: table with empty name")
+	}
+	if t.Schema == nil || t.Schema.Len() == 0 {
+		return fmt.Errorf("catalog: table %q has no columns", t.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(t.Name)
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("catalog: table %q already exists", t.Name)
+	}
+	c.tables[k] = t
+	return nil
+}
+
+// DropTable removes a table.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.tables[k]; !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, k)
+	return nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// Tables returns all registered tables sorted by name.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return key(out[i].Name) < key(out[j].Name) })
+	return out
+}
+
+// AddUDF registers a UDF after validating it. Re-registering a name fails.
+func (c *Catalog) AddUDF(u *UDF) error {
+	if u == nil {
+		return fmt.Errorf("catalog: nil UDF")
+	}
+	if err := u.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(u.Name)
+	if _, ok := c.udfs[k]; ok {
+		return fmt.Errorf("catalog: UDF %q already exists", u.Name)
+	}
+	c.udfs[k] = u
+	return nil
+}
+
+// DropUDF removes a UDF.
+func (c *Catalog) DropUDF(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.udfs[k]; !ok {
+		return fmt.Errorf("catalog: UDF %q does not exist", name)
+	}
+	delete(c.udfs, k)
+	return nil
+}
+
+// UDF looks up a UDF by name.
+func (c *Catalog) UDF(name string) (*UDF, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	u, ok := c.udfs[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: UDF %q does not exist", name)
+	}
+	return u, nil
+}
+
+// UDFs returns all registered UDFs sorted by name.
+func (c *Catalog) UDFs() []*UDF {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*UDF, 0, len(c.udfs))
+	for _, u := range c.udfs {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return key(out[i].Name) < key(out[j].Name) })
+	return out
+}
+
+// ClientUDFs returns the registered client-site UDFs sorted by name.
+func (c *Catalog) ClientUDFs() []*UDF {
+	all := c.UDFs()
+	out := all[:0:0]
+	for _, u := range all {
+		if u.IsClientSite() {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// UpdateStats replaces the statistics for a table.
+func (c *Catalog) UpdateStats(name string, stats TableStats) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[key(name)]
+	if !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	t.Stats = stats
+	return nil
+}

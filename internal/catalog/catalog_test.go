@@ -1,0 +1,194 @@
+package catalog
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"csq/internal/types"
+)
+
+func stockSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "Name", Kind: types.KindString},
+		types.Column{Name: "Quotes", Kind: types.KindTimeSeries},
+		types.Column{Name: "Report", Kind: types.KindBytes},
+	)
+}
+
+func TestTableRegistration(t *testing.T) {
+	c := New()
+	tbl := &Table{Name: "StockQuotes", Schema: stockSchema()}
+	if err := c.AddTable(tbl); err != nil {
+		t.Fatalf("AddTable: %v", err)
+	}
+	if err := c.AddTable(tbl); err == nil {
+		t.Error("duplicate AddTable should fail")
+	}
+	if err := c.AddTable(&Table{Name: "stockquotes", Schema: stockSchema()}); err == nil {
+		t.Error("case-insensitive duplicate should fail")
+	}
+	got, err := c.Table("STOCKQUOTES")
+	if err != nil || got != tbl {
+		t.Errorf("Table lookup = %v, %v", got, err)
+	}
+	if _, err := c.Table("missing"); err == nil {
+		t.Error("missing table lookup should fail")
+	}
+	if err := c.AddTable(&Table{Name: "", Schema: stockSchema()}); err == nil {
+		t.Error("empty table name should fail")
+	}
+	if err := c.AddTable(&Table{Name: "empty", Schema: types.NewSchema()}); err == nil {
+		t.Error("table with no columns should fail")
+	}
+	if err := c.AddTable(nil); err == nil {
+		t.Error("nil table should fail")
+	}
+
+	if err := c.AddTable(&Table{Name: "Estimations", Schema: stockSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{}
+	for _, tt := range c.Tables() {
+		names = append(names, tt.Name)
+	}
+	if strings.Join(names, ",") != "Estimations,StockQuotes" {
+		t.Errorf("Tables() order = %v", names)
+	}
+
+	if err := c.DropTable("StockQuotes"); err != nil {
+		t.Errorf("DropTable: %v", err)
+	}
+	if err := c.DropTable("StockQuotes"); err == nil {
+		t.Error("double DropTable should fail")
+	}
+}
+
+func TestUDFRegistration(t *testing.T) {
+	c := New()
+	udf := &UDF{
+		Name:        "ClientAnalysis",
+		Site:        SiteClient,
+		ArgKinds:    []types.Kind{types.KindTimeSeries},
+		ResultKind:  types.KindInt,
+		ResultSize:  100,
+		Selectivity: 0.5,
+	}
+	if err := c.AddUDF(udf); err != nil {
+		t.Fatalf("AddUDF: %v", err)
+	}
+	if err := c.AddUDF(udf); err == nil {
+		t.Error("duplicate AddUDF should fail")
+	}
+	got, err := c.UDF("clientanalysis")
+	if err != nil || got != udf {
+		t.Errorf("UDF lookup = %v, %v", got, err)
+	}
+	if !got.IsClientSite() {
+		t.Error("ClientAnalysis should be client-site")
+	}
+	if _, err := c.UDF("nothing"); err == nil {
+		t.Error("missing UDF lookup should fail")
+	}
+
+	server := &UDF{
+		Name:       "ServerFunc",
+		Site:       SiteServer,
+		ResultKind: types.KindInt,
+		Body:       func(args []types.Value) (types.Value, error) { return types.NewInt(1), nil },
+	}
+	if err := c.AddUDF(server); err != nil {
+		t.Fatal(err)
+	}
+	if server.IsClientSite() {
+		t.Error("ServerFunc should not be client-site")
+	}
+	clients := c.ClientUDFs()
+	if len(clients) != 1 || clients[0].Name != "ClientAnalysis" {
+		t.Errorf("ClientUDFs = %v", clients)
+	}
+	if len(c.UDFs()) != 2 {
+		t.Errorf("UDFs len = %d", len(c.UDFs()))
+	}
+	if err := c.DropUDF("serverfunc"); err != nil {
+		t.Errorf("DropUDF: %v", err)
+	}
+	if err := c.DropUDF("serverfunc"); err == nil {
+		t.Error("double DropUDF should fail")
+	}
+}
+
+func TestUDFValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		udf  UDF
+	}{
+		{"empty name", UDF{Name: "", ResultKind: types.KindInt}},
+		{"no result kind", UDF{Name: "f"}},
+		{"bad arg kind", UDF{Name: "f", ResultKind: types.KindInt, ArgKinds: []types.Kind{types.KindInvalid}}},
+		{"bad selectivity", UDF{Name: "f", ResultKind: types.KindInt, Selectivity: 1.5}},
+		{"negative result size", UDF{Name: "f", ResultKind: types.KindInt, ResultSize: -1}},
+	}
+	for _, c := range cases {
+		if err := c.udf.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", c.name)
+		}
+	}
+	ok := UDF{Name: "f", ResultKind: types.KindInt, ArgKinds: []types.Kind{types.KindTimeSeries}, Selectivity: 0.3}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid UDF rejected: %v", err)
+	}
+	cat := New()
+	if err := cat.AddUDF(nil); err == nil {
+		t.Error("AddUDF(nil) should fail")
+	}
+	if err := cat.AddUDF(&UDF{Name: ""}); err == nil {
+		t.Error("AddUDF of invalid UDF should fail")
+	}
+}
+
+func TestSiteString(t *testing.T) {
+	if SiteServer.String() != "server" || SiteClient.String() != "client" {
+		t.Error("Site.String values wrong")
+	}
+}
+
+func TestUpdateStats(t *testing.T) {
+	c := New()
+	if err := c.AddTable(&Table{Name: "R", Schema: stockSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	stats := TableStats{RowCount: 100, AvgRowSize: 1000, DistinctFraction: map[int]float64{1: 0.8}}
+	if err := c.UpdateStats("r", stats); err != nil {
+		t.Fatalf("UpdateStats: %v", err)
+	}
+	tbl, _ := c.Table("R")
+	if tbl.Stats.RowCount != 100 || tbl.Stats.DistinctFraction[1] != 0.8 {
+		t.Errorf("stats not applied: %+v", tbl.Stats)
+	}
+	if err := c.UpdateStats("missing", stats); err == nil {
+		t.Error("UpdateStats on missing table should fail")
+	}
+}
+
+func TestCatalogConcurrency(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := strings.Repeat("t", i+1)
+			_ = c.AddTable(&Table{Name: name, Schema: stockSchema()})
+			_, _ = c.Table(name)
+			_ = c.Tables()
+			_ = c.AddUDF(&UDF{Name: name, ResultKind: types.KindInt})
+			_, _ = c.UDF(name)
+			_ = c.UDFs()
+		}(i)
+	}
+	wg.Wait()
+	if len(c.Tables()) != 8 || len(c.UDFs()) != 8 {
+		t.Errorf("concurrent registration lost entries: %d tables, %d udfs", len(c.Tables()), len(c.UDFs()))
+	}
+}

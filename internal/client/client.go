@@ -1,0 +1,389 @@
+// Package client implements the client-site UDF runtime: the counterpart of
+// the paper's Java client process. It owns the user's functions (which never
+// leave the client), executes them against argument tuples or full records
+// shipped by the server, applies pushable predicates and projections before
+// returning anything, and can act as the final result consumer when the plan
+// merges a client-site UDF group with the result operator.
+package client
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"csq/internal/expr"
+	"csq/internal/types"
+	"csq/internal/wire"
+)
+
+// Func is a client-registered UDF implementation.
+type Func struct {
+	// Name is the SQL-visible function name.
+	Name string
+	// ArgKinds declares the parameter types (may be empty for variadic-ish
+	// functions; arity is then unchecked).
+	ArgKinds []types.Kind
+	// ResultKind declares the return type.
+	ResultKind types.Kind
+	// ResultSize is the typical encoded result size in bytes, reported to the
+	// server for costing (R in the paper).
+	ResultSize int
+	// Selectivity is the expected predicate selectivity for boolean UDFs.
+	Selectivity float64
+	// PerCallCost is the client CPU cost per invocation in arbitrary units.
+	PerCallCost float64
+	// Body is the implementation.
+	Body func(args []types.Value) (types.Value, error)
+}
+
+// Validate checks the registration for obvious mistakes.
+func (f *Func) Validate() error {
+	if strings.TrimSpace(f.Name) == "" {
+		return fmt.Errorf("client: function with empty name")
+	}
+	if f.Body == nil {
+		return fmt.Errorf("client: function %q has no body", f.Name)
+	}
+	if f.ResultKind == types.KindInvalid {
+		return fmt.Errorf("client: function %q has no result kind", f.Name)
+	}
+	return nil
+}
+
+// ResultRow is one final-result row delivered directly to the client (when
+// the plan merged the UDF group with the final result operator).
+type ResultRow struct {
+	SessionID uint64
+	Tuple     types.Tuple
+}
+
+// Runtime hosts client-site UDFs and serves UDF-execution sessions over a
+// wire connection.
+type Runtime struct {
+	mu    sync.RWMutex
+	funcs map[string]*Func
+
+	// ResultSink receives final-delivery rows; when nil, such rows are
+	// counted but discarded.
+	ResultSink func(ResultRow)
+
+	// stats
+	invocations map[string]int64
+}
+
+// NewRuntime returns an empty client runtime.
+func NewRuntime() *Runtime {
+	return &Runtime{
+		funcs:       make(map[string]*Func),
+		invocations: make(map[string]int64),
+	}
+}
+
+// Register adds a UDF implementation to the runtime.
+func (r *Runtime) Register(f *Func) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := strings.ToLower(f.Name)
+	if _, ok := r.funcs[k]; ok {
+		return fmt.Errorf("client: function %q already registered", f.Name)
+	}
+	r.funcs[k] = f
+	return nil
+}
+
+// Lookup finds a registered function by case-insensitive name.
+func (r *Runtime) Lookup(name string) (*Func, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.funcs[strings.ToLower(name)]
+	return f, ok
+}
+
+// Functions returns the registered functions sorted by name.
+func (r *Runtime) Functions() []*Func {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Func, 0, len(r.funcs))
+	for _, f := range r.funcs {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.ToLower(out[i].Name) < strings.ToLower(out[j].Name)
+	})
+	return out
+}
+
+// Invocations returns how many times the named function has been called.
+func (r *Runtime) Invocations(name string) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.invocations[strings.ToLower(name)]
+}
+
+func (r *Runtime) recordInvocation(name string) {
+	r.mu.Lock()
+	r.invocations[strings.ToLower(name)]++
+	r.mu.Unlock()
+}
+
+// Call invokes a registered function directly (used by in-process setups and
+// by the naive operator's invoker path).
+func (r *Runtime) Call(name string, args []types.Value) (types.Value, error) {
+	f, ok := r.Lookup(name)
+	if !ok {
+		return types.Value{}, fmt.Errorf("client: unknown function %q", name)
+	}
+	if len(f.ArgKinds) > 0 && len(args) != len(f.ArgKinds) {
+		return types.Value{}, fmt.Errorf("client: %s expects %d arguments, got %d", f.Name, len(f.ArgKinds), len(args))
+	}
+	r.recordInvocation(name)
+	return f.Body(args)
+}
+
+// Announce sends a MsgRegisterUDF for every registered function followed by
+// an End(session 0) marker; the server uses these to populate its catalog.
+func (r *Runtime) Announce(conn *wire.Conn) error {
+	for _, f := range r.Functions() {
+		msg := &wire.RegisterUDF{
+			Name:        f.Name,
+			ArgKinds:    f.ArgKinds,
+			ResultKind:  f.ResultKind,
+			ResultSize:  f.ResultSize,
+			Selectivity: f.Selectivity,
+			PerCallCost: f.PerCallCost,
+		}
+		if err := conn.Send(wire.MsgRegisterUDF, wire.EncodeRegisterUDF(msg)); err != nil {
+			return fmt.Errorf("client: announce %s: %w", f.Name, err)
+		}
+	}
+	return conn.Send(wire.MsgEnd, wire.EncodeEnd(&wire.End{SessionID: 0}))
+}
+
+// session is the per-SetupRequest execution state.
+type session struct {
+	req       *wire.SetupRequest
+	udfs      []*Func
+	predicate expr.Expr
+	eval      *expr.Evaluator
+	delivered uint64
+}
+
+// Serve handles one server connection until it is closed or a fatal protocol
+// error occurs. It is the main loop of the client process.
+func (r *Runtime) Serve(rw io.ReadWriteCloser) error {
+	conn := wire.NewConn(rw)
+	defer conn.Close()
+	if err := r.Announce(conn); err != nil {
+		return err
+	}
+	return r.ServeConn(conn)
+}
+
+// ServeConn handles an already-framed connection without announcing UDFs
+// first (used when the server initiated registration differently, e.g. the
+// in-process engine).
+func (r *Runtime) ServeConn(conn *wire.Conn) error {
+	sessions := make(map[uint64]*session)
+	for {
+		msg, err := conn.Receive()
+		if err != nil {
+			if err == io.EOF || strings.Contains(err.Error(), "closed") {
+				return nil
+			}
+			return err
+		}
+		switch msg.Type {
+		case wire.MsgSetup:
+			req, err := wire.DecodeSetup(msg.Payload)
+			if err != nil {
+				return fmt.Errorf("client: bad setup: %w", err)
+			}
+			s, setupErr := r.newSession(req)
+			ack := &wire.SetupAck{SessionID: req.SessionID, OK: setupErr == nil}
+			if setupErr != nil {
+				ack.Error = setupErr.Error()
+			} else {
+				sessions[req.SessionID] = s
+			}
+			if err := conn.Send(wire.MsgSetupAck, wire.EncodeSetupAck(ack)); err != nil {
+				return err
+			}
+		case wire.MsgTupleBatch:
+			batch, err := wire.DecodeTupleBatch(msg.Payload)
+			if err != nil {
+				return fmt.Errorf("client: bad tuple batch: %w", err)
+			}
+			s, ok := sessions[batch.SessionID]
+			if !ok {
+				if err := r.sendError(conn, batch.SessionID, "unknown session"); err != nil {
+					return err
+				}
+				continue
+			}
+			out, procErr := r.processBatch(s, batch.Tuples)
+			if procErr != nil {
+				if err := r.sendError(conn, batch.SessionID, procErr.Error()); err != nil {
+					return err
+				}
+				continue
+			}
+			if s.req.FinalDelivery {
+				for _, t := range out {
+					s.delivered++
+					if r.ResultSink != nil {
+						r.ResultSink(ResultRow{SessionID: batch.SessionID, Tuple: t})
+					}
+				}
+				// Acknowledge progress with an empty result batch so that the
+				// server's flow control (the semi-join buffer) keeps moving.
+				reply := &wire.TupleBatch{SessionID: batch.SessionID, Seq: batch.Seq}
+				payload, err := wire.EncodeTupleBatch(reply)
+				if err != nil {
+					return err
+				}
+				if err := conn.Send(wire.MsgResultBatch, payload); err != nil {
+					return err
+				}
+				continue
+			}
+			reply := &wire.TupleBatch{SessionID: batch.SessionID, Seq: batch.Seq, Tuples: out}
+			payload, err := wire.EncodeTupleBatch(reply)
+			if err != nil {
+				return err
+			}
+			if err := conn.Send(wire.MsgResultBatch, payload); err != nil {
+				return err
+			}
+		case wire.MsgEnd:
+			end, err := wire.DecodeEnd(msg.Payload)
+			if err != nil {
+				return fmt.Errorf("client: bad end: %w", err)
+			}
+			s := sessions[end.SessionID]
+			rows := uint64(0)
+			if s != nil {
+				rows = s.delivered
+			}
+			delete(sessions, end.SessionID)
+			if err := conn.Send(wire.MsgEnd, wire.EncodeEnd(&wire.End{SessionID: end.SessionID, Rows: rows})); err != nil {
+				return err
+			}
+		case wire.MsgError:
+			e, err := wire.DecodeError(msg.Payload)
+			if err != nil {
+				return fmt.Errorf("client: bad error message: %w", err)
+			}
+			delete(sessions, e.SessionID)
+		default:
+			return fmt.Errorf("client: unexpected message %s", msg.Type)
+		}
+	}
+}
+
+func (r *Runtime) sendError(conn *wire.Conn, session uint64, msg string) error {
+	return conn.Send(wire.MsgError, wire.EncodeError(&wire.ErrorMsg{SessionID: session, Message: msg}))
+}
+
+// newSession validates a setup request against the registry and prepares the
+// evaluation state.
+func (r *Runtime) newSession(req *wire.SetupRequest) (*session, error) {
+	if req.InputSchema == nil || req.InputSchema.Len() == 0 {
+		return nil, fmt.Errorf("setup has no input schema")
+	}
+	s := &session{req: req, eval: &expr.Evaluator{}}
+	for _, spec := range req.UDFs {
+		f, ok := r.Lookup(spec.Name)
+		if !ok {
+			return nil, fmt.Errorf("UDF %q is not registered at the client", spec.Name)
+		}
+		for _, o := range spec.ArgOrdinals {
+			if o < 0 || o >= req.InputSchema.Len() {
+				return nil, fmt.Errorf("UDF %q argument ordinal %d out of range", spec.Name, o)
+			}
+		}
+		s.udfs = append(s.udfs, f)
+	}
+	if len(req.PushablePredicate) > 0 {
+		pred, err := expr.Unmarshal(req.PushablePredicate)
+		if err != nil {
+			return nil, fmt.Errorf("bad pushable predicate: %v", err)
+		}
+		s.predicate = pred
+		// Function calls inside the pushable predicate are served by this
+		// runtime's registry (they are, by construction, client UDFs or
+		// builtins).
+		s.eval.Invoke = r.Call
+		if err := expr.ResolveFunctions(pred, nil); err != nil {
+			// Unresolved functions fall back to the Invoke path; this is not
+			// an error as long as the registry can serve them at eval time.
+			_ = err
+		}
+	}
+	for _, o := range req.ProjectOrdinals {
+		max := req.InputSchema.Len() + len(req.UDFs)
+		if o < 0 || o >= max {
+			return nil, fmt.Errorf("projection ordinal %d out of range [0,%d)", o, max)
+		}
+	}
+	return s, nil
+}
+
+// processBatch runs the session's UDFs (and pushable operations) over a batch
+// of shipped tuples and returns what should go back on the uplink.
+func (r *Runtime) processBatch(s *session, tuples []types.Tuple) ([]types.Tuple, error) {
+	out := make([]types.Tuple, 0, len(tuples))
+	for _, in := range tuples {
+		if in.Len() != s.req.InputSchema.Len() {
+			return nil, fmt.Errorf("tuple arity %d does not match shipped schema %d", in.Len(), s.req.InputSchema.Len())
+		}
+		extended := in
+		results := make(types.Tuple, 0, len(s.udfs))
+		for i, f := range s.udfs {
+			spec := s.req.UDFs[i]
+			args := make([]types.Value, len(spec.ArgOrdinals))
+			for j, o := range spec.ArgOrdinals {
+				args[j] = extended[o]
+			}
+			r.recordInvocation(f.Name)
+			v, err := f.Body(args)
+			if err != nil {
+				return nil, fmt.Errorf("UDF %s: %v", f.Name, err)
+			}
+			results = append(results, v)
+			extended = extended.Append(v)
+		}
+		// Pushable predicate filters before anything is returned.
+		if s.predicate != nil {
+			keep, err := s.eval.EvalBool(s.predicate, extended)
+			if err != nil {
+				return nil, fmt.Errorf("pushable predicate: %v", err)
+			}
+			if !keep {
+				continue
+			}
+		}
+		switch s.req.Mode {
+		case wire.ModeSemiJoin, wire.ModeNaive:
+			// Return only the UDF results; the server joins them back.
+			out = append(out, results)
+		case wire.ModeClientJoin:
+			ret := extended
+			if len(s.req.ProjectOrdinals) > 0 {
+				projected, err := extended.Project(s.req.ProjectOrdinals)
+				if err != nil {
+					return nil, fmt.Errorf("pushable projection: %v", err)
+				}
+				ret = projected
+			}
+			out = append(out, ret)
+		default:
+			return nil, fmt.Errorf("unknown execution mode %d", s.req.Mode)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,254 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"csq/internal/types"
+)
+
+// AggFunc identifies an aggregate function.
+type AggFunc uint8
+
+// Supported aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String implements fmt.Stringer.
+func (a AggFunc) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	default:
+		return "?"
+	}
+}
+
+// Aggregate describes one aggregate output column.
+type Aggregate struct {
+	// Func is the aggregate function.
+	Func AggFunc
+	// Ordinal is the input column aggregated; ignored for COUNT(*) (use -1).
+	Ordinal int
+	// Name is the output column name.
+	Name string
+}
+
+// HashAggregate groups its input on the group-by ordinals and computes the
+// aggregates per group. Output columns are the group-by columns followed by
+// the aggregates. Groups are emitted in a deterministic (key-sorted) order so
+// results are reproducible.
+type HashAggregate struct {
+	baseState
+	input   Operator
+	groupBy []int
+	aggs    []Aggregate
+	schema  *types.Schema
+
+	results []types.Tuple
+	pos     int
+}
+
+type aggState struct {
+	groupRow types.Tuple
+	count    int64
+	sums     []float64
+	mins     []types.Value
+	maxs     []types.Value
+	counts   []int64
+}
+
+// NewHashAggregate builds an aggregation operator.
+func NewHashAggregate(input Operator, groupBy []int, aggs []Aggregate) (*HashAggregate, error) {
+	inSchema := input.Schema()
+	cols := make([]types.Column, 0, len(groupBy)+len(aggs))
+	for _, g := range groupBy {
+		if g < 0 || g >= inSchema.Len() {
+			return nil, fmt.Errorf("exec: group-by ordinal %d out of range", g)
+		}
+		cols = append(cols, inSchema.Columns[g])
+	}
+	for _, a := range aggs {
+		if a.Func != AggCount && (a.Ordinal < 0 || a.Ordinal >= inSchema.Len()) {
+			return nil, fmt.Errorf("exec: aggregate ordinal %d out of range", a.Ordinal)
+		}
+		kind := types.KindFloat
+		switch a.Func {
+		case AggCount:
+			kind = types.KindInt
+		case AggMin, AggMax:
+			kind = inSchema.Columns[a.Ordinal].Kind
+		case AggSum:
+			if a.Ordinal >= 0 && inSchema.Columns[a.Ordinal].Kind == types.KindInt {
+				kind = types.KindInt
+			}
+		}
+		name := a.Name
+		if name == "" {
+			name = a.Func.String()
+		}
+		cols = append(cols, types.Column{Name: name, Kind: kind})
+	}
+	return &HashAggregate{input: input, groupBy: groupBy, aggs: aggs, schema: types.NewSchema(cols...)}, nil
+}
+
+// Schema implements Operator.
+func (h *HashAggregate) Schema() *types.Schema { return h.schema }
+
+// Open implements Operator: it consumes the entire input and computes groups.
+func (h *HashAggregate) Open(ctx context.Context) error {
+	if err := h.input.Open(ctx); err != nil {
+		return err
+	}
+	groups := make(map[string]*aggState)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t, ok, err := h.input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		key := t.Key(h.groupBy)
+		st, exists := groups[key]
+		if !exists {
+			groupRow, err := t.Project(h.groupBy)
+			if err != nil {
+				return err
+			}
+			st = &aggState{
+				groupRow: groupRow,
+				sums:     make([]float64, len(h.aggs)),
+				mins:     make([]types.Value, len(h.aggs)),
+				maxs:     make([]types.Value, len(h.aggs)),
+				counts:   make([]int64, len(h.aggs)),
+			}
+			groups[key] = st
+		}
+		st.count++
+		for i, a := range h.aggs {
+			if a.Func == AggCount && a.Ordinal < 0 {
+				continue
+			}
+			v := t[a.Ordinal]
+			if v.IsNull() {
+				continue
+			}
+			st.counts[i]++
+			switch a.Func {
+			case AggSum, AggAvg:
+				f, err := v.Float()
+				if err != nil {
+					return fmt.Errorf("exec: %s over non-numeric column: %v", a.Func, err)
+				}
+				st.sums[i] += f
+			case AggMin:
+				if st.mins[i].IsNull() {
+					st.mins[i] = v
+				} else if c, err := types.Compare(v, st.mins[i]); err == nil && c < 0 {
+					st.mins[i] = v
+				}
+			case AggMax:
+				if st.maxs[i].IsNull() {
+					st.maxs[i] = v
+				} else if c, err := types.Compare(v, st.maxs[i]); err == nil && c > 0 {
+					st.maxs[i] = v
+				}
+			}
+		}
+	}
+	// Deterministic output order.
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h.results = h.results[:0]
+	for _, k := range keys {
+		st := groups[k]
+		row := st.groupRow.Clone()
+		for i, a := range h.aggs {
+			var v types.Value
+			switch a.Func {
+			case AggCount:
+				if a.Ordinal < 0 {
+					v = types.NewInt(st.count)
+				} else {
+					v = types.NewInt(st.counts[i])
+				}
+			case AggSum:
+				if h.schema.Columns[len(h.groupBy)+i].Kind == types.KindInt {
+					v = types.NewInt(int64(st.sums[i]))
+				} else {
+					v = types.NewFloat(st.sums[i])
+				}
+			case AggAvg:
+				if st.counts[i] == 0 {
+					v = types.Null(types.KindFloat)
+				} else {
+					v = types.NewFloat(st.sums[i] / float64(st.counts[i]))
+				}
+			case AggMin:
+				v = st.mins[i]
+			case AggMax:
+				v = st.maxs[i]
+			}
+			row = row.Append(v)
+		}
+		h.results = append(h.results, row)
+	}
+	// A global aggregate (no GROUP BY) over an empty input still produces one
+	// row of zero/NULL aggregates, per SQL semantics.
+	if len(h.groupBy) == 0 && len(h.results) == 0 {
+		row := types.Tuple{}
+		for _, a := range h.aggs {
+			if a.Func == AggCount {
+				row = row.Append(types.NewInt(0))
+			} else {
+				row = row.Append(types.Null(types.KindFloat))
+			}
+		}
+		h.results = append(h.results, row)
+	}
+	h.pos = 0
+	h.opened = true
+	h.closed = false
+	return nil
+}
+
+// Next implements Operator.
+func (h *HashAggregate) Next() (types.Tuple, bool, error) {
+	if err := h.checkOpen(); err != nil {
+		return nil, false, err
+	}
+	if h.pos >= len(h.results) {
+		return nil, false, nil
+	}
+	t := h.results[h.pos]
+	h.pos++
+	return t, true, nil
+}
+
+// Close implements Operator.
+func (h *HashAggregate) Close() error {
+	h.closed = true
+	h.results = nil
+	return h.input.Close()
+}

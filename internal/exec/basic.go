@@ -1,0 +1,314 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+
+	"csq/internal/expr"
+	"csq/internal/types"
+)
+
+// Filter drops tuples that do not satisfy a bound predicate. The predicate
+// must be evaluable at the server (no client-site UDF calls); client-site
+// predicates are handled by the dedicated UDF operators.
+type Filter struct {
+	baseState
+	input Operator
+	pred  expr.Expr
+	eval  *expr.Evaluator
+}
+
+// NewFilter wraps input with the predicate.
+func NewFilter(input Operator, pred expr.Expr) *Filter {
+	return &Filter{input: input, pred: pred, eval: &expr.Evaluator{}}
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *types.Schema { return f.input.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open(ctx context.Context) error {
+	if f.pred != nil && expr.HasClientCall(f.pred) {
+		return fmt.Errorf("exec: Filter predicate %s contains a client-site UDF; plan it with a client-site operator", f.pred)
+	}
+	if err := f.input.Open(ctx); err != nil {
+		return err
+	}
+	f.opened = true
+	f.closed = false
+	return nil
+}
+
+// Next implements Operator.
+func (f *Filter) Next() (types.Tuple, bool, error) {
+	if err := f.checkOpen(); err != nil {
+		return nil, false, err
+	}
+	for {
+		t, ok, err := f.input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		keep, err := evalBoundPredicate(f.eval, f.pred, t)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return t, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error {
+	f.closed = true
+	return f.input.Close()
+}
+
+// ProjectColumn is one output column of a Project operator: a bound
+// expression and the name it is exposed under.
+type ProjectColumn struct {
+	Expr expr.Expr
+	Name string
+}
+
+// Project evaluates a list of expressions per input tuple.
+type Project struct {
+	baseState
+	input  Operator
+	cols   []ProjectColumn
+	schema *types.Schema
+	eval   *expr.Evaluator
+}
+
+// NewProject builds a projection over input.
+func NewProject(input Operator, cols []ProjectColumn) *Project {
+	schemaCols := make([]types.Column, len(cols))
+	for i, c := range cols {
+		name := c.Name
+		if name == "" {
+			name = c.Expr.String()
+		}
+		schemaCols[i] = types.Column{Name: name, Kind: c.Expr.ResultKind()}
+	}
+	return &Project{
+		input:  input,
+		cols:   cols,
+		schema: types.NewSchema(schemaCols...),
+		eval:   &expr.Evaluator{},
+	}
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *types.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *Project) Open(ctx context.Context) error {
+	for _, c := range p.cols {
+		if expr.HasClientCall(c.Expr) {
+			return fmt.Errorf("exec: Project expression %s contains a client-site UDF; plan it with a client-site operator", c.Expr)
+		}
+	}
+	if err := p.input.Open(ctx); err != nil {
+		return err
+	}
+	p.opened = true
+	p.closed = false
+	return nil
+}
+
+// Next implements Operator.
+func (p *Project) Next() (types.Tuple, bool, error) {
+	if err := p.checkOpen(); err != nil {
+		return nil, false, err
+	}
+	in, ok, err := p.input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(types.Tuple, len(p.cols))
+	for i, c := range p.cols {
+		v, err := p.eval.Eval(c.Expr, in)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error {
+	p.closed = true
+	return p.input.Close()
+}
+
+// ProjectOrdinals is a cheap positional projection (no expression
+// evaluation); it is what pushable projections compile to.
+type ProjectOrdinals struct {
+	baseState
+	input    Operator
+	ordinals []int
+	schema   *types.Schema
+}
+
+// NewProjectOrdinals projects the input onto the given column positions.
+func NewProjectOrdinals(input Operator, ordinals []int) (*ProjectOrdinals, error) {
+	schema, err := input.Schema().Project(ordinals)
+	if err != nil {
+		return nil, err
+	}
+	return &ProjectOrdinals{input: input, ordinals: ordinals, schema: schema}, nil
+}
+
+// Schema implements Operator.
+func (p *ProjectOrdinals) Schema() *types.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *ProjectOrdinals) Open(ctx context.Context) error {
+	if err := p.input.Open(ctx); err != nil {
+		return err
+	}
+	p.opened = true
+	p.closed = false
+	return nil
+}
+
+// Next implements Operator.
+func (p *ProjectOrdinals) Next() (types.Tuple, bool, error) {
+	if err := p.checkOpen(); err != nil {
+		return nil, false, err
+	}
+	in, ok, err := p.input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out, err := in.Project(p.ordinals)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}
+
+// Close implements Operator.
+func (p *ProjectOrdinals) Close() error {
+	p.closed = true
+	return p.input.Close()
+}
+
+// Limit stops the stream after n tuples.
+type Limit struct {
+	baseState
+	input Operator
+	n     int
+	seen  int
+}
+
+// NewLimit caps the input at n tuples.
+func NewLimit(input Operator, n int) *Limit { return &Limit{input: input, n: n} }
+
+// Schema implements Operator.
+func (l *Limit) Schema() *types.Schema { return l.input.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open(ctx context.Context) error {
+	if l.n < 0 {
+		return fmt.Errorf("exec: negative limit %d", l.n)
+	}
+	if err := l.input.Open(ctx); err != nil {
+		return err
+	}
+	l.seen = 0
+	l.opened = true
+	l.closed = false
+	return nil
+}
+
+// Next implements Operator.
+func (l *Limit) Next() (types.Tuple, bool, error) {
+	if err := l.checkOpen(); err != nil {
+		return nil, false, err
+	}
+	if l.seen >= l.n {
+		return nil, false, nil
+	}
+	t, ok, err := l.input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return t, true, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error {
+	l.closed = true
+	return l.input.Close()
+}
+
+// Distinct eliminates duplicate tuples on the given key ordinals (all columns
+// when nil). It corresponds to the server-site duplicate elimination the
+// semi-join performs on argument columns (the paper's step 0).
+type Distinct struct {
+	baseState
+	input    Operator
+	ordinals []int
+	seen     map[string]struct{}
+}
+
+// NewDistinct wraps input with duplicate elimination on the ordinals.
+func NewDistinct(input Operator, ordinals []int) *Distinct {
+	return &Distinct{input: input, ordinals: ordinals}
+}
+
+// Schema implements Operator.
+func (d *Distinct) Schema() *types.Schema { return d.input.Schema() }
+
+// Open implements Operator.
+func (d *Distinct) Open(ctx context.Context) error {
+	if err := d.input.Open(ctx); err != nil {
+		return err
+	}
+	d.seen = make(map[string]struct{})
+	d.opened = true
+	d.closed = false
+	return nil
+}
+
+// Next implements Operator.
+func (d *Distinct) Next() (types.Tuple, bool, error) {
+	if err := d.checkOpen(); err != nil {
+		return nil, false, err
+	}
+	for {
+		t, ok, err := d.input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ords := d.ordinals
+		if ords == nil {
+			ords = allOrdinals(t.Len())
+		}
+		k := t.Key(ords)
+		if _, dup := d.seen[k]; dup {
+			continue
+		}
+		d.seen[k] = struct{}{}
+		return t, true, nil
+	}
+}
+
+// Close implements Operator.
+func (d *Distinct) Close() error {
+	d.closed = true
+	d.seen = nil
+	return d.input.Close()
+}
+
+func allOrdinals(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

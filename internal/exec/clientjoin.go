@@ -1,0 +1,314 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"csq/internal/expr"
+	"csq/internal/types"
+	"csq/internal/wire"
+)
+
+// DefaultShipBatchSize is how many full records the client-site join ships
+// per downlink frame when not configured otherwise. Batching amortises frame
+// headers without changing the bytes-per-tuple accounting materially.
+const DefaultShipBatchSize = 8
+
+// ClientJoin executes a client-site UDF with the "join at the client"
+// strategy of Section 2.3.2: full records are shipped downlink, the client
+// applies the UDFs plus any pushable predicates and projections, and the
+// (possibly filtered and narrowed) records come back on the uplink. Sender
+// and receiver need no coordination because the records themselves flow
+// through the client; there is no bounded buffer.
+type ClientJoin struct {
+	baseState
+	input Operator
+	udfs  []UDFBinding
+	link  ClientLink
+
+	// Pushable is an optional predicate evaluated at the client over the
+	// shipped record extended with the UDF result columns. Rows failing it
+	// are dropped before using any uplink bandwidth.
+	Pushable expr.Expr
+	// ProjectOrdinals optionally narrows the returned record (a pushable
+	// projection); ordinals index the extended record. Empty returns
+	// everything.
+	ProjectOrdinals []int
+	// FinalDelivery merges this operator with the final result operator: the
+	// client keeps the qualifying rows and nothing flows back on the uplink
+	// except an acknowledgement and the final row count (Section 5.1.1(d)).
+	FinalDelivery bool
+	// ShipBatchSize is the number of records per downlink frame.
+	ShipBatchSize int
+
+	schema *types.Schema
+
+	session   *udfSession
+	out       chan types.Tuple
+	errCh     chan error
+	wg        sync.WaitGroup
+	cancel    context.CancelFunc
+	delivered uint64
+	stats     NetStats
+	mu        sync.Mutex
+}
+
+// NewClientJoin builds the operator. UDF argument ordinals reference the
+// input schema directly (the whole record is shipped).
+func NewClientJoin(input Operator, link ClientLink, udfs []UDFBinding) (*ClientJoin, error) {
+	if len(udfs) == 0 {
+		return nil, fmt.Errorf("exec: client-site join needs at least one UDF")
+	}
+	for _, u := range udfs {
+		for _, o := range u.ArgOrdinals {
+			if o < 0 || o >= input.Schema().Len() {
+				return nil, fmt.Errorf("exec: UDF %s argument ordinal %d out of range", u.Name, o)
+			}
+		}
+	}
+	op := &ClientJoin{
+		input:         input,
+		link:          link,
+		udfs:          udfs,
+		ShipBatchSize: DefaultShipBatchSize,
+	}
+	op.schema = extendSchema(input.Schema(), udfs)
+	return op, nil
+}
+
+// Schema implements Operator. With a pushable projection configured the
+// output schema is the projected extended schema.
+func (c *ClientJoin) Schema() *types.Schema {
+	if len(c.ProjectOrdinals) == 0 {
+		return c.schema
+	}
+	s, err := c.schema.Project(c.ProjectOrdinals)
+	if err != nil {
+		return c.schema
+	}
+	return s
+}
+
+// DeliveredRows reports how many rows the client kept when FinalDelivery is
+// in effect. Only meaningful after Close.
+func (c *ClientJoin) DeliveredRows() uint64 { return c.delivered }
+
+// Open implements Operator: it opens the session, then starts the sender and
+// receiver goroutines.
+func (c *ClientJoin) Open(ctx context.Context) error {
+	if c.link == nil {
+		return fmt.Errorf("exec: client-site join has no client link")
+	}
+	if c.ShipBatchSize < 1 {
+		c.ShipBatchSize = 1
+	}
+	if err := c.input.Open(ctx); err != nil {
+		return err
+	}
+	specs := make([]wire.UDFSpec, len(c.udfs))
+	for i, u := range c.udfs {
+		specs[i] = wire.UDFSpec{Name: u.Name, ArgOrdinals: u.ArgOrdinals}
+	}
+	req := &wire.SetupRequest{
+		Mode:            wire.ModeClientJoin,
+		InputSchema:     c.input.Schema(),
+		UDFs:            specs,
+		ProjectOrdinals: c.ProjectOrdinals,
+		FinalDelivery:   c.FinalDelivery,
+	}
+	if c.Pushable != nil {
+		data, err := expr.Marshal(c.Pushable)
+		if err != nil {
+			_ = c.input.Close()
+			return fmt.Errorf("exec: marshal pushable predicate: %v", err)
+		}
+		req.PushablePredicate = data
+	}
+	sess, err := openUDFSession(c.link, req)
+	if err != nil {
+		_ = c.input.Close()
+		return err
+	}
+	c.session = sess
+	c.out = make(chan types.Tuple, 64)
+	c.errCh = make(chan error, 2)
+	c.stats = NetStats{}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	c.cancel = cancel
+	c.wg.Add(2)
+	go c.runSender(runCtx)
+	go c.runReceiver(runCtx)
+
+	c.opened = true
+	c.closed = false
+	return nil
+}
+
+// runSender ships the full input stream downlink in batches, then initiates
+// the end-of-stream handshake.
+func (c *ClientJoin) runSender(ctx context.Context) {
+	defer c.wg.Done()
+	batch := make([]types.Tuple, 0, c.ShipBatchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := c.session.sendBatch(batch); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.stats.Messages++
+		c.stats.Invocations += int64(len(batch))
+		c.mu.Unlock()
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		t, ok, err := c.input.Next()
+		if err != nil {
+			c.reportErr(err)
+			return
+		}
+		if !ok {
+			break
+		}
+		batch = append(batch, t)
+		if len(batch) >= c.ShipBatchSize {
+			if err := flush(); err != nil {
+				c.reportErr(err)
+				return
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		c.reportErr(err)
+		return
+	}
+	// Signal end of the downlink stream; the client will answer with its own
+	// End after all results have been emitted.
+	if err := c.session.conn.Send(wire.MsgEnd, wire.EncodeEnd(&wire.End{SessionID: c.session.id})); err != nil {
+		c.reportErr(err)
+	}
+}
+
+// runReceiver consumes result batches and forwards tuples to the output
+// channel until the client's End arrives.
+func (c *ClientJoin) runReceiver(ctx context.Context) {
+	defer c.wg.Done()
+	defer close(c.out)
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		msg, err := c.session.conn.Receive()
+		if err != nil {
+			c.reportErr(err)
+			return
+		}
+		switch msg.Type {
+		case wire.MsgResultBatch:
+			batch, err := wire.DecodeTupleBatch(msg.Payload)
+			if err != nil {
+				c.reportErr(err)
+				return
+			}
+			for _, t := range batch.Tuples {
+				select {
+				case c.out <- t:
+				case <-ctx.Done():
+					return
+				}
+			}
+		case wire.MsgEnd:
+			end, err := wire.DecodeEnd(msg.Payload)
+			if err != nil {
+				c.reportErr(err)
+				return
+			}
+			c.mu.Lock()
+			c.delivered = end.Rows
+			c.mu.Unlock()
+			return
+		case wire.MsgError:
+			e, derr := wire.DecodeError(msg.Payload)
+			if derr != nil {
+				c.reportErr(derr)
+			} else {
+				c.reportErr(fmt.Errorf("exec: client error: %s", e.Message))
+			}
+			return
+		default:
+			c.reportErr(fmt.Errorf("exec: unexpected message %s", msg.Type))
+			return
+		}
+	}
+}
+
+func (c *ClientJoin) reportErr(err error) {
+	select {
+	case c.errCh <- err:
+	default:
+	}
+}
+
+// Next implements Operator.
+func (c *ClientJoin) Next() (types.Tuple, bool, error) {
+	if err := c.checkOpen(); err != nil {
+		return nil, false, err
+	}
+	for {
+		select {
+		case err := <-c.errCh:
+			return nil, false, err
+		case t, ok := <-c.out:
+			if !ok {
+				select {
+				case err := <-c.errCh:
+					return nil, false, err
+				default:
+				}
+				return nil, false, nil
+			}
+			return t, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (c *ClientJoin) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.cancel != nil {
+		c.cancel()
+	}
+	if c.session != nil {
+		// Closing the connection unblocks both goroutines regardless of where
+		// they are parked.
+		c.mu.Lock()
+		c.stats.BytesDown = c.session.conn.BytesSent()
+		c.stats.BytesUp = c.session.conn.BytesReceived()
+		c.mu.Unlock()
+		c.session.close()
+	}
+	c.wg.Wait()
+	return c.input.Close()
+}
+
+// NetStats implements NetReporter.
+func (c *ClientJoin) NetStats() NetStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.stats
+	if c.session != nil {
+		out.BytesDown = c.session.conn.BytesSent()
+		out.BytesUp = c.session.conn.BytesReceived()
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package exec
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"csq/internal/client"
+	"csq/internal/netsim"
+	"csq/internal/types"
+	"csq/internal/wire"
+)
+
+// ClientLink hands out framed connections to the client-site UDF runtime.
+// Each client-site operator opens its own session connection so that
+// concurrently executing operators never interleave frames.
+type ClientLink interface {
+	// OpenSession returns a dedicated framed connection to the client runtime.
+	// The caller owns the connection and must close it.
+	OpenSession() (*wire.Conn, error)
+}
+
+// sessionIDs generates unique session identifiers across all links.
+var sessionIDs atomic.Uint64
+
+func nextSessionID() uint64 { return sessionIDs.Add(1) }
+
+// InProcessLink runs the client runtime in the same process, connected through
+// a shaped netsim pair. It is what the integration tests, the examples and
+// the in-process engine use.
+type InProcessLink struct {
+	// Runtime is the client-site UDF runtime.
+	Runtime *client.Runtime
+	// Link is the link shaping configuration (bandwidth, latency, asymmetry).
+	Link netsim.LinkConfig
+
+	pairs []*netsim.Pair
+}
+
+// NewInProcessLink builds an in-process link to the given runtime over the
+// given link configuration.
+func NewInProcessLink(rt *client.Runtime, cfg netsim.LinkConfig) *InProcessLink {
+	return &InProcessLink{Runtime: rt, Link: cfg}
+}
+
+// OpenSession implements ClientLink.
+func (l *InProcessLink) OpenSession() (*wire.Conn, error) {
+	if l.Runtime == nil {
+		return nil, fmt.Errorf("exec: in-process link has no client runtime")
+	}
+	if err := l.Link.Validate(); err != nil {
+		return nil, err
+	}
+	pair := netsim.NewPair(l.Link)
+	l.pairs = append(l.pairs, pair)
+	clientConn := wire.NewConn(pair.ClientSide)
+	go func() {
+		// The runtime exits when the server closes its side of the pair.
+		_ = l.Runtime.ServeConn(clientConn)
+		_ = clientConn.Close()
+	}()
+	return wire.NewConn(pair.ServerSide), nil
+}
+
+// Stats sums the traffic of every session opened through this link.
+func (l *InProcessLink) Stats() netsim.Stats {
+	var total netsim.Stats
+	for _, p := range l.pairs {
+		s := p.Stats()
+		total.BytesDown += s.BytesDown
+		total.BytesUp += s.BytesUp
+	}
+	return total
+}
+
+// DialLink connects to a remote client runtime listening on a TCP address
+// (cmd/csq-client). Each session dials a fresh connection, optionally shaped.
+type DialLink struct {
+	// Addr is the client runtime's listen address.
+	Addr string
+	// Shaping, when non-nil, throttles the dialled connection.
+	Shaping *netsim.LinkConfig
+	// DialTimeout bounds connection establishment; zero means 5 seconds.
+	DialTimeout time.Duration
+}
+
+// OpenSession implements ClientLink.
+func (l *DialLink) OpenSession() (*wire.Conn, error) {
+	timeout := l.DialTimeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	raw, err := net.DialTimeout("tcp", l.Addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("exec: dial client runtime: %w", err)
+	}
+	conn := net.Conn(raw)
+	if l.Shaping != nil {
+		conn = netsim.Shape(conn, l.Shaping.DownBandwidth, l.Shaping.Latency, l.Shaping.TimeScale, nil)
+	}
+	return wire.NewConn(conn), nil
+}
+
+// UDFBinding names one client-site UDF an operator must apply, the ordinals
+// of its arguments in the operator's *input* schema, and how its result is
+// exposed.
+type UDFBinding struct {
+	// Name is the UDF name as registered at the client.
+	Name string
+	// ArgOrdinals index the operator's input schema.
+	ArgOrdinals []int
+	// ResultKind is the declared result type.
+	ResultKind types.Kind
+	// ResultName is the output column name; defaults to the UDF name.
+	ResultName string
+}
+
+// udfSession wraps the server side of one wire session.
+type udfSession struct {
+	conn *wire.Conn
+	id   uint64
+	seq  uint64
+}
+
+// openUDFSession opens a connection through the link and performs the setup
+// handshake.
+func openUDFSession(link ClientLink, req *wire.SetupRequest) (*udfSession, error) {
+	conn, err := link.OpenSession()
+	if err != nil {
+		return nil, err
+	}
+	req.SessionID = nextSessionID()
+	payload, err := wire.EncodeSetup(req)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if err := conn.Send(wire.MsgSetup, payload); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	msg, err := conn.Receive()
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if msg.Type != wire.MsgSetupAck {
+		_ = conn.Close()
+		return nil, fmt.Errorf("exec: expected SETUP_ACK, got %s", msg.Type)
+	}
+	ack, err := wire.DecodeSetupAck(msg.Payload)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if !ack.OK {
+		_ = conn.Close()
+		return nil, fmt.Errorf("exec: client rejected setup: %s", ack.Error)
+	}
+	return &udfSession{conn: conn, id: req.SessionID}, nil
+}
+
+// sendBatch ships a batch of tuples downlink.
+func (s *udfSession) sendBatch(tuples []types.Tuple) error {
+	batch := &wire.TupleBatch{SessionID: s.id, Seq: s.seq, Tuples: tuples}
+	s.seq++
+	payload, err := wire.EncodeTupleBatch(batch)
+	if err != nil {
+		return err
+	}
+	return s.conn.Send(wire.MsgTupleBatch, payload)
+}
+
+// receiveResult reads the next result batch, translating client errors.
+func (s *udfSession) receiveResult() (*wire.TupleBatch, error) {
+	for {
+		msg, err := s.conn.Receive()
+		if err != nil {
+			return nil, err
+		}
+		switch msg.Type {
+		case wire.MsgResultBatch:
+			return wire.DecodeTupleBatch(msg.Payload)
+		case wire.MsgError:
+			e, derr := wire.DecodeError(msg.Payload)
+			if derr != nil {
+				return nil, derr
+			}
+			return nil, fmt.Errorf("exec: client error: %s", e.Message)
+		case wire.MsgEnd:
+			return nil, errUnexpectedEnd
+		default:
+			return nil, fmt.Errorf("exec: unexpected message %s", msg.Type)
+		}
+	}
+}
+
+// errUnexpectedEnd signals that the client ended the stream; callers that
+// expect it (the client-site join receiver) treat it as a clean stop.
+var errUnexpectedEnd = fmt.Errorf("exec: unexpected END from client")
+
+// end performs the end-of-stream handshake and returns the client-reported
+// row count.
+func (s *udfSession) end() (uint64, error) {
+	if err := s.conn.Send(wire.MsgEnd, wire.EncodeEnd(&wire.End{SessionID: s.id})); err != nil {
+		return 0, err
+	}
+	for {
+		msg, err := s.conn.Receive()
+		if err != nil {
+			return 0, err
+		}
+		switch msg.Type {
+		case wire.MsgEnd:
+			e, err := wire.DecodeEnd(msg.Payload)
+			if err != nil {
+				return 0, err
+			}
+			return e.Rows, nil
+		case wire.MsgResultBatch:
+			// Late results that the caller chose not to consume are drained.
+			continue
+		case wire.MsgError:
+			e, derr := wire.DecodeError(msg.Payload)
+			if derr != nil {
+				return 0, derr
+			}
+			return 0, fmt.Errorf("exec: client error: %s", e.Message)
+		default:
+			return 0, fmt.Errorf("exec: unexpected message %s during end", msg.Type)
+		}
+	}
+}
+
+// close shuts the session connection.
+func (s *udfSession) close() {
+	if s != nil && s.conn != nil {
+		_ = s.conn.Close()
+	}
+}
+
+// netStatsFromConn converts connection counters to operator stats.
+func netStatsFromConn(c *wire.Conn) NetStats {
+	if c == nil {
+		return NetStats{}
+	}
+	return NetStats{BytesDown: c.BytesSent(), BytesUp: c.BytesReceived()}
+}

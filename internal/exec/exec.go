@@ -1,0 +1,132 @@
+// Package exec implements the iterator-model execution engine of the server,
+// including the three client-site UDF execution strategies the paper studies:
+// naive tuple-at-a-time remote invocation, the semi-join operator with a
+// sender/receiver pipeline around a bounded buffer (the pipeline concurrency
+// factor), and the client-site join that ships full records and applies
+// pushable predicates and projections at the client.
+package exec
+
+import (
+	"context"
+	"fmt"
+
+	"csq/internal/expr"
+	"csq/internal/types"
+)
+
+// Operator is the iterator-model interface every physical operator
+// implements: Open prepares the operator, Next produces tuples one at a time,
+// Close releases resources. Next reports exhaustion with ok == false.
+type Operator interface {
+	// Schema describes the tuples produced by Next.
+	Schema() *types.Schema
+	// Open prepares the operator and its children for execution.
+	Open(ctx context.Context) error
+	// Next returns the next tuple. ok is false when the stream is exhausted.
+	Next() (t types.Tuple, ok bool, err error)
+	// Close releases resources. It is safe to call Close more than once and
+	// after a failed Open.
+	Close() error
+}
+
+// Collect drains an operator into a slice, handling Open/Close. It is the
+// main entry point used by tests, examples and the engine's result delivery.
+func Collect(ctx context.Context, op Operator) ([]types.Tuple, error) {
+	if err := op.Open(ctx); err != nil {
+		_ = op.Close()
+		return nil, err
+	}
+	var out []types.Tuple
+	for {
+		t, ok, err := op.Next()
+		if err != nil {
+			_ = op.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Run drains an operator, discarding tuples and returning the row count. It
+// is used by benches that only care about execution cost.
+func Run(ctx context.Context, op Operator) (int, error) {
+	if err := op.Open(ctx); err != nil {
+		_ = op.Close()
+		return 0, err
+	}
+	n := 0
+	for {
+		_, ok, err := op.Next()
+		if err != nil {
+			_ = op.Close()
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n, op.Close()
+}
+
+// NetStats aggregates the network activity of a client-site operator, in
+// payload bytes as observed at the framing layer.
+type NetStats struct {
+	// BytesDown counts bytes shipped server→client.
+	BytesDown int64
+	// BytesUp counts bytes returned client→server.
+	BytesUp int64
+	// Messages counts frames sent downlink.
+	Messages int64
+	// Invocations counts tuples shipped for UDF evaluation (after duplicate
+	// elimination for the semi-join).
+	Invocations int64
+	// RoundTrips counts synchronous request/response cycles (naive operator).
+	RoundTrips int64
+}
+
+// Add accumulates other into s.
+func (s *NetStats) Add(other NetStats) {
+	s.BytesDown += other.BytesDown
+	s.BytesUp += other.BytesUp
+	s.Messages += other.Messages
+	s.Invocations += other.Invocations
+	s.RoundTrips += other.RoundTrips
+}
+
+// NetReporter is implemented by operators that talk to the client and can
+// report their traffic.
+type NetReporter interface {
+	NetStats() NetStats
+}
+
+// baseState tracks the open/closed lifecycle shared by the simpler operators.
+type baseState struct {
+	opened bool
+	closed bool
+}
+
+func (b *baseState) checkOpen() error {
+	if !b.opened {
+		return fmt.Errorf("exec: operator used before Open")
+	}
+	if b.closed {
+		return fmt.Errorf("exec: operator used after Close")
+	}
+	return nil
+}
+
+// evalBoundPredicate is a tiny helper shared by Filter and join operators.
+func evalBoundPredicate(ev *expr.Evaluator, pred expr.Expr, t types.Tuple) (bool, error) {
+	if pred == nil {
+		return true, nil
+	}
+	return ev.EvalBool(pred, t)
+}

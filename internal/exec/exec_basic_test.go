@@ -1,0 +1,500 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"csq/internal/catalog"
+	"csq/internal/expr"
+	"csq/internal/storage"
+	"csq/internal/types"
+)
+
+// ---- shared fixtures ----
+
+func stockSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Qualifier: "S", Name: "Name", Kind: types.KindString},
+		types.Column{Qualifier: "S", Name: "Close", Kind: types.KindFloat},
+		types.Column{Qualifier: "S", Name: "Quotes", Kind: types.KindTimeSeries},
+	)
+}
+
+func stockRows(n int) []types.Tuple {
+	rows := make([]types.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, types.NewTuple(
+			types.NewString(fmt.Sprintf("C%02d", i%7)),
+			types.NewFloat(float64(10+i)),
+			types.NewTimeSeries(types.NewSeries(100, 100+float64(i))),
+		))
+	}
+	return rows
+}
+
+func stockTable(t *testing.T, n int) *storage.HeapTable {
+	t.Helper()
+	tbl, err := storage.NewHeapTable("StockQuotes", types.NewSchema(
+		types.Column{Name: "Name", Kind: types.KindString},
+		types.Column{Name: "Close", Kind: types.KindFloat},
+		types.Column{Name: "Quotes", Kind: types.KindTimeSeries},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.InsertBatch(stockRows(n)); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func serverCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	if err := cat.AddUDF(&catalog.UDF{
+		Name:        "ClientAnalysis",
+		Site:        catalog.SiteClient,
+		ArgKinds:    []types.Kind{types.KindTimeSeries},
+		ResultKind:  types.KindInt,
+		ResultSize:  10,
+		Selectivity: 0.5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func mustBind(t *testing.T, schema *types.Schema, cat *catalog.Catalog, e expr.Expr) expr.Expr {
+	t.Helper()
+	b := expr.NewBinder(schema, cat)
+	out, err := b.Bind(e)
+	if err != nil {
+		t.Fatalf("bind %s: %v", e, err)
+	}
+	return out
+}
+
+// ---- scans ----
+
+func TestTableScan(t *testing.T) {
+	tbl := stockTable(t, 10)
+	scan := NewTableScan(tbl, "S")
+	rows, err := Collect(context.Background(), scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Errorf("scan returned %d rows", len(rows))
+	}
+	if scan.Schema().Columns[0].Qualifier != "S" {
+		t.Errorf("alias not applied: %v", scan.Schema())
+	}
+	unaliased := NewTableScan(tbl, "")
+	if unaliased.Schema().Columns[0].Qualifier != "StockQuotes" {
+		t.Errorf("default qualifier = %v", unaliased.Schema().Columns[0].Qualifier)
+	}
+	// Next before Open errors.
+	fresh := NewTableScan(tbl, "S")
+	if _, _, err := fresh.Next(); err == nil {
+		t.Error("Next before Open should fail")
+	}
+}
+
+func TestValuesScan(t *testing.T) {
+	rows := stockRows(3)
+	scan := NewValuesScan(stockSchema(), rows)
+	got, err := Collect(context.Background(), scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("values scan returned %d rows", len(got))
+	}
+	// Reopen and re-read.
+	got, err = Collect(context.Background(), scan)
+	if err != nil || len(got) != 3 {
+		t.Errorf("re-collect = %d rows, %v", len(got), err)
+	}
+}
+
+// ---- filter / project / limit / distinct ----
+
+func TestFilter(t *testing.T) {
+	scan := NewValuesScan(stockSchema(), stockRows(20))
+	pred := mustBind(t, stockSchema(), nil,
+		expr.NewBinary(expr.OpGt, expr.NewColumnRef("S", "Close"), expr.NewConst(types.NewFloat(20))))
+	f := NewFilter(scan, pred)
+	rows, err := Collect(context.Background(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Errorf("filter kept %d rows, want 9 (Close values 21..29)", len(rows))
+	}
+	for _, r := range rows {
+		v, _ := r[1].Float()
+		if v <= 20 {
+			t.Errorf("row %v should have been filtered", r)
+		}
+	}
+	// A filter with a client-site UDF predicate must refuse to open.
+	cat := serverCatalog(t)
+	cpred := mustBind(t, stockSchema(), cat,
+		expr.NewBinary(expr.OpGt, expr.NewFuncCall("ClientAnalysis", expr.NewColumnRef("S", "Quotes")), expr.NewConst(types.NewInt(0))))
+	bad := NewFilter(NewValuesScan(stockSchema(), stockRows(2)), cpred)
+	if err := bad.Open(context.Background()); err == nil {
+		t.Error("filter with client-site predicate should fail to open")
+	}
+}
+
+func TestProject(t *testing.T) {
+	scan := NewValuesScan(stockSchema(), stockRows(5))
+	cols := []ProjectColumn{
+		{Expr: mustBind(t, stockSchema(), nil, expr.NewColumnRef("S", "Name")), Name: "Company"},
+		{Expr: mustBind(t, stockSchema(), nil,
+			expr.NewBinary(expr.OpMul, expr.NewColumnRef("S", "Close"), expr.NewConst(types.NewFloat(2)))), Name: "Doubled"},
+	}
+	p := NewProject(scan, cols)
+	if p.Schema().Len() != 2 || p.Schema().Columns[0].Name != "Company" {
+		t.Errorf("project schema = %v", p.Schema())
+	}
+	rows, err := Collect(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("project returned %d rows", len(rows))
+	}
+	if f, _ := rows[0][1].Float(); f != 20 {
+		t.Errorf("projected value = %v", rows[0][1])
+	}
+	// Client-site UDF in a projection must refuse to open.
+	cat := serverCatalog(t)
+	bad := NewProject(NewValuesScan(stockSchema(), stockRows(2)), []ProjectColumn{
+		{Expr: mustBind(t, stockSchema(), cat, expr.NewFuncCall("ClientAnalysis", expr.NewColumnRef("S", "Quotes")))},
+	})
+	if err := bad.Open(context.Background()); err == nil {
+		t.Error("project with client-site UDF should fail to open")
+	}
+	// Default column naming falls back to the expression text.
+	def := NewProject(NewValuesScan(stockSchema(), nil), []ProjectColumn{
+		{Expr: mustBind(t, stockSchema(), nil, expr.NewColumnRef("S", "Close"))},
+	})
+	if def.Schema().Columns[0].Name == "" {
+		t.Error("default projection name should not be empty")
+	}
+}
+
+func TestProjectOrdinals(t *testing.T) {
+	scan := NewValuesScan(stockSchema(), stockRows(4))
+	p, err := NewProjectOrdinals(scan, []int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema().Columns[0].Name != "Quotes" {
+		t.Errorf("ordinal projection schema = %v", p.Schema())
+	}
+	rows, err := Collect(context.Background(), p)
+	if err != nil || len(rows) != 4 || rows[0].Len() != 2 {
+		t.Errorf("ordinal projection rows = %v, %v", rows, err)
+	}
+	if _, err := NewProjectOrdinals(scan, []int{9}); err == nil {
+		t.Error("out-of-range ordinal projection should fail")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	scan := NewValuesScan(stockSchema(), stockRows(10))
+	rows, err := Collect(context.Background(), NewLimit(scan, 3))
+	if err != nil || len(rows) != 3 {
+		t.Errorf("limit = %d rows, %v", len(rows), err)
+	}
+	rows, err = Collect(context.Background(), NewLimit(NewValuesScan(stockSchema(), stockRows(2)), 5))
+	if err != nil || len(rows) != 2 {
+		t.Errorf("limit larger than input = %d rows, %v", len(rows), err)
+	}
+	neg := NewLimit(NewValuesScan(stockSchema(), nil), -1)
+	if err := neg.Open(context.Background()); err == nil {
+		t.Error("negative limit should fail to open")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	rows := stockRows(20) // 7 distinct names
+	d := NewDistinct(NewValuesScan(stockSchema(), rows), []int{0})
+	got, err := Collect(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Errorf("distinct on Name = %d rows, want 7", len(got))
+	}
+	// Distinct on all columns: rows are all unique here.
+	d = NewDistinct(NewValuesScan(stockSchema(), rows), nil)
+	got, err = Collect(context.Background(), d)
+	if err != nil || len(got) != 20 {
+		t.Errorf("distinct on all columns = %d rows, %v", len(got), err)
+	}
+	// Exact duplicates collapse.
+	dup := []types.Tuple{rows[0], rows[0].Clone(), rows[1]}
+	d = NewDistinct(NewValuesScan(stockSchema(), dup), nil)
+	got, _ = Collect(context.Background(), d)
+	if len(got) != 2 {
+		t.Errorf("tuple duplicates = %d rows, want 2", len(got))
+	}
+}
+
+// ---- sort ----
+
+func TestSort(t *testing.T) {
+	rows := stockRows(10)
+	s := NewSort(NewValuesScan(stockSchema(), rows), []SortKey{{Ordinal: 1, Desc: true}})
+	got, err := Collect(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1e18
+	for _, r := range got {
+		f, _ := r[1].Float()
+		if f > prev {
+			t.Errorf("descending sort violated: %g after %g", f, prev)
+		}
+		prev = f
+	}
+	// Two keys: Name asc, Close asc.
+	s = NewSort(NewValuesScan(stockSchema(), rows), []SortKey{{Ordinal: 0}, {Ordinal: 1}})
+	got, err = Collect(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		c, _ := types.CompareOn(got[i-1], got[i], []int{0, 1})
+		if c > 0 {
+			t.Errorf("sort violated at %d", i)
+		}
+	}
+}
+
+// ---- joins ----
+
+func estimationsSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Qualifier: "E", Name: "CompanyName", Kind: types.KindString},
+		types.Column{Qualifier: "E", Name: "BrokerName", Kind: types.KindString},
+		types.Column{Qualifier: "E", Name: "Rating", Kind: types.KindInt},
+	)
+}
+
+func estimationRows() []types.Tuple {
+	return []types.Tuple{
+		types.NewTuple(types.NewString("C00"), types.NewString("BrokerA"), types.NewInt(5)),
+		types.NewTuple(types.NewString("C00"), types.NewString("BrokerB"), types.NewInt(3)),
+		types.NewTuple(types.NewString("C01"), types.NewString("BrokerA"), types.NewInt(4)),
+		types.NewTuple(types.NewString("C09"), types.NewString("BrokerC"), types.NewInt(1)),
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	left := NewValuesScan(stockSchema(), stockRows(7)) // names C00..C06, unique
+	right := NewValuesScan(estimationsSchema(), estimationRows())
+	j, err := NewHashJoin(left, right, []int{0}, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C00 matches 2 estimations, C01 matches 1, C09 matches none -> 3 rows.
+	if len(rows) != 3 {
+		t.Errorf("hash join = %d rows, want 3", len(rows))
+	}
+	if rows[0].Len() != stockSchema().Len()+estimationsSchema().Len() {
+		t.Errorf("joined arity = %d", rows[0].Len())
+	}
+	// Residual predicate.
+	resid := mustBind(t, stockSchema().Concat(estimationsSchema()), nil,
+		expr.NewBinary(expr.OpGe, expr.NewColumnRef("E", "Rating"), expr.NewConst(types.NewInt(4))))
+	j2, _ := NewHashJoin(NewValuesScan(stockSchema(), stockRows(7)), NewValuesScan(estimationsSchema(), estimationRows()),
+		[]int{0}, []int{0}, resid)
+	rows, err = Collect(context.Background(), j2)
+	if err != nil || len(rows) != 2 {
+		t.Errorf("hash join with residual = %d rows, %v; want 2", len(rows), err)
+	}
+	if _, err := NewHashJoin(left, right, nil, nil, nil); err == nil {
+		t.Error("hash join without keys should fail")
+	}
+	if _, err := NewHashJoin(left, right, []int{0}, []int{0, 1}, nil); err == nil {
+		t.Error("mismatched key lists should fail")
+	}
+}
+
+func TestMergeJoin(t *testing.T) {
+	left := NewSort(NewValuesScan(stockSchema(), stockRows(7)), []SortKey{{Ordinal: 0}})
+	right := NewSort(NewValuesScan(estimationsSchema(), estimationRows()), []SortKey{{Ordinal: 0}})
+	j, err := NewMergeJoin(left, right, []int{0}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Errorf("merge join = %d rows, want 3", len(rows))
+	}
+	// Many-to-many: duplicate keys on both sides.
+	lrows := []types.Tuple{
+		types.NewTuple(types.NewString("A"), types.NewFloat(1), types.NewTimeSeries(nil)),
+		types.NewTuple(types.NewString("A"), types.NewFloat(2), types.NewTimeSeries(nil)),
+		types.NewTuple(types.NewString("B"), types.NewFloat(3), types.NewTimeSeries(nil)),
+	}
+	rrows := []types.Tuple{
+		types.NewTuple(types.NewString("A"), types.NewString("x"), types.NewInt(1)),
+		types.NewTuple(types.NewString("A"), types.NewString("y"), types.NewInt(2)),
+		types.NewTuple(types.NewString("C"), types.NewString("z"), types.NewInt(3)),
+	}
+	j2, _ := NewMergeJoin(
+		NewSort(NewValuesScan(stockSchema(), lrows), []SortKey{{Ordinal: 0}}),
+		NewSort(NewValuesScan(estimationsSchema(), rrows), []SortKey{{Ordinal: 0}}),
+		[]int{0}, []int{0})
+	rows, err = Collect(context.Background(), j2)
+	if err != nil || len(rows) != 4 {
+		t.Errorf("many-to-many merge join = %d rows, %v; want 4", len(rows), err)
+	}
+	if _, err := NewMergeJoin(left, right, []int{}, []int{}); err == nil {
+		t.Error("merge join without keys should fail")
+	}
+	// Hash join and merge join agree.
+	hj, _ := NewHashJoin(NewValuesScan(stockSchema(), stockRows(7)), NewValuesScan(estimationsSchema(), estimationRows()),
+		[]int{0}, []int{0}, nil)
+	hjRows, _ := Collect(context.Background(), hj)
+	if len(hjRows) != 3 {
+		t.Errorf("hash/merge join disagreement: %d vs 3", len(hjRows))
+	}
+}
+
+func TestNestedLoopJoin(t *testing.T) {
+	left := NewValuesScan(stockSchema(), stockRows(3))
+	right := NewValuesScan(estimationsSchema(), estimationRows())
+	// Cross product.
+	j := NewNestedLoopJoin(left, right, nil)
+	rows, err := Collect(context.Background(), j)
+	if err != nil || len(rows) != 12 {
+		t.Errorf("cross product = %d rows, %v; want 12", len(rows), err)
+	}
+	// Theta join: S.Close > E.Rating.
+	pred := mustBind(t, stockSchema().Concat(estimationsSchema()), nil,
+		expr.NewBinary(expr.OpGt, expr.NewColumnRef("S", "Close"), expr.NewColumnRef("E", "Rating")))
+	j2 := NewNestedLoopJoin(NewValuesScan(stockSchema(), stockRows(3)), NewValuesScan(estimationsSchema(), estimationRows()), pred)
+	rows, err = Collect(context.Background(), j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Errorf("theta join = %d rows (all Close >= 10 > ratings), want 12", len(rows))
+	}
+	// Client-site predicate is rejected.
+	cat := serverCatalog(t)
+	cpred := mustBind(t, stockSchema().Concat(estimationsSchema()), cat,
+		expr.NewBinary(expr.OpEq, expr.NewFuncCall("ClientAnalysis", expr.NewColumnRef("S", "Quotes")), expr.NewColumnRef("E", "Rating")))
+	bad := NewNestedLoopJoin(NewValuesScan(stockSchema(), stockRows(1)), NewValuesScan(estimationsSchema(), estimationRows()), cpred)
+	if err := bad.Open(context.Background()); err == nil {
+		t.Error("nested-loop join with client-site predicate should fail to open")
+	}
+}
+
+// ---- aggregation ----
+
+func TestHashAggregate(t *testing.T) {
+	rows := stockRows(14) // names C00..C06 twice
+	agg, err := NewHashAggregate(NewValuesScan(stockSchema(), rows), []int{0}, []Aggregate{
+		{Func: AggCount, Ordinal: -1, Name: "cnt"},
+		{Func: AggSum, Ordinal: 1, Name: "sum_close"},
+		{Func: AggMin, Ordinal: 1, Name: "min_close"},
+		{Func: AggMax, Ordinal: 1, Name: "max_close"},
+		{Func: AggAvg, Ordinal: 1, Name: "avg_close"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(context.Background(), agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 7 {
+		t.Fatalf("aggregate groups = %d, want 7", len(out))
+	}
+	// Group C00 contains Close values 10 and 17.
+	first := out[0]
+	if name, _ := first[0].Str(); name != "C00" {
+		t.Fatalf("first group = %v", first)
+	}
+	if c, _ := first[1].Int(); c != 2 {
+		t.Errorf("count = %v", first[1])
+	}
+	if s, _ := first[2].Float(); s != 27 {
+		t.Errorf("sum = %v", first[2])
+	}
+	if mn, _ := first[3].Float(); mn != 10 {
+		t.Errorf("min = %v", first[3])
+	}
+	if mx, _ := first[4].Float(); mx != 17 {
+		t.Errorf("max = %v", first[4])
+	}
+	if av, _ := first[5].Float(); av != 13.5 {
+		t.Errorf("avg = %v", first[5])
+	}
+	// Global aggregate over empty input yields a single zero-count row.
+	empty, err := NewHashAggregate(NewValuesScan(stockSchema(), nil), nil, []Aggregate{{Func: AggCount, Ordinal: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = Collect(context.Background(), empty)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("global aggregate over empty input = %v, %v", out, err)
+	}
+	if c, _ := out[0][0].Int(); c != 0 {
+		t.Errorf("empty count = %v", out[0][0])
+	}
+	// Invalid ordinals are rejected at construction.
+	if _, err := NewHashAggregate(NewValuesScan(stockSchema(), nil), []int{9}, nil); err == nil {
+		t.Error("bad group-by ordinal should fail")
+	}
+	if _, err := NewHashAggregate(NewValuesScan(stockSchema(), nil), nil, []Aggregate{{Func: AggSum, Ordinal: 9}}); err == nil {
+		t.Error("bad aggregate ordinal should fail")
+	}
+	// SUM over a string column errors at execution.
+	badSum, _ := NewHashAggregate(NewValuesScan(stockSchema(), stockRows(2)), nil, []Aggregate{{Func: AggSum, Ordinal: 0}})
+	if _, err := Collect(context.Background(), badSum); err == nil {
+		t.Error("SUM over strings should fail")
+	}
+	for _, f := range []AggFunc{AggCount, AggSum, AggMin, AggMax, AggAvg} {
+		if f.String() == "?" {
+			t.Errorf("AggFunc %d has no name", f)
+		}
+	}
+}
+
+func TestRunAndCollectHelpers(t *testing.T) {
+	n, err := Run(context.Background(), NewValuesScan(stockSchema(), stockRows(9)))
+	if err != nil || n != 9 {
+		t.Errorf("Run = %d, %v", n, err)
+	}
+	// Collect propagates Open errors.
+	bad := NewLimit(NewValuesScan(stockSchema(), nil), -1)
+	if _, err := Collect(context.Background(), bad); err == nil {
+		t.Error("Collect should propagate Open errors")
+	}
+	if _, err := Run(context.Background(), bad); err == nil {
+		t.Error("Run should propagate Open errors")
+	}
+	// NetStats accumulation helper.
+	var s NetStats
+	s.Add(NetStats{BytesDown: 10, BytesUp: 5, Messages: 2, Invocations: 2, RoundTrips: 1})
+	s.Add(NetStats{BytesDown: 1, BytesUp: 1})
+	if s.BytesDown != 11 || s.BytesUp != 6 || s.Messages != 2 || s.Invocations != 2 || s.RoundTrips != 1 {
+		t.Errorf("NetStats.Add = %+v", s)
+	}
+}

@@ -1,0 +1,625 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"csq/internal/client"
+	"csq/internal/expr"
+	"csq/internal/netsim"
+	"csq/internal/types"
+	"csq/internal/wire"
+)
+
+// newAnalysisRuntime returns a client runtime hosting the ClientAnalysis UDF:
+// rating = basis-point change of the quote series.
+func newAnalysisRuntime(t testing.TB) *client.Runtime {
+	t.Helper()
+	rt := client.NewRuntime()
+	err := rt.Register(&client.Func{
+		Name:       "ClientAnalysis",
+		ArgKinds:   []types.Kind{types.KindTimeSeries},
+		ResultKind: types.KindInt,
+		ResultSize: 10,
+		Body: func(args []types.Value) (types.Value, error) {
+			ts, err := args[0].Series()
+			if err != nil {
+				return types.Value{}, err
+			}
+			if ts.Len() == 0 || ts.First() == 0 {
+				return types.NewInt(0), nil
+			}
+			return types.NewInt(int64((ts.Last() - ts.First()) / ts.First() * 10000)), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Register(&client.Func{
+		Name:       "Volatility",
+		ArgKinds:   []types.Kind{types.KindTimeSeries},
+		ResultKind: types.KindFloat,
+		ResultSize: 10,
+		Body: func(args []types.Value) (types.Value, error) {
+			ts, err := args[0].Series()
+			if err != nil {
+				return types.Value{}, err
+			}
+			return types.NewFloat(ts.Volatility()), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func analysisBinding() UDFBinding {
+	return UDFBinding{Name: "ClientAnalysis", ArgOrdinals: []int{2}, ResultKind: types.KindInt, ResultName: "Rating"}
+}
+
+// expectedRating mirrors the client's ClientAnalysis implementation.
+func expectedRating(ts types.TimeSeries) int64 {
+	if ts.Len() == 0 || ts.First() == 0 {
+		return 0
+	}
+	return int64((ts.Last() - ts.First()) / ts.First() * 10000)
+}
+
+func fastLink(t testing.TB) *InProcessLink {
+	return NewInProcessLink(newAnalysisRuntime(t), netsim.Unlimited())
+}
+
+func TestNaiveUDFOperator(t *testing.T) {
+	rows := stockRows(12)
+	link := fastLink(t)
+	op, err := NewNaiveUDF(NewValuesScan(stockSchema(), rows), link, []UDFBinding{analysisBinding()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("naive returned %d rows, want %d", len(got), len(rows))
+	}
+	if op.Schema().Len() != 4 || op.Schema().Columns[3].Name != "Rating" {
+		t.Errorf("naive schema = %v", op.Schema())
+	}
+	for i, r := range got {
+		ts, _ := rows[i][2].Series()
+		if v, _ := r[3].Int(); v != expectedRating(ts) {
+			t.Errorf("row %d rating = %d, want %d", i, v, expectedRating(ts))
+		}
+	}
+	stats := op.NetStats()
+	if stats.RoundTrips != int64(len(rows)) {
+		t.Errorf("naive round trips = %d, want %d", stats.RoundTrips, len(rows))
+	}
+	if stats.BytesDown == 0 || stats.BytesUp == 0 {
+		t.Errorf("naive stats should record traffic: %+v", stats)
+	}
+}
+
+func TestNaiveUDFCache(t *testing.T) {
+	// All rows share the same argument value: with the cache on, only one
+	// round trip should happen.
+	ts := types.NewTimeSeries(types.NewSeries(100, 110))
+	rows := make([]types.Tuple, 10)
+	for i := range rows {
+		rows[i] = types.NewTuple(types.NewString("X"), types.NewFloat(1), ts)
+	}
+	rt := newAnalysisRuntime(t)
+	link := NewInProcessLink(rt, netsim.Unlimited())
+	op, err := NewNaiveUDF(NewValuesScan(stockSchema(), rows), link, []UDFBinding{analysisBinding()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.EnableCache = true
+	got, err := Collect(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if op.NetStats().RoundTrips != 1 {
+		t.Errorf("cached naive round trips = %d, want 1", op.NetStats().RoundTrips)
+	}
+	if rt.Invocations("ClientAnalysis") != 1 {
+		t.Errorf("client invocations = %d, want 1", rt.Invocations("ClientAnalysis"))
+	}
+}
+
+func TestSemiJoinOperator(t *testing.T) {
+	rows := stockRows(30)
+	rt := newAnalysisRuntime(t)
+	link := NewInProcessLink(rt, netsim.Unlimited())
+	op, err := NewSemiJoin(NewValuesScan(stockSchema(), rows), link, []UDFBinding{analysisBinding()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.ConcurrencyFactor = 5
+	got, err := Collect(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("semi-join returned %d rows, want %d", len(got), len(rows))
+	}
+	for i, r := range got {
+		ts, _ := rows[i][2].Series()
+		if v, _ := r[3].Int(); v != expectedRating(ts) {
+			t.Errorf("row %d rating = %d, want %d", i, v, expectedRating(ts))
+		}
+	}
+	// 30 rows share 30 distinct Quotes series (series depend on i), so all
+	// are shipped; invocation count equals distinct argument count.
+	if op.NetStats().Invocations != 30 {
+		t.Errorf("semi-join invocations = %d", op.NetStats().Invocations)
+	}
+}
+
+func TestSemiJoinDuplicateElimination(t *testing.T) {
+	// 40 rows but only 4 distinct argument values: the semi-join must ship
+	// only 4 argument tuples and invoke the UDF 4 times.
+	rows := make([]types.Tuple, 40)
+	for i := range rows {
+		series := types.NewTimeSeries(types.NewSeries(100, 100+float64(i%4)))
+		rows[i] = types.NewTuple(types.NewString(fmt.Sprintf("N%d", i)), types.NewFloat(float64(i)), series)
+	}
+	rt := newAnalysisRuntime(t)
+	link := NewInProcessLink(rt, netsim.Unlimited())
+	op, err := NewSemiJoin(NewValuesScan(stockSchema(), rows), link, []UDFBinding{analysisBinding()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 40 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if rt.Invocations("ClientAnalysis") != 4 {
+		t.Errorf("client invocations = %d, want 4 (argument duplicates eliminated)", rt.Invocations("ClientAnalysis"))
+	}
+	if op.NetStats().Invocations != 4 {
+		t.Errorf("shipped arguments = %d, want 4", op.NetStats().Invocations)
+	}
+	// Every duplicate still received the right result.
+	for i, r := range got {
+		ts, _ := rows[i][2].Series()
+		if v, _ := r[3].Int(); v != expectedRating(ts) {
+			t.Errorf("row %d rating = %d, want %d", i, v, expectedRating(ts))
+		}
+	}
+}
+
+func TestSemiJoinSortedInput(t *testing.T) {
+	rows := stockRows(20)
+	link := fastLink(t)
+	op, err := NewSemiJoin(NewValuesScan(stockSchema(), rows), link, []UDFBinding{analysisBinding()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.SortInput = true
+	got, err := Collect(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	// With SortInput the output is ordered by the argument column; verify
+	// every output row carries a consistent rating for its series.
+	for _, r := range got {
+		ts, _ := r[2].Series()
+		if v, _ := r[3].Int(); v != expectedRating(ts) {
+			t.Errorf("rating mismatch for %v", r)
+		}
+	}
+}
+
+func TestSemiJoinConcurrencyFactors(t *testing.T) {
+	rows := stockRows(25)
+	for _, w := range []int{1, 2, 8, 64} {
+		link := fastLink(t)
+		op, err := NewSemiJoin(NewValuesScan(stockSchema(), rows), link, []UDFBinding{analysisBinding()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		op.ConcurrencyFactor = w
+		got, err := Collect(context.Background(), op)
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if len(got) != len(rows) {
+			t.Errorf("w=%d: rows = %d", w, len(got))
+		}
+	}
+	// Invalid factor rejected at Open.
+	op, _ := NewSemiJoin(NewValuesScan(stockSchema(), rows), fastLink(t), []UDFBinding{analysisBinding()})
+	op.ConcurrencyFactor = 0
+	if err := op.Open(context.Background()); err == nil {
+		t.Error("concurrency factor 0 should fail")
+	}
+}
+
+func TestSemiJoinEarlyClose(t *testing.T) {
+	// A LIMIT above the semi-join abandons the stream early; Close must not
+	// deadlock and must not leak the sender goroutine.
+	rows := stockRows(200)
+	link := fastLink(t)
+	op, err := NewSemiJoin(NewValuesScan(stockSchema(), rows), link, []UDFBinding{analysisBinding()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.ConcurrencyFactor = 4
+	limited := NewLimit(op, 3)
+	done := make(chan error, 1)
+	go func() {
+		rows, err := Collect(context.Background(), limited)
+		if err == nil && len(rows) != 3 {
+			err = fmt.Errorf("limit returned %d rows", len(rows))
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("early close deadlocked")
+	}
+}
+
+func TestClientJoinOperator(t *testing.T) {
+	rows := stockRows(15)
+	link := fastLink(t)
+	op, err := NewClientJoin(NewValuesScan(stockSchema(), rows), link, []UDFBinding{analysisBinding()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("client-site join returned %d rows, want %d", len(got), len(rows))
+	}
+	// Order is preserved (records flow through the client in order).
+	for i, r := range got {
+		if r.Len() != 4 {
+			t.Fatalf("row arity = %d", r.Len())
+		}
+		name, _ := r[0].Str()
+		wantName, _ := rows[i][0].Str()
+		if name != wantName {
+			t.Errorf("row %d name = %s, want %s", i, name, wantName)
+		}
+		ts, _ := rows[i][2].Series()
+		if v, _ := r[3].Int(); v != expectedRating(ts) {
+			t.Errorf("row %d rating mismatch", i)
+		}
+	}
+	stats := op.NetStats()
+	if stats.BytesDown <= stats.BytesUp/2 && stats.BytesUp == 0 {
+		t.Errorf("client join stats look wrong: %+v", stats)
+	}
+}
+
+func TestClientJoinPushableOps(t *testing.T) {
+	rows := stockRows(20)
+	link := fastLink(t)
+	op, err := NewClientJoin(NewValuesScan(stockSchema(), rows), link, []UDFBinding{analysisBinding()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pushable predicate over the extended record: Rating (ordinal 3) > 500.
+	op.Pushable = expr.NewBinary(expr.OpGt, expr.NewBoundColumnRef(3, types.KindInt), expr.NewConst(types.NewInt(500)))
+	// Pushable projection: return only Name and Rating.
+	op.ProjectOrdinals = []int{0, 3}
+	got, err := Collect(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratings are (i/100)*10000 basis points = i*100 for row i; rows with
+	// i*100 > 500 ⇒ i >= 6 ⇒ 14 rows.
+	if len(got) != 14 {
+		t.Fatalf("pushable predicate kept %d rows, want 14", len(got))
+	}
+	for _, r := range got {
+		if r.Len() != 2 {
+			t.Errorf("pushable projection arity = %d, want 2", r.Len())
+		}
+		if v, _ := r[1].Int(); v <= 500 {
+			t.Errorf("pushable predicate leaked rating %d", v)
+		}
+	}
+	if op.Schema().Len() != 2 {
+		t.Errorf("projected schema = %v", op.Schema())
+	}
+}
+
+func TestClientJoinFinalDelivery(t *testing.T) {
+	rows := stockRows(9)
+	rt := newAnalysisRuntime(t)
+	var delivered int
+	rt.ResultSink = func(client.ResultRow) { delivered++ }
+	link := NewInProcessLink(rt, netsim.Unlimited())
+	op, err := NewClientJoin(NewValuesScan(stockSchema(), rows), link, []UDFBinding{analysisBinding()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.FinalDelivery = true
+	got, err := Collect(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("final delivery should return no rows to the server, got %d", len(got))
+	}
+	if delivered != 9 {
+		t.Errorf("client sink received %d rows, want 9", delivered)
+	}
+	if op.DeliveredRows() != 9 {
+		t.Errorf("DeliveredRows = %d, want 9", op.DeliveredRows())
+	}
+	// Uplink traffic should be tiny compared to a non-final-delivery run.
+	if op.NetStats().BytesUp > op.NetStats().BytesDown {
+		t.Errorf("final delivery uplink %d should be below downlink %d", op.NetStats().BytesUp, op.NetStats().BytesDown)
+	}
+}
+
+func TestClientJoinEarlyClose(t *testing.T) {
+	rows := stockRows(500)
+	link := fastLink(t)
+	op, err := NewClientJoin(NewValuesScan(stockSchema(), rows), link, []UDFBinding{analysisBinding()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.ShipBatchSize = 1
+	limited := NewLimit(op, 2)
+	done := make(chan error, 1)
+	go func() {
+		rows, err := Collect(context.Background(), limited)
+		if err == nil && len(rows) != 2 {
+			err = fmt.Errorf("limit returned %d rows", len(rows))
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("early close deadlocked")
+	}
+}
+
+func TestClientUDFErrorPropagation(t *testing.T) {
+	// A UDF that fails at the client must surface as an operator error for
+	// every strategy.
+	rt := client.NewRuntime()
+	_ = rt.Register(&client.Func{
+		Name:       "ClientAnalysis",
+		ResultKind: types.KindInt,
+		Body: func(args []types.Value) (types.Value, error) {
+			return types.Value{}, fmt.Errorf("analysis blew up")
+		},
+	})
+	rows := stockRows(3)
+
+	naive, _ := NewNaiveUDF(NewValuesScan(stockSchema(), rows), NewInProcessLink(rt, netsim.Unlimited()), []UDFBinding{analysisBinding()})
+	if _, err := Collect(context.Background(), naive); err == nil {
+		t.Error("naive operator should propagate the client error")
+	}
+	semi, _ := NewSemiJoin(NewValuesScan(stockSchema(), rows), NewInProcessLink(rt, netsim.Unlimited()), []UDFBinding{analysisBinding()})
+	if _, err := Collect(context.Background(), semi); err == nil {
+		t.Error("semi-join operator should propagate the client error")
+	}
+	cj, _ := NewClientJoin(NewValuesScan(stockSchema(), rows), NewInProcessLink(rt, netsim.Unlimited()), []UDFBinding{analysisBinding()})
+	if _, err := Collect(context.Background(), cj); err == nil {
+		t.Error("client-site join operator should propagate the client error")
+	}
+
+	// An unregistered UDF is rejected at setup time.
+	missing, _ := NewSemiJoin(NewValuesScan(stockSchema(), rows), NewInProcessLink(rt, netsim.Unlimited()),
+		[]UDFBinding{{Name: "DoesNotExist", ArgOrdinals: []int{2}, ResultKind: types.KindInt}})
+	if err := missing.Open(context.Background()); err == nil {
+		t.Error("setup with an unregistered UDF should fail")
+		_ = missing.Close()
+	}
+}
+
+func TestOperatorConstructionErrors(t *testing.T) {
+	scan := NewValuesScan(stockSchema(), nil)
+	link := fastLink(t)
+	if _, err := NewNaiveUDF(scan, link, nil); err == nil {
+		t.Error("naive without UDFs should fail")
+	}
+	if _, err := NewSemiJoin(scan, link, nil); err == nil {
+		t.Error("semi-join without UDFs should fail")
+	}
+	if _, err := NewClientJoin(scan, link, nil); err == nil {
+		t.Error("client join without UDFs should fail")
+	}
+	bad := UDFBinding{Name: "X", ArgOrdinals: []int{99}, ResultKind: types.KindInt}
+	if _, err := NewNaiveUDF(scan, link, []UDFBinding{bad}); err == nil {
+		t.Error("out-of-range argument ordinal should fail")
+	}
+	if _, err := NewClientJoin(scan, link, []UDFBinding{bad}); err == nil {
+		t.Error("out-of-range argument ordinal should fail (client join)")
+	}
+	noArgs := UDFBinding{Name: "X", ResultKind: types.KindInt}
+	if _, err := NewSemiJoin(scan, link, []UDFBinding{noArgs}); err == nil {
+		t.Error("UDF without argument columns should fail for semi-join")
+	}
+	// Operators without a link refuse to open.
+	op, _ := NewNaiveUDF(scan, nil, []UDFBinding{analysisBinding()})
+	if err := op.Open(context.Background()); err == nil {
+		t.Error("naive without a link should fail to open")
+	}
+	sj, _ := NewSemiJoin(scan, nil, []UDFBinding{analysisBinding()})
+	if err := sj.Open(context.Background()); err == nil {
+		t.Error("semi-join without a link should fail to open")
+	}
+	cj, _ := NewClientJoin(scan, nil, []UDFBinding{analysisBinding()})
+	if err := cj.Open(context.Background()); err == nil {
+		t.Error("client join without a link should fail to open")
+	}
+	// In-process link without a runtime fails on session open.
+	empty := &InProcessLink{}
+	if _, err := empty.OpenSession(); err == nil {
+		t.Error("in-process link without runtime should fail")
+	}
+}
+
+func TestDialLink(t *testing.T) {
+	// Spin up a TCP listener backed by the client runtime and execute a
+	// semi-join through a DialLink — the path cmd/csq-server uses.
+	rt := newAnalysisRuntime(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { _ = rt.ServeConn(wire.NewConn(conn)) }()
+		}
+	}()
+	link := &DialLink{Addr: ln.Addr().String()}
+	rows := stockRows(10)
+	op, err := NewSemiJoin(NewValuesScan(stockSchema(), rows), link, []UDFBinding{analysisBinding()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Errorf("dial link semi-join = %d rows", len(got))
+	}
+	// Dialling a dead address fails.
+	dead := &DialLink{Addr: "127.0.0.1:1", DialTimeout: 200 * time.Millisecond}
+	if _, err := dead.OpenSession(); err == nil {
+		t.Error("dialling a dead address should fail")
+	}
+}
+
+// TestStrategyEquivalence property: naive, semi-join and client-site join all
+// compute the same multiset of (input, result) rows on random inputs with
+// random duplicate structure. This is the paper's implicit correctness
+// requirement: the strategies differ only in cost.
+func TestStrategyEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(25)
+		rows := make([]types.Tuple, n)
+		for i := range rows {
+			series := types.NewTimeSeries(types.NewSeries(100, 100+float64(r.Intn(5))))
+			rows[i] = types.NewTuple(
+				types.NewString(fmt.Sprintf("N%d", r.Intn(6))),
+				types.NewFloat(float64(r.Intn(50))),
+				series,
+			)
+		}
+		collectSorted := func(op Operator) ([]string, error) {
+			out, err := Collect(context.Background(), op)
+			if err != nil {
+				return nil, err
+			}
+			keys := make([]string, len(out))
+			for i, tup := range out {
+				keys[i] = tup.Key(allOrdinals(tup.Len()))
+			}
+			sort.Strings(keys)
+			return keys, nil
+		}
+		naive, err := NewNaiveUDF(NewValuesScan(stockSchema(), rows), fastLink(t), []UDFBinding{analysisBinding()})
+		if err != nil {
+			return false
+		}
+		naive.EnableCache = r.Intn(2) == 0
+		a, err := collectSorted(naive)
+		if err != nil {
+			return false
+		}
+		semi, err := NewSemiJoin(NewValuesScan(stockSchema(), rows), fastLink(t), []UDFBinding{analysisBinding()})
+		if err != nil {
+			return false
+		}
+		semi.ConcurrencyFactor = 1 + r.Intn(8)
+		b, err := collectSorted(semi)
+		if err != nil {
+			return false
+		}
+		cj, err := NewClientJoin(NewValuesScan(stockSchema(), rows), fastLink(t), []UDFBinding{analysisBinding()})
+		if err != nil {
+			return false
+		}
+		cj.ShipBatchSize = 1 + r.Intn(8)
+		c, err := collectSorted(cj)
+		if err != nil {
+			return false
+		}
+		if len(a) != len(b) || len(b) != len(c) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] || b[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	rows := stockRows(50)
+	link := fastLink(t)
+	op, err := NewSemiJoin(NewValuesScan(stockSchema(), rows), link, []UDFBinding{analysisBinding()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := op.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Read a couple of rows, then cancel and close.
+	for i := 0; i < 2; i++ {
+		if _, ok, err := op.Next(); err != nil || !ok {
+			t.Fatalf("next %d: %v %v", i, ok, err)
+		}
+	}
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		_ = op.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close after cancellation deadlocked")
+	}
+}

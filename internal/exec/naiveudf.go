@@ -1,0 +1,204 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"csq/internal/types"
+	"csq/internal/wire"
+)
+
+// NaiveUDF is the traditional, tuple-at-a-time execution of a client-site
+// UDF: for every input tuple the argument columns are shipped to the client
+// and the operator blocks until the result comes back (Section 2.1 of the
+// paper). It exists as the baseline whose poor behaviour motivates the
+// semi-join and client-site join operators; it is equivalent to a semi-join
+// with a pipeline concurrency factor of 1 and no sender/receiver overlap.
+//
+// An optional result cache eliminates duplicate invocations, following the
+// caching technique of [HN97] that the paper cites for server-site UDFs.
+type NaiveUDF struct {
+	baseState
+	input Operator
+	udfs  []UDFBinding
+	link  ClientLink
+
+	// EnableCache caches results by argument key, skipping round trips for
+	// argument duplicates.
+	EnableCache bool
+
+	schema      *types.Schema
+	argOrdinals []int          // union of all argument ordinals, sorted
+	remapped    []wire.UDFSpec // specs with ordinals into the shipped tuple
+
+	session *udfSession
+	cache   map[string]types.Tuple
+	stats   NetStats
+}
+
+// NewNaiveUDF builds the operator. The UDF bindings reference columns of the
+// input schema; each UDF contributes one result column appended to the input.
+func NewNaiveUDF(input Operator, link ClientLink, udfs []UDFBinding) (*NaiveUDF, error) {
+	if len(udfs) == 0 {
+		return nil, fmt.Errorf("exec: naive UDF operator needs at least one UDF")
+	}
+	op := &NaiveUDF{input: input, link: link, udfs: udfs}
+	var err error
+	op.argOrdinals, op.remapped, err = shipArgumentColumns(input.Schema(), udfs)
+	if err != nil {
+		return nil, err
+	}
+	op.schema = extendSchema(input.Schema(), udfs)
+	return op, nil
+}
+
+// shipArgumentColumns computes the sorted union of argument ordinals and
+// rewrites the UDF specs so their ordinals index the shipped (argument-only)
+// tuple rather than the full input tuple.
+func shipArgumentColumns(schema *types.Schema, udfs []UDFBinding) ([]int, []wire.UDFSpec, error) {
+	seen := map[int]bool{}
+	for _, u := range udfs {
+		if len(u.ArgOrdinals) == 0 {
+			return nil, nil, fmt.Errorf("exec: UDF %s has no argument columns", u.Name)
+		}
+		for _, o := range u.ArgOrdinals {
+			if o < 0 || o >= schema.Len() {
+				return nil, nil, fmt.Errorf("exec: UDF %s argument ordinal %d out of range", u.Name, o)
+			}
+			seen[o] = true
+		}
+	}
+	union := make([]int, 0, len(seen))
+	for o := range seen {
+		union = append(union, o)
+	}
+	sort.Ints(union)
+	pos := make(map[int]int, len(union))
+	for i, o := range union {
+		pos[o] = i
+	}
+	specs := make([]wire.UDFSpec, len(udfs))
+	for i, u := range udfs {
+		spec := wire.UDFSpec{Name: u.Name}
+		for _, o := range u.ArgOrdinals {
+			spec.ArgOrdinals = append(spec.ArgOrdinals, pos[o])
+		}
+		specs[i] = spec
+	}
+	return union, specs, nil
+}
+
+// extendSchema appends one result column per UDF to the input schema.
+func extendSchema(in *types.Schema, udfs []UDFBinding) *types.Schema {
+	out := in.Clone()
+	for _, u := range udfs {
+		name := u.ResultName
+		if name == "" {
+			name = u.Name
+		}
+		out.Columns = append(out.Columns, types.Column{Name: name, Kind: u.ResultKind})
+	}
+	return out
+}
+
+// Schema implements Operator.
+func (n *NaiveUDF) Schema() *types.Schema { return n.schema }
+
+// Open implements Operator.
+func (n *NaiveUDF) Open(ctx context.Context) error {
+	if n.link == nil {
+		return fmt.Errorf("exec: naive UDF operator has no client link")
+	}
+	if err := n.input.Open(ctx); err != nil {
+		return err
+	}
+	shipped, err := n.input.Schema().Project(n.argOrdinals)
+	if err != nil {
+		return err
+	}
+	sess, err := openUDFSession(n.link, &wire.SetupRequest{
+		Mode:        wire.ModeNaive,
+		InputSchema: shipped,
+		UDFs:        n.remapped,
+	})
+	if err != nil {
+		return err
+	}
+	n.session = sess
+	if n.EnableCache {
+		n.cache = make(map[string]types.Tuple)
+	}
+	n.stats = NetStats{}
+	n.opened = true
+	n.closed = false
+	return nil
+}
+
+// Next implements Operator: one blocking round trip per non-cached tuple.
+func (n *NaiveUDF) Next() (types.Tuple, bool, error) {
+	if err := n.checkOpen(); err != nil {
+		return nil, false, err
+	}
+	in, ok, err := n.input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	args, err := in.Project(n.argOrdinals)
+	if err != nil {
+		return nil, false, err
+	}
+	key := ""
+	if n.EnableCache {
+		key = args.Key(allOrdinals(args.Len()))
+		if cached, hit := n.cache[key]; hit {
+			return in.Concat(cached), true, nil
+		}
+	}
+	if err := n.session.sendBatch([]types.Tuple{args}); err != nil {
+		return nil, false, err
+	}
+	n.stats.Messages++
+	n.stats.Invocations++
+	n.stats.RoundTrips++
+	res, err := n.session.receiveResult()
+	if err != nil {
+		return nil, false, err
+	}
+	if len(res.Tuples) != 1 {
+		return nil, false, fmt.Errorf("exec: naive UDF expected one result, got %d", len(res.Tuples))
+	}
+	results := res.Tuples[0]
+	if results.Len() != len(n.udfs) {
+		return nil, false, fmt.Errorf("exec: naive UDF expected %d result columns, got %d", len(n.udfs), results.Len())
+	}
+	if n.EnableCache {
+		n.cache[key] = results
+	}
+	return in.Concat(results), true, nil
+}
+
+// Close implements Operator.
+func (n *NaiveUDF) Close() error {
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	if n.session != nil {
+		_, _ = n.session.end()
+		n.stats.BytesDown = n.session.conn.BytesSent()
+		n.stats.BytesUp = n.session.conn.BytesReceived()
+		n.session.close()
+	}
+	n.cache = nil
+	return n.input.Close()
+}
+
+// NetStats implements NetReporter.
+func (n *NaiveUDF) NetStats() NetStats {
+	if n.session != nil {
+		n.stats.BytesDown = n.session.conn.BytesSent()
+		n.stats.BytesUp = n.session.conn.BytesReceived()
+	}
+	return n.stats
+}

@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+
+	"csq/internal/storage"
+	"csq/internal/types"
+)
+
+// TableScan produces every tuple of a stored heap table, optionally
+// re-qualifying the schema with a query alias.
+type TableScan struct {
+	baseState
+	table  *storage.HeapTable
+	alias  string
+	schema *types.Schema
+	it     *storage.TableIterator
+}
+
+// NewTableScan returns a scan over the table. When alias is non-empty the
+// produced schema is qualified with it (SELECT ... FROM StockQuotes S).
+func NewTableScan(table *storage.HeapTable, alias string) *TableScan {
+	schema := table.Schema().Clone()
+	if alias != "" {
+		schema = schema.WithQualifier(alias)
+	} else {
+		schema = schema.WithQualifier(table.Name())
+	}
+	return &TableScan{table: table, alias: alias, schema: schema}
+}
+
+// Schema implements Operator.
+func (s *TableScan) Schema() *types.Schema { return s.schema }
+
+// Open implements Operator.
+func (s *TableScan) Open(ctx context.Context) error {
+	if s.table == nil {
+		return fmt.Errorf("exec: table scan has no table")
+	}
+	s.it = s.table.Iterator()
+	s.opened = true
+	s.closed = false
+	return ctx.Err()
+}
+
+// Next implements Operator.
+func (s *TableScan) Next() (types.Tuple, bool, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, false, err
+	}
+	t, ok := s.it.Next()
+	return t, ok, nil
+}
+
+// Close implements Operator.
+func (s *TableScan) Close() error {
+	s.closed = true
+	return nil
+}
+
+// ValuesScan produces an in-memory slice of tuples; it is used for testing,
+// for INSERT ... VALUES and as the input stub of sub-plans.
+type ValuesScan struct {
+	baseState
+	schema *types.Schema
+	rows   []types.Tuple
+	pos    int
+}
+
+// NewValuesScan builds a scan over the given rows.
+func NewValuesScan(schema *types.Schema, rows []types.Tuple) *ValuesScan {
+	return &ValuesScan{schema: schema, rows: rows}
+}
+
+// Schema implements Operator.
+func (s *ValuesScan) Schema() *types.Schema { return s.schema }
+
+// Open implements Operator.
+func (s *ValuesScan) Open(ctx context.Context) error {
+	s.pos = 0
+	s.opened = true
+	s.closed = false
+	return ctx.Err()
+}
+
+// Next implements Operator.
+func (s *ValuesScan) Next() (types.Tuple, bool, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, false, err
+	}
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// Close implements Operator.
+func (s *ValuesScan) Close() error {
+	s.closed = true
+	return nil
+}

@@ -1,0 +1,302 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"csq/internal/types"
+	"csq/internal/wire"
+)
+
+// DefaultConcurrencyFactor is the pipeline concurrency factor used when none
+// is configured. The paper's analysis (Section 3.1.2) puts the optimum at
+// bandwidth × latency ÷ argument size; 16 is a safe default for the link
+// speeds in the evaluation.
+const DefaultConcurrencyFactor = 16
+
+// SemiJoin executes a client-site UDF with the semi-join strategy of
+// Section 2.3.1: the sender ships duplicate-free argument columns on the
+// downlink while the receiver joins returned results with the buffered full
+// records. Sender and receiver run concurrently around a bounded buffer whose
+// capacity is the pipeline concurrency factor, which is what hides the
+// network latency (Figure 2(b) / Figure 3 of the paper).
+type SemiJoin struct {
+	baseState
+	input Operator
+	udfs  []UDFBinding
+	link  ClientLink
+
+	// ConcurrencyFactor is the bounded-buffer capacity between sender and
+	// receiver; it equals the number of argument tuples in flight.
+	ConcurrencyFactor int
+	// SortInput, when set, sorts the input on the argument columns before
+	// sending so the receiver performs a pure merge join (the assumption the
+	// paper makes for its receiver). Result correctness does not depend on
+	// it; the receiver also keeps a hash cache of results.
+	SortInput bool
+
+	schema      *types.Schema
+	argOrdinals []int
+	remapped    []wire.UDFSpec
+
+	session *udfSession
+	buffer  chan bufferedRecord
+	pending chan string // argument keys in the order their tuples were sent
+	sendErr chan error
+	wg      sync.WaitGroup
+	cancel  context.CancelFunc
+
+	cache map[string]types.Tuple
+	stats NetStats
+	mu    sync.Mutex // guards stats.Invocations updates from the sender
+}
+
+// bufferedRecord is one full record parked between sender and receiver.
+type bufferedRecord struct {
+	tuple types.Tuple
+	key   string
+}
+
+// NewSemiJoin builds the operator.
+func NewSemiJoin(input Operator, link ClientLink, udfs []UDFBinding) (*SemiJoin, error) {
+	if len(udfs) == 0 {
+		return nil, fmt.Errorf("exec: semi-join operator needs at least one UDF")
+	}
+	op := &SemiJoin{
+		input:             input,
+		link:              link,
+		udfs:              udfs,
+		ConcurrencyFactor: DefaultConcurrencyFactor,
+	}
+	var err error
+	op.argOrdinals, op.remapped, err = shipArgumentColumns(input.Schema(), udfs)
+	if err != nil {
+		return nil, err
+	}
+	op.schema = extendSchema(input.Schema(), udfs)
+	return op, nil
+}
+
+// Schema implements Operator.
+func (s *SemiJoin) Schema() *types.Schema { return s.schema }
+
+// Open implements Operator: it opens the session and starts the sender.
+func (s *SemiJoin) Open(ctx context.Context) error {
+	if s.link == nil {
+		return fmt.Errorf("exec: semi-join operator has no client link")
+	}
+	if s.ConcurrencyFactor < 1 {
+		return fmt.Errorf("exec: concurrency factor must be at least 1, got %d", s.ConcurrencyFactor)
+	}
+	var in Operator = s.input
+	if s.SortInput {
+		keys := make([]SortKey, len(s.argOrdinals))
+		for i, o := range s.argOrdinals {
+			keys[i] = SortKey{Ordinal: o}
+		}
+		in = NewSort(s.input, keys)
+	}
+	if err := in.Open(ctx); err != nil {
+		return err
+	}
+	shipped, err := s.input.Schema().Project(s.argOrdinals)
+	if err != nil {
+		return err
+	}
+	sess, err := openUDFSession(s.link, &wire.SetupRequest{
+		Mode:        wire.ModeSemiJoin,
+		InputSchema: shipped,
+		UDFs:        s.remapped,
+	})
+	if err != nil {
+		_ = in.Close()
+		return err
+	}
+	s.session = sess
+	s.buffer = make(chan bufferedRecord, s.ConcurrencyFactor)
+	s.pending = make(chan string, 1<<16)
+	s.sendErr = make(chan error, 1)
+	s.cache = make(map[string]types.Tuple)
+	s.stats = NetStats{}
+
+	senderCtx, cancel := context.WithCancel(ctx)
+	s.cancel = cancel
+	s.wg.Add(1)
+	go s.runSender(senderCtx, in)
+
+	s.opened = true
+	s.closed = false
+	return nil
+}
+
+// runSender is the sender thread of Figure 3: it reads input records, sends
+// each distinct argument tuple downlink, and parks the full record in the
+// bounded buffer for the receiver.
+func (s *SemiJoin) runSender(ctx context.Context, in Operator) {
+	defer s.wg.Done()
+	defer close(s.buffer)
+	defer close(s.pending)
+	sent := make(map[string]bool)
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		t, ok, err := in.Next()
+		if err != nil {
+			s.reportSendErr(err)
+			return
+		}
+		if !ok {
+			return
+		}
+		args, err := t.Project(s.argOrdinals)
+		if err != nil {
+			s.reportSendErr(err)
+			return
+		}
+		key := args.Key(allOrdinals(args.Len()))
+		if !sent[key] {
+			// Step 1 of the paper's pipeline: ship the duplicate-free
+			// argument values downlink.
+			if err := s.session.sendBatch([]types.Tuple{args}); err != nil {
+				s.reportSendErr(err)
+				return
+			}
+			sent[key] = true
+			s.mu.Lock()
+			s.stats.Messages++
+			s.stats.Invocations++
+			s.mu.Unlock()
+			select {
+			case s.pending <- key:
+			case <-ctx.Done():
+				return
+			}
+		}
+		// Park the full record until its result arrives (step 4 join input).
+		select {
+		case s.buffer <- bufferedRecord{tuple: t, key: key}:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func (s *SemiJoin) reportSendErr(err error) {
+	select {
+	case s.sendErr <- err:
+	default:
+	}
+}
+
+// Next implements Operator: it is the receiver thread of Figure 3, joining
+// buffered records with the result stream coming back from the client.
+func (s *SemiJoin) Next() (types.Tuple, bool, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, false, err
+	}
+	for {
+		select {
+		case err := <-s.sendErr:
+			return nil, false, err
+		case rec, ok := <-s.buffer:
+			if !ok {
+				// Input exhausted; surface any straggler sender error.
+				select {
+				case err := <-s.sendErr:
+					return nil, false, err
+				default:
+				}
+				return nil, false, nil
+			}
+			results, err := s.resultFor(rec.key)
+			if err != nil {
+				return nil, false, err
+			}
+			return rec.tuple.Concat(results), true, nil
+		}
+	}
+}
+
+// resultFor returns the UDF results for an argument key, reading further
+// result batches from the client as needed. Results arrive in the order the
+// distinct arguments were sent, so each received batch is matched with the
+// next pending key — the merge-join the paper describes for the receiver.
+func (s *SemiJoin) resultFor(key string) (types.Tuple, error) {
+	for {
+		if res, ok := s.cache[key]; ok {
+			return res, nil
+		}
+		batch, err := s.session.receiveResult()
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range batch.Tuples {
+			pendingKey, ok := <-s.pending
+			if !ok {
+				return nil, fmt.Errorf("exec: semi-join received more results than arguments sent")
+			}
+			if res.Len() != len(s.udfs) {
+				return nil, fmt.Errorf("exec: semi-join expected %d result columns, got %d", len(s.udfs), res.Len())
+			}
+			s.cache[pendingKey] = res
+		}
+	}
+}
+
+// Close implements Operator.
+//
+// Close must work both after a clean drain and when the caller abandons the
+// stream early (e.g. a LIMIT above the operator). In the early case the
+// sender may be blocked writing to the link while the client is blocked
+// writing results nobody reads; Close therefore drains both the buffer and
+// the incoming message stream until the sender exits, then tears down the
+// connection instead of performing the graceful end handshake.
+func (s *SemiJoin) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.cancel != nil {
+		s.cancel()
+	}
+	if s.session != nil {
+		drainDone := make(chan struct{})
+		go func() {
+			for range s.buffer {
+			}
+		}()
+		go func() {
+			defer close(drainDone)
+			for {
+				if _, err := s.session.conn.Receive(); err != nil {
+					return
+				}
+			}
+		}()
+		s.wg.Wait()
+		s.mu.Lock()
+		s.stats.BytesDown = s.session.conn.BytesSent()
+		s.stats.BytesUp = s.session.conn.BytesReceived()
+		s.mu.Unlock()
+		s.session.close()
+		<-drainDone
+	} else {
+		s.wg.Wait()
+	}
+	s.cache = nil
+	return s.input.Close()
+}
+
+// NetStats implements NetReporter.
+func (s *SemiJoin) NetStats() NetStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.stats
+	if s.session != nil {
+		out.BytesDown = s.session.conn.BytesSent()
+		out.BytesUp = s.session.conn.BytesReceived()
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package expr
+
+import (
+	"csq/internal/types"
+)
+
+// Analysis helpers used by the planner and by the client-site execution
+// operators. The paper's notions are:
+//
+//   - "pushable predicates": simple predicates that rely on the values of the
+//     UDF result columns (or on other columns shipped to the client) and can
+//     therefore be applied on the client before anything is returned to the
+//     server (Section 2, terminology; Section 5.1.1 option (c)).
+//   - "pushable projections": projections that can be applied immediately
+//     after the UDF on the client, reducing the returned record width.
+
+// Conjuncts splits a predicate into its top-level AND-ed conjuncts.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+		return append(Conjuncts(b.Left), Conjuncts(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+// Conjoin combines expressions with AND, returning nil for an empty slice and
+// the sole element for a singleton.
+func Conjoin(es []Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+			continue
+		}
+		b := &Binary{Op: OpAnd, Left: out, Right: e, kind: types.KindBool}
+		out = b
+	}
+	return out
+}
+
+// PushableToClient reports whether the bound expression can be evaluated at
+// the client given the set of input-column ordinals that will be present at
+// the client (availableCols) and the names of the client-site UDFs whose
+// results will be available there (availableUDFResults).
+//
+// An expression is pushable when every column it reads is available, every
+// client-site UDF it calls is in availableUDFResults (or will be evaluated as
+// part of the same client round trip), and it calls no server-site UDF (whose
+// body only exists at the server).
+func PushableToClient(e Expr, availableCols map[int]bool, availableUDFResults map[string]bool) bool {
+	ok := true
+	Walk(e, func(n Expr) bool {
+		switch c := n.(type) {
+		case *ColumnRef:
+			if !c.Bound() || !availableCols[c.Ordinal] {
+				ok = false
+			}
+		case *FuncCall:
+			if c.Builtin != nil {
+				return true
+			}
+			if c.UDF == nil {
+				ok = false
+				return false
+			}
+			if c.UDF.IsClientSite() {
+				if availableUDFResults != nil && !availableUDFResults[lower(c.Name)] {
+					ok = false
+				}
+				return true
+			}
+			// Server-site UDF bodies are not available at the client.
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// ServerOnly reports whether the expression can be evaluated entirely at the
+// server, i.e. it contains no client-site UDF call.
+func ServerOnly(e Expr) bool { return !HasClientCall(e) }
+
+// SplitPredicate partitions the conjuncts of a predicate into those that are
+// free of client-site UDFs (evaluable at the server before any shipping) and
+// those that reference at least one client-site UDF.
+func SplitPredicate(e Expr) (serverSide, clientDependent []Expr) {
+	for _, c := range Conjuncts(e) {
+		if ServerOnly(c) {
+			serverSide = append(serverSide, c)
+		} else {
+			clientDependent = append(clientDependent, c)
+		}
+	}
+	return serverSide, clientDependent
+}
+
+// EstimateSelectivity returns a heuristic selectivity for a bound predicate,
+// mirroring the classic System-R defaults. Client-site UDF predicates use the
+// selectivity declared in the catalog when present.
+func EstimateSelectivity(e Expr) float64 {
+	if e == nil {
+		return 1
+	}
+	switch n := e.(type) {
+	case *Const:
+		if b, err := n.Value.Truth(); err == nil {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		return 1
+	case *Binary:
+		switch {
+		case n.Op == OpAnd:
+			return clamp01(EstimateSelectivity(n.Left) * EstimateSelectivity(n.Right))
+		case n.Op == OpOr:
+			l, r := EstimateSelectivity(n.Left), EstimateSelectivity(n.Right)
+			return clamp01(l + r - l*r)
+		case n.Op == OpEq:
+			if s, ok := udfPredicateSelectivity(n.Left); ok {
+				return s
+			}
+			if s, ok := udfPredicateSelectivity(n.Right); ok {
+				return s
+			}
+			return 0.1
+		case n.Op == OpNe:
+			return 0.9
+		case n.Op.IsComparison():
+			if s, ok := udfPredicateSelectivity(n.Left); ok {
+				return s
+			}
+			if s, ok := udfPredicateSelectivity(n.Right); ok {
+				return s
+			}
+			return 1.0 / 3.0
+		default:
+			return 1
+		}
+	case *Unary:
+		if n.Op == OpNot {
+			return clamp01(1 - EstimateSelectivity(n.Input))
+		}
+		return 1
+	case *FuncCall:
+		if n.UDF != nil && n.UDF.ResultKind == types.KindBool && n.UDF.Selectivity > 0 {
+			return n.UDF.Selectivity
+		}
+		if n.ResultKind() == types.KindBool {
+			return 0.5
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// udfPredicateSelectivity returns the declared selectivity when the operand is
+// a direct UDF call with catalog selectivity metadata.
+func udfPredicateSelectivity(e Expr) (float64, bool) {
+	f, ok := e.(*FuncCall)
+	if !ok || f.UDF == nil || f.UDF.Selectivity <= 0 {
+		return 0, false
+	}
+	return f.UDF.Selectivity, true
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// ResultSize estimates the encoded size in bytes of the expression's result,
+// used by the cost model when sizing uplink traffic (R in the paper).
+func ResultSize(e Expr) int {
+	switch n := e.(type) {
+	case *ColumnRef:
+		return kindSize(n.Kind)
+	case *Const:
+		return n.Value.Size()
+	case *FuncCall:
+		if n.UDF != nil && n.UDF.ResultSize > 0 {
+			return n.UDF.ResultSize
+		}
+		return kindSize(n.ResultKind())
+	default:
+		return kindSize(e.ResultKind())
+	}
+}
+
+func kindSize(k types.Kind) int {
+	switch k {
+	case types.KindInt, types.KindFloat:
+		return 10
+	case types.KindBool:
+		return 3
+	case types.KindString:
+		return 24
+	case types.KindBytes, types.KindTimeSeries:
+		return 256
+	default:
+		return 8
+	}
+}

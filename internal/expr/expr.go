@@ -1,0 +1,331 @@
+// Package expr implements scalar expressions: the AST produced by the SQL
+// front end, name binding against a schema and catalog, evaluation against
+// tuples, and the analyses the optimizer and the client-site execution
+// operators need (which columns an expression touches, which client-site UDFs
+// it calls, and whether a predicate or projection is pushable to the client).
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"csq/internal/catalog"
+	"csq/internal/types"
+)
+
+// Op identifies a unary or binary operator.
+type Op uint8
+
+// Binary and unary operators.
+const (
+	OpInvalid Op = iota
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpNot
+	OpNeg
+)
+
+// String returns the SQL spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpNot:
+		return "NOT"
+	case OpNeg:
+		return "-"
+	default:
+		return "?"
+	}
+}
+
+// IsComparison reports whether the operator is a comparison.
+func (o Op) IsComparison() bool {
+	switch o {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// Expr is a scalar expression node. Expressions are built unbound (column
+// references hold names) and must be bound against a schema before evaluation.
+type Expr interface {
+	fmt.Stringer
+	// ResultKind returns the kind the expression evaluates to. It is only
+	// meaningful after Bind.
+	ResultKind() types.Kind
+	// children returns the direct sub-expressions; used by the tree walkers.
+	children() []Expr
+}
+
+// Const is a literal value.
+type Const struct {
+	Value types.Value
+}
+
+// NewConst returns a literal expression.
+func NewConst(v types.Value) *Const { return &Const{Value: v} }
+
+// ResultKind implements Expr.
+func (c *Const) ResultKind() types.Kind { return c.Value.Kind() }
+
+// String implements fmt.Stringer.
+func (c *Const) String() string {
+	if c.Value.Kind() == types.KindString && !c.Value.IsNull() {
+		return "'" + c.Value.String() + "'"
+	}
+	return c.Value.String()
+}
+
+func (c *Const) children() []Expr { return nil }
+
+// ColumnRef references a column by name; Bind resolves it to an ordinal.
+type ColumnRef struct {
+	Qualifier string
+	Name      string
+
+	// Ordinal is the resolved position in the input schema; -1 before Bind.
+	Ordinal int
+	// Kind is the resolved column kind.
+	Kind  types.Kind
+	bound bool
+}
+
+// NewColumnRef returns an unbound column reference.
+func NewColumnRef(qualifier, name string) *ColumnRef {
+	return &ColumnRef{Qualifier: qualifier, Name: name, Ordinal: -1}
+}
+
+// ResultKind implements Expr.
+func (c *ColumnRef) ResultKind() types.Kind { return c.Kind }
+
+// Bound reports whether the reference has been resolved to an ordinal.
+func (c *ColumnRef) Bound() bool { return c.bound }
+
+// String implements fmt.Stringer.
+func (c *ColumnRef) String() string {
+	if c.Qualifier == "" {
+		return c.Name
+	}
+	return c.Qualifier + "." + c.Name
+}
+
+func (c *ColumnRef) children() []Expr { return nil }
+
+// Binary is a binary operation.
+type Binary struct {
+	Op          Op
+	Left, Right Expr
+	kind        types.Kind
+}
+
+// NewBinary returns a binary operation node.
+func NewBinary(op Op, left, right Expr) *Binary {
+	return &Binary{Op: op, Left: left, Right: right}
+}
+
+// ResultKind implements Expr.
+func (b *Binary) ResultKind() types.Kind { return b.kind }
+
+// String implements fmt.Stringer.
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.Left, b.Op, b.Right)
+}
+
+func (b *Binary) children() []Expr { return []Expr{b.Left, b.Right} }
+
+// Unary is a unary operation (NOT, negation).
+type Unary struct {
+	Op    Op
+	Input Expr
+	kind  types.Kind
+}
+
+// NewUnary returns a unary operation node.
+func NewUnary(op Op, input Expr) *Unary { return &Unary{Op: op, Input: input} }
+
+// ResultKind implements Expr.
+func (u *Unary) ResultKind() types.Kind { return u.kind }
+
+// String implements fmt.Stringer.
+func (u *Unary) String() string {
+	if u.Op == OpNot {
+		return fmt.Sprintf("(NOT %s)", u.Input)
+	}
+	return fmt.Sprintf("(-%s)", u.Input)
+}
+
+func (u *Unary) children() []Expr { return []Expr{u.Input} }
+
+// FuncCall is a call to a built-in function or a UDF. After Bind, UDF points
+// at the catalog entry when the function is a UDF; Builtin holds the
+// implementation when it is a built-in.
+type FuncCall struct {
+	Name string
+	Args []Expr
+
+	// UDF is the resolved catalog UDF, nil for built-ins.
+	UDF *catalog.UDF
+	// Builtin is the resolved built-in implementation, nil for UDFs.
+	Builtin *BuiltinFunc
+	kind    types.Kind
+}
+
+// NewFuncCall returns an unbound function-call node.
+func NewFuncCall(name string, args ...Expr) *FuncCall {
+	return &FuncCall{Name: name, Args: args}
+}
+
+// ResultKind implements Expr.
+func (f *FuncCall) ResultKind() types.Kind { return f.kind }
+
+// IsClientSite reports whether the call resolves to a client-site UDF.
+func (f *FuncCall) IsClientSite() bool { return f.UDF != nil && f.UDF.IsClientSite() }
+
+// String implements fmt.Stringer.
+func (f *FuncCall) String() string {
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", f.Name, strings.Join(args, ", "))
+}
+
+func (f *FuncCall) children() []Expr { return f.Args }
+
+// Cast converts its input to a target kind.
+type Cast struct {
+	Input  Expr
+	Target types.Kind
+}
+
+// NewCast returns a cast node.
+func NewCast(input Expr, target types.Kind) *Cast { return &Cast{Input: input, Target: target} }
+
+// ResultKind implements Expr.
+func (c *Cast) ResultKind() types.Kind { return c.Target }
+
+// String implements fmt.Stringer.
+func (c *Cast) String() string { return fmt.Sprintf("CAST(%s AS %s)", c.Input, c.Target) }
+
+func (c *Cast) children() []Expr { return []Expr{c.Input} }
+
+// Walk visits every node of the expression tree in pre-order. The visitor may
+// return false to skip a node's children.
+func Walk(e Expr, visit func(Expr) bool) {
+	if e == nil {
+		return
+	}
+	if !visit(e) {
+		return
+	}
+	for _, c := range e.children() {
+		Walk(c, visit)
+	}
+}
+
+// Columns returns the distinct ordinals of all bound column references in the
+// expression, in ascending order.
+func Columns(e Expr) []int {
+	seen := map[int]bool{}
+	Walk(e, func(n Expr) bool {
+		if c, ok := n.(*ColumnRef); ok && c.Bound() {
+			seen[c.Ordinal] = true
+		}
+		return true
+	})
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sortInts(out)
+	return out
+}
+
+// ColumnNames returns the distinct (qualifier, name) references in the
+// expression, useful before binding.
+func ColumnNames(e Expr) []string {
+	seen := map[string]bool{}
+	var out []string
+	Walk(e, func(n Expr) bool {
+		if c, ok := n.(*ColumnRef); ok {
+			s := c.String()
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ClientCalls returns every client-site UDF call in the expression, in
+// pre-order.
+func ClientCalls(e Expr) []*FuncCall {
+	var out []*FuncCall
+	Walk(e, func(n Expr) bool {
+		if f, ok := n.(*FuncCall); ok && f.IsClientSite() {
+			out = append(out, f)
+		}
+		return true
+	})
+	return out
+}
+
+// HasClientCall reports whether the expression contains a client-site UDF.
+func HasClientCall(e Expr) bool { return len(ClientCalls(e)) > 0 }
+
+// ServerCalls returns every server-site UDF or built-in call in the
+// expression.
+func ServerCalls(e Expr) []*FuncCall {
+	var out []*FuncCall
+	Walk(e, func(n Expr) bool {
+		if f, ok := n.(*FuncCall); ok && !f.IsClientSite() {
+			out = append(out, f)
+		}
+		return true
+	})
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package netsim provides the network substrate between the server and the
+// client-site UDF runtime. The paper's experiments ran over a 28.8 Kbit modem
+// and over an Ethernet link emulating an asymmetric (N=100) connection; we
+// substitute a software link with configurable per-direction bandwidth and
+// latency.
+//
+// Two facilities are provided:
+//
+//   - Pair: an in-process duplex connection (built on net.Pipe) whose two
+//     directions are independently shaped by bandwidth and latency, with byte
+//     counters. This is the "real" transport used by the execution operators
+//     and the integration tests.
+//   - Dial/Listen helpers that shape an arbitrary net.Conn (e.g. TCP) the same
+//     way, used by the cmd/csq-server and cmd/csq-client binaries.
+//
+// The deterministic discrete-event simulator used to regenerate the paper's
+// figures lives in package sim, not here.
+package netsim
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LinkConfig describes an asymmetric client↔server connection.
+//
+// Directions are named from the client's point of view, as in the paper:
+// the downlink carries data from the server to the client, the uplink carries
+// data from the client back to the server.
+type LinkConfig struct {
+	// DownBandwidth is the server→client bandwidth in bytes per second.
+	// Zero means unlimited.
+	DownBandwidth float64
+	// UpBandwidth is the client→server bandwidth in bytes per second.
+	// Zero means unlimited.
+	UpBandwidth float64
+	// Latency is the one-way propagation delay applied to each direction.
+	Latency time.Duration
+	// TimeScale divides all computed delays; a scale of 1000 makes a link
+	// behave 1000x faster than its nominal bandwidth, which keeps integration
+	// tests fast while preserving the ratio between directions. Zero or
+	// negative means 1 (real time).
+	TimeScale float64
+}
+
+// Asymmetry returns N = downlink bandwidth / uplink bandwidth, the paper's
+// network asymmetricity. Unlimited directions yield 1.
+func (c LinkConfig) Asymmetry() float64 {
+	if c.DownBandwidth <= 0 || c.UpBandwidth <= 0 {
+		return 1
+	}
+	return c.DownBandwidth / c.UpBandwidth
+}
+
+// scale returns the effective time divisor.
+func (c LinkConfig) scale() float64 {
+	if c.TimeScale <= 0 {
+		return 1
+	}
+	return c.TimeScale
+}
+
+// Modem28_8 returns the paper's 28.8 Kbit/s symmetric phone connection.
+func Modem28_8() LinkConfig {
+	return LinkConfig{
+		DownBandwidth: 28.8 * 1000 / 8,
+		UpBandwidth:   28.8 * 1000 / 8,
+		Latency:       100 * time.Millisecond,
+	}
+}
+
+// AsymmetricCable returns the paper's multiplexed-cable scenario: a fast
+// downlink whose bandwidth is n times the 28.8 Kbit/s uplink.
+func AsymmetricCable(n float64) LinkConfig {
+	up := 28.8 * 1000 / 8
+	return LinkConfig{
+		DownBandwidth: up * n,
+		UpBandwidth:   up,
+		Latency:       50 * time.Millisecond,
+	}
+}
+
+// Unlimited returns a link with no shaping at all.
+func Unlimited() LinkConfig { return LinkConfig{} }
+
+// Stats exposes the byte counters of a shaped link.
+type Stats struct {
+	// BytesDown is the number of payload bytes sent server→client.
+	BytesDown int64
+	// BytesUp is the number of payload bytes sent client→server.
+	BytesUp int64
+}
+
+// Pair is an in-process, shaped, duplex connection between a server endpoint
+// and a client endpoint.
+type Pair struct {
+	cfg LinkConfig
+
+	// ServerSide is the connection the server reads/writes.
+	ServerSide io.ReadWriteCloser
+	// ClientSide is the connection the client reads/writes.
+	ClientSide io.ReadWriteCloser
+
+	bytesDown atomic.Int64
+	bytesUp   atomic.Int64
+}
+
+// NewPair builds a shaped duplex pair with the given link configuration.
+func NewPair(cfg LinkConfig) *Pair {
+	p := &Pair{cfg: cfg}
+	serverRaw, clientRaw := net.Pipe()
+	// Writes from the server side travel on the downlink; writes from the
+	// client side travel on the uplink.
+	p.ServerSide = &shapedConn{
+		Conn:     serverRaw,
+		writeBW:  cfg.DownBandwidth,
+		latency:  cfg.Latency,
+		scale:    cfg.scale(),
+		writeCtr: &p.bytesDown,
+	}
+	p.ClientSide = &shapedConn{
+		Conn:     clientRaw,
+		writeBW:  cfg.UpBandwidth,
+		latency:  cfg.Latency,
+		scale:    cfg.scale(),
+		writeCtr: &p.bytesUp,
+	}
+	return p
+}
+
+// Stats returns the bytes transferred so far in each direction.
+func (p *Pair) Stats() Stats {
+	return Stats{BytesDown: p.bytesDown.Load(), BytesUp: p.bytesUp.Load()}
+}
+
+// Config returns the link configuration of the pair.
+func (p *Pair) Config() LinkConfig { return p.cfg }
+
+// Close closes both sides.
+func (p *Pair) Close() error {
+	err1 := p.ServerSide.Close()
+	err2 := p.ClientSide.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// shapedConn shapes the write path of a net.Conn with a token-bucket-free,
+// pacing-based model: each write is delayed by size/bandwidth (scaled), and
+// each write additionally pays the one-way latency the first time data flows
+// after an idle period. Reads are unshaped (the peer's writes already paid).
+type shapedConn struct {
+	net.Conn
+	writeBW  float64
+	latency  time.Duration
+	scale    float64
+	writeCtr *atomic.Int64
+
+	mu       sync.Mutex
+	lastSend time.Time
+}
+
+// Write shapes and forwards the payload.
+func (c *shapedConn) Write(p []byte) (int, error) {
+	c.delay(len(p))
+	n, err := c.Conn.Write(p)
+	if c.writeCtr != nil {
+		c.writeCtr.Add(int64(n))
+	}
+	return n, err
+}
+
+func (c *shapedConn) delay(n int) {
+	var d time.Duration
+	if c.writeBW > 0 {
+		d = time.Duration(float64(n) / c.writeBW * float64(time.Second))
+	}
+	c.mu.Lock()
+	idle := time.Since(c.lastSend) > 10*c.latency
+	c.lastSend = time.Now()
+	c.mu.Unlock()
+	if idle {
+		d += c.latency
+	}
+	if c.scale > 1 {
+		d = time.Duration(float64(d) / c.scale)
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Shape wraps an existing net.Conn so that its writes are paced at the given
+// bandwidth (bytes/second) with the given latency and scale, counting written
+// bytes into ctr when non-nil.
+func Shape(conn net.Conn, bandwidth float64, latency time.Duration, scale float64, ctr *atomic.Int64) net.Conn {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &shapedConn{Conn: conn, writeBW: bandwidth, latency: latency, scale: scale, writeCtr: ctr}
+}
+
+// CountingConn wraps a net.Conn and counts the bytes read and written.
+type CountingConn struct {
+	net.Conn
+	read    atomic.Int64
+	written atomic.Int64
+}
+
+// NewCountingConn wraps conn with byte counters.
+func NewCountingConn(conn net.Conn) *CountingConn { return &CountingConn{Conn: conn} }
+
+// Read implements io.Reader.
+func (c *CountingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+// Write implements io.Writer.
+func (c *CountingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.written.Add(int64(n))
+	return n, err
+}
+
+// BytesRead returns the number of bytes read so far.
+func (c *CountingConn) BytesRead() int64 { return c.read.Load() }
+
+// BytesWritten returns the number of bytes written so far.
+func (c *CountingConn) BytesWritten() int64 { return c.written.Load() }
+
+// Validate checks a link configuration for nonsensical values.
+func (c LinkConfig) Validate() error {
+	if c.DownBandwidth < 0 || c.UpBandwidth < 0 {
+		return fmt.Errorf("netsim: negative bandwidth")
+	}
+	if c.Latency < 0 {
+		return fmt.Errorf("netsim: negative latency")
+	}
+	if c.TimeScale < 0 {
+		return fmt.Errorf("netsim: negative time scale")
+	}
+	return nil
+}

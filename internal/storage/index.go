@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"csq/internal/types"
+)
+
+// HashIndex is an equality index over a set of key columns of a heap table.
+// It is built eagerly over a snapshot; the paper's UDF-as-virtual-table model
+// treats the UDF as a relation with exactly this kind of "indexed access on
+// the key value", so the same interface serves both stored tables and cached
+// UDF results.
+type HashIndex struct {
+	keyOrdinals []int
+	buckets     map[string][]types.Tuple
+	entries     int
+}
+
+// BuildHashIndex builds a hash index over the table snapshot on the given key
+// columns.
+func BuildHashIndex(t *HeapTable, keyOrdinals []int) (*HashIndex, error) {
+	if len(keyOrdinals) == 0 {
+		return nil, fmt.Errorf("storage: hash index needs at least one key column")
+	}
+	for _, o := range keyOrdinals {
+		if o < 0 || o >= t.Schema().Len() {
+			return nil, fmt.Errorf("storage: hash index key ordinal %d out of range", o)
+		}
+	}
+	idx := &HashIndex{
+		keyOrdinals: append([]int(nil), keyOrdinals...),
+		buckets:     make(map[string][]types.Tuple),
+	}
+	it := t.Iterator()
+	for {
+		row, ok := it.Next()
+		if !ok {
+			break
+		}
+		idx.insert(row)
+	}
+	return idx, nil
+}
+
+// NewHashIndex returns an empty hash index for manual population (used by the
+// UDF result cache in the execution engine).
+func NewHashIndex(keyOrdinals []int) *HashIndex {
+	return &HashIndex{
+		keyOrdinals: append([]int(nil), keyOrdinals...),
+		buckets:     make(map[string][]types.Tuple),
+	}
+}
+
+func (idx *HashIndex) insert(row types.Tuple) {
+	k := row.Key(idx.keyOrdinals)
+	idx.buckets[k] = append(idx.buckets[k], row)
+	idx.entries++
+}
+
+// Insert adds a row to the index.
+func (idx *HashIndex) Insert(row types.Tuple) { idx.insert(row) }
+
+// Probe returns all rows whose key columns equal those of the probe tuple
+// (compared on probeOrdinals of the probe).
+func (idx *HashIndex) Probe(probe types.Tuple, probeOrdinals []int) []types.Tuple {
+	return idx.buckets[probe.Key(probeOrdinals)]
+}
+
+// ProbeKey returns all rows matching the pre-computed key string.
+func (idx *HashIndex) ProbeKey(key string) []types.Tuple { return idx.buckets[key] }
+
+// Len returns the number of indexed rows.
+func (idx *HashIndex) Len() int { return idx.entries }
+
+// DistinctKeys returns the number of distinct key values in the index.
+func (idx *HashIndex) DistinctKeys() int { return len(idx.buckets) }
+
+// SortedIndex is an ordered index over key columns, supporting ordered scans
+// and merge joins. It materialises and sorts a snapshot of the table.
+type SortedIndex struct {
+	keyOrdinals []int
+	rows        []types.Tuple
+}
+
+// BuildSortedIndex sorts a snapshot of the table on the key columns.
+func BuildSortedIndex(t *HeapTable, keyOrdinals []int) (*SortedIndex, error) {
+	if len(keyOrdinals) == 0 {
+		return nil, fmt.Errorf("storage: sorted index needs at least one key column")
+	}
+	for _, o := range keyOrdinals {
+		if o < 0 || o >= t.Schema().Len() {
+			return nil, fmt.Errorf("storage: sorted index key ordinal %d out of range", o)
+		}
+	}
+	it := t.Iterator()
+	rows := make([]types.Tuple, 0, it.Len())
+	for {
+		row, ok := it.Next()
+		if !ok {
+			break
+		}
+		rows = append(rows, row)
+	}
+	idx := &SortedIndex{keyOrdinals: append([]int(nil), keyOrdinals...), rows: rows}
+	var sortErr error
+	sort.SliceStable(idx.rows, func(i, j int) bool {
+		c, err := types.CompareOn(idx.rows[i], idx.rows[j], idx.keyOrdinals)
+		if err != nil && sortErr == nil {
+			sortErr = err
+		}
+		return c < 0
+	})
+	if sortErr != nil {
+		return nil, fmt.Errorf("storage: sorted index: %v", sortErr)
+	}
+	return idx, nil
+}
+
+// Len returns the number of indexed rows.
+func (idx *SortedIndex) Len() int { return len(idx.rows) }
+
+// Scan returns an iterator over the rows in key order.
+func (idx *SortedIndex) Scan() *TableIterator {
+	return &TableIterator{rows: idx.rows}
+}
+
+// SeekGE returns the position of the first row whose key is >= the probe's
+// key columns (given by probeOrdinals), and whether such a row exists.
+func (idx *SortedIndex) SeekGE(probe types.Tuple, probeOrdinals []int) (int, bool) {
+	lo, hi := 0, len(idx.rows)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c := compareKeys(idx.rows[mid], idx.keyOrdinals, probe, probeOrdinals)
+		if c < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(idx.rows)
+}
+
+// Lookup returns all rows whose key equals the probe's key columns.
+func (idx *SortedIndex) Lookup(probe types.Tuple, probeOrdinals []int) []types.Tuple {
+	start, ok := idx.SeekGE(probe, probeOrdinals)
+	if !ok {
+		return nil
+	}
+	var out []types.Tuple
+	for i := start; i < len(idx.rows); i++ {
+		if compareKeys(idx.rows[i], idx.keyOrdinals, probe, probeOrdinals) != 0 {
+			break
+		}
+		out = append(out, idx.rows[i])
+	}
+	return out
+}
+
+// Row returns the row at position i.
+func (idx *SortedIndex) Row(i int) types.Tuple { return idx.rows[i] }
+
+func compareKeys(a types.Tuple, aOrds []int, b types.Tuple, bOrds []int) int {
+	n := len(aOrds)
+	if len(bOrds) < n {
+		n = len(bOrds)
+	}
+	for i := 0; i < n; i++ {
+		c, err := types.Compare(a[aOrds[i]], b[bOrds[i]])
+		if err != nil {
+			// Kind mismatches order by kind to keep the order total.
+			if a[aOrds[i]].Kind() < b[bOrds[i]].Kind() {
+				return -1
+			}
+			return 1
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}

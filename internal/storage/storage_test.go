@@ -1,0 +1,311 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"csq/internal/types"
+)
+
+func quotesSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "Name", Kind: types.KindString},
+		types.Column{Name: "Close", Kind: types.KindFloat},
+		types.Column{Name: "Quotes", Kind: types.KindTimeSeries},
+	)
+}
+
+func sampleRow(name string, close float64) types.Tuple {
+	return types.NewTuple(
+		types.NewString(name),
+		types.NewFloat(close),
+		types.NewTimeSeries(types.NewSeries(close-1, close)),
+	)
+}
+
+func TestHeapTableBasics(t *testing.T) {
+	tbl, err := NewHeapTable("StockQuotes", quotesSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name() != "StockQuotes" {
+		t.Errorf("Name = %q", tbl.Name())
+	}
+	if tbl.RowCount() != 0 || tbl.AvgRowSize() != 0 {
+		t.Error("new table should be empty")
+	}
+	rows := []types.Tuple{sampleRow("ACME", 20), sampleRow("BOLT", 31), sampleRow("ACME", 20)}
+	if err := tbl.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.RowCount() != 3 {
+		t.Errorf("RowCount = %d", tbl.RowCount())
+	}
+	if tbl.AvgRowSize() <= 0 {
+		t.Error("AvgRowSize should be positive")
+	}
+	it := tbl.Iterator()
+	if it.Len() != 3 {
+		t.Errorf("iterator Len = %d", it.Len())
+	}
+	count := 0
+	for {
+		_, ok := it.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 3 {
+		t.Errorf("iterated %d rows", count)
+	}
+	it.Reset()
+	if _, ok := it.Next(); !ok {
+		t.Error("Reset should rewind the iterator")
+	}
+	tbl.Truncate()
+	if tbl.RowCount() != 0 {
+		t.Error("Truncate should empty the table")
+	}
+}
+
+func TestHeapTableValidation(t *testing.T) {
+	if _, err := NewHeapTable("", quotesSchema()); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewHeapTable("x", types.NewSchema()); err == nil {
+		t.Error("empty schema should fail")
+	}
+	tbl, _ := NewHeapTable("R", quotesSchema())
+	if err := tbl.Insert(types.NewTuple(types.NewString("x"))); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if err := tbl.Insert(types.NewTuple(types.NewInt(1), types.NewFloat(1), types.NewTimeSeries(nil))); err == nil {
+		t.Error("wrong kind should fail")
+	}
+	// NULLs of any declared kind and numeric widening are accepted.
+	if err := tbl.Insert(types.NewTuple(types.Null(types.KindString), types.NewInt(3), types.NewTimeSeries(nil))); err != nil {
+		t.Errorf("NULL + numeric widening insert: %v", err)
+	}
+}
+
+func TestHeapTableSnapshotIsolation(t *testing.T) {
+	tbl, _ := NewHeapTable("R", quotesSchema())
+	_ = tbl.Insert(sampleRow("A", 1))
+	it := tbl.Iterator()
+	_ = tbl.Insert(sampleRow("B", 2))
+	if it.Len() != 1 {
+		t.Errorf("iterator should see the snapshot taken at creation, got %d rows", it.Len())
+	}
+	if tbl.RowCount() != 2 {
+		t.Errorf("table should now have 2 rows")
+	}
+}
+
+func TestHeapTableStats(t *testing.T) {
+	tbl, _ := NewHeapTable("R", quotesSchema())
+	for i := 0; i < 10; i++ {
+		// 5 distinct names, all-distinct closes.
+		_ = tbl.Insert(sampleRow(fmt.Sprintf("N%d", i%5), float64(i)))
+	}
+	stats := tbl.Stats()
+	if stats.RowCount != 10 {
+		t.Errorf("RowCount = %d", stats.RowCount)
+	}
+	if stats.DistinctFraction[0] != 0.5 {
+		t.Errorf("name distinct fraction = %g, want 0.5", stats.DistinctFraction[0])
+	}
+	if stats.DistinctFraction[1] != 1.0 {
+		t.Errorf("close distinct fraction = %g, want 1", stats.DistinctFraction[1])
+	}
+	if d := tbl.DistinctFractionOn([]int{0}); d != 0.5 {
+		t.Errorf("DistinctFractionOn(name) = %g", d)
+	}
+	if d := tbl.DistinctFractionOn([]int{0, 1}); d != 1.0 {
+		t.Errorf("DistinctFractionOn(name,close) = %g", d)
+	}
+	empty, _ := NewHeapTable("E", quotesSchema())
+	if empty.DistinctFractionOn([]int{0}) != 1 {
+		t.Error("empty table distinct fraction should default to 1")
+	}
+	if empty.Stats().RowCount != 0 {
+		t.Error("empty stats row count should be 0")
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Create("StockQuotes", quotesSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("stockquotes", quotesSchema()); err == nil {
+		t.Error("case-insensitive duplicate create should fail")
+	}
+	if _, err := s.Table("STOCKQUOTES"); err != nil {
+		t.Errorf("lookup: %v", err)
+	}
+	if _, err := s.Table("missing"); err == nil {
+		t.Error("missing table should fail")
+	}
+	if _, err := s.Create("Estimations", quotesSchema()); err != nil {
+		t.Fatal(err)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "Estimations" {
+		t.Errorf("Names = %v", names)
+	}
+	if err := s.Drop("StockQuotes"); err != nil {
+		t.Errorf("Drop: %v", err)
+	}
+	if err := s.Drop("StockQuotes"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	tbl, _ := s.Create("R", quotesSchema())
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = tbl.Insert(sampleRow(fmt.Sprintf("w%d-%d", i, j), float64(j)))
+				it := tbl.Iterator()
+				for {
+					if _, ok := it.Next(); !ok {
+						break
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if tbl.RowCount() != 200 {
+		t.Errorf("concurrent inserts lost rows: %d", tbl.RowCount())
+	}
+}
+
+func TestHashIndex(t *testing.T) {
+	tbl, _ := NewHeapTable("R", quotesSchema())
+	for i := 0; i < 20; i++ {
+		_ = tbl.Insert(sampleRow(fmt.Sprintf("N%d", i%4), float64(i)))
+	}
+	idx, err := BuildHashIndex(tbl, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 20 || idx.DistinctKeys() != 4 {
+		t.Errorf("Len=%d DistinctKeys=%d", idx.Len(), idx.DistinctKeys())
+	}
+	probe := types.NewTuple(types.NewString("N1"))
+	matches := idx.Probe(probe, []int{0})
+	if len(matches) != 5 {
+		t.Errorf("Probe(N1) = %d rows, want 5", len(matches))
+	}
+	if got := idx.ProbeKey(probe.Key([]int{0})); len(got) != 5 {
+		t.Errorf("ProbeKey = %d rows", len(got))
+	}
+	none := idx.Probe(types.NewTuple(types.NewString("ZZ")), []int{0})
+	if len(none) != 0 {
+		t.Errorf("Probe(ZZ) = %d rows, want 0", len(none))
+	}
+	if _, err := BuildHashIndex(tbl, nil); err == nil {
+		t.Error("empty key should fail")
+	}
+	if _, err := BuildHashIndex(tbl, []int{9}); err == nil {
+		t.Error("out-of-range key should fail")
+	}
+	manual := NewHashIndex([]int{0})
+	manual.Insert(types.NewTuple(types.NewString("k"), types.NewInt(1)))
+	if manual.Len() != 1 {
+		t.Error("manual index insert failed")
+	}
+}
+
+func TestSortedIndex(t *testing.T) {
+	tbl, _ := NewHeapTable("R", quotesSchema())
+	vals := []float64{5, 1, 9, 3, 7, 3}
+	for i, v := range vals {
+		_ = tbl.Insert(sampleRow(fmt.Sprintf("N%d", i), v))
+	}
+	idx, err := BuildSortedIndex(tbl, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != len(vals) {
+		t.Errorf("Len = %d", idx.Len())
+	}
+	it := idx.Scan()
+	prev := -1.0
+	for {
+		row, ok := it.Next()
+		if !ok {
+			break
+		}
+		f, _ := row[1].Float()
+		if f < prev {
+			t.Errorf("scan out of order: %g after %g", f, prev)
+		}
+		prev = f
+	}
+	probe := types.NewTuple(types.NewFloat(3))
+	matches := idx.Lookup(probe, []int{0})
+	if len(matches) != 2 {
+		t.Errorf("Lookup(3) = %d rows, want 2", len(matches))
+	}
+	if m := idx.Lookup(types.NewTuple(types.NewFloat(100)), []int{0}); len(m) != 0 {
+		t.Errorf("Lookup(100) = %d rows", len(m))
+	}
+	pos, ok := idx.SeekGE(types.NewTuple(types.NewFloat(6)), []int{0})
+	if !ok {
+		t.Fatal("SeekGE(6) should find a row")
+	}
+	if f, _ := idx.Row(pos)[1].Float(); f != 7 {
+		t.Errorf("SeekGE(6) landed on %g, want 7", f)
+	}
+	if _, ok := idx.SeekGE(types.NewTuple(types.NewFloat(100)), []int{0}); ok {
+		t.Error("SeekGE past the end should report !ok")
+	}
+	if _, err := BuildSortedIndex(tbl, nil); err == nil {
+		t.Error("empty key should fail")
+	}
+	if _, err := BuildSortedIndex(tbl, []int{-1}); err == nil {
+		t.Error("negative key ordinal should fail")
+	}
+}
+
+// TestQuickIndexAgreement property: for random tables, hash-index probes and
+// sorted-index lookups return the same multiset of rows for every key.
+func TestQuickIndexAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tbl, _ := NewHeapTable("R", quotesSchema())
+		n := 5 + r.Intn(60)
+		for i := 0; i < n; i++ {
+			_ = tbl.Insert(sampleRow(fmt.Sprintf("K%d", r.Intn(8)), float64(r.Intn(5))))
+		}
+		h, err := BuildHashIndex(tbl, []int{0})
+		if err != nil {
+			return false
+		}
+		s, err := BuildSortedIndex(tbl, []int{0})
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 8; k++ {
+			probe := types.NewTuple(types.NewString(fmt.Sprintf("K%d", k)))
+			if len(h.Probe(probe, []int{0})) != len(s.Lookup(probe, []int{0})) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,260 @@
+// Package storage implements the in-memory storage engine: heap tables with
+// tuple iterators, hash and ordered indexes, and the statistics maintenance
+// the optimizer's cost model relies on (row counts, average row sizes and
+// distinct-value fractions).
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"csq/internal/catalog"
+	"csq/internal/types"
+)
+
+// HeapTable is an append-only in-memory relation. It is safe for concurrent
+// readers and writers; iteration sees a consistent snapshot of the rows
+// present when the iterator was created.
+type HeapTable struct {
+	name   string
+	schema *types.Schema
+
+	mu   sync.RWMutex
+	rows []types.Tuple
+	size int64 // accumulated encoded size of all rows
+}
+
+// NewHeapTable creates an empty heap table with the given name and schema.
+func NewHeapTable(name string, schema *types.Schema) (*HeapTable, error) {
+	if name == "" {
+		return nil, fmt.Errorf("storage: table name must not be empty")
+	}
+	if schema == nil || schema.Len() == 0 {
+		return nil, fmt.Errorf("storage: table %q needs at least one column", name)
+	}
+	return &HeapTable{name: name, schema: schema.Clone()}, nil
+}
+
+// Name returns the table name.
+func (h *HeapTable) Name() string { return h.name }
+
+// Schema returns the table schema. Callers must not modify it.
+func (h *HeapTable) Schema() *types.Schema { return h.schema }
+
+// Insert appends a tuple after validating its arity and column kinds.
+func (h *HeapTable) Insert(t types.Tuple) error {
+	if err := h.validate(t); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rows = append(h.rows, t.Clone())
+	h.size += int64(t.Size())
+	return nil
+}
+
+// InsertBatch appends many tuples, validating each.
+func (h *HeapTable) InsertBatch(ts []types.Tuple) error {
+	for _, t := range ts {
+		if err := h.Insert(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *HeapTable) validate(t types.Tuple) error {
+	if t.Len() != h.schema.Len() {
+		return fmt.Errorf("storage: table %q expects %d columns, got %d", h.name, h.schema.Len(), t.Len())
+	}
+	for i, v := range t {
+		want := h.schema.Columns[i].Kind
+		if v.IsNull() {
+			continue
+		}
+		got := v.Kind()
+		if got == want {
+			continue
+		}
+		if got.Numeric() && want.Numeric() {
+			continue
+		}
+		return fmt.Errorf("storage: table %q column %d (%s) expects %s, got %s",
+			h.name, i, h.schema.Columns[i].Name, want, got)
+	}
+	return nil
+}
+
+// RowCount returns the number of stored rows.
+func (h *HeapTable) RowCount() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.rows)
+}
+
+// AvgRowSize returns the mean encoded row size in bytes (0 for empty tables).
+func (h *HeapTable) AvgRowSize() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if len(h.rows) == 0 {
+		return 0
+	}
+	return int(h.size / int64(len(h.rows)))
+}
+
+// snapshot returns the current rows slice; the slice header is copied so
+// appends by writers do not affect the snapshot, and rows themselves are
+// immutable by convention.
+func (h *HeapTable) snapshot() []types.Tuple {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.rows[:len(h.rows):len(h.rows)]
+}
+
+// Iterator returns an iterator over a snapshot of the table.
+func (h *HeapTable) Iterator() *TableIterator {
+	return &TableIterator{rows: h.snapshot()}
+}
+
+// Truncate removes all rows.
+func (h *HeapTable) Truncate() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rows = nil
+	h.size = 0
+}
+
+// Stats computes the statistics the catalog and the optimizer need: row count,
+// average row size and the per-column distinct fraction (the paper's D when
+// restricted to the UDF argument columns).
+func (h *HeapTable) Stats() catalog.TableStats {
+	rows := h.snapshot()
+	stats := catalog.TableStats{
+		RowCount:         len(rows),
+		AvgRowSize:       h.AvgRowSize(),
+		DistinctFraction: make(map[int]float64, h.schema.Len()),
+	}
+	if len(rows) == 0 {
+		return stats
+	}
+	for col := 0; col < h.schema.Len(); col++ {
+		seen := make(map[string]struct{}, len(rows))
+		for _, r := range rows {
+			seen[r.Key([]int{col})] = struct{}{}
+		}
+		stats.DistinctFraction[col] = float64(len(seen)) / float64(len(rows))
+	}
+	return stats
+}
+
+// DistinctFractionOn computes the fraction of rows that are distinct when
+// projected onto the given columns — the paper's D parameter for a UDF whose
+// argument columns are ordinals.
+func (h *HeapTable) DistinctFractionOn(ordinals []int) float64 {
+	rows := h.snapshot()
+	if len(rows) == 0 {
+		return 1
+	}
+	seen := make(map[string]struct{}, len(rows))
+	for _, r := range rows {
+		seen[r.Key(ordinals)] = struct{}{}
+	}
+	return float64(len(seen)) / float64(len(rows))
+}
+
+// TableIterator iterates over a snapshot of a heap table.
+type TableIterator struct {
+	rows []types.Tuple
+	pos  int
+}
+
+// Next returns the next tuple, or (nil, false) when exhausted.
+func (it *TableIterator) Next() (types.Tuple, bool) {
+	if it.pos >= len(it.rows) {
+		return nil, false
+	}
+	t := it.rows[it.pos]
+	it.pos++
+	return t, true
+}
+
+// Reset rewinds the iterator to the beginning of its snapshot.
+func (it *TableIterator) Reset() { it.pos = 0 }
+
+// Len returns the number of rows in the snapshot.
+func (it *TableIterator) Len() int { return len(it.rows) }
+
+// Store is a named collection of heap tables; the execution engine resolves
+// base-table scans against it. It is kept separate from the catalog so that
+// metadata (catalog) and data (store) can live in different components.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*HeapTable
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*HeapTable)}
+}
+
+// Create creates a new heap table in the store.
+func (s *Store) Create(name string, schema *types.Schema) (*HeapTable, error) {
+	t, err := NewHeapTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := lowerKey(name)
+	if _, ok := s.tables[k]; ok {
+		return nil, fmt.Errorf("storage: table %q already exists", name)
+	}
+	s.tables[k] = t
+	return t, nil
+}
+
+// Table looks up a table by case-insensitive name.
+func (s *Store) Table(name string) (*HeapTable, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[lowerKey(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// Drop removes a table from the store.
+func (s *Store) Drop(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := lowerKey(name)
+	if _, ok := s.tables[k]; !ok {
+		return fmt.Errorf("storage: table %q does not exist", name)
+	}
+	delete(s.tables, k)
+	return nil
+}
+
+// Names returns the table names in sorted order.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for _, t := range s.tables {
+		out = append(out, t.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func lowerKey(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

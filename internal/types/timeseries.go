@@ -1,0 +1,150 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// TimeSeries is an ordered sequence of float64 samples, modelling the
+// S.Quotes column of the paper's StockQuotes relation. It is the typical
+// argument type for the ClientAnalysis and Volatility client-site UDFs.
+type TimeSeries []float64
+
+// NewSeries copies the samples into a fresh TimeSeries.
+func NewSeries(samples ...float64) TimeSeries {
+	ts := make(TimeSeries, len(samples))
+	copy(ts, samples)
+	return ts
+}
+
+// Len returns the number of samples.
+func (ts TimeSeries) Len() int { return len(ts) }
+
+// At returns the i-th sample.
+func (ts TimeSeries) At(i int) float64 { return ts[i] }
+
+// First returns the first sample, or 0 for an empty series.
+func (ts TimeSeries) First() float64 {
+	if len(ts) == 0 {
+		return 0
+	}
+	return ts[0]
+}
+
+// Last returns the last sample, or 0 for an empty series.
+func (ts TimeSeries) Last() float64 {
+	if len(ts) == 0 {
+		return 0
+	}
+	return ts[len(ts)-1]
+}
+
+// Mean returns the arithmetic mean of the samples, or 0 for an empty series.
+func (ts TimeSeries) Mean() float64 {
+	if len(ts) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range ts {
+		sum += v
+	}
+	return sum / float64(len(ts))
+}
+
+// Min returns the smallest sample, or +Inf for an empty series.
+func (ts TimeSeries) Min() float64 {
+	min := math.Inf(1)
+	for _, v := range ts {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max returns the largest sample, or -Inf for an empty series.
+func (ts TimeSeries) Max() float64 {
+	max := math.Inf(-1)
+	for _, v := range ts {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// StdDev returns the population standard deviation of the samples.
+func (ts TimeSeries) StdDev() float64 {
+	if len(ts) < 2 {
+		return 0
+	}
+	mean := ts.Mean()
+	sum := 0.0
+	for _, v := range ts {
+		d := v - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(ts)))
+}
+
+// Returns computes the period-over-period relative changes of the series.
+// The result has Len()-1 samples (empty for series shorter than 2). Periods
+// starting at zero yield a 0 return to keep the result finite.
+func (ts TimeSeries) Returns() TimeSeries {
+	if len(ts) < 2 {
+		return TimeSeries{}
+	}
+	out := make(TimeSeries, 0, len(ts)-1)
+	for i := 1; i < len(ts); i++ {
+		prev := ts[i-1]
+		if prev == 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, (ts[i]-prev)/prev)
+	}
+	return out
+}
+
+// Volatility returns the standard deviation of the period returns — the
+// quantity the paper's Volatility(S.Quotes, S.FuturePrices) UDF estimates.
+func (ts TimeSeries) Volatility() float64 {
+	return ts.Returns().StdDev()
+}
+
+// Clone returns a deep copy of the series.
+func (ts TimeSeries) Clone() TimeSeries {
+	out := make(TimeSeries, len(ts))
+	copy(out, ts)
+	return out
+}
+
+// String renders a short, human-readable preview of the series.
+func (ts TimeSeries) String() string {
+	var sb strings.Builder
+	sb.WriteString("[")
+	for i, v := range ts {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		if i >= 4 && len(ts) > 5 {
+			fmt.Fprintf(&sb, "... +%d", len(ts)-i)
+			break
+		}
+		fmt.Fprintf(&sb, "%.4g", v)
+	}
+	sb.WriteString("]")
+	return sb.String()
+}
+
+// encode serialises the series to little-endian float64s; used for hashing and
+// ordering only (the wire encoding lives in encode.go and is equivalent).
+func (ts TimeSeries) encode() []byte {
+	buf := make([]byte, 8*len(ts))
+	for i, v := range ts {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}

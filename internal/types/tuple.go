@@ -1,0 +1,161 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is an ordered list of values, positionally matching a Schema.
+// Tuples are treated as immutable once produced by an operator; operators
+// that need to change a tuple build a new one.
+type Tuple []Value
+
+// NewTuple builds a tuple from the given values.
+func NewTuple(vals ...Value) Tuple {
+	t := make(Tuple, len(vals))
+	copy(t, vals)
+	return t
+}
+
+// Len returns the number of values in the tuple.
+func (t Tuple) Len() int { return len(t) }
+
+// Clone returns a shallow copy of the tuple. Values are immutable so a
+// shallow copy is sufficient for independence.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Project returns a new tuple holding the values at the given ordinals in the
+// given order.
+func (t Tuple) Project(ordinals []int) (Tuple, error) {
+	out := make(Tuple, 0, len(ordinals))
+	for _, i := range ordinals {
+		if i < 0 || i >= len(t) {
+			return nil, fmt.Errorf("types: projection ordinal %d out of range [0,%d)", i, len(t))
+		}
+		out = append(out, t[i])
+	}
+	return out, nil
+}
+
+// Concat returns the tuple obtained by appending other's values to t.
+func (t Tuple) Concat(other Tuple) Tuple {
+	out := make(Tuple, 0, len(t)+len(other))
+	out = append(out, t...)
+	out = append(out, other...)
+	return out
+}
+
+// Append returns a new tuple with v added at the end (the "addColumn" step of
+// the paper's naive UDF execution).
+func (t Tuple) Append(v Value) Tuple {
+	out := make(Tuple, 0, len(t)+1)
+	out = append(out, t...)
+	out = append(out, v)
+	return out
+}
+
+// Size returns the approximate encoded size of the tuple in bytes. It is the
+// sum of the value sizes plus a small per-tuple header, matching the binary
+// encoding in encode.go.
+func (t Tuple) Size() int {
+	n := 4
+	for _, v := range t {
+		n += v.Size()
+	}
+	return n
+}
+
+// Hash combines the hashes of the values at the given ordinals. When ordinals
+// is nil the whole tuple is hashed.
+func (t Tuple) Hash(ordinals []int) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	combine := func(v Value) {
+		vh := v.Hash()
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(vh >> (8 * i)))
+			h *= prime
+		}
+	}
+	if ordinals == nil {
+		for _, v := range t {
+			combine(v)
+		}
+		return h
+	}
+	for _, i := range ordinals {
+		if i >= 0 && i < len(t) {
+			combine(t[i])
+		}
+	}
+	return h
+}
+
+// CompareOn orders two tuples on the given key ordinals, comparing column by
+// column. Tuples compare equal when all key columns compare equal.
+func CompareOn(a, b Tuple, ordinals []int) (int, error) {
+	for _, i := range ordinals {
+		if i >= len(a) || i >= len(b) {
+			return 0, fmt.Errorf("types: compare ordinal %d out of range", i)
+		}
+		c, err := Compare(a[i], b[i])
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return c, nil
+		}
+	}
+	return 0, nil
+}
+
+// EqualOn reports whether two tuples agree on the given key ordinals.
+// NULLs are considered equal to each other here (grouping semantics), which is
+// what duplicate elimination needs.
+func EqualOn(a, b Tuple, ordinals []int) bool {
+	c, err := CompareOn(a, b, ordinals)
+	return err == nil && c == 0
+}
+
+// Equal reports whether the two tuples are identical in every column
+// (the paper's "tuple duplicates"); EqualOn over argument columns captures
+// "argument duplicates".
+func (t Tuple) Equal(other Tuple) bool {
+	if len(t) != len(other) {
+		return false
+	}
+	all := make([]int, len(t))
+	for i := range all {
+		all[i] = i
+	}
+	return EqualOn(t, other, all)
+}
+
+// Key renders the values at the given ordinals as a canonical string, usable
+// as a map key for duplicate elimination and result caching. It relies on the
+// deterministic binary encoding so distinct values produce distinct keys.
+func (t Tuple) Key(ordinals []int) string {
+	var sb strings.Builder
+	for _, i := range ordinals {
+		if i < 0 || i >= len(t) {
+			continue
+		}
+		b, _ := EncodeValue(nil, t[i])
+		sb.Write(b)
+		sb.WriteByte(0xff)
+	}
+	return sb.String()
+}
+
+// String renders the tuple for display.
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,406 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ErrNull is returned by accessors when the value is NULL.
+var ErrNull = errors.New("types: value is NULL")
+
+// ErrKindMismatch is returned when a value is accessed as the wrong kind.
+var ErrKindMismatch = errors.New("types: kind mismatch")
+
+// Value is a single, immutable SQL value. The zero Value is NULL.
+//
+// Value is a small struct passed by value; variable-width payloads (strings,
+// bytes, time series) are held by reference, so copying a Value is cheap.
+type Value struct {
+	kind  Kind
+	null  bool
+	i     int64
+	f     float64
+	s     string
+	b     []byte
+	ts    TimeSeries
+	valid bool // distinguishes the zero Value (NULL of KindNull) from constructed values
+}
+
+// Null returns a NULL value of the given kind.
+func Null(kind Kind) Value {
+	return Value{kind: kind, null: true, valid: true}
+}
+
+// NewInt returns an INT value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v, valid: true} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v, valid: true} }
+
+// NewString returns a STRING value.
+func NewString(v string) Value { return Value{kind: KindString, s: v, valid: true} }
+
+// NewBool returns a BOOL value.
+func NewBool(v bool) Value {
+	i := int64(0)
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i, valid: true}
+}
+
+// NewBytes returns a BYTES value. The slice is not copied; callers must not
+// mutate it afterwards.
+func NewBytes(v []byte) Value { return Value{kind: KindBytes, b: v, valid: true} }
+
+// NewTimeSeries returns a TIMESERIES value. The series is not copied.
+func NewTimeSeries(ts TimeSeries) Value { return Value{kind: KindTimeSeries, ts: ts, valid: true} }
+
+// Kind returns the value's declared kind. The zero Value reports KindNull.
+func (v Value) Kind() Kind {
+	if !v.valid {
+		return KindNull
+	}
+	return v.kind
+}
+
+// IsNull reports whether the value is NULL. The zero Value is NULL.
+func (v Value) IsNull() bool { return !v.valid || v.null }
+
+// Int returns the int64 payload of an INT or BOOL value.
+func (v Value) Int() (int64, error) {
+	if v.IsNull() {
+		return 0, ErrNull
+	}
+	if v.kind != KindInt && v.kind != KindBool {
+		return 0, fmt.Errorf("%w: have %s, want INT", ErrKindMismatch, v.kind)
+	}
+	return v.i, nil
+}
+
+// Float returns the float64 payload. INT values are widened.
+func (v Value) Float() (float64, error) {
+	if v.IsNull() {
+		return 0, ErrNull
+	}
+	switch v.kind {
+	case KindFloat:
+		return v.f, nil
+	case KindInt:
+		return float64(v.i), nil
+	default:
+		return 0, fmt.Errorf("%w: have %s, want FLOAT", ErrKindMismatch, v.kind)
+	}
+}
+
+// Str returns the string payload of a STRING value.
+func (v Value) Str() (string, error) {
+	if v.IsNull() {
+		return "", ErrNull
+	}
+	if v.kind != KindString {
+		return "", fmt.Errorf("%w: have %s, want STRING", ErrKindMismatch, v.kind)
+	}
+	return v.s, nil
+}
+
+// Bool returns the boolean payload of a BOOL value.
+func (v Value) Bool() (bool, error) {
+	if v.IsNull() {
+		return false, ErrNull
+	}
+	if v.kind != KindBool {
+		return false, fmt.Errorf("%w: have %s, want BOOL", ErrKindMismatch, v.kind)
+	}
+	return v.i != 0, nil
+}
+
+// Bytes returns the byte payload of a BYTES value. Callers must not mutate the
+// returned slice.
+func (v Value) Bytes() ([]byte, error) {
+	if v.IsNull() {
+		return nil, ErrNull
+	}
+	if v.kind != KindBytes {
+		return nil, fmt.Errorf("%w: have %s, want BYTES", ErrKindMismatch, v.kind)
+	}
+	return v.b, nil
+}
+
+// Series returns the time-series payload of a TIMESERIES value.
+func (v Value) Series() (TimeSeries, error) {
+	if v.IsNull() {
+		return nil, ErrNull
+	}
+	if v.kind != KindTimeSeries {
+		return nil, fmt.Errorf("%w: have %s, want TIMESERIES", ErrKindMismatch, v.kind)
+	}
+	return v.ts, nil
+}
+
+// Size returns the approximate encoded size of the value in bytes. The cost
+// model and the wire protocol both use this figure, so it must agree with the
+// encoding in encode.go.
+func (v Value) Size() int {
+	if v.IsNull() {
+		return 2
+	}
+	switch v.kind {
+	case KindInt, KindFloat:
+		return 10
+	case KindBool:
+		return 3
+	case KindString:
+		return 6 + len(v.s)
+	case KindBytes:
+		return 6 + len(v.b)
+	case KindTimeSeries:
+		return 6 + 8*len(v.ts)
+	default:
+		return 2
+	}
+}
+
+// String renders the value for display and for the shell.
+func (v Value) String() string {
+	if v.IsNull() {
+		return "NULL"
+	}
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindString:
+		return v.s
+	case KindBytes:
+		return fmt.Sprintf("<bytes %d>", len(v.b))
+	case KindTimeSeries:
+		return v.ts.String()
+	default:
+		return "<invalid>"
+	}
+}
+
+// Equal reports whether two values are equal. NULL equals nothing, including
+// another NULL (SQL semantics); use Compare for sorting NULLs.
+func (v Value) Equal(o Value) bool {
+	if v.IsNull() || o.IsNull() {
+		return false
+	}
+	c, err := Compare(v, o)
+	return err == nil && c == 0
+}
+
+// Compare orders two values. NULL sorts before every non-NULL value and equal
+// to another NULL (total order for sorting, unlike Equal). Values of different
+// numeric kinds are compared numerically; other kind mismatches are an error.
+func Compare(a, b Value) (int, error) {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0, nil
+	case an:
+		return -1, nil
+	case bn:
+		return 1, nil
+	}
+	ak, bk := a.kind, b.kind
+	if ak.Numeric() && bk.Numeric() {
+		af, _ := a.Float()
+		bf, _ := b.Float()
+		return compareFloat(af, bf), nil
+	}
+	if ak != bk {
+		return 0, fmt.Errorf("%w: cannot compare %s with %s", ErrKindMismatch, ak, bk)
+	}
+	switch ak {
+	case KindInt, KindBool:
+		return compareInt(a.i, b.i), nil
+	case KindFloat:
+		return compareFloat(a.f, b.f), nil
+	case KindString:
+		return strings.Compare(a.s, b.s), nil
+	case KindBytes:
+		return compareBytes(a.b, b.b), nil
+	case KindTimeSeries:
+		return compareBytes(a.ts.encode(), b.ts.encode()), nil
+	default:
+		return 0, fmt.Errorf("types: cannot compare values of kind %s", ak)
+	}
+}
+
+func compareInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case math.IsNaN(a) && !math.IsNaN(b):
+		return -1
+	case !math.IsNaN(a) && math.IsNaN(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return compareInt(int64(len(a)), int64(len(b)))
+}
+
+// Hash returns a 64-bit FNV-1a style hash of the value, suitable for hash
+// joins and duplicate elimination. Equal values (per Compare == 0) hash
+// identically; numeric values hash by their float64 representation so that
+// INT 2 and FLOAT 2.0 collide as required by Compare.
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	mix8 := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(x >> (8 * i)))
+		}
+	}
+	if v.IsNull() {
+		mix(0)
+		return h
+	}
+	switch v.kind {
+	case KindInt:
+		mix(1)
+		mix8(math.Float64bits(float64(v.i)))
+	case KindFloat:
+		mix(1)
+		mix8(math.Float64bits(v.f))
+	case KindBool:
+		mix(2)
+		mix(byte(v.i))
+	case KindString:
+		mix(3)
+		for i := 0; i < len(v.s); i++ {
+			mix(v.s[i])
+		}
+	case KindBytes:
+		mix(4)
+		for _, b := range v.b {
+			mix(b)
+		}
+	case KindTimeSeries:
+		mix(5)
+		for _, f := range v.ts {
+			mix8(math.Float64bits(f))
+		}
+	}
+	return h
+}
+
+// Truth evaluates the value in a boolean context: BOOL values are themselves,
+// NULL is false, and non-zero numerics are true. Other kinds are an error.
+func (v Value) Truth() (bool, error) {
+	if v.IsNull() {
+		return false, nil
+	}
+	switch v.kind {
+	case KindBool:
+		return v.i != 0, nil
+	case KindInt:
+		return v.i != 0, nil
+	case KindFloat:
+		return v.f != 0, nil
+	default:
+		return false, fmt.Errorf("%w: %s used in boolean context", ErrKindMismatch, v.kind)
+	}
+}
+
+// Cast converts the value to the target kind where a lossless or conventional
+// conversion exists (int<->float, anything->string, string->numeric).
+func (v Value) Cast(target Kind) (Value, error) {
+	if v.IsNull() {
+		return Null(target), nil
+	}
+	if v.kind == target {
+		return v, nil
+	}
+	switch target {
+	case KindInt:
+		switch v.kind {
+		case KindFloat:
+			return NewInt(int64(v.f)), nil
+		case KindBool:
+			return NewInt(v.i), nil
+		case KindString:
+			i, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+			if err != nil {
+				return Value{}, fmt.Errorf("types: cannot cast %q to INT: %v", v.s, err)
+			}
+			return NewInt(i), nil
+		}
+	case KindFloat:
+		switch v.kind {
+		case KindInt:
+			return NewFloat(float64(v.i)), nil
+		case KindString:
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+			if err != nil {
+				return Value{}, fmt.Errorf("types: cannot cast %q to FLOAT: %v", v.s, err)
+			}
+			return NewFloat(f), nil
+		}
+	case KindString:
+		return NewString(v.String()), nil
+	case KindBool:
+		switch v.kind {
+		case KindInt:
+			return NewBool(v.i != 0), nil
+		case KindString:
+			b, err := strconv.ParseBool(strings.TrimSpace(strings.ToLower(v.s)))
+			if err != nil {
+				return Value{}, fmt.Errorf("types: cannot cast %q to BOOL: %v", v.s, err)
+			}
+			return NewBool(b), nil
+		}
+	case KindBytes:
+		if v.kind == KindString {
+			return NewBytes([]byte(v.s)), nil
+		}
+	}
+	return Value{}, fmt.Errorf("types: unsupported cast from %s to %s", v.kind, target)
+}

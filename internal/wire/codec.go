@@ -1,0 +1,300 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"csq/internal/types"
+)
+
+// Payload encoders and decoders for the message bodies defined in wire.go.
+// They use the same primitives as the tuple encoding (uvarint lengths,
+// little-endian fixed-width numbers) so that the cost model's byte accounting
+// stays faithful.
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readString(src []byte) (string, int, error) {
+	n, c := binary.Uvarint(src)
+	if c <= 0 || uint64(len(src)-c) < n {
+		return "", 0, fmt.Errorf("wire: bad string")
+	}
+	return string(src[c : c+int(n)]), c + int(n), nil
+}
+
+func appendInts(dst []byte, xs []int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(xs)))
+	for _, x := range xs {
+		dst = binary.AppendUvarint(dst, uint64(x))
+	}
+	return dst
+}
+
+func readInts(src []byte) ([]int, int, error) {
+	n, c := binary.Uvarint(src)
+	if c <= 0 || n > 1<<16 {
+		return nil, 0, fmt.Errorf("wire: bad int list length")
+	}
+	off := c
+	out := make([]int, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, c := binary.Uvarint(src[off:])
+		if c <= 0 {
+			return nil, 0, fmt.Errorf("wire: bad int list entry")
+		}
+		out = append(out, int(v))
+		off += c
+	}
+	return out, off, nil
+}
+
+// EncodeSetup serialises a SetupRequest.
+func EncodeSetup(s *SetupRequest) ([]byte, error) {
+	if s.InputSchema == nil {
+		return nil, fmt.Errorf("wire: setup requires an input schema")
+	}
+	var dst []byte
+	dst = binary.LittleEndian.AppendUint64(dst, s.SessionID)
+	dst = append(dst, byte(s.Mode))
+	flags := byte(0)
+	if s.FinalDelivery {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = types.EncodeSchema(dst, s.InputSchema)
+	dst = binary.AppendUvarint(dst, uint64(len(s.UDFs)))
+	for _, u := range s.UDFs {
+		dst = appendString(dst, u.Name)
+		dst = appendInts(dst, u.ArgOrdinals)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(s.PushablePredicate)))
+	dst = append(dst, s.PushablePredicate...)
+	dst = appendInts(dst, s.ProjectOrdinals)
+	return dst, nil
+}
+
+// DecodeSetup deserialises a SetupRequest.
+func DecodeSetup(src []byte) (*SetupRequest, error) {
+	if len(src) < 10 {
+		return nil, fmt.Errorf("wire: setup payload too short")
+	}
+	s := &SetupRequest{}
+	s.SessionID = binary.LittleEndian.Uint64(src)
+	s.Mode = Mode(src[8])
+	s.FinalDelivery = src[9]&1 != 0
+	off := 10
+	schema, n, err := types.DecodeSchema(src[off:])
+	if err != nil {
+		return nil, fmt.Errorf("wire: setup schema: %v", err)
+	}
+	s.InputSchema = schema
+	off += n
+	count, c := binary.Uvarint(src[off:])
+	if c <= 0 || count > 256 {
+		return nil, fmt.Errorf("wire: setup: bad UDF count")
+	}
+	off += c
+	for i := uint64(0); i < count; i++ {
+		name, n, err := readString(src[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		ords, n, err := readInts(src[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		s.UDFs = append(s.UDFs, UDFSpec{Name: name, ArgOrdinals: ords})
+	}
+	predLen, c := binary.Uvarint(src[off:])
+	if c <= 0 || uint64(len(src)-off-c) < predLen {
+		return nil, fmt.Errorf("wire: setup: bad predicate length")
+	}
+	off += c
+	if predLen > 0 {
+		s.PushablePredicate = append([]byte(nil), src[off:off+int(predLen)]...)
+	}
+	off += int(predLen)
+	ords, n, err := readInts(src[off:])
+	if err != nil {
+		return nil, fmt.Errorf("wire: setup: projection: %v", err)
+	}
+	off += n
+	if len(ords) > 0 {
+		s.ProjectOrdinals = ords
+	}
+	if off != len(src) {
+		return nil, fmt.Errorf("wire: setup: %d trailing bytes", len(src)-off)
+	}
+	return s, nil
+}
+
+// EncodeSetupAck serialises a SetupAck.
+func EncodeSetupAck(a *SetupAck) []byte {
+	var dst []byte
+	dst = binary.LittleEndian.AppendUint64(dst, a.SessionID)
+	if a.OK {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendString(dst, a.Error)
+	return dst
+}
+
+// DecodeSetupAck deserialises a SetupAck.
+func DecodeSetupAck(src []byte) (*SetupAck, error) {
+	if len(src) < 9 {
+		return nil, fmt.Errorf("wire: setup ack too short")
+	}
+	a := &SetupAck{SessionID: binary.LittleEndian.Uint64(src), OK: src[8] != 0}
+	msg, _, err := readString(src[9:])
+	if err != nil {
+		return nil, err
+	}
+	a.Error = msg
+	return a, nil
+}
+
+// EncodeTupleBatch serialises a TupleBatch.
+func EncodeTupleBatch(b *TupleBatch) ([]byte, error) {
+	var dst []byte
+	dst = binary.LittleEndian.AppendUint64(dst, b.SessionID)
+	dst = binary.LittleEndian.AppendUint64(dst, b.Seq)
+	dst = binary.AppendUvarint(dst, uint64(len(b.Tuples)))
+	var err error
+	for _, t := range b.Tuples {
+		dst, err = types.EncodeTuple(dst, t)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// DecodeTupleBatch deserialises a TupleBatch.
+func DecodeTupleBatch(src []byte) (*TupleBatch, error) {
+	if len(src) < 16 {
+		return nil, fmt.Errorf("wire: tuple batch too short")
+	}
+	b := &TupleBatch{
+		SessionID: binary.LittleEndian.Uint64(src),
+		Seq:       binary.LittleEndian.Uint64(src[8:]),
+	}
+	off := 16
+	n, c := binary.Uvarint(src[off:])
+	if c <= 0 || n > 1<<24 {
+		return nil, fmt.Errorf("wire: tuple batch: bad count")
+	}
+	off += c
+	b.Tuples = make([]types.Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		t, used, err := types.DecodeTuple(src[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: tuple batch row %d: %v", i, err)
+		}
+		b.Tuples = append(b.Tuples, t)
+		off += used
+	}
+	if off != len(src) {
+		return nil, fmt.Errorf("wire: tuple batch: %d trailing bytes", len(src)-off)
+	}
+	return b, nil
+}
+
+// EncodeError serialises an ErrorMsg.
+func EncodeError(e *ErrorMsg) []byte {
+	var dst []byte
+	dst = binary.LittleEndian.AppendUint64(dst, e.SessionID)
+	dst = appendString(dst, e.Message)
+	return dst
+}
+
+// DecodeError deserialises an ErrorMsg.
+func DecodeError(src []byte) (*ErrorMsg, error) {
+	if len(src) < 9 {
+		return nil, fmt.Errorf("wire: error message too short")
+	}
+	e := &ErrorMsg{SessionID: binary.LittleEndian.Uint64(src)}
+	msg, _, err := readString(src[8:])
+	if err != nil {
+		return nil, err
+	}
+	e.Message = msg
+	return e, nil
+}
+
+// EncodeEnd serialises an End marker.
+func EncodeEnd(e *End) []byte {
+	var dst []byte
+	dst = binary.LittleEndian.AppendUint64(dst, e.SessionID)
+	dst = binary.LittleEndian.AppendUint64(dst, e.Rows)
+	return dst
+}
+
+// DecodeEnd deserialises an End marker.
+func DecodeEnd(src []byte) (*End, error) {
+	if len(src) < 16 {
+		return nil, fmt.Errorf("wire: end message too short")
+	}
+	return &End{
+		SessionID: binary.LittleEndian.Uint64(src),
+		Rows:      binary.LittleEndian.Uint64(src[8:]),
+	}, nil
+}
+
+// EncodeRegisterUDF serialises a RegisterUDF announcement.
+func EncodeRegisterUDF(r *RegisterUDF) []byte {
+	var dst []byte
+	dst = appendString(dst, r.Name)
+	dst = binary.AppendUvarint(dst, uint64(len(r.ArgKinds)))
+	for _, k := range r.ArgKinds {
+		dst = append(dst, byte(k))
+	}
+	dst = append(dst, byte(r.ResultKind))
+	dst = binary.AppendUvarint(dst, uint64(r.ResultSize))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Selectivity))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.PerCallCost))
+	return dst
+}
+
+// DecodeRegisterUDF deserialises a RegisterUDF announcement.
+func DecodeRegisterUDF(src []byte) (*RegisterUDF, error) {
+	r := &RegisterUDF{}
+	name, off, err := readString(src)
+	if err != nil {
+		return nil, fmt.Errorf("wire: register udf: %v", err)
+	}
+	r.Name = name
+	n, c := binary.Uvarint(src[off:])
+	if c <= 0 || n > 64 || off+c+int(n) > len(src) {
+		return nil, fmt.Errorf("wire: register udf: bad arg kinds")
+	}
+	off += c
+	for i := uint64(0); i < n; i++ {
+		r.ArgKinds = append(r.ArgKinds, types.Kind(src[off]))
+		off++
+	}
+	if off >= len(src) {
+		return nil, fmt.Errorf("wire: register udf: truncated")
+	}
+	r.ResultKind = types.Kind(src[off])
+	off++
+	size, c := binary.Uvarint(src[off:])
+	if c <= 0 {
+		return nil, fmt.Errorf("wire: register udf: bad result size")
+	}
+	off += c
+	if len(src)-off < 16 {
+		return nil, fmt.Errorf("wire: register udf: truncated floats")
+	}
+	r.ResultSize = int(size)
+	r.Selectivity = math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+	r.PerCallCost = math.Float64frombits(binary.LittleEndian.Uint64(src[off+8:]))
+	return r, nil
+}

@@ -1,0 +1,262 @@
+// Package wire implements the framed binary protocol spoken between the
+// server's client-site UDF operators and the client runtime.
+//
+// Every message is a frame: a 4-byte little-endian payload length, a 1-byte
+// message type, and the payload. Payloads are encoded with the same
+// deterministic binary encoding the rest of the system uses (package types),
+// so the byte counts observed on the link line up with the cost model's
+// predictions.
+//
+// A session is established with a SetupRequest describing the execution mode
+// (naive, semi-join, or client-site join), the schema of the tuples that will
+// be shipped, the UDFs to apply, and any pushable predicate / projection to
+// run at the client. Tuples then flow down in TupleBatch messages and results
+// flow back in ResultBatch messages, terminated by End messages in both
+// directions.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"csq/internal/types"
+)
+
+// MsgType identifies the kind of a frame.
+type MsgType uint8
+
+// Message types.
+const (
+	MsgInvalid MsgType = iota
+	// MsgSetup carries a SetupRequest from server to client.
+	MsgSetup
+	// MsgSetupAck acknowledges a SetupRequest (client to server).
+	MsgSetupAck
+	// MsgTupleBatch carries argument tuples or full records server→client.
+	MsgTupleBatch
+	// MsgResultBatch carries UDF results (or filtered records) client→server.
+	MsgResultBatch
+	// MsgEnd signals the end of a tuple stream in either direction.
+	MsgEnd
+	// MsgError carries an error description in either direction.
+	MsgError
+	// MsgRegisterUDF announces a client-registered UDF (client→server).
+	MsgRegisterUDF
+	// MsgFinalResult carries final query results destined for the client's
+	// result consumer (server→client), used when the final result operator is
+	// merged with a client-site UDF group.
+	MsgFinalResult
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgSetup:
+		return "SETUP"
+	case MsgSetupAck:
+		return "SETUP_ACK"
+	case MsgTupleBatch:
+		return "TUPLE_BATCH"
+	case MsgResultBatch:
+		return "RESULT_BATCH"
+	case MsgEnd:
+		return "END"
+	case MsgError:
+		return "ERROR"
+	case MsgRegisterUDF:
+		return "REGISTER_UDF"
+	case MsgFinalResult:
+		return "FINAL_RESULT"
+	default:
+		return "INVALID"
+	}
+}
+
+// MaxFrameSize bounds a single frame's payload; larger frames are rejected to
+// protect both ends from corrupt length prefixes.
+const MaxFrameSize = 64 << 20
+
+// Message is one decoded frame.
+type Message struct {
+	Type    MsgType
+	Payload []byte
+}
+
+// Conn frames messages over an underlying reader/writer. Writes are
+// serialised with a mutex so that concurrent sender goroutines (the semi-join
+// sender and the naive operator's control path) can share one connection.
+type Conn struct {
+	wmu sync.Mutex
+	w   *bufio.Writer
+	rmu sync.Mutex
+	r   *bufio.Reader
+	rw  io.ReadWriteCloser
+
+	bytesOut atomic.Int64
+	bytesIn  atomic.Int64
+}
+
+// NewConn wraps a duplex byte stream in a framed message connection.
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	return &Conn{
+		w:  bufio.NewWriterSize(rw, 32*1024),
+		r:  bufio.NewReaderSize(rw, 32*1024),
+		rw: rw,
+	}
+}
+
+// Send writes one frame and flushes it.
+func (c *Conn) Send(t MsgType, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write payload: %w", err)
+	}
+	c.bytesOut.Add(int64(len(hdr) + len(payload)))
+	return c.w.Flush()
+}
+
+// Receive reads one frame.
+func (c *Conn) Receive() (Message, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > MaxFrameSize {
+		return Message{}, fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.r, payload); err != nil {
+		return Message{}, fmt.Errorf("wire: read payload: %w", err)
+	}
+	c.bytesIn.Add(int64(len(hdr)) + int64(n))
+	return Message{Type: MsgType(hdr[4]), Payload: payload}, nil
+}
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.rw.Close() }
+
+// BytesSent returns the total framed bytes written so far. It never blocks,
+// even while another goroutine is in Send or Receive.
+func (c *Conn) BytesSent() int64 { return c.bytesOut.Load() }
+
+// BytesReceived returns the total framed bytes read so far. It never blocks,
+// even while another goroutine is in Send or Receive.
+func (c *Conn) BytesReceived() int64 { return c.bytesIn.Load() }
+
+// Mode selects the client-side execution strategy for a session.
+type Mode uint8
+
+// Execution modes, mirroring the three strategies of the paper.
+const (
+	// ModeNaive ships one argument tuple per round trip (tuple-at-a-time).
+	ModeNaive Mode = iota
+	// ModeSemiJoin ships duplicate-free argument columns and receives bare
+	// results.
+	ModeSemiJoin
+	// ModeClientJoin ships full records and receives filtered, projected
+	// records with the UDF results appended.
+	ModeClientJoin
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeNaive:
+		return "naive"
+	case ModeSemiJoin:
+		return "semijoin"
+	case ModeClientJoin:
+		return "clientjoin"
+	default:
+		return "unknown"
+	}
+}
+
+// UDFSpec names one UDF to apply at the client and the ordinals (within the
+// shipped tuple) of its arguments.
+type UDFSpec struct {
+	Name        string
+	ArgOrdinals []int
+}
+
+// SetupRequest configures a client-side execution session.
+type SetupRequest struct {
+	// SessionID identifies the session; batches carry it so that one
+	// connection can multiplex sessions.
+	SessionID uint64
+	// Mode is the execution strategy.
+	Mode Mode
+	// InputSchema describes the tuples shipped to the client.
+	InputSchema *types.Schema
+	// UDFs are applied in order; each result is appended to the shipped tuple
+	// (client-site join) or returned bare (semi-join).
+	UDFs []UDFSpec
+	// PushablePredicate, when non-empty, is a marshalled expression evaluated
+	// at the client over the shipped tuple extended with the UDF results;
+	// tuples failing it are dropped before anything is returned.
+	PushablePredicate []byte
+	// ProjectOrdinals, when non-empty, lists the ordinals (into the shipped
+	// tuple extended with UDF results) returned to the server. Empty means
+	// return everything (semi-join returns only results regardless).
+	ProjectOrdinals []int
+	// FinalDelivery indicates the results are for the end user at the client
+	// (the plan merged the UDF with the final result operator), so nothing
+	// needs to be returned to the server except a row count.
+	FinalDelivery bool
+}
+
+// SetupAck is the client's answer to a SetupRequest.
+type SetupAck struct {
+	SessionID uint64
+	OK        bool
+	Error     string
+}
+
+// TupleBatch is a batch of shipped tuples (downlink) or returned tuples
+// (uplink).
+type TupleBatch struct {
+	SessionID uint64
+	Seq       uint64
+	Tuples    []types.Tuple
+}
+
+// ErrorMsg carries an error across the wire.
+type ErrorMsg struct {
+	SessionID uint64
+	Message   string
+}
+
+// RegisterUDF announces a UDF implemented at the client.
+type RegisterUDF struct {
+	Name        string
+	ArgKinds    []types.Kind
+	ResultKind  types.Kind
+	ResultSize  int
+	Selectivity float64
+	PerCallCost float64
+}
+
+// End signals the end of a stream for a session.
+type End struct {
+	SessionID uint64
+	// Rows is the number of tuples delivered in total (used by FinalDelivery
+	// sessions to report the result cardinality back to the server).
+	Rows uint64
+}
