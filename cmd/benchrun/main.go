@@ -1,0 +1,166 @@
+// Command benchrun executes the engine's benchmark suites (internal/exec,
+// internal/wire) via `go test -bench`, parses the standard benchmark output,
+// and writes the results as JSON so the repository's performance trajectory
+// can be tracked across commits.
+//
+// Usage:
+//
+//	go run ./cmd/benchrun [-benchtime 100x] [-out BENCH_exec.json] [pkg ...]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the BENCH_exec.json document.
+type Report struct {
+	GeneratedAt string            `json:"generated_at"`
+	GoVersion   string            `json:"go_version"`
+	BenchTime   string            `json:"bench_time"`
+	Results     []Result          `json:"results"`
+	Speedups    map[string]Ratios `json:"speedups"`
+}
+
+// Ratios compares a benchmark's batch variant against its scalar baseline.
+type Ratios struct {
+	TimeRatio  float64 `json:"time_scalar_over_batch"`
+	AllocRatio float64 `json:"allocs_scalar_over_batch"`
+}
+
+// benchLine matches e.g.
+// BenchmarkHashJoin/batch-8  100  1159133 ns/op  2695789 B/op  862 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	benchtime := flag.String("benchtime", "100x", "value passed to -benchtime")
+	out := flag.String("out", "BENCH_exec.json", "output JSON path")
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./internal/exec", "./internal/wire"}
+	}
+
+	var results []Result
+	for _, pkg := range pkgs {
+		res, err := runPackage(pkg, *benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: %s: %v\n", pkg, err)
+			os.Exit(1)
+		}
+		results = append(results, res...)
+	}
+
+	report := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   goVersion(),
+		BenchTime:   *benchtime,
+		Results:     results,
+		Speedups:    speedups(results),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchrun: wrote %d results to %s\n", len(results), *out)
+}
+
+func runPackage(pkg, benchtime string) ([]Result, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", ".", "-benchmem", "-benchtime", benchtime, "-count", "1", pkg)
+	outBytes, err := cmd.CombinedOutput()
+	output := string(outBytes)
+	if err != nil {
+		return nil, fmt.Errorf("%v\n%s", err, output)
+	}
+	var results []Result
+	for _, line := range strings.Split(output, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		var bytesOp, allocsOp int64
+		if m[4] != "" {
+			bytesOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			allocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results = append(results, Result{
+			Package:     pkg,
+			Name:        strings.TrimPrefix(m[1], "Benchmark"),
+			Iterations:  iters,
+			NsPerOp:     ns,
+			BytesPerOp:  bytesOp,
+			AllocsPerOp: allocsOp,
+		})
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines parsed from output:\n%s", output)
+	}
+	return results, nil
+}
+
+// speedups pairs */scalar baselines with their */batch (or */pooled, */into)
+// counterparts.
+func speedups(results []Result) map[string]Ratios {
+	base := make(map[string]Result)
+	variants := map[string]string{"batch": "scalar", "pooled": "fresh", "into": "fresh"}
+	for _, r := range results {
+		if i := strings.LastIndex(r.Name, "/"); i >= 0 {
+			base[r.Name] = r
+		}
+	}
+	out := make(map[string]Ratios)
+	for name, r := range base {
+		i := strings.LastIndex(name, "/")
+		root, variant := name[:i], name[i+1:]
+		baseName, ok := variants[variant]
+		if !ok {
+			continue
+		}
+		b, ok := base[root+"/"+baseName]
+		if !ok || r.NsPerOp == 0 || r.AllocsPerOp == 0 {
+			continue
+		}
+		out[root] = Ratios{
+			TimeRatio:  round2(b.NsPerOp / r.NsPerOp),
+			AllocRatio: round2(float64(b.AllocsPerOp) / float64(r.AllocsPerOp)),
+		}
+	}
+	return out
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }
+
+func goVersion() string {
+	out, err := exec.Command("go", "version").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

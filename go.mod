@@ -1,0 +1,3 @@
+module csq
+
+go 1.24

@@ -34,7 +34,9 @@ type Func struct {
 	Selectivity float64
 	// PerCallCost is the client CPU cost per invocation in arbitrary units.
 	PerCallCost float64
-	// Body is the implementation.
+	// Body is the implementation. The args slice is a scratch buffer that is
+	// only valid for the duration of the call; implementations must copy it
+	// (not the values, which are immutable) if they retain it.
 	Body func(args []types.Value) (types.Value, error)
 }
 
@@ -171,6 +173,8 @@ type session struct {
 	predicate expr.Expr
 	eval      *expr.Evaluator
 	delivered uint64
+	out       []types.Tuple // reusable uplink batch
+	args      []types.Value // reusable UDF argument scratch
 }
 
 // Serve handles one server connection until it is closed or a fatal protocol
@@ -189,6 +193,10 @@ func (r *Runtime) Serve(rw io.ReadWriteCloser) error {
 // in-process engine).
 func (r *Runtime) ServeConn(conn *wire.Conn) error {
 	sessions := make(map[uint64]*session)
+	// One scratch batch per connection: the decoded tuples are consumed within
+	// the handling of their frame, so the Tuples slice can be recycled across
+	// frames (the values themselves live in per-frame arenas).
+	var incoming wire.TupleBatch
 	for {
 		msg, err := conn.Receive()
 		if err != nil {
@@ -214,49 +222,38 @@ func (r *Runtime) ServeConn(conn *wire.Conn) error {
 				return err
 			}
 		case wire.MsgTupleBatch:
-			batch, err := wire.DecodeTupleBatch(msg.Payload)
-			if err != nil {
+			if err := wire.DecodeTupleBatchInto(&incoming, msg.Payload); err != nil {
 				return fmt.Errorf("client: bad tuple batch: %w", err)
 			}
-			s, ok := sessions[batch.SessionID]
+			s, ok := sessions[incoming.SessionID]
 			if !ok {
-				if err := r.sendError(conn, batch.SessionID, "unknown session"); err != nil {
+				if err := r.sendError(conn, incoming.SessionID, "unknown session"); err != nil {
 					return err
 				}
 				continue
 			}
-			out, procErr := r.processBatch(s, batch.Tuples)
+			out, procErr := r.processBatch(s, incoming.Tuples)
 			if procErr != nil {
-				if err := r.sendError(conn, batch.SessionID, procErr.Error()); err != nil {
+				if err := r.sendError(conn, incoming.SessionID, procErr.Error()); err != nil {
 					return err
 				}
 				continue
 			}
+			reply := wire.TupleBatch{SessionID: incoming.SessionID, Seq: incoming.Seq, Tuples: out}
 			if s.req.FinalDelivery {
 				for _, t := range out {
 					s.delivered++
 					if r.ResultSink != nil {
-						r.ResultSink(ResultRow{SessionID: batch.SessionID, Tuple: t})
+						// Clone: the sink may retain the row, while out tuples
+						// share the batch's arena.
+						r.ResultSink(ResultRow{SessionID: incoming.SessionID, Tuple: t.Clone()})
 					}
 				}
 				// Acknowledge progress with an empty result batch so that the
 				// server's flow control (the semi-join buffer) keeps moving.
-				reply := &wire.TupleBatch{SessionID: batch.SessionID, Seq: batch.Seq}
-				payload, err := wire.EncodeTupleBatch(reply)
-				if err != nil {
-					return err
-				}
-				if err := conn.Send(wire.MsgResultBatch, payload); err != nil {
-					return err
-				}
-				continue
+				reply.Tuples = nil
 			}
-			reply := &wire.TupleBatch{SessionID: batch.SessionID, Seq: batch.Seq, Tuples: out}
-			payload, err := wire.EncodeTupleBatch(reply)
-			if err != nil {
-				return err
-			}
-			if err := conn.Send(wire.MsgResultBatch, payload); err != nil {
+			if err := r.sendBatch(conn, &reply); err != nil {
 				return err
 			}
 		case wire.MsgEnd:
@@ -287,6 +284,20 @@ func (r *Runtime) ServeConn(conn *wire.Conn) error {
 
 func (r *Runtime) sendError(conn *wire.Conn, session uint64, msg string) error {
 	return conn.Send(wire.MsgError, wire.EncodeError(&wire.ErrorMsg{SessionID: session, Message: msg}))
+}
+
+// sendBatch encodes a result batch into a pooled buffer and sends it.
+func (r *Runtime) sendBatch(conn *wire.Conn, b *wire.TupleBatch) error {
+	buf := wire.GetBuffer()
+	payload, err := wire.AppendTupleBatch(*buf, b)
+	if err != nil {
+		wire.PutBuffer(buf)
+		return err
+	}
+	err = conn.Send(wire.MsgResultBatch, payload)
+	*buf = payload
+	wire.PutBuffer(buf)
+	return err
 }
 
 // newSession validates a setup request against the registry and prepares the
@@ -334,29 +345,45 @@ func (r *Runtime) newSession(req *wire.SetupRequest) (*session, error) {
 }
 
 // processBatch runs the session's UDFs (and pushable operations) over a batch
-// of shipped tuples and returns what should go back on the uplink.
+// of shipped tuples and returns what should go back on the uplink. The
+// returned slice and its tuples are valid until the next processBatch call on
+// the same session: the tuples share one per-batch arena and the slice is the
+// session's reusable scratch, which is exactly the lifetime the serve loop
+// needs (encode the reply, then move on).
 func (r *Runtime) processBatch(s *session, tuples []types.Tuple) ([]types.Tuple, error) {
-	out := make([]types.Tuple, 0, len(tuples))
+	inWidth := s.req.InputSchema.Len()
+	extWidth := inWidth + len(s.udfs)
+	out := s.out[:0]
+	// One arena backs every extended record of the batch (plus its pushable
+	// projection, which appends to the same arena in client-join mode).
+	perTuple := extWidth
+	if s.req.Mode == wire.ModeClientJoin {
+		perTuple += len(s.req.ProjectOrdinals)
+	}
+	arena := make([]types.Value, 0, len(tuples)*perTuple)
 	for _, in := range tuples {
-		if in.Len() != s.req.InputSchema.Len() {
-			return nil, fmt.Errorf("tuple arity %d does not match shipped schema %d", in.Len(), s.req.InputSchema.Len())
+		if in.Len() != inWidth {
+			return nil, fmt.Errorf("tuple arity %d does not match shipped schema %d", in.Len(), inWidth)
 		}
-		extended := in
-		results := make(types.Tuple, 0, len(s.udfs))
+		start := len(arena)
+		arena = append(arena, in...)
 		for i, f := range s.udfs {
 			spec := s.req.UDFs[i]
-			args := make([]types.Value, len(spec.ArgOrdinals))
+			if cap(s.args) < len(spec.ArgOrdinals) {
+				s.args = make([]types.Value, len(spec.ArgOrdinals))
+			}
+			args := s.args[:len(spec.ArgOrdinals)]
 			for j, o := range spec.ArgOrdinals {
-				args[j] = extended[o]
+				args[j] = arena[start+o]
 			}
 			r.recordInvocation(f.Name)
 			v, err := f.Body(args)
 			if err != nil {
 				return nil, fmt.Errorf("UDF %s: %v", f.Name, err)
 			}
-			results = append(results, v)
-			extended = extended.Append(v)
+			arena = append(arena, v)
 		}
+		extended := types.Tuple(arena[start:len(arena):len(arena)])
 		// Pushable predicate filters before anything is returned.
 		if s.predicate != nil {
 			keep, err := s.eval.EvalBool(s.predicate, extended)
@@ -364,17 +391,20 @@ func (r *Runtime) processBatch(s *session, tuples []types.Tuple) ([]types.Tuple,
 				return nil, fmt.Errorf("pushable predicate: %v", err)
 			}
 			if !keep {
+				arena = arena[:start]
 				continue
 			}
 		}
 		switch s.req.Mode {
 		case wire.ModeSemiJoin, wire.ModeNaive:
 			// Return only the UDF results; the server joins them back.
-			out = append(out, results)
+			out = append(out, extended[inWidth:])
 		case wire.ModeClientJoin:
 			ret := extended
 			if len(s.req.ProjectOrdinals) > 0 {
-				projected, err := extended.Project(s.req.ProjectOrdinals)
+				var projected types.Tuple
+				var err error
+				arena, projected, err = types.ProjectInto(arena, extended, s.req.ProjectOrdinals)
 				if err != nil {
 					return nil, fmt.Errorf("pushable projection: %v", err)
 				}
@@ -385,5 +415,6 @@ func (r *Runtime) processBatch(s *session, tuples []types.Tuple) ([]types.Tuple,
 			return nil, fmt.Errorf("unknown execution mode %d", s.req.Mode)
 		}
 	}
+	s.out = out
 	return out, nil
 }

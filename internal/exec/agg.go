@@ -50,8 +50,10 @@ type Aggregate struct {
 
 // HashAggregate groups its input on the group-by ordinals and computes the
 // aggregates per group. Output columns are the group-by columns followed by
-// the aggregates. Groups are emitted in a deterministic (key-sorted) order so
-// results are reproducible.
+// the aggregates. Groups are emitted in a deterministic (group-value-sorted)
+// order so results are reproducible. The group table is keyed on tuple hashes
+// with collision chains resolved by value comparison, so probing allocates no
+// key strings.
 type HashAggregate struct {
 	baseState
 	input   Operator
@@ -114,75 +116,112 @@ func (h *HashAggregate) Open(ctx context.Context) error {
 	if err := h.input.Open(ctx); err != nil {
 		return err
 	}
-	groups := make(map[string]*aggState)
+	groups := make(map[uint64][]*aggState)
+	groupOrds := allOrdinals(len(h.groupBy)) // ordinals of the key within stored group rows
+	var states []*aggState                   // insertion-ordered view of all groups
+	batch := make([]types.Tuple, DefaultBatchSize)
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		t, ok, err := h.input.Next()
+		n, err := h.input.NextBatch(batch)
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if n == 0 {
 			break
 		}
-		key := t.Key(h.groupBy)
-		st, exists := groups[key]
-		if !exists {
-			groupRow, err := t.Project(h.groupBy)
-			if err != nil {
+		for _, t := range batch[:n] {
+			hash := t.Hash(h.groupBy)
+			var st *aggState
+			for _, cand := range groups[hash] {
+				if crossEqual(t, h.groupBy, cand.groupRow, groupOrds) {
+					st = cand
+					break
+				}
+			}
+			if st == nil {
+				groupRow, err := t.Project(h.groupBy)
+				if err != nil {
+					return err
+				}
+				st = &aggState{
+					groupRow: groupRow,
+					sums:     make([]float64, len(h.aggs)),
+					mins:     make([]types.Value, len(h.aggs)),
+					maxs:     make([]types.Value, len(h.aggs)),
+					counts:   make([]int64, len(h.aggs)),
+				}
+				groups[hash] = append(groups[hash], st)
+				states = append(states, st)
+			}
+			if err := h.accumulate(st, t); err != nil {
 				return err
 			}
-			st = &aggState{
-				groupRow: groupRow,
-				sums:     make([]float64, len(h.aggs)),
-				mins:     make([]types.Value, len(h.aggs)),
-				maxs:     make([]types.Value, len(h.aggs)),
-				counts:   make([]int64, len(h.aggs)),
-			}
-			groups[key] = st
 		}
-		st.count++
-		for i, a := range h.aggs {
-			if a.Func == AggCount && a.Ordinal < 0 {
-				continue
+	}
+	if err := h.emit(states); err != nil {
+		return err
+	}
+	h.pos = 0
+	h.opened = true
+	h.closed = false
+	return nil
+}
+
+// accumulate folds one input tuple into its group's state.
+func (h *HashAggregate) accumulate(st *aggState, t types.Tuple) error {
+	st.count++
+	for i, a := range h.aggs {
+		if a.Func == AggCount && a.Ordinal < 0 {
+			continue
+		}
+		v := t[a.Ordinal]
+		if v.IsNull() {
+			continue
+		}
+		st.counts[i]++
+		switch a.Func {
+		case AggSum, AggAvg:
+			f, err := v.Float()
+			if err != nil {
+				return fmt.Errorf("exec: %s over non-numeric column: %v", a.Func, err)
 			}
-			v := t[a.Ordinal]
-			if v.IsNull() {
-				continue
+			st.sums[i] += f
+		case AggMin:
+			if st.mins[i].IsNull() {
+				st.mins[i] = v
+			} else if c, err := types.Compare(v, st.mins[i]); err == nil && c < 0 {
+				st.mins[i] = v
 			}
-			st.counts[i]++
-			switch a.Func {
-			case AggSum, AggAvg:
-				f, err := v.Float()
-				if err != nil {
-					return fmt.Errorf("exec: %s over non-numeric column: %v", a.Func, err)
-				}
-				st.sums[i] += f
-			case AggMin:
-				if st.mins[i].IsNull() {
-					st.mins[i] = v
-				} else if c, err := types.Compare(v, st.mins[i]); err == nil && c < 0 {
-					st.mins[i] = v
-				}
-			case AggMax:
-				if st.maxs[i].IsNull() {
-					st.maxs[i] = v
-				} else if c, err := types.Compare(v, st.maxs[i]); err == nil && c > 0 {
-					st.maxs[i] = v
-				}
+		case AggMax:
+			if st.maxs[i].IsNull() {
+				st.maxs[i] = v
+			} else if c, err := types.Compare(v, st.maxs[i]); err == nil && c > 0 {
+				st.maxs[i] = v
 			}
 		}
 	}
-	// Deterministic output order.
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
+	return nil
+}
+
+// emit sorts the groups by their group-column values (the deterministic
+// output order) and materialises one result row per group.
+func (h *HashAggregate) emit(states []*aggState) error {
+	groupOrds := allOrdinals(len(h.groupBy))
+	var sortErr error
+	sort.SliceStable(states, func(i, j int) bool {
+		c, err := types.CompareOn(states[i].groupRow, states[j].groupRow, groupOrds)
+		if err != nil && sortErr == nil {
+			sortErr = err
+		}
+		return c < 0
+	})
+	if sortErr != nil {
+		return sortErr
 	}
-	sort.Strings(keys)
 	h.results = h.results[:0]
-	for _, k := range keys {
-		st := groups[k]
+	for _, st := range states {
 		row := st.groupRow.Clone()
 		for i, a := range h.aggs {
 			var v types.Value
@@ -227,9 +266,6 @@ func (h *HashAggregate) Open(ctx context.Context) error {
 		}
 		h.results = append(h.results, row)
 	}
-	h.pos = 0
-	h.opened = true
-	h.closed = false
 	return nil
 }
 
@@ -244,6 +280,16 @@ func (h *HashAggregate) Next() (types.Tuple, bool, error) {
 	t := h.results[h.pos]
 	h.pos++
 	return t, true, nil
+}
+
+// NextBatch implements Operator with a bulk copy out of the computed groups.
+func (h *HashAggregate) NextBatch(dst []types.Tuple) (int, error) {
+	if err := h.checkOpen(); err != nil {
+		return 0, err
+	}
+	n := copy(dst, h.results[h.pos:])
+	h.pos += n
+	return n, nil
 }
 
 // Close implements Operator.

@@ -13,9 +13,10 @@ import (
 // predicates are handled by the dedicated UDF operators.
 type Filter struct {
 	baseState
-	input Operator
-	pred  expr.Expr
-	eval  *expr.Evaluator
+	input   Operator
+	pred    expr.Expr
+	eval    *expr.Evaluator
+	scratch []types.Tuple
 }
 
 // NewFilter wraps input with the predicate.
@@ -59,6 +60,42 @@ func (f *Filter) Next() (types.Tuple, bool, error) {
 	}
 }
 
+// NextBatch implements Operator: it pulls child batches and compacts the
+// qualifying tuples into dst, retrying until at least one tuple qualifies or
+// the input is exhausted.
+func (f *Filter) NextBatch(dst []types.Tuple) (int, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	if cap(f.scratch) < len(dst) {
+		f.scratch = make([]types.Tuple, len(dst))
+	}
+	in := f.scratch[:len(dst)]
+	for {
+		n, err := f.input.NextBatch(in)
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			return 0, nil
+		}
+		out := 0
+		for _, t := range in[:n] {
+			keep, err := evalBoundPredicate(f.eval, f.pred, t)
+			if err != nil {
+				return out, err
+			}
+			if keep {
+				dst[out] = t
+				out++
+			}
+		}
+		if out > 0 {
+			return out, nil
+		}
+	}
+}
+
 // Close implements Operator.
 func (f *Filter) Close() error {
 	f.closed = true
@@ -75,10 +112,11 @@ type ProjectColumn struct {
 // Project evaluates a list of expressions per input tuple.
 type Project struct {
 	baseState
-	input  Operator
-	cols   []ProjectColumn
-	schema *types.Schema
-	eval   *expr.Evaluator
+	input   Operator
+	cols    []ProjectColumn
+	schema  *types.Schema
+	eval    *expr.Evaluator
+	scratch []types.Tuple
 }
 
 // NewProject builds a projection over input.
@@ -137,6 +175,35 @@ func (p *Project) Next() (types.Tuple, bool, error) {
 	return out, true, nil
 }
 
+// NextBatch implements Operator: all output tuples of one batch share a
+// single backing arena.
+func (p *Project) NextBatch(dst []types.Tuple) (int, error) {
+	if err := p.checkOpen(); err != nil {
+		return 0, err
+	}
+	if cap(p.scratch) < len(dst) {
+		p.scratch = make([]types.Tuple, len(dst))
+	}
+	in := p.scratch[:len(dst)]
+	n, err := p.input.NextBatch(in)
+	if err != nil || n == 0 {
+		return 0, err
+	}
+	arena := make([]types.Value, 0, n*len(p.cols))
+	for i, t := range in[:n] {
+		start := len(arena)
+		for _, c := range p.cols {
+			v, err := p.eval.Eval(c.Expr, t)
+			if err != nil {
+				return i, err
+			}
+			arena = append(arena, v)
+		}
+		dst[i] = types.Tuple(arena[start:len(arena):len(arena)])
+	}
+	return n, nil
+}
+
 // Close implements Operator.
 func (p *Project) Close() error {
 	p.closed = true
@@ -150,6 +217,7 @@ type ProjectOrdinals struct {
 	input    Operator
 	ordinals []int
 	schema   *types.Schema
+	scratch  []types.Tuple
 }
 
 // NewProjectOrdinals projects the input onto the given column positions.
@@ -188,6 +256,32 @@ func (p *ProjectOrdinals) Next() (types.Tuple, bool, error) {
 		return nil, false, err
 	}
 	return out, true, nil
+}
+
+// NextBatch implements Operator: all output tuples of one batch share a
+// single backing arena.
+func (p *ProjectOrdinals) NextBatch(dst []types.Tuple) (int, error) {
+	if err := p.checkOpen(); err != nil {
+		return 0, err
+	}
+	if cap(p.scratch) < len(dst) {
+		p.scratch = make([]types.Tuple, len(dst))
+	}
+	in := p.scratch[:len(dst)]
+	n, err := p.input.NextBatch(in)
+	if err != nil || n == 0 {
+		return 0, err
+	}
+	arena := make([]types.Value, 0, n*len(p.ordinals))
+	for i, t := range in[:n] {
+		var out types.Tuple
+		arena, out, err = types.ProjectInto(arena, t, p.ordinals)
+		if err != nil {
+			return i, err
+		}
+		dst[i] = out
+	}
+	return n, nil
 }
 
 // Close implements Operator.
@@ -240,6 +334,24 @@ func (l *Limit) Next() (types.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// NextBatch implements Operator: it narrows the requested batch to the
+// remaining quota so the input is never over-consumed.
+func (l *Limit) NextBatch(dst []types.Tuple) (int, error) {
+	if err := l.checkOpen(); err != nil {
+		return 0, err
+	}
+	remaining := l.n - l.seen
+	if remaining <= 0 {
+		return 0, nil
+	}
+	if len(dst) > remaining {
+		dst = dst[:remaining]
+	}
+	n, err := l.input.NextBatch(dst)
+	l.seen += n
+	return n, err
+}
+
 // Close implements Operator.
 func (l *Limit) Close() error {
 	l.closed = true
@@ -253,7 +365,8 @@ type Distinct struct {
 	baseState
 	input    Operator
 	ordinals []int
-	seen     map[string]struct{}
+	seen     *tupleSet
+	scratch  []types.Tuple
 }
 
 // NewDistinct wraps input with duplicate elimination on the ordinals.
@@ -269,7 +382,7 @@ func (d *Distinct) Open(ctx context.Context) error {
 	if err := d.input.Open(ctx); err != nil {
 		return err
 	}
-	d.seen = make(map[string]struct{})
+	d.seen = newTupleSet(d.ordinals)
 	d.opened = true
 	d.closed = false
 	return nil
@@ -285,16 +398,40 @@ func (d *Distinct) Next() (types.Tuple, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		ords := d.ordinals
-		if ords == nil {
-			ords = allOrdinals(t.Len())
+		if added, _ := d.seen.add(t); added {
+			return t, true, nil
 		}
-		k := t.Key(ords)
-		if _, dup := d.seen[k]; dup {
-			continue
+	}
+}
+
+// NextBatch implements Operator: it pulls child batches and compacts the
+// first-seen tuples into dst.
+func (d *Distinct) NextBatch(dst []types.Tuple) (int, error) {
+	if err := d.checkOpen(); err != nil {
+		return 0, err
+	}
+	if cap(d.scratch) < len(dst) {
+		d.scratch = make([]types.Tuple, len(dst))
+	}
+	in := d.scratch[:len(dst)]
+	for {
+		n, err := d.input.NextBatch(in)
+		if err != nil {
+			return 0, err
 		}
-		d.seen[k] = struct{}{}
-		return t, true, nil
+		if n == 0 {
+			return 0, nil
+		}
+		out := 0
+		for _, t := range in[:n] {
+			if added, _ := d.seen.add(t); added {
+				dst[out] = t
+				out++
+			}
+		}
+		if out > 0 {
+			return out, nil
+		}
 	}
 }
 

@@ -1,0 +1,191 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"csq/internal/netsim"
+	"csq/internal/types"
+)
+
+// The benchmarks compare the tuple-at-a-time pipeline (Scalarize + Next, the
+// pre-batching behaviour) against the batched pipeline (NextBatch) for the
+// hot operators. cmd/benchrun runs them and emits BENCH_exec.json.
+
+// drainScalar consumes op strictly tuple-at-a-time.
+func drainScalar(b *testing.B, op Operator) int {
+	b.Helper()
+	if err := op.Open(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok, err := op.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if err := op.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+// drainBatch consumes op through NextBatch.
+func drainBatch(b *testing.B, op Operator) int {
+	b.Helper()
+	n, err := Run(context.Background(), op)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+func benchRows(n, distinct int) []types.Tuple {
+	rows := make([]types.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, types.NewTuple(
+			types.NewString(fmt.Sprintf("C%03d", i%distinct)),
+			types.NewFloat(float64(10+i)),
+			types.NewTimeSeries(types.NewSeries(100, 100+float64(i%distinct))),
+		))
+	}
+	return rows
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	left := benchRows(2048, 256)
+	right := benchRows(512, 256)
+	build := func() Operator {
+		j, err := NewHashJoin(
+			NewValuesScan(stockSchema(), left),
+			NewValuesScan(stockSchema(), right),
+			[]int{0}, []int{0}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return j
+	}
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			drainScalar(b, Scalarize(build()))
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			drainBatch(b, build())
+		}
+	})
+}
+
+func BenchmarkHashAggregate(b *testing.B) {
+	rows := benchRows(4096, 64)
+	build := func() Operator {
+		a, err := NewHashAggregate(NewValuesScan(stockSchema(), rows), []int{0}, []Aggregate{
+			{Func: AggCount, Ordinal: -1, Name: "cnt"},
+			{Func: AggSum, Ordinal: 1, Name: "sum"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return a
+	}
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			drainScalar(b, Scalarize(build()))
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			drainBatch(b, build())
+		}
+	})
+}
+
+func BenchmarkSemiJoin(b *testing.B) {
+	rows := benchRows(1024, 128)
+	build := func(sendBatch int) *SemiJoin {
+		op, err := NewSemiJoin(NewValuesScan(stockSchema(), rows),
+			NewInProcessLink(newAnalysisRuntime(b), netsim.Unlimited()),
+			[]UDFBinding{analysisBinding()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		op.ConcurrencyFactor = 64
+		op.SendBatchSize = sendBatch
+		return op
+	}
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// SendBatchSize 1 reproduces the tuple-at-a-time wire pipeline.
+			drainScalar(b, Scalarize(build(1)))
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			drainBatch(b, build(DefaultSendBatchSize))
+		}
+	})
+}
+
+func BenchmarkClientJoin(b *testing.B) {
+	rows := benchRows(1024, 128)
+	build := func(shipBatch int) *ClientJoin {
+		op, err := NewClientJoin(NewValuesScan(stockSchema(), rows),
+			NewInProcessLink(newAnalysisRuntime(b), netsim.Unlimited()),
+			[]UDFBinding{analysisBinding()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		op.ShipBatchSize = shipBatch
+		return op
+	}
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			drainScalar(b, Scalarize(build(1)))
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			drainBatch(b, build(DefaultBatchSize))
+		}
+	})
+}
+
+func BenchmarkFilterProject(b *testing.B) {
+	rows := benchRows(4096, 64)
+	build := func() Operator {
+		p, err := NewProjectOrdinals(
+			NewDistinct(NewValuesScan(stockSchema(), rows), []int{0}),
+			[]int{1, 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			drainScalar(b, Scalarize(build()))
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			drainBatch(b, build())
+		}
+	})
+}

@@ -21,6 +21,10 @@ const DefaultShipBatchSize = 8
 // (possibly filtered and narrowed) records come back on the uplink. Sender
 // and receiver need no coordination because the records themselves flow
 // through the client; there is no bounded buffer.
+//
+// Both directions are batched: the sender pulls whole input batches and ships
+// ShipBatchSize records per frame, and the receiver forwards whole decoded
+// result batches through the output channel instead of one tuple per send.
 type ClientJoin struct {
 	baseState
 	input Operator
@@ -33,7 +37,7 @@ type ClientJoin struct {
 	Pushable expr.Expr
 	// ProjectOrdinals optionally narrows the returned record (a pushable
 	// projection); ordinals index the extended record. Empty returns
-	// everything.
+	// everything. Invalid ordinals are rejected by Open.
 	ProjectOrdinals []int
 	// FinalDelivery merges this operator with the final result operator: the
 	// client keeps the qualifying rows and nothing flows back on the uplink
@@ -42,13 +46,16 @@ type ClientJoin struct {
 	// ShipBatchSize is the number of records per downlink frame.
 	ShipBatchSize int
 
-	schema *types.Schema
+	schema    *types.Schema
+	outSchema *types.Schema // extended schema narrowed by ProjectOrdinals
 
 	session   *udfSession
-	out       chan types.Tuple
+	out       chan []types.Tuple
 	errCh     chan error
 	wg        sync.WaitGroup
 	cancel    context.CancelFunc
+	cur       []types.Tuple // receiver batch currently being drained
+	curPos    int
 	delivered uint64
 	stats     NetStats
 	mu        sync.Mutex
@@ -77,13 +84,28 @@ func NewClientJoin(input Operator, link ClientLink, udfs []UDFBinding) (*ClientJ
 	return op, nil
 }
 
-// Schema implements Operator. With a pushable projection configured the
-// output schema is the projected extended schema.
-func (c *ClientJoin) Schema() *types.Schema {
+// projectedSchema narrows the extended schema by ProjectOrdinals, failing on
+// out-of-range ordinals.
+func (c *ClientJoin) projectedSchema() (*types.Schema, error) {
 	if len(c.ProjectOrdinals) == 0 {
-		return c.schema
+		return c.schema, nil
 	}
 	s, err := c.schema.Project(c.ProjectOrdinals)
+	if err != nil {
+		return nil, fmt.Errorf("exec: client-site join pushable projection: %v", err)
+	}
+	return s, nil
+}
+
+// Schema implements Operator. With a pushable projection configured the
+// output schema is the projected extended schema. Invalid projection ordinals
+// are reported by Open; before that, Schema falls back to the unprojected
+// extended schema rather than guessing.
+func (c *ClientJoin) Schema() *types.Schema {
+	if c.outSchema != nil {
+		return c.outSchema
+	}
+	s, err := c.projectedSchema()
 	if err != nil {
 		return c.schema
 	}
@@ -94,12 +116,17 @@ func (c *ClientJoin) Schema() *types.Schema {
 // in effect. Only meaningful after Close.
 func (c *ClientJoin) DeliveredRows() uint64 { return c.delivered }
 
-// Open implements Operator: it opens the session, then starts the sender and
-// receiver goroutines.
+// Open implements Operator: it validates the pushable projection, opens the
+// session, then starts the sender and receiver goroutines.
 func (c *ClientJoin) Open(ctx context.Context) error {
 	if c.link == nil {
 		return fmt.Errorf("exec: client-site join has no client link")
 	}
+	outSchema, err := c.projectedSchema()
+	if err != nil {
+		return err
+	}
+	c.outSchema = outSchema
 	if c.ShipBatchSize < 1 {
 		c.ShipBatchSize = 1
 	}
@@ -131,8 +158,9 @@ func (c *ClientJoin) Open(ctx context.Context) error {
 		return err
 	}
 	c.session = sess
-	c.out = make(chan types.Tuple, 64)
+	c.out = make(chan []types.Tuple, 8)
 	c.errCh = make(chan error, 2)
+	c.cur, c.curPos = nil, 0
 	c.stats = NetStats{}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -150,44 +178,27 @@ func (c *ClientJoin) Open(ctx context.Context) error {
 // the end-of-stream handshake.
 func (c *ClientJoin) runSender(ctx context.Context) {
 	defer c.wg.Done()
-	batch := make([]types.Tuple, 0, c.ShipBatchSize)
-	flush := func() error {
-		if len(batch) == 0 {
-			return nil
-		}
-		if err := c.session.sendBatch(batch); err != nil {
-			return err
-		}
-		c.mu.Lock()
-		c.stats.Messages++
-		c.stats.Invocations += int64(len(batch))
-		c.mu.Unlock()
-		batch = batch[:0]
-		return nil
-	}
+	batch := make([]types.Tuple, c.ShipBatchSize)
 	for {
 		if ctx.Err() != nil {
 			return
 		}
-		t, ok, err := c.input.Next()
+		n, err := c.input.NextBatch(batch)
 		if err != nil {
 			c.reportErr(err)
 			return
 		}
-		if !ok {
+		if n == 0 {
 			break
 		}
-		batch = append(batch, t)
-		if len(batch) >= c.ShipBatchSize {
-			if err := flush(); err != nil {
-				c.reportErr(err)
-				return
-			}
+		if err := c.session.sendBatch(batch[:n]); err != nil {
+			c.reportErr(err)
+			return
 		}
-	}
-	if err := flush(); err != nil {
-		c.reportErr(err)
-		return
+		c.mu.Lock()
+		c.stats.Messages++
+		c.stats.Invocations += int64(n)
+		c.mu.Unlock()
 	}
 	// Signal end of the downlink stream; the client will answer with its own
 	// End after all results have been emitted.
@@ -196,7 +207,7 @@ func (c *ClientJoin) runSender(ctx context.Context) {
 	}
 }
 
-// runReceiver consumes result batches and forwards tuples to the output
+// runReceiver consumes result batches and forwards them whole to the output
 // channel until the client's End arrives.
 func (c *ClientJoin) runReceiver(ctx context.Context) {
 	defer c.wg.Done()
@@ -212,17 +223,20 @@ func (c *ClientJoin) runReceiver(ctx context.Context) {
 		}
 		switch msg.Type {
 		case wire.MsgResultBatch:
+			// Each frame is decoded into its own batch: the tuple slice is
+			// handed to the output channel and owned by the consumer.
 			batch, err := wire.DecodeTupleBatch(msg.Payload)
 			if err != nil {
 				c.reportErr(err)
 				return
 			}
-			for _, t := range batch.Tuples {
-				select {
-				case c.out <- t:
-				case <-ctx.Done():
-					return
-				}
+			if len(batch.Tuples) == 0 {
+				continue
+			}
+			select {
+			case c.out <- batch.Tuples:
+			case <-ctx.Done():
+				return
 			}
 		case wire.MsgEnd:
 			end, err := wire.DecodeEnd(msg.Payload)
@@ -256,27 +270,58 @@ func (c *ClientJoin) reportErr(err error) {
 	}
 }
 
+// nextResultBatch blocks until the receiver delivers the next non-empty
+// result batch. ok is false when the stream has ended cleanly.
+func (c *ClientJoin) nextResultBatch() ([]types.Tuple, bool, error) {
+	select {
+	case err := <-c.errCh:
+		return nil, false, err
+	case batch, ok := <-c.out:
+		if !ok {
+			select {
+			case err := <-c.errCh:
+				return nil, false, err
+			default:
+			}
+			return nil, false, nil
+		}
+		return batch, true, nil
+	}
+}
+
 // Next implements Operator.
 func (c *ClientJoin) Next() (types.Tuple, bool, error) {
 	if err := c.checkOpen(); err != nil {
 		return nil, false, err
 	}
-	for {
-		select {
-		case err := <-c.errCh:
+	for c.curPos >= len(c.cur) {
+		batch, ok, err := c.nextResultBatch()
+		if err != nil || !ok {
 			return nil, false, err
-		case t, ok := <-c.out:
-			if !ok {
-				select {
-				case err := <-c.errCh:
-					return nil, false, err
-				default:
-				}
-				return nil, false, nil
-			}
-			return t, true, nil
 		}
+		c.cur, c.curPos = batch, 0
 	}
+	t := c.cur[c.curPos]
+	c.curPos++
+	return t, true, nil
+}
+
+// NextBatch implements Operator: it drains the receiver's batches directly
+// into dst.
+func (c *ClientJoin) NextBatch(dst []types.Tuple) (int, error) {
+	if err := c.checkOpen(); err != nil {
+		return 0, err
+	}
+	for c.curPos >= len(c.cur) {
+		batch, ok, err := c.nextResultBatch()
+		if err != nil || !ok {
+			return 0, err
+		}
+		c.cur, c.curPos = batch, 0
+	}
+	n := copy(dst, c.cur[c.curPos:])
+	c.curPos += n
+	return n, nil
 }
 
 // Close implements Operator.

@@ -121,6 +121,10 @@ type udfSession struct {
 	conn *wire.Conn
 	id   uint64
 	seq  uint64
+	// recv is the reusable result-batch scratch; its Tuples slice is recycled
+	// across receiveResult calls, while the decoded values themselves are
+	// backed by a fresh per-frame arena and stay valid indefinitely.
+	recv wire.TupleBatch
 }
 
 // openUDFSession opens a connection through the link and performs the setup
@@ -161,18 +165,27 @@ func openUDFSession(link ClientLink, req *wire.SetupRequest) (*udfSession, error
 	return &udfSession{conn: conn, id: req.SessionID}, nil
 }
 
-// sendBatch ships a batch of tuples downlink.
+// sendBatch ships a batch of tuples downlink, encoding into a pooled buffer
+// so the steady state allocates nothing per frame.
 func (s *udfSession) sendBatch(tuples []types.Tuple) error {
-	batch := &wire.TupleBatch{SessionID: s.id, Seq: s.seq, Tuples: tuples}
+	batch := wire.TupleBatch{SessionID: s.id, Seq: s.seq, Tuples: tuples}
 	s.seq++
-	payload, err := wire.EncodeTupleBatch(batch)
+	buf := wire.GetBuffer()
+	payload, err := wire.AppendTupleBatch(*buf, &batch)
 	if err != nil {
+		wire.PutBuffer(buf)
 		return err
 	}
-	return s.conn.Send(wire.MsgTupleBatch, payload)
+	err = s.conn.Send(wire.MsgTupleBatch, payload)
+	*buf = payload
+	wire.PutBuffer(buf)
+	return err
 }
 
-// receiveResult reads the next result batch, translating client errors.
+// receiveResult reads the next result batch, translating client errors. The
+// returned batch is the session's reusable scratch: its Tuples slice is only
+// valid until the next receiveResult call, but the tuples themselves stay
+// valid (each frame decodes into its own arena).
 func (s *udfSession) receiveResult() (*wire.TupleBatch, error) {
 	for {
 		msg, err := s.conn.Receive()
@@ -181,7 +194,10 @@ func (s *udfSession) receiveResult() (*wire.TupleBatch, error) {
 		}
 		switch msg.Type {
 		case wire.MsgResultBatch:
-			return wire.DecodeTupleBatch(msg.Payload)
+			if err := wire.DecodeTupleBatchInto(&s.recv, msg.Payload); err != nil {
+				return nil, err
+			}
+			return &s.recv, nil
 		case wire.MsgError:
 			e, derr := wire.DecodeError(msg.Payload)
 			if derr != nil {

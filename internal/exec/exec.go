@@ -1,9 +1,35 @@
-// Package exec implements the iterator-model execution engine of the server,
-// including the three client-site UDF execution strategies the paper studies:
-// naive tuple-at-a-time remote invocation, the semi-join operator with a
+// Package exec implements the execution engine of the server, including the
+// three client-site UDF execution strategies the paper studies: naive
+// tuple-at-a-time remote invocation, the semi-join operator with a
 // sender/receiver pipeline around a bounded buffer (the pipeline concurrency
 // factor), and the client-site join that ships full records and applies
 // pushable predicates and projections at the client.
+//
+// # Batch execution contract
+//
+// Operators implement both a tuple-at-a-time interface (Next) and a batched
+// one (NextBatch). The batched path is the fast path: it amortises per-call
+// overheads and lets operators carve the tuples of one batch out of a single
+// backing allocation. The rules are:
+//
+//   - NextBatch(dst) fills up to len(dst) tuples into dst and returns how
+//     many were produced. A return of 0 with a nil error means the stream is
+//     exhausted. Operators may return fewer than len(dst) tuples before
+//     exhaustion (e.g. when an internal buffer boundary is hit); only n == 0
+//     signals the end.
+//   - Ownership: tuples written into dst belong to the caller. An operator
+//     must never mutate or recycle a tuple it has handed out. Several tuples
+//     of one batch may share a backing arena, so retaining one tuple of a
+//     batch can pin the memory of its siblings — callers that keep long-lived
+//     references to few tuples of large batches should Clone them.
+//   - Mixing Next and NextBatch calls on the same operator is allowed; both
+//     drain the same underlying stream.
+//
+// Tuple-at-a-time operators satisfy the batched contract with the generic
+// ScalarNextBatch adapter, which loops Next. Wrapping any operator in
+// Scalarize forces every downstream NextBatch through the tuple-at-a-time
+// path; the benchmarks use it as the baseline the batch path is measured
+// against.
 package exec
 
 import (
@@ -14,19 +40,66 @@ import (
 	"csq/internal/types"
 )
 
-// Operator is the iterator-model interface every physical operator
-// implements: Open prepares the operator, Next produces tuples one at a time,
-// Close releases resources. Next reports exhaustion with ok == false.
+// DefaultBatchSize is the number of tuples moved per NextBatch call by the
+// engine's drivers (Collect, Run) and by operators that pull from their
+// children in batches.
+const DefaultBatchSize = 64
+
+// Operator is the interface every physical operator implements: Open
+// prepares the operator, Next/NextBatch produce tuples, Close releases
+// resources. Next reports exhaustion with ok == false; NextBatch with a zero
+// count. See the package documentation for the batch ownership rules.
 type Operator interface {
-	// Schema describes the tuples produced by Next.
+	// Schema describes the tuples produced by Next and NextBatch.
 	Schema() *types.Schema
 	// Open prepares the operator and its children for execution.
 	Open(ctx context.Context) error
 	// Next returns the next tuple. ok is false when the stream is exhausted.
 	Next() (t types.Tuple, ok bool, err error)
+	// NextBatch fills dst with up to len(dst) tuples and returns how many
+	// were produced; 0 with a nil error means the stream is exhausted.
+	NextBatch(dst []types.Tuple) (n int, err error)
 	// Close releases resources. It is safe to call Close more than once and
 	// after a failed Open.
 	Close() error
+}
+
+// nexter is the tuple-at-a-time half of Operator; it is what the generic
+// batch adapter needs.
+type nexter interface {
+	Next() (types.Tuple, bool, error)
+}
+
+// ScalarNextBatch adapts a tuple-at-a-time Next loop to the NextBatch
+// contract. Operators without a native batch implementation use it as their
+// NextBatch body.
+func ScalarNextBatch(op nexter, dst []types.Tuple) (int, error) {
+	for i := range dst {
+		t, ok, err := op.Next()
+		if err != nil {
+			return i, err
+		}
+		if !ok {
+			return i, nil
+		}
+		dst[i] = t
+	}
+	return len(dst), nil
+}
+
+// scalarized forces batched consumers through the tuple-at-a-time path.
+type scalarized struct {
+	Operator
+}
+
+// Scalarize wraps op so that NextBatch degrades to a Next loop, disabling the
+// operator's native batch path. It exists for A/B comparisons (benchmarks,
+// equivalence tests) between the batched and tuple-at-a-time pipelines.
+func Scalarize(op Operator) Operator { return scalarized{op} }
+
+// NextBatch implements Operator by looping the wrapped operator's Next.
+func (s scalarized) NextBatch(dst []types.Tuple) (int, error) {
+	return ScalarNextBatch(s.Operator, dst)
 }
 
 // Collect drains an operator into a slice, handling Open/Close. It is the
@@ -37,16 +110,17 @@ func Collect(ctx context.Context, op Operator) ([]types.Tuple, error) {
 		return nil, err
 	}
 	var out []types.Tuple
+	batch := make([]types.Tuple, DefaultBatchSize)
 	for {
-		t, ok, err := op.Next()
+		n, err := op.NextBatch(batch)
 		if err != nil {
 			_ = op.Close()
 			return nil, err
 		}
-		if !ok {
+		if n == 0 {
 			break
 		}
-		out = append(out, t)
+		out = append(out, batch[:n]...)
 	}
 	if err := op.Close(); err != nil {
 		return nil, err
@@ -62,16 +136,17 @@ func Run(ctx context.Context, op Operator) (int, error) {
 		return 0, err
 	}
 	n := 0
+	batch := make([]types.Tuple, DefaultBatchSize)
 	for {
-		_, ok, err := op.Next()
+		k, err := op.NextBatch(batch)
 		if err != nil {
 			_ = op.Close()
 			return n, err
 		}
-		if !ok {
+		if k == 0 {
 			break
 		}
-		n++
+		n += k
 	}
 	return n, op.Close()
 }

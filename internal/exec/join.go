@@ -11,6 +11,8 @@ import (
 // HashJoin is an equi-join: it builds a hash table over the right (inner)
 // input keyed on RightKeys and probes it with the left (outer) input keyed on
 // LeftKeys. The output is the concatenation of the left and right tuples.
+// The table is keyed on tuple hashes with collision chains resolved by value
+// comparison, so neither build nor probe allocates key strings.
 type HashJoin struct {
 	baseState
 	left, right Operator
@@ -20,9 +22,18 @@ type HashJoin struct {
 	eval        *expr.Evaluator
 	schema      *types.Schema
 
-	table   map[string][]types.Tuple
-	pending []types.Tuple // matches for the current left tuple not yet emitted
-	current types.Tuple
+	table     map[uint64][]joinBucket
+	pending   []types.Tuple // matches for the current left tuple not yet emitted
+	current   types.Tuple
+	leftBatch []types.Tuple // scratch batch pulled from the left input
+	leftPos   int
+	leftLen   int
+}
+
+// joinBucket is one collision-chain entry: all right tuples sharing one key.
+type joinBucket struct {
+	key  types.Tuple // representative right tuple carrying the key columns
+	rows []types.Tuple
 }
 
 // NewHashJoin builds a hash join of left ⋈ right on the given key ordinals.
@@ -49,28 +60,74 @@ func (j *HashJoin) Open(ctx context.Context) error {
 	if err := j.right.Open(ctx); err != nil {
 		return err
 	}
-	j.table = make(map[string][]types.Tuple)
+	j.table = make(map[uint64][]joinBucket)
+	batch := make([]types.Tuple, DefaultBatchSize)
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		t, ok, err := j.right.Next()
+		n, err := j.right.NextBatch(batch)
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if n == 0 {
 			break
 		}
-		k := t.Key(j.rightKeys)
-		j.table[k] = append(j.table[k], t)
+		for _, t := range batch[:n] {
+			j.insert(t)
+		}
 	}
 	if err := j.left.Open(ctx); err != nil {
 		return err
 	}
 	j.pending = nil
+	j.leftPos, j.leftLen = 0, 0
 	j.opened = true
 	j.closed = false
 	return nil
+}
+
+// insert adds a right tuple to its hash bucket's collision chain.
+func (j *HashJoin) insert(t types.Tuple) {
+	h := t.Hash(j.rightKeys)
+	chain := j.table[h]
+	for i := range chain {
+		if crossEqual(chain[i].key, j.rightKeys, t, j.rightKeys) {
+			chain[i].rows = append(chain[i].rows, t)
+			return
+		}
+	}
+	j.table[h] = append(chain, joinBucket{key: t, rows: []types.Tuple{t}})
+}
+
+// probe returns the right tuples whose key columns match the left tuple's.
+func (j *HashJoin) probe(t types.Tuple) []types.Tuple {
+	for _, b := range j.table[t.Hash(j.leftKeys)] {
+		if crossEqual(t, j.leftKeys, b.key, j.rightKeys) {
+			return b.rows
+		}
+	}
+	return nil
+}
+
+// advance moves to the next left tuple, refilling the scratch batch from the
+// left input as needed, and loads its matches into pending. ok is false when
+// the left input is exhausted.
+func (j *HashJoin) advance() (ok bool, err error) {
+	if j.leftPos >= j.leftLen {
+		if j.leftBatch == nil {
+			j.leftBatch = make([]types.Tuple, DefaultBatchSize)
+		}
+		n, err := j.left.NextBatch(j.leftBatch)
+		if err != nil || n == 0 {
+			return false, err
+		}
+		j.leftPos, j.leftLen = 0, n
+	}
+	j.current = j.leftBatch[j.leftPos]
+	j.leftPos++
+	j.pending = j.probe(j.current)
+	return true, nil
 }
 
 // Next implements Operator.
@@ -91,13 +148,56 @@ func (j *HashJoin) Next() (types.Tuple, bool, error) {
 				return out, true, nil
 			}
 		}
-		t, ok, err := j.left.Next()
+		ok, err := j.advance()
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		j.current = t
-		j.pending = j.table[t.Key(j.leftKeys)]
 	}
+}
+
+// NextBatch implements Operator: all output tuples of one batch are carved
+// out of a single backing arena instead of one Concat allocation each.
+func (j *HashJoin) NextBatch(dst []types.Tuple) (int, error) {
+	if err := j.checkOpen(); err != nil {
+		return 0, err
+	}
+	width := j.schema.Len()
+	var arena []types.Value
+	out := 0
+	for out < len(dst) {
+		for len(j.pending) > 0 && out < len(dst) {
+			match := j.pending[0]
+			j.pending = j.pending[1:]
+			if arena == nil {
+				arena = make([]types.Value, 0, len(dst)*width)
+			}
+			var joined types.Tuple
+			arena, joined = types.ConcatInto(arena, j.current, match)
+			if j.residual != nil {
+				keep, err := j.eval.EvalBool(j.residual, joined)
+				if err != nil {
+					return out, err
+				}
+				if !keep {
+					arena = arena[:len(arena)-width]
+					continue
+				}
+			}
+			dst[out] = joined
+			out++
+		}
+		if len(j.pending) > 0 {
+			return out, nil // dst full, matches left over for the next call
+		}
+		ok, err := j.advance()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+	}
+	return out, nil
 }
 
 // Close implements Operator.
@@ -273,6 +373,11 @@ func (j *MergeJoin) Next() (types.Tuple, bool, error) {
 	}
 }
 
+// NextBatch implements Operator via the generic tuple-at-a-time adapter.
+func (j *MergeJoin) NextBatch(dst []types.Tuple) (int, error) {
+	return ScalarNextBatch(j, dst)
+}
+
 // Close implements Operator.
 func (j *MergeJoin) Close() error {
 	j.closed = true
@@ -372,6 +477,11 @@ func (j *NestedLoopJoin) Next() (types.Tuple, bool, error) {
 		}
 		j.haveLeft = false
 	}
+}
+
+// NextBatch implements Operator via the generic tuple-at-a-time adapter.
+func (j *NestedLoopJoin) NextBatch(dst []types.Tuple) (int, error) {
+	return ScalarNextBatch(j, dst)
 }
 
 // Close implements Operator.

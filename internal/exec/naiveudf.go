@@ -33,7 +33,7 @@ type NaiveUDF struct {
 	remapped    []wire.UDFSpec // specs with ordinals into the shipped tuple
 
 	session *udfSession
-	cache   map[string]types.Tuple
+	cache   *argCache
 	stats   NetStats
 }
 
@@ -127,7 +127,7 @@ func (n *NaiveUDF) Open(ctx context.Context) error {
 	}
 	n.session = sess
 	if n.EnableCache {
-		n.cache = make(map[string]types.Tuple)
+		n.cache = newArgCache()
 	}
 	n.stats = NetStats{}
 	n.opened = true
@@ -148,10 +148,10 @@ func (n *NaiveUDF) Next() (types.Tuple, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	key := ""
+	var argHash uint64
 	if n.EnableCache {
-		key = args.Key(allOrdinals(args.Len()))
-		if cached, hit := n.cache[key]; hit {
+		argHash = hashArgs(args)
+		if cached, hit := n.cache.get(args, argHash); hit {
 			return in.Concat(cached), true, nil
 		}
 	}
@@ -173,9 +173,18 @@ func (n *NaiveUDF) Next() (types.Tuple, bool, error) {
 		return nil, false, fmt.Errorf("exec: naive UDF expected %d result columns, got %d", len(n.udfs), results.Len())
 	}
 	if n.EnableCache {
-		n.cache[key] = results
+		// Clone before caching: the decoded result may share a codec buffer
+		// with the rest of its frame, and cached entries outlive the frame.
+		n.cache.put(args, argHash, results.Clone())
 	}
 	return in.Concat(results), true, nil
+}
+
+// NextBatch implements Operator via the generic tuple-at-a-time adapter: one
+// blocking round trip per tuple is the defining behaviour of this operator,
+// so there is nothing to batch.
+func (n *NaiveUDF) NextBatch(dst []types.Tuple) (int, error) {
+	return ScalarNextBatch(n, dst)
 }
 
 // Close implements Operator.

@@ -53,6 +53,14 @@ func (s *TableScan) Next() (types.Tuple, bool, error) {
 	return t, ok, nil
 }
 
+// NextBatch implements Operator with a bulk copy out of the table snapshot.
+func (s *TableScan) NextBatch(dst []types.Tuple) (int, error) {
+	if err := s.checkOpen(); err != nil {
+		return 0, err
+	}
+	return s.it.NextBatch(dst), nil
+}
+
 // Close implements Operator.
 func (s *TableScan) Close() error {
 	s.closed = true
@@ -95,6 +103,16 @@ func (s *ValuesScan) Next() (types.Tuple, bool, error) {
 	t := s.rows[s.pos]
 	s.pos++
 	return t, true, nil
+}
+
+// NextBatch implements Operator with a bulk copy out of the row slice.
+func (s *ValuesScan) NextBatch(dst []types.Tuple) (int, error) {
+	if err := s.checkOpen(); err != nil {
+		return 0, err
+	}
+	n := copy(dst, s.rows[s.pos:])
+	s.pos += n
+	return n, nil
 }
 
 // Close implements Operator.

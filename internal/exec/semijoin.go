@@ -15,21 +15,35 @@ import (
 // speeds in the evaluation.
 const DefaultConcurrencyFactor = 16
 
+// DefaultSendBatchSize is how many duplicate-free argument tuples the sender
+// packs per downlink frame when not configured otherwise. Batching amortises
+// frame headers, encode buffers and channel operations across tuples.
+const DefaultSendBatchSize = 32
+
 // SemiJoin executes a client-site UDF with the semi-join strategy of
 // Section 2.3.1: the sender ships duplicate-free argument columns on the
 // downlink while the receiver joins returned results with the buffered full
 // records. Sender and receiver run concurrently around a bounded buffer whose
 // capacity is the pipeline concurrency factor, which is what hides the
 // network latency (Figure 2(b) / Figure 3 of the paper).
+//
+// Both halves of the pipeline are batched: the sender reads input batches,
+// ships argument tuples SendBatchSize at a time and parks full records in
+// whole-batch channel sends; the receiver drains one parked batch at a time.
+// Duplicate elimination and the result table are hash-keyed (collision chains
+// resolved by value comparison), so the steady state allocates no key strings.
 type SemiJoin struct {
 	baseState
 	input Operator
 	udfs  []UDFBinding
 	link  ClientLink
 
-	// ConcurrencyFactor is the bounded-buffer capacity between sender and
-	// receiver; it equals the number of argument tuples in flight.
+	// ConcurrencyFactor bounds the number of argument tuples in flight
+	// between sender and receiver.
 	ConcurrencyFactor int
+	// SendBatchSize is the number of duplicate-free argument tuples shipped
+	// per downlink frame. Values below 1 select DefaultSendBatchSize.
+	SendBatchSize int
 	// SortInput, when set, sorts the input on the argument columns before
 	// sending so the receiver performs a pure merge join (the assumption the
 	// paper makes for its receiver). Result correctness does not depend on
@@ -41,21 +55,31 @@ type SemiJoin struct {
 	remapped    []wire.UDFSpec
 
 	session *udfSession
-	buffer  chan bufferedRecord
-	pending chan string // argument keys in the order their tuples were sent
+	buffer  chan []bufferedRecord
+	pending chan pendingArg // argument tuples in the order they were sent
 	sendErr chan error
 	wg      sync.WaitGroup
 	cancel  context.CancelFunc
 
-	cache map[string]types.Tuple
-	stats NetStats
-	mu    sync.Mutex // guards stats.Invocations updates from the sender
+	cache  *argCache
+	cur    []bufferedRecord // receiver's current parked batch
+	curPos int
+	stats  NetStats
+	mu     sync.Mutex // guards stats updates from the sender
 }
 
-// bufferedRecord is one full record parked between sender and receiver.
+// bufferedRecord is one full record parked between sender and receiver,
+// together with its projected argument tuple and that tuple's hash.
 type bufferedRecord struct {
 	tuple types.Tuple
-	key   string
+	args  types.Tuple
+	hash  uint64
+}
+
+// pendingArg is one shipped argument tuple awaiting its result.
+type pendingArg struct {
+	args types.Tuple
+	hash uint64
 }
 
 // NewSemiJoin builds the operator.
@@ -89,6 +113,9 @@ func (s *SemiJoin) Open(ctx context.Context) error {
 	if s.ConcurrencyFactor < 1 {
 		return fmt.Errorf("exec: concurrency factor must be at least 1, got %d", s.ConcurrencyFactor)
 	}
+	if s.SendBatchSize < 1 {
+		s.SendBatchSize = DefaultSendBatchSize
+	}
 	var in Operator = s.input
 	if s.SortInput {
 		keys := make([]SortKey, len(s.argOrdinals))
@@ -114,10 +141,14 @@ func (s *SemiJoin) Open(ctx context.Context) error {
 		return err
 	}
 	s.session = sess
-	s.buffer = make(chan bufferedRecord, s.ConcurrencyFactor)
-	s.pending = make(chan string, 1<<16)
+	// The buffer holds record batches; sizing it in batches of the sender's
+	// read granularity keeps roughly ConcurrencyFactor tuples in flight.
+	readBatch := s.senderReadBatch()
+	s.buffer = make(chan []bufferedRecord, (s.ConcurrencyFactor+readBatch-1)/readBatch)
+	s.pending = make(chan pendingArg, 1<<16)
 	s.sendErr = make(chan error, 1)
-	s.cache = make(map[string]types.Tuple)
+	s.cache = newArgCache()
+	s.cur, s.curPos = nil, 0
 	s.stats = NetStats{}
 
 	senderCtx, cancel := context.WithCancel(ctx)
@@ -130,53 +161,109 @@ func (s *SemiJoin) Open(ctx context.Context) error {
 	return nil
 }
 
-// runSender is the sender thread of Figure 3: it reads input records, sends
-// each distinct argument tuple downlink, and parks the full record in the
-// bounded buffer for the receiver.
+// senderReadBatch is how many input records the sender moves per channel
+// send, and therefore also the maximum argument tuples per downlink frame.
+// It never exceeds the concurrency factor or the configured frame size, so a
+// factor (or SendBatchSize) of 1 degrades to the tuple-at-a-time pipeline of
+// the paper's Figure 3.
+func (s *SemiJoin) senderReadBatch() int {
+	n := DefaultBatchSize
+	if n > s.ConcurrencyFactor {
+		n = s.ConcurrencyFactor
+	}
+	if n > s.SendBatchSize {
+		n = s.SendBatchSize
+	}
+	return n
+}
+
+// runSender is the sender thread of Figure 3: it reads input record batches,
+// ships the batch's distinct argument tuples downlink in one frame, and parks
+// the full records in the bounded buffer for the receiver.
+//
+// Pipeline-safety invariant: the sender performs exactly one (potentially
+// blocking) frame send per input batch, immediately followed by parking that
+// batch's records. Hence whenever a send blocks, every previously shipped
+// argument's record batch is already parked, which guarantees the receiver
+// will demand (and therefore read) the earlier result frames — unblocking the
+// client, which in turn unblocks this send. Flushing more than once between
+// park operations would break this invariant and can deadlock on the
+// synchronous in-process pipe.
 func (s *SemiJoin) runSender(ctx context.Context, in Operator) {
 	defer s.wg.Done()
 	defer close(s.buffer)
 	defer close(s.pending)
-	sent := make(map[string]bool)
+	seen := newTupleSet(nil)
+	readBatch := s.senderReadBatch()
+	batch := make([]types.Tuple, readBatch)
+	sendBuf := make([]types.Tuple, 0, readBatch)
+	sendHashes := make([]uint64, 0, readBatch)
+	flush := func() error {
+		if len(sendBuf) == 0 {
+			return nil
+		}
+		// Announce the send order to the receiver before the frame hits the
+		// wire. The pending channel is sized far above any sane concurrency
+		// factor, but keep the cancellation escape for when it does fill.
+		for i, args := range sendBuf {
+			select {
+			case s.pending <- pendingArg{args: args, hash: sendHashes[i]}:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if err := s.session.sendBatch(sendBuf); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.stats.Messages++
+		s.stats.Invocations += int64(len(sendBuf))
+		s.mu.Unlock()
+		sendBuf = sendBuf[:0]
+		sendHashes = sendHashes[:0]
+		return nil
+	}
 	for {
 		if ctx.Err() != nil {
 			return
 		}
-		t, ok, err := in.Next()
+		n, err := in.NextBatch(batch)
 		if err != nil {
 			s.reportSendErr(err)
 			return
 		}
-		if !ok {
+		if n == 0 {
 			return
 		}
-		args, err := t.Project(s.argOrdinals)
-		if err != nil {
-			s.reportSendErr(err)
-			return
-		}
-		key := args.Key(allOrdinals(args.Len()))
-		if !sent[key] {
-			// Step 1 of the paper's pipeline: ship the duplicate-free
-			// argument values downlink.
-			if err := s.session.sendBatch([]types.Tuple{args}); err != nil {
+		records := make([]bufferedRecord, 0, n)
+		// One arena backs every argument projection of this input batch; the
+		// tuples escape into the dedup set, the pending channel and the cache,
+		// and the arena is never recycled, so they stay valid.
+		arena := make([]types.Value, 0, n*len(s.argOrdinals))
+		for _, t := range batch[:n] {
+			var args types.Tuple
+			arena, args, err = types.ProjectInto(arena, t, s.argOrdinals)
+			if err != nil {
 				s.reportSendErr(err)
 				return
 			}
-			sent[key] = true
-			s.mu.Lock()
-			s.stats.Messages++
-			s.stats.Invocations++
-			s.mu.Unlock()
-			select {
-			case s.pending <- key:
-			case <-ctx.Done():
-				return
+			added, argHash := seen.add(args)
+			if added {
+				// Step 1 of the paper's pipeline: ship the duplicate-free
+				// argument values downlink.
+				sendBuf = append(sendBuf, args)
+				sendHashes = append(sendHashes, argHash)
 			}
+			records = append(records, bufferedRecord{tuple: t, args: args, hash: argHash})
 		}
-		// Park the full record until its result arrives (step 4 join input).
+		// The batch's single flush, immediately followed by the park — see
+		// the pipeline-safety invariant above.
+		if err := flush(); err != nil {
+			s.reportSendErr(err)
+			return
+		}
 		select {
-		case s.buffer <- bufferedRecord{tuple: t, key: key}:
+		case s.buffer <- records:
 		case <-ctx.Done():
 			return
 		}
@@ -190,42 +277,92 @@ func (s *SemiJoin) reportSendErr(err error) {
 	}
 }
 
+// nextRecord returns the next parked record, pulling a new batch from the
+// sender when the current one is drained. ok is false when the input is
+// exhausted.
+func (s *SemiJoin) nextRecord() (bufferedRecord, bool, error) {
+	for s.curPos >= len(s.cur) {
+		select {
+		case err := <-s.sendErr:
+			return bufferedRecord{}, false, err
+		case recs, ok := <-s.buffer:
+			if !ok {
+				// Input exhausted; surface any straggler sender error.
+				select {
+				case err := <-s.sendErr:
+					return bufferedRecord{}, false, err
+				default:
+				}
+				return bufferedRecord{}, false, nil
+			}
+			s.cur, s.curPos = recs, 0
+		}
+	}
+	rec := s.cur[s.curPos]
+	s.curPos++
+	return rec, true, nil
+}
+
 // Next implements Operator: it is the receiver thread of Figure 3, joining
 // buffered records with the result stream coming back from the client.
 func (s *SemiJoin) Next() (types.Tuple, bool, error) {
 	if err := s.checkOpen(); err != nil {
 		return nil, false, err
 	}
-	for {
-		select {
-		case err := <-s.sendErr:
-			return nil, false, err
-		case rec, ok := <-s.buffer:
-			if !ok {
-				// Input exhausted; surface any straggler sender error.
-				select {
-				case err := <-s.sendErr:
-					return nil, false, err
-				default:
-				}
-				return nil, false, nil
-			}
-			results, err := s.resultFor(rec.key)
-			if err != nil {
-				return nil, false, err
-			}
-			return rec.tuple.Concat(results), true, nil
-		}
+	rec, ok, err := s.nextRecord()
+	if err != nil || !ok {
+		return nil, false, err
 	}
+	results, err := s.resultFor(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	return rec.tuple.Concat(results), true, nil
 }
 
-// resultFor returns the UDF results for an argument key, reading further
-// result batches from the client as needed. Results arrive in the order the
-// distinct arguments were sent, so each received batch is matched with the
-// next pending key — the merge-join the paper describes for the receiver.
-func (s *SemiJoin) resultFor(key string) (types.Tuple, error) {
+// NextBatch implements Operator: all output tuples of one batch are carved
+// out of a single backing arena.
+func (s *SemiJoin) NextBatch(dst []types.Tuple) (int, error) {
+	if err := s.checkOpen(); err != nil {
+		return 0, err
+	}
+	width := s.schema.Len()
+	var arena []types.Value
+	out := 0
+	for out < len(dst) {
+		rec, ok, err := s.nextRecord()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		results, err := s.resultFor(rec)
+		if err != nil {
+			return out, err
+		}
+		if arena == nil {
+			arena = make([]types.Value, 0, len(dst)*width)
+		}
+		arena, dst[out] = types.ConcatInto(arena, rec.tuple, results)
+		out++
+		// Returning at a parked-batch boundary keeps the pipeline moving
+		// instead of blocking on the sender for a full dst.
+		if s.curPos >= len(s.cur) && out > 0 {
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+// resultFor returns the UDF results for a record's argument tuple, reading
+// further result batches from the client as needed. Results arrive in the
+// order the distinct arguments were sent, so each received result is matched
+// with the next pending argument — the merge-join the paper describes for the
+// receiver.
+func (s *SemiJoin) resultFor(rec bufferedRecord) (types.Tuple, error) {
 	for {
-		if res, ok := s.cache[key]; ok {
+		if res, ok := s.cache.get(rec.args, rec.hash); ok {
 			return res, nil
 		}
 		batch, err := s.session.receiveResult()
@@ -233,14 +370,14 @@ func (s *SemiJoin) resultFor(key string) (types.Tuple, error) {
 			return nil, err
 		}
 		for _, res := range batch.Tuples {
-			pendingKey, ok := <-s.pending
+			p, ok := <-s.pending
 			if !ok {
 				return nil, fmt.Errorf("exec: semi-join received more results than arguments sent")
 			}
 			if res.Len() != len(s.udfs) {
 				return nil, fmt.Errorf("exec: semi-join expected %d result columns, got %d", len(s.udfs), res.Len())
 			}
-			s.cache[pendingKey] = res
+			s.cache.put(p.args, p.hash, res)
 		}
 	}
 }

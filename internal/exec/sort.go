@@ -41,18 +41,19 @@ func (s *Sort) Open(ctx context.Context) error {
 		return err
 	}
 	s.rows = s.rows[:0]
+	batch := make([]types.Tuple, DefaultBatchSize)
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		t, ok, err := s.input.Next()
+		n, err := s.input.NextBatch(batch)
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if n == 0 {
 			break
 		}
-		s.rows = append(s.rows, t)
+		s.rows = append(s.rows, batch[:n]...)
 	}
 	var sortErr error
 	sort.SliceStable(s.rows, func(i, j int) bool {
@@ -94,6 +95,16 @@ func (s *Sort) Next() (types.Tuple, bool, error) {
 	t := s.rows[s.pos]
 	s.pos++
 	return t, true, nil
+}
+
+// NextBatch implements Operator with a bulk copy out of the sorted rows.
+func (s *Sort) NextBatch(dst []types.Tuple) (int, error) {
+	if err := s.checkOpen(); err != nil {
+		return 0, err
+	}
+	n := copy(dst, s.rows[s.pos:])
+	s.pos += n
+	return n, nil
 }
 
 // Close implements Operator.

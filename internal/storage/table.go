@@ -179,6 +179,14 @@ func (it *TableIterator) Next() (types.Tuple, bool) {
 	return t, true
 }
 
+// NextBatch copies up to len(dst) tuples into dst and returns how many were
+// copied; 0 means the snapshot is exhausted.
+func (it *TableIterator) NextBatch(dst []types.Tuple) int {
+	n := copy(dst, it.rows[it.pos:])
+	it.pos += n
+	return n
+}
+
 // Reset rewinds the iterator to the beginning of its snapshot.
 func (it *TableIterator) Reset() { it.pos = 0 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 	"strings"
 )
 
@@ -147,4 +148,37 @@ func (ts TimeSeries) encode() []byte {
 		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
 	}
 	return buf
+}
+
+// compare orders two series deterministically without allocating. The order
+// is byte-lexicographic over the little-endian encoding — identical to
+// comparing the encode() outputs, which is what hash tables relied on before
+// this allocation-free path — so compare == 0 exactly when the bit patterns
+// (and therefore the hashes) match.
+func (ts TimeSeries) compare(other TimeSeries) int {
+	n := len(ts)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		ab := math.Float64bits(ts[i])
+		bb := math.Float64bits(other[i])
+		if ab == bb {
+			continue
+		}
+		// Little-endian byte order: the byte-reversed values compare the way
+		// the encoded bytes would.
+		if bits.ReverseBytes64(ab) < bits.ReverseBytes64(bb) {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case len(ts) < len(other):
+		return -1
+	case len(ts) > len(other):
+		return 1
+	default:
+		return 0
+	}
 }

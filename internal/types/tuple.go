@@ -49,6 +49,31 @@ func (t Tuple) Concat(other Tuple) Tuple {
 	return out
 }
 
+// ConcatInto appends a's then b's values to arena and returns the grown arena
+// together with the concatenated tuple, which aliases the arena's tail. It
+// lets batch operators carve many output tuples out of one allocation; the
+// returned tuple is capped so later arena appends cannot overwrite it.
+func ConcatInto(arena []Value, a, b Tuple) ([]Value, Tuple) {
+	start := len(arena)
+	arena = append(arena, a...)
+	arena = append(arena, b...)
+	return arena, Tuple(arena[start:len(arena):len(arena)])
+}
+
+// ProjectInto appends the values of t at the given ordinals to arena and
+// returns the grown arena together with the projected tuple, which aliases
+// the arena's tail. It is the arena-backed variant of Project.
+func ProjectInto(arena []Value, t Tuple, ordinals []int) ([]Value, Tuple, error) {
+	start := len(arena)
+	for _, i := range ordinals {
+		if i < 0 || i >= len(t) {
+			return arena[:start], nil, fmt.Errorf("types: projection ordinal %d out of range [0,%d)", i, len(t))
+		}
+		arena = append(arena, t[i])
+	}
+	return arena, Tuple(arena[start:len(arena):len(arena)]), nil
+}
+
 // Append returns a new tuple with v added at the end (the "addColumn" step of
 // the paper's naive UDF execution).
 func (t Tuple) Append(v Value) Tuple {

@@ -232,7 +232,7 @@ func Compare(a, b Value) (int, error) {
 	case KindBytes:
 		return compareBytes(a.b, b.b), nil
 	case KindTimeSeries:
-		return compareBytes(a.ts.encode(), b.ts.encode()), nil
+		return a.ts.compare(b.ts), nil
 	default:
 		return 0, fmt.Errorf("types: cannot compare values of kind %s", ak)
 	}

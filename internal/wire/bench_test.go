@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+
+	"csq/internal/types"
+)
+
+// The codec benchmarks compare the allocating encode/decode entry points with
+// the pooled/arena-based ones the operators use. cmd/benchrun runs them and
+// folds the numbers into BENCH_exec.json.
+
+func benchBatch(n int) *TupleBatch {
+	b := &TupleBatch{SessionID: 7, Seq: 3}
+	for i := 0; i < n; i++ {
+		b.Tuples = append(b.Tuples, types.NewTuple(
+			types.NewString(fmt.Sprintf("C%03d", i)),
+			types.NewFloat(float64(i)),
+			types.NewInt(int64(i)),
+			types.NewTimeSeries(types.NewSeries(100, 100+float64(i))),
+		))
+	}
+	return b
+}
+
+func BenchmarkEncodeTupleBatch(b *testing.B) {
+	batch := benchBatch(64)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := EncodeTupleBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf := GetBuffer()
+			payload, err := AppendTupleBatch(*buf, batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			*buf = payload
+			PutBuffer(buf)
+		}
+	})
+}
+
+func BenchmarkDecodeTupleBatch(b *testing.B) {
+	payload, err := EncodeTupleBatch(benchBatch(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeTupleBatch(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("into", func(b *testing.B) {
+		b.ReportAllocs()
+		var batch TupleBatch
+		for i := 0; i < b.N; i++ {
+			if err := DecodeTupleBatchInto(&batch, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

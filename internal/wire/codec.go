@@ -4,9 +4,33 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"csq/internal/types"
 )
+
+// bufPool recycles encode buffers across frames. Hot senders (the semi-join
+// and client-join pipelines) encode one frame, hand it to Conn.Send (which
+// copies it into the bufio writer), and return the buffer immediately, so the
+// steady state allocates nothing per frame.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// GetBuffer returns a pooled, zero-length byte slice to encode a frame into.
+// Return it with PutBuffer once the frame has been handed to Conn.Send.
+func GetBuffer() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuffer returns an encode buffer to the pool. The caller must not touch
+// the slice afterwards.
+func PutBuffer(b *[]byte) {
+	if b == nil || cap(*b) > MaxFrameSize {
+		return
+	}
+	bufPool.Put(b)
+}
 
 // Payload encoders and decoders for the message bodies defined in wire.go.
 // They use the same primitives as the tuple encoding (uvarint lengths,
@@ -161,9 +185,10 @@ func DecodeSetupAck(src []byte) (*SetupAck, error) {
 	return a, nil
 }
 
-// EncodeTupleBatch serialises a TupleBatch.
-func EncodeTupleBatch(b *TupleBatch) ([]byte, error) {
-	var dst []byte
+// AppendTupleBatch appends the serialisation of a TupleBatch to dst and
+// returns the extended slice. Pair it with GetBuffer/PutBuffer to encode
+// frames without allocating.
+func AppendTupleBatch(dst []byte, b *TupleBatch) ([]byte, error) {
 	dst = binary.LittleEndian.AppendUint64(dst, b.SessionID)
 	dst = binary.LittleEndian.AppendUint64(dst, b.Seq)
 	dst = binary.AppendUvarint(dst, uint64(len(b.Tuples)))
@@ -177,32 +202,62 @@ func EncodeTupleBatch(b *TupleBatch) ([]byte, error) {
 	return dst, nil
 }
 
-// DecodeTupleBatch deserialises a TupleBatch.
-func DecodeTupleBatch(src []byte) (*TupleBatch, error) {
+// EncodeTupleBatch serialises a TupleBatch into a fresh buffer.
+func EncodeTupleBatch(b *TupleBatch) ([]byte, error) {
+	return AppendTupleBatch(nil, b)
+}
+
+// DecodeTupleBatchInto deserialises a TupleBatch into b, reusing b.Tuples'
+// capacity. All decoded values of the frame share one freshly allocated
+// backing arena, so decoding costs O(1) allocations per frame instead of one
+// per tuple. The arena is never recycled: tuples handed out stay valid
+// indefinitely, but retaining a single tuple pins the whole frame's values.
+func DecodeTupleBatchInto(b *TupleBatch, src []byte) error {
 	if len(src) < 16 {
-		return nil, fmt.Errorf("wire: tuple batch too short")
+		return fmt.Errorf("wire: tuple batch too short")
 	}
-	b := &TupleBatch{
-		SessionID: binary.LittleEndian.Uint64(src),
-		Seq:       binary.LittleEndian.Uint64(src[8:]),
-	}
+	b.SessionID = binary.LittleEndian.Uint64(src)
+	b.Seq = binary.LittleEndian.Uint64(src[8:])
 	off := 16
 	n, c := binary.Uvarint(src[off:])
 	if c <= 0 || n > 1<<24 {
-		return nil, fmt.Errorf("wire: tuple batch: bad count")
+		return fmt.Errorf("wire: tuple batch: bad count")
 	}
 	off += c
-	b.Tuples = make([]types.Tuple, 0, n)
+	if b.Tuples == nil || cap(b.Tuples) < int(n) {
+		b.Tuples = make([]types.Tuple, 0, n)
+	} else {
+		b.Tuples = b.Tuples[:0]
+	}
+	// Decode every value into one shared arena, remembering where each tuple
+	// starts; the arena may move while growing, so tuples are sliced out only
+	// after the whole frame is decoded.
+	arena := make([]types.Value, 0, 4*n)
+	starts := make([]int, 0, n+1)
 	for i := uint64(0); i < n; i++ {
-		t, used, err := types.DecodeTuple(src[off:])
+		starts = append(starts, len(arena))
+		var err error
+		arena, _, c, err = types.DecodeTupleAppend(arena, src[off:])
 		if err != nil {
-			return nil, fmt.Errorf("wire: tuple batch row %d: %v", i, err)
+			return fmt.Errorf("wire: tuple batch row %d: %v", i, err)
 		}
-		b.Tuples = append(b.Tuples, t)
-		off += used
+		off += c
+	}
+	starts = append(starts, len(arena))
+	for i := 0; i < int(n); i++ {
+		b.Tuples = append(b.Tuples, types.Tuple(arena[starts[i]:starts[i+1]:starts[i+1]]))
 	}
 	if off != len(src) {
-		return nil, fmt.Errorf("wire: tuple batch: %d trailing bytes", len(src)-off)
+		return fmt.Errorf("wire: tuple batch: %d trailing bytes", len(src)-off)
+	}
+	return nil
+}
+
+// DecodeTupleBatch deserialises a TupleBatch.
+func DecodeTupleBatch(src []byte) (*TupleBatch, error) {
+	b := &TupleBatch{}
+	if err := DecodeTupleBatchInto(b, src); err != nil {
+		return nil, err
 	}
 	return b, nil
 }
