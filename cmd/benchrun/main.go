@@ -3,9 +3,18 @@
 // and writes the results as JSON so the repository's performance trajectory
 // can be tracked across commits.
 //
+// With -compare it additionally gates regressions: every batch-path benchmark
+// (name ending in "/batch") present in both the fresh run and the baseline
+// JSON must stay within -maxregress (default 25%) on ns/op and allocs/op, or
+// benchrun exits non-zero. CI runs this against the committed BENCH_exec.json.
+// ns/op comparisons are normalized by the suite-wide median speed ratio, so a
+// baseline generated on different hardware does not trip the gate; allocs/op
+// is compared directly.
+//
 // Usage:
 //
-//	go run ./cmd/benchrun [-benchtime 100x] [-out BENCH_exec.json] [pkg ...]
+//	go run ./cmd/benchrun [-benchtime 100x] [-out BENCH_exec.json]
+//	                      [-compare BENCH_exec.json] [-maxregress 0.25] [pkg ...]
 package main
 
 import (
@@ -15,6 +24,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -52,6 +62,8 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+)
 func main() {
 	benchtime := flag.String("benchtime", "100x", "value passed to -benchtime")
 	out := flag.String("out", "BENCH_exec.json", "output JSON path")
+	compare := flag.String("compare", "", "baseline JSON to gate regressions against")
+	maxRegress := flag.Float64("maxregress", 0.25, "allowed fractional ns/op or allocs/op regression on batch paths")
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
@@ -86,6 +98,105 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchrun: wrote %d results to %s\n", len(results), *out)
+
+	if *compare != "" {
+		problems, err := compareToBaseline(results, *compare, *maxRegress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: compare: %v\n", err)
+			os.Exit(1)
+		}
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintf(os.Stderr, "benchrun: REGRESSION: %s\n", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchrun: no batch-path regressions beyond %.0f%% vs %s\n", *maxRegress*100, *compare)
+	}
+}
+
+// compareToBaseline checks the fresh results of the batch fast paths against
+// a committed baseline report and returns a description of every benchmark
+// whose ns/op or allocs/op regressed by more than maxRegress.
+//
+// allocs/op is machine-independent and compared directly. ns/op is not: the
+// baseline JSON may have been generated on different hardware, so every raw
+// ns ratio is first divided by the median ns ratio across the whole suite —
+// a uniform machine-speed difference cancels out, and only a benchmark that
+// slowed down relative to its peers trips the gate.
+func compareToBaseline(results []Result, baselinePath string, maxRegress float64) ([]string, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	var baseline Report
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return nil, fmt.Errorf("parse %s: %v", baselinePath, err)
+	}
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Package+" "+r.Name] = r
+	}
+	speed := medianNsRatio(results, base)
+	// Print the factor unconditionally: a uniform suite-wide slowdown is, by
+	// construction, absorbed by the normalization (it is indistinguishable
+	// from a hardware difference), so it must at least be visible in the log.
+	fmt.Printf("benchrun: suite-wide ns/op ratio vs baseline: %.2fx (ns gate is normalized by this)\n", speed)
+	if speed > 1+maxRegress {
+		fmt.Printf("benchrun: WARNING: the whole suite is >%.0f%% slower than the baseline; "+
+			"if this run is on comparable hardware, investigate before trusting the normalized ns gate "+
+			"(allocs/op comparisons are unaffected)\n", maxRegress*100)
+	}
+	var problems []string
+	compared := 0
+	for _, r := range results {
+		if !strings.HasSuffix(r.Name, "/batch") {
+			continue
+		}
+		b, ok := base[r.Package+" "+r.Name]
+		if !ok {
+			continue // new benchmark: nothing to regress against
+		}
+		compared++
+		if b.NsPerOp > 0 && speed > 0 {
+			normalized := r.NsPerOp / b.NsPerOp / speed
+			if normalized > 1+maxRegress {
+				problems = append(problems, fmt.Sprintf(
+					"%s %s: %.0f ns/op vs baseline %.0f (+%.0f%% after normalizing by the %.2fx suite-wide speed ratio)",
+					r.Package, r.Name, r.NsPerOp, b.NsPerOp, (normalized-1)*100, speed))
+			}
+		}
+		// No b > 0 guard: a baseline of 0 allocs/op means ANY fresh allocation
+		// is a regression, which the comparison below catches.
+		if float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*(1+maxRegress) {
+			problems = append(problems, fmt.Sprintf("%s %s: %d allocs/op vs baseline %d",
+				r.Package, r.Name, r.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	if compared == 0 {
+		return nil, fmt.Errorf("no batch-path benchmarks in common with %s", baselinePath)
+	}
+	return problems, nil
+}
+
+// medianNsRatio estimates the machine-speed factor between this run and the
+// baseline: the median fresh/baseline ns ratio over every shared benchmark.
+func medianNsRatio(results []Result, base map[string]Result) float64 {
+	var ratios []float64
+	for _, r := range results {
+		if b, ok := base[r.Package+" "+r.Name]; ok && b.NsPerOp > 0 && r.NsPerOp > 0 {
+			ratios = append(ratios, r.NsPerOp/b.NsPerOp)
+		}
+	}
+	if len(ratios) == 0 {
+		return 1
+	}
+	sort.Float64s(ratios)
+	mid := len(ratios) / 2
+	if len(ratios)%2 == 1 {
+		return ratios[mid]
+	}
+	return (ratios[mid-1] + ratios[mid]) / 2
 }
 
 func runPackage(pkg, benchtime string) ([]Result, error) {

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"csq/internal/types"
+	"csq/internal/wire"
 )
 
 // Site identifies where a UDF executes.
@@ -197,6 +198,38 @@ func (c *Catalog) AddUDF(u *UDF) error {
 	}
 	c.udfs[k] = u
 	return nil
+}
+
+// RegisterClientUDF records (or refreshes) a client-site UDF from a wire
+// announcement. This is how the planner's cost metadata (result size,
+// selectivity, per-call cost) reaches the server without being hand-supplied:
+// the client declares it with MsgRegisterUDF and the server upserts it here.
+// Unlike AddUDF, re-announcing a name replaces the stored metadata, because a
+// reconnecting client is the authority on its own functions.
+func (c *Catalog) RegisterClientUDF(r *wire.RegisterUDF) (*UDF, error) {
+	if r == nil {
+		return nil, fmt.Errorf("catalog: nil UDF registration")
+	}
+	u := &UDF{
+		Name:        r.Name,
+		Site:        SiteClient,
+		ArgKinds:    append([]types.Kind(nil), r.ArgKinds...),
+		ResultKind:  r.ResultKind,
+		ResultSize:  r.ResultSize,
+		PerCallCost: r.PerCallCost,
+		Selectivity: r.Selectivity,
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(u.Name)
+	if have, ok := c.udfs[k]; ok && !have.IsClientSite() {
+		return nil, fmt.Errorf("catalog: %q is already a server-site UDF", u.Name)
+	}
+	c.udfs[k] = u
+	return u, nil
 }
 
 // DropUDF removes a UDF.

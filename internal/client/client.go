@@ -270,6 +270,24 @@ func (r *Runtime) ServeConn(conn *wire.Conn) error {
 			if err := conn.Send(wire.MsgEnd, wire.EncodeEnd(&wire.End{SessionID: end.SessionID, Rows: rows})); err != nil {
 				return err
 			}
+		case wire.MsgProbe:
+			p, err := wire.DecodeProbe(msg.Payload)
+			if err != nil {
+				return fmt.Errorf("client: bad probe: %w", err)
+			}
+			if p.EchoBytes == 0 {
+				continue
+			}
+			if p.EchoBytes > wire.MaxFrameSize/2 {
+				if err := r.sendError(conn, 0, "probe echo too large"); err != nil {
+					return err
+				}
+				continue
+			}
+			echo := wire.Probe{Seq: p.Seq, Payload: make([]byte, p.EchoBytes)}
+			if err := conn.Send(wire.MsgProbe, wire.AppendProbe(nil, &echo)); err != nil {
+				return err
+			}
 		case wire.MsgError:
 			e, err := wire.DecodeError(msg.Payload)
 			if err != nil {

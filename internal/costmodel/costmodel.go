@@ -158,6 +158,11 @@ func RelativeTime(p Params) float64 {
 }
 
 // Choose returns the cheaper strategy under the model along with both costs.
+// Ties go to the semi-join (Choose picks the client-site join only when it is
+// strictly cheaper). Choose does not validate p; callers with untrusted or
+// measured parameters should use Decide, which rejects the zero-valued
+// Asymmetry/DistinctFraction inputs that would otherwise silently produce
+// zero, infinite or NaN costs.
 func Choose(p Params) (Strategy, LinkCost, LinkCost) {
 	sj := SemiJoinCost(p)
 	cj := ClientJoinCost(p)
@@ -165,6 +170,17 @@ func Choose(p Params) (Strategy, LinkCost, LinkCost) {
 		return StrategyClientJoin, sj, cj
 	}
 	return StrategySemiJoin, sj, cj
+}
+
+// Decide is the validating form of Choose: it checks the parameters first and
+// returns a descriptive error instead of the NaN/zero costs that zero-valued
+// Asymmetry or DistinctFraction would produce.
+func Decide(p Params) (Strategy, LinkCost, LinkCost, error) {
+	if err := p.Validate(); err != nil {
+		return 0, LinkCost{}, LinkCost{}, err
+	}
+	s, sj, cj := Choose(p)
+	return s, sj, cj, nil
 }
 
 // CrossoverSelectivity returns the pushable-predicate selectivity at which
@@ -188,12 +204,17 @@ func CrossoverSelectivity(p Params) float64 {
 
 // TotalBytes scales the per-tuple costs to the whole relation, returning raw
 // (unweighted) downlink and uplink byte counts for a strategy. It is used to
-// validate the model against the implementation's byte counters.
-func TotalBytes(s Strategy, p Params) (down, up float64) {
+// validate the model against the implementation's byte counters. Because the
+// uplink cost is stored weighted by N, TotalBytes divides by the asymmetry and
+// therefore rejects invalid parameters (a zero Asymmetry would yield NaN).
+func TotalBytes(s Strategy, p Params) (down, up float64, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, err
+	}
 	c := Cost(s, p)
 	down = c.Downlink * float64(p.Rows)
 	up = c.Uplink / p.Asymmetry * float64(p.Rows)
-	return down, up
+	return down, up, nil
 }
 
 // PipelineParams describe the semi-join pipeline for the concurrency-factor

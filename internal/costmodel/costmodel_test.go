@@ -98,9 +98,47 @@ func TestPaperFormulas(t *testing.T) {
 	if sj.Bottleneck() != sj.Uplink {
 		t.Errorf("semi-join bottleneck should be the uplink here")
 	}
-	down, up := TotalBytes(StrategySemiJoin, p)
+	down, up, err := TotalBytes(StrategySemiJoin, p)
+	if err != nil {
+		t.Fatalf("TotalBytes: %v", err)
+	}
 	if math.Abs(down-sj.Downlink*100) > 1e-9 || math.Abs(up-0.8*200*100) > 1e-9 {
 		t.Errorf("TotalBytes = %g, %g", down, up)
+	}
+}
+
+// TestDecideValidates pins the regression where zero-valued Asymmetry or
+// DistinctFraction slipped through to the cost formulas and produced NaN (via
+// TotalBytes' division by N) or silently-zero costs instead of an error.
+func TestDecideValidates(t *testing.T) {
+	p := figure8Params(1000, 0.5)
+	s, sj, cj, err := Decide(p)
+	if err != nil {
+		t.Fatalf("Decide rejected valid params: %v", err)
+	}
+	if ws, wsj, wcj := Choose(p); s != ws || sj != wsj || cj != wcj {
+		t.Error("Decide disagrees with Choose on valid params")
+	}
+
+	zeroAsym := p
+	zeroAsym.Asymmetry = 0
+	if _, _, _, err := Decide(zeroAsym); err == nil {
+		t.Error("Decide accepted zero asymmetry")
+	}
+	if _, _, err := TotalBytes(StrategySemiJoin, zeroAsym); err == nil {
+		t.Error("TotalBytes accepted zero asymmetry (would be NaN)")
+	}
+
+	zeroDistinct := p
+	zeroDistinct.DistinctFraction = 0
+	if _, _, _, err := Decide(zeroDistinct); err == nil {
+		t.Error("Decide accepted zero distinct fraction")
+	}
+
+	// The validated path never returns non-finite costs for any accepted input.
+	if math.IsNaN(sj.Bottleneck()) || math.IsNaN(cj.Bottleneck()) ||
+		math.IsInf(sj.Bottleneck(), 0) || math.IsInf(cj.Bottleneck(), 0) {
+		t.Errorf("Decide returned non-finite costs: %+v %+v", sj, cj)
 	}
 }
 

@@ -89,6 +89,14 @@ func shipArgumentColumns(schema *types.Schema, udfs []UDFBinding) ([]int, []wire
 	return union, specs, nil
 }
 
+// ExtendedSchema returns the schema of an input extended with one result
+// column per UDF binding — the output shape shared by every client-site
+// strategy before any pushable projection. The planner uses it to bind
+// pushable predicates and projections without instantiating an operator.
+func ExtendedSchema(in *types.Schema, udfs []UDFBinding) *types.Schema {
+	return extendSchema(in, udfs)
+}
+
 // extendSchema appends one result column per UDF to the input schema.
 func extendSchema(in *types.Schema, udfs []UDFBinding) *types.Schema {
 	out := in.Clone()

@@ -117,6 +117,13 @@ func EstimateSelectivity(e Expr) float64 {
 			return 0
 		}
 		return 1
+	case *ColumnRef:
+		// A bare boolean column used as a predicate (typically the returned
+		// result of a boolean client-site UDF): no information, assume half.
+		if n.ResultKind() == types.KindBool {
+			return 0.5
+		}
+		return 1
 	case *Binary:
 		switch {
 		case n.Op == OpAnd:
@@ -210,6 +217,10 @@ func ResultSize(e Expr) int {
 		return kindSize(e.ResultKind())
 	}
 }
+
+// KindSize returns the default encoded-size estimate for a value of the given
+// kind, used when no catalog metadata or sampled sizes are available.
+func KindSize(k types.Kind) int { return kindSize(k) }
 
 func kindSize(k types.Kind) int {
 	switch k {

@@ -1,0 +1,327 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+
+	"csq/internal/exec"
+	"csq/internal/expr"
+	"csq/internal/types"
+)
+
+// Adaptive is an exec.Operator that executes a planned query and re-checks
+// the strategy decision mid-query: while the semi-join (or naive) strategy
+// runs, it observes the true distinct-argument fraction (streaming sketch),
+// the true pushable-predicate selectivity and the observed result size, and
+// re-evaluates the cost model every ReplanAfterRows rows. If the decision
+// flips to the client-site join, the current operator is torn down and the
+// client-site join resumes from the first input row that has not yet been
+// delivered — rows already shipped and returned are reused, not recomputed.
+//
+// Re-planning relies on the monitored strategies' outputs mapping 1:1, in
+// order, onto their (post-server-filter) input rows, which is why the
+// monitored phase applies the pushable predicate and projection at the server
+// above the operator rather than letting the operator narrow its output. A
+// query whose initial decision is already the client-site join has no such
+// mapping (the client filters before returning), so it runs unmonitored.
+type Adaptive struct {
+	planner  *Planner
+	query    Query
+	decision *Decision
+
+	schema  *types.Schema // output schema: extended record narrowed by Project
+	argOrds []int
+
+	ctx       context.Context
+	inner     exec.Operator
+	monitored bool // inner emits full extended records that we filter/project
+	strategy  Strategy
+	replanned bool
+
+	ev        *expr.Evaluator
+	sketch    *DistinctSketch
+	rowsSeen  int // post-filter input rows pulled from the monitored operator
+	kept      int // rows that passed the pushable predicate
+	nextCheck int
+	scratch   []types.Tuple
+	prevStats exec.NetStats
+
+	opened, closed bool
+}
+
+// NewAdaptive wraps a planning decision in the re-planning operator.
+func (p *Planner) NewAdaptive(q Query, d *Decision) (*Adaptive, error) {
+	if q.NewInput == nil || d == nil {
+		return nil, fmt.Errorf("plan: adaptive operator needs a query and a decision")
+	}
+	probe, err := q.NewInput()
+	if err != nil {
+		return nil, err
+	}
+	ext := exec.ExtendedSchema(probe.Schema(), q.UDFs)
+	_ = probe.Close()
+	schema := ext
+	if len(q.Project) > 0 {
+		schema, err = ext.Project(q.Project)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Adaptive{
+		planner:  p,
+		query:    q,
+		decision: d,
+		schema:   schema,
+		argOrds:  argOrdinalUnion(q.UDFs),
+		strategy: d.Strategy,
+	}, nil
+}
+
+// Schema implements exec.Operator.
+func (a *Adaptive) Schema() *types.Schema { return a.schema }
+
+// Strategy returns the strategy currently executing.
+func (a *Adaptive) Strategy() Strategy { return a.strategy }
+
+// Replanned reports whether a mid-query strategy switch happened.
+func (a *Adaptive) Replanned() bool { return a.replanned }
+
+// Open implements exec.Operator.
+func (a *Adaptive) Open(ctx context.Context) error {
+	a.ctx = ctx
+	a.ev = &expr.Evaluator{}
+	a.sketch = NewDistinctSketch(a.planner.Config.sketchSize())
+	a.rowsSeen, a.kept = 0, 0
+	a.nextCheck = a.planner.Config.replanAfterRows()
+	a.prevStats = exec.NetStats{}
+	a.replanned = false
+	a.strategy = a.decision.Strategy
+
+	var err error
+	if a.strategy == StrategyClientJoin {
+		a.monitored = false
+		a.inner, err = a.planner.NewOperator(a.query, a.decision)
+	} else {
+		a.monitored = true
+		a.inner, err = a.planner.newMonitoredInner(a.query, a.strategy, a.decision.Concurrency)
+	}
+	if err != nil {
+		return err
+	}
+	if err := a.inner.Open(ctx); err != nil {
+		return err
+	}
+	a.opened = true
+	a.closed = false
+	return nil
+}
+
+// newMonitoredInner builds the UDF operator for the monitored phase: the full
+// extended record comes back to the server, where the adaptive wrapper itself
+// applies the pushable predicate and projection so that output rows stay 1:1
+// with input rows inside the operator.
+func (p *Planner) newMonitoredInner(q Query, s Strategy, concurrency int) (exec.Operator, error) {
+	input, err := q.NewInput()
+	if err != nil {
+		return nil, err
+	}
+	if q.ServerFilter != nil {
+		input = exec.NewFilter(input, q.ServerFilter)
+	}
+	return p.newUDFOperator(input, q, s, concurrency)
+}
+
+// Next implements exec.Operator.
+func (a *Adaptive) Next() (types.Tuple, bool, error) {
+	var one [1]types.Tuple
+	n, err := a.NextBatch(one[:])
+	if err != nil || n == 0 {
+		return nil, false, err
+	}
+	return one[0], true, nil
+}
+
+// NextBatch implements exec.Operator.
+func (a *Adaptive) NextBatch(dst []types.Tuple) (int, error) {
+	if !a.opened || a.closed {
+		return 0, fmt.Errorf("plan: adaptive operator not open")
+	}
+	for {
+		if !a.monitored {
+			return a.inner.NextBatch(dst)
+		}
+		if cap(a.scratch) < len(dst) {
+			a.scratch = make([]types.Tuple, len(dst))
+		}
+		in := a.scratch[:len(dst)]
+		n, err := a.inner.NextBatch(in)
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			return 0, nil
+		}
+		out := 0
+		for _, t := range in[:n] {
+			a.rowsSeen++
+			a.sketch.Add(t.Hash(a.argOrds))
+			if a.query.Pushable != nil {
+				keep, err := a.ev.EvalBool(a.query.Pushable, t)
+				if err != nil {
+					return out, err
+				}
+				if !keep {
+					continue
+				}
+			}
+			a.kept++
+			if len(a.query.Project) > 0 {
+				p, err := t.Project(a.query.Project)
+				if err != nil {
+					return out, err
+				}
+				dst[out] = p
+			} else {
+				dst[out] = t
+			}
+			out++
+		}
+		if !a.replanned && a.rowsSeen >= a.nextCheck {
+			if err := a.reconsider(); err != nil {
+				return out, err
+			}
+			a.nextCheck += a.planner.Config.replanAfterRows()
+		}
+		if out > 0 {
+			return out, nil
+		}
+	}
+}
+
+// reconsider re-evaluates the strategy decision against observed statistics —
+// D from the live sketch, S from the kept/seen ratio, R from the operator's
+// uplink byte counter — and switches to the client-site join when the
+// decision has flipped.
+func (a *Adaptive) reconsider() error {
+	params := a.decision.Params
+	params.DistinctFraction = a.sketch.DistinctFraction()
+	if a.query.Pushable != nil && a.rowsSeen > 0 {
+		s := float64(a.kept) / float64(a.rowsSeen)
+		if s <= 0 {
+			s = 1 / float64(a.rowsSeen)
+		}
+		params.Selectivity = s
+	}
+	if rep, ok := a.inner.(exec.NetReporter); ok {
+		st := rep.NetStats()
+		if st.Invocations > 0 {
+			// Approximate observed R: uplink bytes per invocation, net of the
+			// per-tuple header. Frame headers make this a slight overestimate
+			// and in-flight invocations a slight underestimate; both vanish as
+			// the window grows.
+			r := float64(st.BytesUp)/float64(st.Invocations) - perTupleOverhead
+			if r > 0 {
+				params.ResultSize = r
+			}
+		}
+	}
+	next, sjc, cjc, err := ChooseStrategy(params)
+	if err != nil {
+		return nil // keep the current strategy if observations are degenerate
+	}
+	if next != StrategyClientJoin || a.strategy == StrategyClientJoin {
+		return nil
+	}
+	// The decision flipped: build and open the client-site join (resuming
+	// from the first undelivered input row) before touching the running
+	// operator, so a failed instantiation leaves the healthy monitored plan
+	// in place instead of killing the query mid-flight.
+	op, err := a.planner.newOperatorSkipping(a.query, StrategyClientJoin, a.decision.Concurrency, a.rowsSeen)
+	if err != nil {
+		return nil
+	}
+	if err := op.Open(a.ctx); err != nil {
+		_ = op.Close()
+		return nil
+	}
+	// Close first, then read the counters: the operator finalizes its traffic
+	// totals in Close (after its sender goroutine has drained).
+	if err := a.inner.Close(); err != nil {
+		_ = op.Close()
+		return err
+	}
+	a.prevStats.Add(currentNetStats(a.inner))
+	a.inner = op
+	a.monitored = false
+	a.replanned = true
+	a.strategy = StrategyClientJoin
+	a.decision.Params = params
+	a.decision.SemiJoinCost, a.decision.ClientJoinCost = sjc, cjc
+	return nil
+}
+
+// currentNetStats extracts traffic counters when the operator reports them.
+func currentNetStats(op exec.Operator) exec.NetStats {
+	if rep, ok := op.(exec.NetReporter); ok {
+		return rep.NetStats()
+	}
+	return exec.NetStats{}
+}
+
+// Close implements exec.Operator.
+func (a *Adaptive) Close() error {
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	if a.inner == nil {
+		return nil
+	}
+	err := a.inner.Close()
+	// Counters are final only after Close (the operators' shutdown paths
+	// record the last bytes); capture them now so NetStats stays exact.
+	a.prevStats.Add(currentNetStats(a.inner))
+	return err
+}
+
+// NetStats implements exec.NetReporter, summing every phase's traffic.
+func (a *Adaptive) NetStats() exec.NetStats {
+	out := a.prevStats
+	if !a.closed && a.inner != nil {
+		out.Add(currentNetStats(a.inner))
+	}
+	return out
+}
+
+// skip discards the first n rows of its input; the re-planning switch uses it
+// to resume a fresh subtree after the rows the previous strategy delivered.
+type skip struct {
+	exec.Operator
+	n int
+}
+
+func newSkip(input exec.Operator, n int) *skip { return &skip{Operator: input, n: n} }
+
+// Open implements exec.Operator: it opens the input and discards the prefix.
+func (s *skip) Open(ctx context.Context) error {
+	if err := s.Operator.Open(ctx); err != nil {
+		return err
+	}
+	remaining := s.n
+	batch := make([]types.Tuple, exec.DefaultBatchSize)
+	for remaining > 0 {
+		want := remaining
+		if want > len(batch) {
+			want = len(batch)
+		}
+		n, err := s.Operator.NextBatch(batch[:want])
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		remaining -= n
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package plan
+
+import (
+	"context"
+	"testing"
+
+	"csq/internal/exec"
+	"csq/internal/netsim"
+	"csq/internal/types"
+)
+
+// driftRows builds the re-planning workload: the sampled prefix is heavy with
+// argument duplicates (8 distinct keys), which makes the semi-join look cheap,
+// but the rest of the relation is all-distinct, so the true distinct fraction
+// favours the client-site join.
+func driftRows(n, prefix int) []types.Tuple {
+	rows := make([]types.Tuple, n)
+	for i := range rows {
+		if i < prefix {
+			rows[i] = rowWithKey(i, uint32(i%8))
+		} else {
+			rows[i] = rowWithKey(i, uint32(100000+i))
+		}
+	}
+	return rows
+}
+
+func collectKeys(t *testing.T, op exec.Operator) []string {
+	t.Helper()
+	out, err := exec.Collect(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, len(out))
+	for i, tup := range out {
+		ords := make([]int, tup.Len())
+		for j := range ords {
+			ords[j] = j
+		}
+		keys[i] = tup.Key(ords)
+	}
+	return keys
+}
+
+// TestAdaptiveReplanSwitchesToClientJoin is the mid-query re-planning
+// scenario of the issue: sampled estimates favour the semi-join, the true
+// distinct fraction favours the client-site join, and the adaptive operator
+// must end up on the client-site join while returning byte-identical results
+// to the unplanned operator.
+func TestAdaptiveReplanSwitchesToClientJoin(t *testing.T) {
+	rows := driftRows(1000, 128)
+	rt := testRuntime(t)
+	p := newTestPlanner(t, rt, netsim.Unlimited())
+	p.Config.SampleRows = 128
+	p.Config.ReplanAfterRows = 256
+
+	q := testQuery(rows, testCatalog(t, rt))
+	d, err := p.Plan(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Strategy != StrategySemiJoin {
+		t.Fatalf("sampled estimates should favour semi-join, got %s (params %+v)", d.Strategy, d.Params)
+	}
+
+	adaptive, err := p.NewAdaptive(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectKeys(t, adaptive)
+	if adaptive.Strategy() != StrategyClientJoin || !adaptive.Replanned() {
+		t.Fatalf("adaptive operator ended on %s (replanned=%v), want a switch to client-site join",
+			adaptive.Strategy(), adaptive.Replanned())
+	}
+
+	// Byte-identical to the unplanned client-site join over the whole input…
+	cjOp, err := p.newOperatorSkipping(q, StrategyClientJoin, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectKeys(t, cjOp)
+	if len(got) != len(want) {
+		t.Fatalf("adaptive returned %d rows, unplanned client-join %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d differs between adaptive and unplanned client-join", i)
+		}
+	}
+
+	// …and to the unplanned semi-join (all strategies agree on results).
+	sjOp, err := p.newOperatorSkipping(q, StrategySemiJoin, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSJ := collectKeys(t, sjOp)
+	if len(got) != len(wantSJ) {
+		t.Fatalf("adaptive returned %d rows, unplanned semi-join %d", len(got), len(wantSJ))
+	}
+	for i := range got {
+		if got[i] != wantSJ[i] {
+			t.Fatalf("row %d differs between adaptive and unplanned semi-join", i)
+		}
+	}
+}
+
+// TestAdaptiveStaysWhenEstimatesHold: when the observed statistics confirm
+// the sampled ones, the adaptive operator must not switch.
+func TestAdaptiveStaysWhenEstimatesHold(t *testing.T) {
+	rows := make([]types.Tuple, 600)
+	for i := range rows {
+		rows[i] = rowWithKey(i, uint32(i%8)) // uniformly duplicate-heavy
+	}
+	rt := testRuntime(t)
+	p := newTestPlanner(t, rt, netsim.Unlimited())
+	p.Config.SampleRows = 128
+	p.Config.ReplanAfterRows = 128
+
+	q := testQuery(rows, testCatalog(t, rt))
+	d, err := p.Plan(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Strategy != StrategySemiJoin {
+		t.Fatalf("planned %s, want semi-join", d.Strategy)
+	}
+	adaptive, err := p.NewAdaptive(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectKeys(t, adaptive)
+	if adaptive.Replanned() {
+		t.Error("adaptive operator switched although the estimates held")
+	}
+	cjOp, err := p.newOperatorSkipping(q, StrategyClientJoin, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectKeys(t, cjOp)
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+// TestAdaptiveClientJoinRunsDirect: an initial client-site join decision has
+// no 1:1 output mapping, so the adaptive wrapper executes it unmonitored and
+// still produces correct results.
+func TestAdaptiveClientJoinRunsDirect(t *testing.T) {
+	rows := make([]types.Tuple, 300)
+	for i := range rows {
+		rows[i] = rowWithKey(i, uint32(5000+i))
+	}
+	rt := testRuntime(t)
+	p := newTestPlanner(t, rt, netsim.Unlimited())
+	q := testQuery(rows, testCatalog(t, rt))
+	d, err := p.Plan(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Strategy != StrategyClientJoin {
+		t.Fatalf("planned %s, want client-site join", d.Strategy)
+	}
+	adaptive, err := p.NewAdaptive(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectKeys(t, adaptive)
+	if adaptive.Replanned() {
+		t.Error("direct client-join must not replan")
+	}
+	want := 0
+	for i := range rows {
+		if uint32(5000+i)%10 == 0 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("rows = %d, want %d", len(got), want)
+	}
+}
+
+// TestSkipOperator pins the resume-point wrapper in isolation.
+func TestSkipOperator(t *testing.T) {
+	rows := make([]types.Tuple, 10)
+	for i := range rows {
+		rows[i] = types.NewTuple(types.NewInt(int64(i)))
+	}
+	schema := types.NewSchema(types.Column{Name: "K", Kind: types.KindInt})
+	op := newSkip(exec.NewValuesScan(schema, rows), 7)
+	out, err := exec.Collect(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("skip(7) over 10 rows returned %d", len(out))
+	}
+	if v, _ := out[0][0].Int(); v != 7 {
+		t.Errorf("first surviving row = %d, want 7", v)
+	}
+	// Skipping beyond the end yields an empty stream, not an error.
+	op2 := newSkip(exec.NewValuesScan(schema, rows), 99)
+	out2, err := exec.Collect(context.Background(), op2)
+	if err != nil || len(out2) != 0 {
+		t.Errorf("skip past end = %d rows, err %v", len(out2), err)
+	}
+}

@@ -1,0 +1,546 @@
+// Package plan implements the cost-based strategy planner of the paper: given
+// a client-site UDF application over a scan/filter/project subtree, it decides
+// between naive tuple-at-a-time evaluation, the semi-join strategy and the
+// client-site join using the Section 3.2 bandwidth cost model — with every
+// model parameter measured or looked up rather than hand-supplied.
+//
+// The planner closes the loop the paper describes:
+//
+//   - A, D, S, P and I come from catalog metadata plus a bounded sampling
+//     pass over the batched input (package-internal sampleInput), with D
+//     estimated by a streaming KMV sketch;
+//   - R comes from the catalog's client-UDF announcements;
+//   - N is measured live by probing the query's own client link
+//     (exec.ProbeAsymmetry);
+//   - the winning operator is instantiated with its pushable predicates and
+//     projections split out (client-side for the client-site join,
+//     server-side above the semi-join);
+//   - the Adaptive wrapper re-checks the decision mid-query from observed
+//     statistics and switches strategy without discarding rows already
+//     delivered.
+package plan
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"csq/internal/catalog"
+	"csq/internal/costmodel"
+	"csq/internal/exec"
+	"csq/internal/expr"
+)
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultSampleRows bounds the sampling pass.
+	DefaultSampleRows = 256
+	// DefaultSketchSize is the KMV sketch capacity used for D.
+	DefaultSketchSize = 256
+	// DefaultReplanAfterRows is how many rows the adaptive operator observes
+	// between decision re-checks.
+	DefaultReplanAfterRows = 256
+	// perTupleOverhead is the encoder's fixed per-tuple header (types
+	// encoding: a 4-byte column count), fed to the cost model so its byte
+	// accounting matches the implementation's.
+	perTupleOverhead = 4
+	// maxConcurrency caps the derived pipeline concurrency factor.
+	maxConcurrency = 1024
+)
+
+// Strategy identifies the execution strategy the planner instantiates. It
+// extends the two-way cost-model choice with the naive operator, which the
+// planner falls back to only in the degenerate case where the pipeline would
+// have at most one invocation in flight.
+type Strategy uint8
+
+// Planner strategies.
+const (
+	// StrategyNaive is tuple-at-a-time remote invocation.
+	StrategyNaive Strategy = iota
+	// StrategySemiJoin ships duplicate-free arguments, results come back bare.
+	StrategySemiJoin
+	// StrategyClientJoin ships full records, pushable work runs at the client.
+	StrategyClientJoin
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNaive:
+		return "naive"
+	case StrategySemiJoin:
+		return "semi-join"
+	case StrategyClientJoin:
+		return "client-site-join"
+	default:
+		return "unknown"
+	}
+}
+
+// Config tunes the planner. The zero value selects the defaults above.
+type Config struct {
+	// SampleRows bounds the statistics sampling pass.
+	SampleRows int
+	// SketchSize is the distinct-sketch capacity.
+	SketchSize int
+	// ProbeBytes is the large-probe payload for link measurement; < 1 selects
+	// exec.DefaultProbeBytes.
+	ProbeBytes int
+	// ReplanAfterRows is the adaptive operator's observation window (the
+	// "first K batches" of the re-planning rule, expressed in rows). Values
+	// < 1 select DefaultReplanAfterRows.
+	ReplanAfterRows int
+	// Link, when non-nil, is a pre-measured link observation; the planner
+	// skips the probe. Useful when many plans share one physical link.
+	Link *exec.LinkObservation
+}
+
+func (c Config) sampleRows() int {
+	if c.SampleRows < 1 {
+		return DefaultSampleRows
+	}
+	return c.SampleRows
+}
+
+func (c Config) sketchSize() int {
+	if c.SketchSize < 1 {
+		return DefaultSketchSize
+	}
+	return c.SketchSize
+}
+
+func (c Config) replanAfterRows() int {
+	if c.ReplanAfterRows < 1 {
+		return DefaultReplanAfterRows
+	}
+	return c.ReplanAfterRows
+}
+
+// Query describes one client-site UDF application for the planner.
+type Query struct {
+	// NewInput builds a fresh instance of the input subtree (scan, or scan
+	// plus server-side filter/project operators). The planner calls it once
+	// for the sampling pass and once per instantiated strategy, so it must
+	// return an operator positioned at the start of the stream.
+	NewInput func() (exec.Operator, error)
+	// UDFs are the client-site UDFs to apply; ordinals reference the input
+	// schema.
+	UDFs []exec.UDFBinding
+	// ServerFilter is an optional server-evaluable predicate over the input
+	// schema. The planner applies it below the client-site operator and uses
+	// its sampled selectivity to scale the input cardinality.
+	ServerFilter expr.Expr
+	// Pushable is an optional predicate over the extended schema (input
+	// columns followed by one result column per UDF). The client-site join
+	// evaluates it at the client; the other strategies evaluate it at the
+	// server above the join-back.
+	Pushable expr.Expr
+	// Project optionally narrows the output to these extended-schema
+	// ordinals (a pushable projection). Empty keeps every column.
+	Project []int
+	// Table optionally supplies catalog statistics for the scanned relation
+	// (cardinality priors when the sample does not exhaust the input).
+	Table *catalog.Table
+	// Catalog supplies UDF cost metadata (result sizes, predicate
+	// selectivities) as announced by the client runtime.
+	Catalog *catalog.Catalog
+}
+
+// argOrdinalUnion returns the sorted union of all UDF argument ordinals.
+func argOrdinalUnion(udfs []exec.UDFBinding) []int {
+	seen := map[int]bool{}
+	for _, u := range udfs {
+		for _, o := range u.ArgOrdinals {
+			seen[o] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for o := range seen {
+		out = append(out, o)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Decision is the planner's output: the chosen strategy, the parameters it
+// was derived from, and the evidence (sample statistics and link probe).
+type Decision struct {
+	// Strategy is the winning strategy.
+	Strategy Strategy
+	// Params are the assembled cost-model inputs.
+	Params costmodel.Params
+	// SemiJoinCost and ClientJoinCost are the per-tuple link costs compared.
+	SemiJoinCost   costmodel.LinkCost
+	ClientJoinCost costmodel.LinkCost
+	// EstimatedRows is the cardinality estimate for the operator's input.
+	EstimatedRows int
+	// Concurrency is the derived semi-join pipeline concurrency factor (B·T).
+	Concurrency int
+	// Stats is the sampling pass output.
+	Stats SampleStats
+	// Link is the probe observation used for N.
+	Link exec.LinkObservation
+}
+
+// Planner plans client-site UDF applications over one client link.
+type Planner struct {
+	// Link is the client link queries execute over; the planner probes it to
+	// measure the network asymmetry.
+	Link exec.ClientLink
+	// Config tunes sampling, probing and re-planning.
+	Config Config
+}
+
+// NewPlanner returns a planner over the given link with default configuration.
+func NewPlanner(link exec.ClientLink) *Planner { return &Planner{Link: link} }
+
+// ChooseStrategy maps validated cost-model parameters to the planner's
+// strategy: the cost model's argmin (ties go to the semi-join), except that a
+// workload with at most one expected invocation degrades to the naive
+// operator, whose single round trip is then identical to the semi-join
+// pipeline but without its machinery.
+func ChooseStrategy(p costmodel.Params) (Strategy, costmodel.LinkCost, costmodel.LinkCost, error) {
+	s, sj, cj, err := costmodel.Decide(p)
+	if err != nil {
+		return 0, sj, cj, err
+	}
+	if s == costmodel.StrategySemiJoin {
+		if float64(p.Rows)*p.DistinctFraction <= 1 {
+			return StrategyNaive, sj, cj, nil
+		}
+		return StrategySemiJoin, sj, cj, nil
+	}
+	return StrategyClientJoin, sj, cj, nil
+}
+
+// Plan measures statistics and the link, assembles the cost-model parameters
+// and returns the winning strategy.
+func (p *Planner) Plan(ctx context.Context, q Query) (*Decision, error) {
+	if q.NewInput == nil {
+		return nil, fmt.Errorf("plan: query has no input")
+	}
+	if len(q.UDFs) == 0 {
+		return nil, fmt.Errorf("plan: query has no client-site UDFs")
+	}
+	src, err := q.NewInput()
+	if err != nil {
+		return nil, err
+	}
+	argOrds := argOrdinalUnion(q.UDFs)
+	for _, o := range argOrds {
+		if o < 0 || o >= src.Schema().Len() {
+			_ = src.Close()
+			return nil, fmt.Errorf("plan: UDF argument ordinal %d out of range", o)
+		}
+	}
+	stats, err := sampleInput(ctx, src, argOrds, q.ServerFilter, p.Config.sampleRows(), p.Config.sketchSize())
+	if err != nil {
+		return nil, fmt.Errorf("plan: sampling pass: %w", err)
+	}
+
+	var link exec.LinkObservation
+	if p.Config.Link != nil {
+		link = *p.Config.Link
+	} else {
+		link, err = exec.ProbeAsymmetry(ctx, p.Link, p.Config.ProbeBytes)
+		if err != nil {
+			return nil, fmt.Errorf("plan: link probe: %w", err)
+		}
+	}
+
+	d := &Decision{Stats: stats, Link: link}
+	d.EstimatedRows = estimateRows(stats, q)
+	d.Params, err = assembleParams(stats, q, link, d.EstimatedRows)
+	if err != nil {
+		return nil, err
+	}
+	d.Strategy, d.SemiJoinCost, d.ClientJoinCost, err = ChooseStrategy(d.Params)
+	if err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	d.Concurrency = concurrencyFor(d.Params, link)
+	return d, nil
+}
+
+// estimateRows combines the sample with catalog priors: an exhausted sample is
+// an exact count; otherwise the table's row count is scaled by the sampled
+// filter selectivity; failing both, the sample itself is the lower bound.
+func estimateRows(stats SampleStats, q Query) int {
+	if stats.Exhausted {
+		return stats.PassingRows
+	}
+	if q.Table != nil && q.Table.Stats.RowCount > 0 {
+		n := int(float64(q.Table.Stats.RowCount) * stats.FilterSelectivity)
+		if n < stats.PassingRows {
+			n = stats.PassingRows
+		}
+		return n
+	}
+	return stats.PassingRows
+}
+
+// assembleParams builds the cost-model parameters from measurements and
+// catalog metadata.
+func assembleParams(stats SampleStats, q Query, link exec.LinkObservation, rows int) (costmodel.Params, error) {
+	inputSize := stats.AvgRecordBytes
+	if inputSize <= 0 && q.Table != nil {
+		inputSize = float64(q.Table.Stats.AvgRowSize)
+	}
+	if inputSize <= 0 {
+		return costmodel.Params{}, fmt.Errorf("plan: cannot size input records (empty sample and no table stats)")
+	}
+	argFraction := stats.AvgArgBytes / inputSize
+	if argFraction <= 0 {
+		argFraction = 1.0 / inputSize // at least one encoded byte of arguments
+	}
+	if argFraction > 1 {
+		argFraction = 1
+	}
+	resultSize := resultSizeOf(q)
+	params := costmodel.Params{
+		Rows:               rows,
+		InputSize:          inputSize,
+		ArgFraction:        argFraction,
+		DistinctFraction:   stats.DistinctFraction,
+		Selectivity:        pushableSelectivity(q, len(stats.AvgColBytes)),
+		ProjectionFraction: projectionFraction(stats, q, resultSize),
+		ResultSize:         resultSize,
+		Asymmetry:          link.Asymmetry,
+		PerTupleOverhead:   perTupleOverhead,
+	}
+	return params, nil
+}
+
+// udfResultSize sizes one UDF's returned result, preferring the catalog's
+// announced size over the kind-based default.
+func udfResultSize(cat *catalog.Catalog, b exec.UDFBinding) float64 {
+	if cat != nil {
+		if u, err := cat.UDF(b.Name); err == nil && u.ResultSize > 0 {
+			return float64(u.ResultSize)
+		}
+	}
+	return float64(expr.KindSize(b.ResultKind))
+}
+
+// resultSizeOf sums the returned-result sizes of the query's UDFs.
+func resultSizeOf(q Query) float64 {
+	total := 0.0
+	for _, b := range q.UDFs {
+		total += udfResultSize(q.Catalog, b)
+	}
+	return total
+}
+
+// pushableSelectivity estimates S for the pushable predicate. A conjunct that
+// is a bare reference to a boolean UDF result column uses that UDF's declared
+// catalog selectivity; everything else falls back to the System-R heuristics.
+func pushableSelectivity(q Query, inputWidth int) float64 {
+	if q.Pushable == nil {
+		return 1
+	}
+	s := 1.0
+	for _, c := range expr.Conjuncts(q.Pushable) {
+		cs := -1.0
+		if ref, ok := c.(*expr.ColumnRef); ok && ref.Bound() && ref.Ordinal >= inputWidth {
+			idx := ref.Ordinal - inputWidth
+			if idx < len(q.UDFs) && q.Catalog != nil {
+				if u, err := q.Catalog.UDF(q.UDFs[idx].Name); err == nil && u.Selectivity > 0 {
+					cs = u.Selectivity
+				}
+			}
+		}
+		if cs < 0 {
+			cs = expr.EstimateSelectivity(c)
+		}
+		s *= cs
+	}
+	if s <= 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// projectionFraction computes P: the size of the returned (projected) record
+// relative to the full extended record, using sampled per-column sizes for
+// input columns and catalog result sizes for UDF result columns. With an
+// empty sample there are no per-column sizes to apportion (assembleParams may
+// have fallen back to catalog table stats for I), so P defaults to 1 rather
+// than crediting the projection with columns measured as zero bytes.
+func projectionFraction(stats SampleStats, q Query, resultSize float64) float64 {
+	full := stats.AvgRecordBytes + resultSize
+	if stats.PassingRows == 0 || full <= 0 || len(q.Project) == 0 {
+		return 1
+	}
+	projected := 0.0
+	inputWidth := len(stats.AvgColBytes)
+	for _, o := range q.Project {
+		switch {
+		case o >= 0 && o < inputWidth:
+			projected += stats.AvgColBytes[o]
+		case o >= inputWidth && o-inputWidth < len(q.UDFs):
+			projected += udfResultSize(q.Catalog, q.UDFs[o-inputWidth])
+		}
+	}
+	p := projected / full
+	if p <= 0 {
+		p = 1 / full
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// concurrencyFor derives the semi-join pipeline concurrency factor from the
+// measured link: the paper's B·T prescription (Section 3.1.2), computed from
+// the probed bandwidths and round-trip time. An unmeasurable link keeps the
+// engine default.
+func concurrencyFor(p costmodel.Params, link exec.LinkObservation) int {
+	if link.DownBytesPerSec <= 0 && link.UpBytesPerSec <= 0 {
+		return exec.DefaultConcurrencyFactor
+	}
+	w := costmodel.OptimalConcurrency(costmodel.PipelineParams{
+		DownBandwidth: link.DownBytesPerSec,
+		UpBandwidth:   link.UpBytesPerSec,
+		Latency:       link.RTT / 2,
+		ArgBytes:      p.ArgFraction*p.InputSize + p.PerTupleOverhead,
+		ResultBytes:   p.ResultSize + p.PerTupleOverhead,
+	})
+	if w > maxConcurrency {
+		return maxConcurrency
+	}
+	return w
+}
+
+// NewOperator instantiates the decision's strategy over a fresh input
+// subtree, splitting the pushable predicate and projection onto the right
+// side of the link: the client for the client-site join, the server (above
+// the join-back) for the semi-join and the naive operator.
+func (p *Planner) NewOperator(q Query, d *Decision) (exec.Operator, error) {
+	return p.newOperatorSkipping(q, d.Strategy, d.Concurrency, 0)
+}
+
+// newOperatorSkipping is NewOperator with an optional number of (post-filter)
+// input rows to skip — the re-planning hook: rows already delivered by the
+// previous strategy are not re-read.
+func (p *Planner) newOperatorSkipping(q Query, s Strategy, concurrency, skip int) (exec.Operator, error) {
+	input, err := q.NewInput()
+	if err != nil {
+		return nil, err
+	}
+	if q.ServerFilter != nil {
+		input = exec.NewFilter(input, q.ServerFilter)
+	}
+	if skip > 0 {
+		input = newSkip(input, skip)
+	}
+	switch s {
+	case StrategyClientJoin:
+		op, err := exec.NewClientJoin(input, p.Link, q.UDFs)
+		if err != nil {
+			return nil, err
+		}
+		// ProjectOrdinals is not set yet, so Schema() is the full extended
+		// record — the width the pushable predicate is bound against.
+		pushable, server, err := splitPushable(q, op.Schema().Len())
+		if err != nil {
+			return nil, err
+		}
+		op.Pushable = pushable
+		op.ProjectOrdinals = q.Project
+		if server == nil {
+			return op, nil
+		}
+		return exec.NewFilter(op, server), nil
+	case StrategySemiJoin, StrategyNaive:
+		op, err := p.newUDFOperator(input, q, s, concurrency)
+		if err != nil {
+			return nil, err
+		}
+		return wrapServerPushable(op, q)
+	default:
+		return nil, fmt.Errorf("plan: unknown strategy %d", s)
+	}
+}
+
+// newUDFOperator builds and configures the semi-join or naive operator over
+// an already-assembled input; it is shared by the planner's direct
+// instantiation path and the adaptive operator's monitored phase so both
+// always run identically configured operators.
+func (p *Planner) newUDFOperator(input exec.Operator, q Query, s Strategy, concurrency int) (exec.Operator, error) {
+	switch s {
+	case StrategySemiJoin:
+		op, err := exec.NewSemiJoin(input, p.Link, q.UDFs)
+		if err != nil {
+			return nil, err
+		}
+		if concurrency > 0 {
+			op.ConcurrencyFactor = concurrency
+		}
+		return op, nil
+	case StrategyNaive:
+		op, err := exec.NewNaiveUDF(input, p.Link, q.UDFs)
+		if err != nil {
+			return nil, err
+		}
+		op.EnableCache = true
+		return op, nil
+	default:
+		return nil, fmt.Errorf("plan: strategy %s is not a server-joined UDF operator", s)
+	}
+}
+
+// splitPushable decides whether the pushable predicate can run at the client.
+// It returns (clientPredicate, serverPredicate): conjuncts that reference only
+// columns present at the client (the whole extended record) and call no
+// server-site UDF go to the client; the rest stay above the operator.
+func splitPushable(q Query, extWidth int) (clientSide, serverSide expr.Expr, err error) {
+	if q.Pushable == nil {
+		return nil, nil, nil
+	}
+	avail := map[int]bool{}
+	for i := 0; i < extWidth; i++ {
+		avail[i] = true
+	}
+	udfResults := map[string]bool{}
+	for _, u := range q.UDFs {
+		udfResults[strings.ToLower(u.Name)] = true
+	}
+	var client, server []expr.Expr
+	for _, c := range expr.Conjuncts(q.Pushable) {
+		if expr.PushableToClient(c, avail, udfResults) {
+			client = append(client, c)
+		} else {
+			server = append(server, c)
+		}
+	}
+	if len(server) > 0 && len(q.Project) > 0 {
+		// A server-side residue would need columns the pushable projection may
+		// have removed; refuse rather than silently compute on the wrong row.
+		return nil, nil, fmt.Errorf("plan: pushable projection combined with non-pushable predicate conjuncts")
+	}
+	return expr.Conjoin(client), expr.Conjoin(server), nil
+}
+
+// wrapServerPushable applies the pushable predicate and projection at the
+// server, above a semi-join or naive operator whose output is the extended
+// record.
+func wrapServerPushable(op exec.Operator, q Query) (exec.Operator, error) {
+	out := op
+	if q.Pushable != nil {
+		out = exec.NewFilter(out, q.Pushable)
+	}
+	if len(q.Project) > 0 {
+		proj, err := exec.NewProjectOrdinals(out, q.Project)
+		if err != nil {
+			return nil, err
+		}
+		out = proj
+	}
+	return out, nil
+}

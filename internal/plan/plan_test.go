@@ -1,0 +1,411 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"csq/internal/catalog"
+	"csq/internal/client"
+	"csq/internal/costmodel"
+	"csq/internal/exec"
+	"csq/internal/expr"
+	"csq/internal/netsim"
+	"csq/internal/types"
+	"csq/internal/wire"
+)
+
+// The test workload: records (ID string, Payload bytes, Extra bytes) with two
+// client-site UDFs over the payload — Score returns a large derived object,
+// Qualify is a boolean predicate UDF. Both are deterministic in the payload so
+// every strategy computes identical results.
+
+const (
+	testScoreBytes  = 2000
+	testPayloadSize = 100
+	testExtraSize   = 100
+)
+
+func testSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "ID", Kind: types.KindString},
+		types.Column{Name: "Payload", Kind: types.KindBytes},
+		types.Column{Name: "Extra", Kind: types.KindBytes},
+	)
+}
+
+// rowWithKey builds one record whose payload is keyed by key: rows sharing a
+// key share the whole argument column.
+func rowWithKey(i int, key uint32) types.Tuple {
+	payload := make([]byte, testPayloadSize)
+	payload[0] = byte(key % 10)
+	payload[1] = byte(key)
+	payload[2] = byte(key >> 8)
+	payload[3] = byte(key >> 16)
+	extra := make([]byte, testExtraSize)
+	return types.NewTuple(
+		types.NewString(fmt.Sprintf("N%04d", i)),
+		types.NewBytes(payload),
+		types.NewBytes(extra),
+	)
+}
+
+func qualifies(payload []byte) bool { return payload[0] == 0 }
+
+func testRuntime(t testing.TB) *client.Runtime {
+	t.Helper()
+	rt := client.NewRuntime()
+	if err := rt.Register(&client.Func{
+		Name:       "Score",
+		ArgKinds:   []types.Kind{types.KindBytes},
+		ResultKind: types.KindBytes,
+		ResultSize: testScoreBytes,
+		Body: func(args []types.Value) (types.Value, error) {
+			p, err := args[0].Bytes()
+			if err != nil {
+				return types.Value{}, err
+			}
+			out := make([]byte, testScoreBytes)
+			for i := range out {
+				out[i] = p[1]
+			}
+			return types.NewBytes(out), nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Register(&client.Func{
+		Name:        "Qualify",
+		ArgKinds:    []types.Kind{types.KindBytes},
+		ResultKind:  types.KindBool,
+		ResultSize:  3,
+		Selectivity: 0.1,
+		Body: func(args []types.Value) (types.Value, error) {
+			p, err := args[0].Bytes()
+			if err != nil {
+				return types.Value{}, err
+			}
+			return types.NewBool(qualifies(p)), nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// testCatalog registers the client UDFs the way a live system would: through
+// the wire announcement path.
+func testCatalog(t testing.TB, rt *client.Runtime) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	for _, f := range rt.Functions() {
+		reg := wire.RegisterUDF{
+			Name:        f.Name,
+			ArgKinds:    f.ArgKinds,
+			ResultKind:  f.ResultKind,
+			ResultSize:  f.ResultSize,
+			Selectivity: f.Selectivity,
+			PerCallCost: f.PerCallCost,
+		}
+		if _, err := cat.RegisterClientUDF(&reg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func testBindings() []exec.UDFBinding {
+	return []exec.UDFBinding{
+		{Name: "Score", ArgOrdinals: []int{1}, ResultKind: types.KindBytes},
+		{Name: "Qualify", ArgOrdinals: []int{1}, ResultKind: types.KindBool},
+	}
+}
+
+// extended schema ordinals: 0 ID, 1 Payload, 2 Extra, 3 Score, 4 Qualify.
+func testQuery(rows []types.Tuple, cat *catalog.Catalog) Query {
+	return Query{
+		NewInput: func() (exec.Operator, error) {
+			return exec.NewValuesScan(testSchema(), rows), nil
+		},
+		UDFs:     testBindings(),
+		Pushable: expr.NewBoundColumnRef(4, types.KindBool),
+		Project:  []int{0, 3},
+		Catalog:  cat,
+	}
+}
+
+func TestSketchExactAndEstimated(t *testing.T) {
+	s := NewDistinctSketch(64)
+	for i := 0; i < 1000; i++ {
+		s.Add(splitmix(uint64(i % 40)))
+	}
+	if got := s.Estimate(); got != 40 {
+		t.Errorf("below-capacity estimate = %g, want exactly 40", got)
+	}
+	if f := s.DistinctFraction(); f < 0.039 || f > 0.041 {
+		t.Errorf("distinct fraction = %g, want 0.04", f)
+	}
+
+	big := NewDistinctSketch(256)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		big.Add(splitmix(uint64(i)))
+	}
+	est := big.Estimate()
+	if est < n*0.80 || est > n*1.20 {
+		t.Errorf("KMV estimate = %g for %d distinct, want within 20%%", est, n)
+	}
+	empty := NewDistinctSketch(16)
+	if empty.DistinctFraction() != 1 {
+		t.Error("empty sketch should report fraction 1")
+	}
+}
+
+// splitmix scrambles sequential integers into well-distributed hashes, which
+// is what the KMV estimator assumes of its input.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func TestSampleInputMeasures(t *testing.T) {
+	rows := make([]types.Tuple, 200)
+	for i := range rows {
+		rows[i] = rowWithKey(i, uint32(i%20)) // 10% distinct arguments
+	}
+	src := exec.NewValuesScan(testSchema(), rows)
+	// Server filter: ID >= "N0100" keeps the second half.
+	filter := expr.NewBinary(expr.OpGe,
+		expr.NewBoundColumnRef(0, types.KindString),
+		expr.NewConst(types.NewString("N0100")))
+	stats, err := sampleInput(context.Background(), src, []int{1}, filter, 500, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Exhausted || stats.ScannedRows != 200 || stats.PassingRows != 100 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.FilterSelectivity != 0.5 {
+		t.Errorf("filter selectivity = %g, want 0.5", stats.FilterSelectivity)
+	}
+	wantArg := float64(6 + testPayloadSize)
+	if stats.AvgArgBytes != wantArg {
+		t.Errorf("avg arg bytes = %g, want %g", stats.AvgArgBytes, wantArg)
+	}
+	if stats.AvgRecordBytes <= stats.AvgArgBytes {
+		t.Errorf("record bytes %g should exceed arg bytes", stats.AvgRecordBytes)
+	}
+	// The filtered half still cycles through all 20 keys: D = 20/100.
+	if stats.DistinctFraction < 0.19 || stats.DistinctFraction > 0.21 {
+		t.Errorf("distinct fraction = %g, want 0.2", stats.DistinctFraction)
+	}
+}
+
+// TestChooseStrategyMatchesArgmin is the planner/cost-model agreement
+// property: for random valid parameters the planner's strategy equals the
+// analytic argmin of the two bottleneck costs, with ties going to the
+// semi-join and the naive fallback only in the ≤1-invocation degenerate case.
+func TestChooseStrategyMatchesArgmin(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		p := costmodel.Params{
+			Rows:               1 + r.Intn(10000),
+			InputSize:          1 + r.Float64()*5000,
+			ArgFraction:        nextUnitOpen(r),
+			DistinctFraction:   nextUnitOpen(r),
+			Selectivity:        r.Float64(),
+			ProjectionFraction: r.Float64(),
+			ResultSize:         r.Float64() * 5000,
+			Asymmetry:          0.01 + r.Float64()*200,
+			PerTupleOverhead:   float64(r.Intn(32)),
+		}
+		got, sjc, cjc, err := ChooseStrategy(p)
+		if err != nil {
+			t.Fatalf("valid params rejected: %v (%+v)", err, p)
+		}
+		want := StrategySemiJoin
+		if cjc.Bottleneck() < sjc.Bottleneck() {
+			want = StrategyClientJoin
+		} else if float64(p.Rows)*p.DistinctFraction <= 1 {
+			want = StrategyNaive
+		}
+		if got != want {
+			t.Fatalf("params %+v: planner chose %s, argmin is %s (sj %g, cj %g)",
+				p, got, want, sjc.Bottleneck(), cjc.Bottleneck())
+		}
+	}
+}
+
+func nextUnitOpen(r *rand.Rand) float64 {
+	for {
+		if v := r.Float64(); v > 0 {
+			return v
+		}
+	}
+}
+
+func TestChooseStrategyTieAndDegenerate(t *testing.T) {
+	// Exact tie: both strategies bottleneck on a 1000-byte downlink.
+	tie := costmodel.Params{
+		Rows: 100, InputSize: 1000, ArgFraction: 1, DistinctFraction: 1,
+		Selectivity: 0.5, ProjectionFraction: 1, ResultSize: 100, Asymmetry: 1,
+	}
+	s, sjc, cjc, err := ChooseStrategy(tie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sjc.Bottleneck() != cjc.Bottleneck() {
+		t.Fatalf("test setup broken: not a tie (%g vs %g)", sjc.Bottleneck(), cjc.Bottleneck())
+	}
+	if s != StrategySemiJoin {
+		t.Errorf("tie went to %s, want semi-join", s)
+	}
+
+	// One expected invocation: the pipeline degenerates to the naive operator.
+	one := tie
+	one.Rows = 1
+	if s, _, _, _ := ChooseStrategy(one); s != StrategyNaive {
+		t.Errorf("single-invocation workload chose %s, want naive", s)
+	}
+
+	// Invalid parameters are rejected, not silently costed.
+	bad := tie
+	bad.DistinctFraction = 0
+	if _, _, _, err := ChooseStrategy(bad); err == nil {
+		t.Error("zero distinct fraction should be rejected")
+	}
+}
+
+func newTestPlanner(t testing.TB, rt *client.Runtime, cfg netsim.LinkConfig) *Planner {
+	t.Helper()
+	return NewPlanner(exec.NewInProcessLink(rt, cfg))
+}
+
+func TestPlanPicksSemiJoinForDuplicateHeavyInput(t *testing.T) {
+	rows := make([]types.Tuple, 400)
+	for i := range rows {
+		rows[i] = rowWithKey(i, uint32(i%8)) // 2% distinct
+	}
+	rt := testRuntime(t)
+	p := newTestPlanner(t, rt, netsim.Unlimited())
+	d, err := p.Plan(context.Background(), testQuery(rows, testCatalog(t, rt)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Strategy != StrategySemiJoin {
+		t.Fatalf("duplicate-heavy input planned as %s, want semi-join (params %+v)", d.Strategy, d.Params)
+	}
+	if d.Params.DistinctFraction > 0.2 {
+		t.Errorf("measured D = %g, want small", d.Params.DistinctFraction)
+	}
+	if d.Params.Selectivity != 0.1 {
+		t.Errorf("S = %g, want the catalog-declared 0.1", d.Params.Selectivity)
+	}
+	// Execute the planned operator and verify against a hand-built semi-join.
+	op, err := p.NewOperator(testQuery(rows, testCatalog(t, rt)), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.Collect(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := range rows {
+		if uint32(i%8)%10 == 0 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("planned semi-join returned %d rows, want %d", len(got), want)
+	}
+	for _, r := range got {
+		if r.Len() != 2 {
+			t.Fatalf("projected row arity = %d, want 2", r.Len())
+		}
+	}
+}
+
+func TestPlanPicksClientJoinForDistinctInput(t *testing.T) {
+	rows := make([]types.Tuple, 400)
+	for i := range rows {
+		rows[i] = rowWithKey(i, uint32(1000+i)) // all distinct
+	}
+	rt := testRuntime(t)
+	p := newTestPlanner(t, rt, netsim.Unlimited())
+	q := testQuery(rows, testCatalog(t, rt))
+	d, err := p.Plan(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Strategy != StrategyClientJoin {
+		t.Fatalf("distinct input planned as %s, want client-site join (params %+v)", d.Strategy, d.Params)
+	}
+	op, err := p.NewOperator(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.Collect(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got {
+		if r.Len() != 2 {
+			t.Fatalf("projected row arity = %d, want 2", r.Len())
+		}
+	}
+}
+
+func TestPlanNaiveDegenerateCase(t *testing.T) {
+	rows := []types.Tuple{rowWithKey(0, 3)}
+	rt := testRuntime(t)
+	p := newTestPlanner(t, rt, netsim.Unlimited())
+	// A small-result UDF keeps the semi-join side of the argmin, which the
+	// single-row input then degrades to naive.
+	q := Query{
+		NewInput: func() (exec.Operator, error) {
+			return exec.NewValuesScan(testSchema(), rows), nil
+		},
+		UDFs:    []exec.UDFBinding{{Name: "Qualify", ArgOrdinals: []int{1}, ResultKind: types.KindBool}},
+		Catalog: testCatalog(t, rt),
+	}
+	d, err := p.Plan(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Strategy != StrategyNaive {
+		t.Fatalf("single-row workload planned as %s, want naive", d.Strategy)
+	}
+	op, err := p.NewOperator(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.Collect(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Len() != 4 {
+		t.Errorf("naive plan output = %d rows", len(got))
+	}
+}
+
+func TestPlanQueryValidation(t *testing.T) {
+	rt := testRuntime(t)
+	p := newTestPlanner(t, rt, netsim.Unlimited())
+	if _, err := p.Plan(context.Background(), Query{}); err == nil {
+		t.Error("query without input should fail")
+	}
+	q := Query{NewInput: func() (exec.Operator, error) {
+		return exec.NewValuesScan(testSchema(), nil), nil
+	}}
+	if _, err := p.Plan(context.Background(), q); err == nil {
+		t.Error("query without UDFs should fail")
+	}
+	q.UDFs = []exec.UDFBinding{{Name: "Score", ArgOrdinals: []int{9}, ResultKind: types.KindBytes}}
+	if _, err := p.Plan(context.Background(), q); err == nil {
+		t.Error("out-of-range argument ordinal should fail")
+	}
+}

@@ -1,0 +1,113 @@
+package plan
+
+import (
+	"context"
+
+	"csq/internal/exec"
+	"csq/internal/expr"
+	"csq/internal/types"
+)
+
+// SampleStats are the statistics the planner measures with one bounded pass
+// over the query's input subtree. Everything the cost model needs that is not
+// declared in the catalog is derived from here: the record size I, the
+// argument fraction A, the distinct-argument fraction D (via a streaming
+// sketch) and the selectivity of the server-evaluable predicate (which scales
+// the input cardinality seen by the client-site operator).
+type SampleStats struct {
+	// ScannedRows is how many input rows the sampling pass read.
+	ScannedRows int
+	// PassingRows is how many of them satisfied the server-side filter.
+	PassingRows int
+	// Exhausted reports that the pass read the whole input, making the counts
+	// exact cardinalities rather than a sample.
+	Exhausted bool
+	// FilterSelectivity is PassingRows/ScannedRows (1 when nothing scanned).
+	FilterSelectivity float64
+	// AvgRecordBytes is the average encoded record size of passing rows (the
+	// paper's I), excluding the per-tuple framing header.
+	AvgRecordBytes float64
+	// AvgArgBytes is the average encoded size of the UDF argument columns of
+	// passing rows (A·I).
+	AvgArgBytes float64
+	// AvgColBytes is the average encoded size per input column ordinal, used
+	// to size pushable projections.
+	AvgColBytes []float64
+	// DistinctFraction is the sketch's estimate of D over the argument
+	// columns of passing rows.
+	DistinctFraction float64
+}
+
+// sampleInput drives the sampling pass: it opens a fresh input subtree, reads
+// up to maxRows rows in batches, evaluates the server filter, and accumulates
+// sizes and the distinct-argument sketch over the rows that pass.
+func sampleInput(ctx context.Context, src exec.Operator, argOrdinals []int, serverFilter expr.Expr, maxRows, sketchK int) (SampleStats, error) {
+	width := src.Schema().Len()
+	stats := SampleStats{
+		FilterSelectivity: 1,
+		DistinctFraction:  1,
+		AvgColBytes:       make([]float64, width),
+	}
+	if err := src.Open(ctx); err != nil {
+		_ = src.Close()
+		return stats, err
+	}
+	defer func() { _ = src.Close() }()
+
+	sketch := NewDistinctSketch(sketchK)
+	ev := &expr.Evaluator{}
+	colBytes := make([]int64, width)
+	batch := make([]types.Tuple, exec.DefaultBatchSize)
+	for stats.ScannedRows < maxRows {
+		want := maxRows - stats.ScannedRows
+		if want > len(batch) {
+			want = len(batch)
+		}
+		n, err := src.NextBatch(batch[:want])
+		if err != nil {
+			return stats, err
+		}
+		if n == 0 {
+			stats.Exhausted = true
+			break
+		}
+		for _, t := range batch[:n] {
+			stats.ScannedRows++
+			if serverFilter != nil {
+				keep, err := ev.EvalBool(serverFilter, t)
+				if err != nil {
+					return stats, err
+				}
+				if !keep {
+					continue
+				}
+			}
+			stats.PassingRows++
+			for i, v := range t {
+				if i < width {
+					colBytes[i] += int64(v.Size())
+				}
+			}
+			sketch.Add(t.Hash(argOrdinals))
+		}
+	}
+	if stats.ScannedRows > 0 {
+		stats.FilterSelectivity = float64(stats.PassingRows) / float64(stats.ScannedRows)
+	}
+	if stats.PassingRows > 0 {
+		var record, args int64
+		for i, b := range colBytes {
+			stats.AvgColBytes[i] = float64(b) / float64(stats.PassingRows)
+			record += b
+		}
+		for _, o := range argOrdinals {
+			if o >= 0 && o < width {
+				args += colBytes[o]
+			}
+		}
+		stats.AvgRecordBytes = float64(record) / float64(stats.PassingRows)
+		stats.AvgArgBytes = float64(args) / float64(stats.PassingRows)
+		stats.DistinctFraction = sketch.DistinctFraction()
+	}
+	return stats, nil
+}

@@ -303,6 +303,27 @@ func DecodeEnd(src []byte) (*End, error) {
 	}, nil
 }
 
+// AppendProbe appends the serialisation of a Probe to dst. The payload is
+// written verbatim so the frame size on the wire equals the probe size plus a
+// fixed 8-byte header, keeping the probe's byte accounting exact.
+func AppendProbe(dst []byte, p *Probe) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, p.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, p.EchoBytes)
+	return append(dst, p.Payload...)
+}
+
+// DecodeProbe deserialises a Probe. The returned payload aliases src.
+func DecodeProbe(src []byte) (*Probe, error) {
+	if len(src) < 8 {
+		return nil, fmt.Errorf("wire: probe too short")
+	}
+	return &Probe{
+		Seq:       binary.LittleEndian.Uint32(src),
+		EchoBytes: binary.LittleEndian.Uint32(src[4:]),
+		Payload:   src[8:],
+	}, nil
+}
+
 // EncodeRegisterUDF serialises a RegisterUDF announcement.
 func EncodeRegisterUDF(r *RegisterUDF) []byte {
 	var dst []byte

@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+)
+
+func TestProbeRoundTrip(t *testing.T) {
+	p := Probe{Seq: 7, EchoBytes: 1024, Payload: bytes.Repeat([]byte{0xab}, 300)}
+	enc := AppendProbe(nil, &p)
+	if len(enc) != 8+300 {
+		t.Fatalf("encoded probe length = %d, want %d", len(enc), 8+300)
+	}
+	got, err := DecodeProbe(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 7 || got.EchoBytes != 1024 || !bytes.Equal(got.Payload, p.Payload) {
+		t.Errorf("probe round trip mismatch: %+v", got)
+	}
+	if _, err := DecodeProbe([]byte{1, 2}); err == nil {
+		t.Error("truncated probe should fail to decode")
+	}
+}
+
+func TestConnTimeCounters(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	done := make(chan error, 1)
+	go func() {
+		msg, err := cb.Receive()
+		if err == nil && msg.Type != MsgProbe {
+			err = fmt.Errorf("received %s, want PROBE", msg.Type)
+		}
+		done <- err
+	}()
+	if err := ca.Send(MsgProbe, AppendProbe(nil, &Probe{Seq: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if ca.SendTime() <= 0 {
+		t.Errorf("SendTime should accumulate, got %v", ca.SendTime())
+	}
+	if cb.ReceiveTime() <= 0 {
+		t.Errorf("ReceiveTime should accumulate, got %v", cb.ReceiveTime())
+	}
+	_ = ca.Close()
+	_ = cb.Close()
+}

@@ -22,6 +22,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"csq/internal/types"
 )
@@ -50,6 +51,12 @@ const (
 	// result consumer (server→client), used when the final result operator is
 	// merged with a client-site UDF group.
 	MsgFinalResult
+	// MsgProbe carries an opaque padding payload in either direction; the
+	// client answers a probe with a probe whose payload has the size the server
+	// requested. The planner uses probe pairs of different sizes to measure the
+	// live bandwidth of each link direction and hence the network asymmetry N,
+	// without relying on configured values.
+	MsgProbe
 )
 
 // String implements fmt.Stringer.
@@ -71,6 +78,8 @@ func (t MsgType) String() string {
 		return "REGISTER_UDF"
 	case MsgFinalResult:
 		return "FINAL_RESULT"
+	case MsgProbe:
+		return "PROBE"
 	default:
 		return "INVALID"
 	}
@@ -98,6 +107,8 @@ type Conn struct {
 
 	bytesOut atomic.Int64
 	bytesIn  atomic.Int64
+	sendNs   atomic.Int64
+	recvNs   atomic.Int64
 }
 
 // NewConn wraps a duplex byte stream in a framed message connection.
@@ -109,13 +120,17 @@ func NewConn(rw io.ReadWriteCloser) *Conn {
 	}
 }
 
-// Send writes one frame and flushes it.
+// Send writes one frame and flushes it. The time spent blocked in the write
+// path (which, over a shaped or real link, is dominated by the downlink
+// transfer) is accumulated into the connection's send-time counter.
 func (c *Conn) Send(t MsgType, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	start := time.Now()
+	defer func() { c.sendNs.Add(int64(time.Since(start))) }()
 	var hdr [5]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = byte(t)
@@ -129,10 +144,14 @@ func (c *Conn) Send(t MsgType, payload []byte) error {
 	return c.w.Flush()
 }
 
-// Receive reads one frame.
+// Receive reads one frame. The time spent blocked waiting for the frame
+// (uplink transfer plus however long the peer took to produce it) is
+// accumulated into the connection's receive-time counter.
 func (c *Conn) Receive() (Message, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
+	start := time.Now()
+	defer func() { c.recvNs.Add(int64(time.Since(start))) }()
 	var hdr [5]byte
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
 		return Message{}, err
@@ -159,6 +178,27 @@ func (c *Conn) BytesSent() int64 { return c.bytesOut.Load() }
 // BytesReceived returns the total framed bytes read so far. It never blocks,
 // even while another goroutine is in Send or Receive.
 func (c *Conn) BytesReceived() int64 { return c.bytesIn.Load() }
+
+// SendTime returns the cumulative wall-clock time spent inside Send. Over a
+// bandwidth-shaped link this is effectively the downlink busy time, which is
+// what the planner's link probe divides shipped bytes by.
+func (c *Conn) SendTime() time.Duration { return time.Duration(c.sendNs.Load()) }
+
+// ReceiveTime returns the cumulative wall-clock time spent blocked inside
+// Receive (uplink transfer plus peer latency).
+func (c *Conn) ReceiveTime() time.Duration { return time.Duration(c.recvNs.Load()) }
+
+// Probe is an opaque padding message used to measure live link bandwidth. The
+// receiver of a probe with EchoBytes > 0 answers with a probe whose payload is
+// EchoBytes long (and whose own EchoBytes is zero, terminating the exchange).
+type Probe struct {
+	// Seq matches an echo to the probe that requested it.
+	Seq uint32
+	// EchoBytes is the payload size the peer should answer with.
+	EchoBytes uint32
+	// Payload is opaque padding sized by the prober.
+	Payload []byte
+}
 
 // Mode selects the client-side execution strategy for a session.
 type Mode uint8
