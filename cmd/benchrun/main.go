@@ -6,10 +6,13 @@
 // With -compare it additionally gates regressions: every batch-path benchmark
 // (name ending in "/batch") present in both the fresh run and the baseline
 // JSON must stay within -maxregress (default 25%) on ns/op and allocs/op, or
-// benchrun exits non-zero. CI runs this against the committed BENCH_exec.json.
-// ns/op comparisons are normalized by the suite-wide median speed ratio, so a
-// baseline generated on different hardware does not trip the gate; allocs/op
-// is compared directly.
+// benchrun exits non-zero. Wire-codec benchmarks (the internal/wire package)
+// are additionally gated on bytes_per_op — allocated bytes are deterministic
+// there, so an encoder that starts copying or loses its pooling is caught
+// even when allocation counts stay flat. CI runs this against the committed
+// BENCH_exec.json. ns/op comparisons are normalized by the suite-wide median
+// speed ratio, so a baseline generated on different hardware does not trip
+// the gate; allocs/op and bytes_per_op are compared directly.
 //
 // Usage:
 //
@@ -148,17 +151,21 @@ func compareToBaseline(results []Result, baselinePath string, maxRegress float64
 			"(allocs/op comparisons are unaffected)\n", maxRegress*100)
 	}
 	var problems []string
-	compared := 0
+	batchCompared := 0
 	for _, r := range results {
-		if !strings.HasSuffix(r.Name, "/batch") {
+		gateBytes := isWireBench(r)
+		isBatch := strings.HasSuffix(r.Name, "/batch")
+		if !isBatch && !gateBytes {
 			continue
 		}
 		b, ok := base[r.Package+" "+r.Name]
 		if !ok {
 			continue // new benchmark: nothing to regress against
 		}
-		compared++
-		if b.NsPerOp > 0 && speed > 0 {
+		if isBatch {
+			batchCompared++
+		}
+		if isBatch && b.NsPerOp > 0 && speed > 0 {
 			normalized := r.NsPerOp / b.NsPerOp / speed
 			if normalized > 1+maxRegress {
 				problems = append(problems, fmt.Sprintf(
@@ -172,11 +179,31 @@ func compareToBaseline(results []Result, baselinePath string, maxRegress float64
 			problems = append(problems, fmt.Sprintf("%s %s: %d allocs/op vs baseline %d",
 				r.Package, r.Name, r.AllocsPerOp, b.AllocsPerOp))
 		}
+		// The absolute slack keeps pooled encoders (baseline 0 bytes/op) from
+		// flaking when a GC cycle drains the sync.Pool mid-run and a refill
+		// amortises to a few bytes/op; losing the pooling entirely costs
+		// kilobytes per op and still trips the gate.
+		const bytesSlack = 512
+		if gateBytes && float64(r.BytesPerOp) > float64(b.BytesPerOp)*(1+maxRegress)+bytesSlack {
+			problems = append(problems, fmt.Sprintf("%s %s: %d bytes_per_op vs baseline %d",
+				r.Package, r.Name, r.BytesPerOp, b.BytesPerOp))
+		}
 	}
-	if compared == 0 {
+	// The backstop counts only /batch benchmarks: wire-codec matches must not
+	// be able to keep the gate "green" after the batch paths silently vanish
+	// from the suite (a rename would otherwise disable the ns/allocs gates).
+	if batchCompared == 0 {
 		return nil, fmt.Errorf("no batch-path benchmarks in common with %s", baselinePath)
 	}
 	return problems, nil
+}
+
+// isWireBench reports whether a result is a wire-codec benchmark — the ones
+// whose allocated bytes/op are deterministic and therefore gated directly
+// against the baseline. The package is matched exactly so the gate's scope
+// is explicit: every benchmark of internal/wire, nothing else.
+func isWireBench(r Result) bool {
+	return r.Package == "./internal/wire"
 }
 
 // medianNsRatio estimates the machine-speed factor between this run and the

@@ -267,9 +267,10 @@ func expectedRows(s sweep, pt point) int {
 	return n
 }
 
-// runPoint plans (and optionally executes) one sweep point and returns the
-// planner's chosen strategy.
-func runPoint(s sweep, pt point, link *exec.LinkObservation, rt *client.Runtime, timescale float64, execute bool) (*plan.Decision, error) {
+// runPoint plans (and optionally executes) one sweep point, returning the
+// planner's decision and the executed operator's link traffic (zero with
+// -noexec).
+func runPoint(s sweep, pt point, link *exec.LinkObservation, rt *client.Runtime, timescale float64, execute bool) (*plan.Decision, exec.NetStats, error) {
 	rows := buildRows(s, pt)
 	schema := types.NewSchema(
 		types.Column{Name: "Arg", Kind: types.KindBytes},
@@ -277,17 +278,17 @@ func runPoint(s sweep, pt point, link *exec.LinkObservation, rt *client.Runtime,
 	)
 	table, err := storage.NewHeapTable("objects", schema)
 	if err != nil {
-		return nil, err
+		return nil, exec.NetStats{}, err
 	}
 	if err := table.InsertBatch(rows); err != nil {
-		return nil, err
+		return nil, exec.NetStats{}, err
 	}
 	cat := catalog.New()
 	if err := cat.AddTable(&catalog.Table{Name: "objects", Schema: schema, Stats: table.Stats()}); err != nil {
-		return nil, err
+		return nil, exec.NetStats{}, err
 	}
 	if err := announceIntoCatalog(rt, cat); err != nil {
-		return nil, err
+		return nil, exec.NetStats{}, err
 	}
 
 	cfg := s.link
@@ -297,7 +298,7 @@ func runPoint(s sweep, pt point, link *exec.LinkObservation, rt *client.Runtime,
 
 	catTable, err := cat.Table("objects")
 	if err != nil {
-		return nil, err
+		return nil, exec.NetStats{}, err
 	}
 	q := plan.Query{
 		NewInput: func() (exec.Operator, error) {
@@ -318,22 +319,24 @@ func runPoint(s sweep, pt point, link *exec.LinkObservation, rt *client.Runtime,
 	}
 	d, err := planner.Plan(context.Background(), q)
 	if err != nil {
-		return nil, err
+		return nil, exec.NetStats{}, err
 	}
+	var traffic exec.NetStats
 	if execute {
 		op, err := planner.NewOperator(q, d)
 		if err != nil {
-			return nil, err
+			return nil, exec.NetStats{}, err
 		}
 		got, err := exec.Collect(context.Background(), op)
 		if err != nil {
-			return nil, fmt.Errorf("executing %s: %w", d.Strategy, err)
+			return nil, exec.NetStats{}, fmt.Errorf("executing %s: %w", d.Strategy, err)
 		}
 		if want := expectedRows(s, pt); len(got) != want {
-			return nil, fmt.Errorf("%s returned %d rows, want %d", d.Strategy, len(got), want)
+			return nil, exec.NetStats{}, fmt.Errorf("%s returned %d rows, want %d", d.Strategy, len(got), want)
 		}
+		traffic = exec.NetStatsOf(op)
 	}
-	return d, nil
+	return d, traffic, nil
 }
 
 // checkSweep verifies the planner's choices against the simulator's winners:
@@ -416,6 +419,8 @@ func main() {
 
 		simW := make([]plan.Strategy, len(s.points))
 		planW := make([]plan.Strategy, len(s.points))
+		traffic := map[plan.Strategy]exec.NetStats{}
+		points := map[plan.Strategy]int{}
 		for i, pt := range s.points {
 			if simW[i], err = simWinner(s, pt); err != nil {
 				fatal(err)
@@ -424,20 +429,38 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			d, err := runPoint(s, pt, &obs, rt, *timescale, !*noexec)
+			d, tr, err := runPoint(s, pt, &obs, rt, *timescale, !*noexec)
 			if err != nil {
 				fatal(fmt.Errorf("%s %s: %w", s.name, pt.label, err))
 			}
 			planW[i] = d.Strategy
+			total := traffic[d.Strategy]
+			total.Add(tr)
+			traffic[d.Strategy] = total
+			points[d.Strategy]++
 			if *verbose {
 				match := "match"
 				if planW[i] != simW[i] {
 					match = "MISMATCH"
 				}
-				fmt.Printf("  %-8s sim=%-16s plan=%-16s D=%.2f S=%.2f I=%.0f R=%.0f  %s\n",
+				fmt.Printf("  %-8s sim=%-16s plan=%-16s D=%.2f S=%.2f I=%.0f R=%.0f T=%d down=%dB up=%dB  %s\n",
 					pt.label, simW[i], planW[i],
 					d.Params.DistinctFraction, d.Params.Selectivity,
-					d.Params.InputSize, d.Params.ResultSize, match)
+					d.Params.InputSize, d.Params.ResultSize,
+					d.Sessions, tr.BytesDown, tr.BytesUp, match)
+			}
+		}
+		if !*noexec {
+			// Per-strategy link traffic of the executed plans: the end-to-end
+			// bandwidth picture the byte-level optimisations (batching, the
+			// wire dictionary) show up in.
+			for _, st := range []plan.Strategy{plan.StrategySemiJoin, plan.StrategyClientJoin, plan.StrategyNaive} {
+				if points[st] == 0 {
+					continue
+				}
+				tr := traffic[st]
+				fmt.Printf("  traffic[%s]: %d points, %d B down / %d B up (%d frames, %d invocations)\n",
+					st, points[st], tr.BytesDown, tr.BytesUp, tr.Messages, tr.Invocations)
 			}
 		}
 		problems := checkSweep(s, simW, planW)

@@ -68,7 +68,9 @@ type Runtime struct {
 	funcs map[string]*Func
 
 	// ResultSink receives final-delivery rows; when nil, such rows are
-	// counted but discarded.
+	// counted but discarded. A server that fans a query out across parallel
+	// sessions delivers rows on every session's serving goroutine, so the
+	// sink must be safe for concurrent calls.
 	ResultSink func(ResultRow)
 
 	// stats
@@ -173,6 +175,7 @@ type session struct {
 	predicate expr.Expr
 	eval      *expr.Evaluator
 	delivered uint64
+	dict      bool          // dictionary encoding negotiated for this session
 	out       []types.Tuple // reusable uplink batch
 	args      []types.Value // reusable UDF argument scratch
 }
@@ -216,14 +219,24 @@ func (r *Runtime) ServeConn(conn *wire.Conn) error {
 			if setupErr != nil {
 				ack.Error = setupErr.Error()
 			} else {
+				// Accept the dictionary encoding whenever the server asks; the
+				// echoed capability is what arms it on both ends.
+				ack.DictBatches = req.DictBatches
+				s.dict = req.DictBatches
 				sessions[req.SessionID] = s
 			}
 			if err := conn.Send(wire.MsgSetupAck, wire.EncodeSetupAck(ack)); err != nil {
 				return err
 			}
-		case wire.MsgTupleBatch:
-			if err := wire.DecodeTupleBatchInto(&incoming, msg.Payload); err != nil {
-				return fmt.Errorf("client: bad tuple batch: %w", err)
+		case wire.MsgTupleBatch, wire.MsgTupleBatchDict:
+			var decErr error
+			if msg.Type == wire.MsgTupleBatchDict {
+				decErr = wire.DecodeDictBatchInto(&incoming, msg.Payload)
+			} else {
+				decErr = wire.DecodeTupleBatchInto(&incoming, msg.Payload)
+			}
+			if decErr != nil {
+				return fmt.Errorf("client: bad tuple batch: %w", decErr)
 			}
 			s, ok := sessions[incoming.SessionID]
 			if !ok {
@@ -240,6 +253,7 @@ func (r *Runtime) ServeConn(conn *wire.Conn) error {
 				continue
 			}
 			reply := wire.TupleBatch{SessionID: incoming.SessionID, Seq: incoming.Seq, Tuples: out}
+			dict := s.dict
 			if s.req.FinalDelivery {
 				for _, t := range out {
 					s.delivered++
@@ -253,7 +267,7 @@ func (r *Runtime) ServeConn(conn *wire.Conn) error {
 				// server's flow control (the semi-join buffer) keeps moving.
 				reply.Tuples = nil
 			}
-			if err := r.sendBatch(conn, &reply); err != nil {
+			if err := r.sendBatch(conn, &reply, dict); err != nil {
 				return err
 			}
 		case wire.MsgEnd:
@@ -304,18 +318,12 @@ func (r *Runtime) sendError(conn *wire.Conn, session uint64, msg string) error {
 	return conn.Send(wire.MsgError, wire.EncodeError(&wire.ErrorMsg{SessionID: session, Message: msg}))
 }
 
-// sendBatch encodes a result batch into a pooled buffer and sends it.
-func (r *Runtime) sendBatch(conn *wire.Conn, b *wire.TupleBatch) error {
-	buf := wire.GetBuffer()
-	payload, err := wire.AppendTupleBatch(*buf, b)
-	if err != nil {
-		wire.PutBuffer(buf)
-		return err
-	}
-	err = conn.Send(wire.MsgResultBatch, payload)
-	*buf = payload
-	wire.PutBuffer(buf)
-	return err
+// sendBatch sends a result batch through the shared pooled encode path. On a
+// session that negotiated the dictionary encoding the frame is
+// dictionary-encoded when that is smaller, with the message type signalling
+// which decoder the server must use.
+func (r *Runtime) sendBatch(conn *wire.Conn, b *wire.TupleBatch, dict bool) error {
+	return wire.SendBatch(conn, b, dict, wire.MsgResultBatch, wire.MsgResultBatchDict)
 }
 
 // newSession validates a setup request against the registry and prepares the

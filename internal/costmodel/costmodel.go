@@ -220,7 +220,8 @@ func TotalBytes(s Strategy, p Params) (down, up float64, err error) {
 // PipelineParams describe the semi-join pipeline for the concurrency-factor
 // analysis of Section 3.1.2 and the Figure 6 experiment.
 type PipelineParams struct {
-	// DownBandwidth and UpBandwidth are the link bandwidths in bytes/second.
+	// DownBandwidth and UpBandwidth are the per-channel link bandwidths in
+	// bytes/second.
 	DownBandwidth float64
 	UpBandwidth   float64
 	// Latency is the one-way network latency.
@@ -231,20 +232,36 @@ type PipelineParams struct {
 	// direction.
 	ArgBytes    float64
 	ResultBytes float64
+	// Sessions is the number of concurrent client sessions the operator fans
+	// its frames across. Every pipeline stage parallelises with it: the
+	// client processes sessions on independent workers, and each session
+	// travels its own channel of the (multiplexed) link — the paper's
+	// asymmetric-cable scenario, where the provider bonds many modem-grade
+	// uplinks. Zero or negative means 1.
+	Sessions int
+}
+
+// sessions returns the effective session fan-out.
+func (p PipelineParams) sessions() float64 {
+	if p.Sessions < 1 {
+		return 1
+	}
+	return float64(p.Sessions)
 }
 
 // BottleneckBandwidth returns B: the throughput (tuples/second) of the
-// slowest pipeline stage.
+// slowest pipeline stage, across all sessions.
 func (p PipelineParams) BottleneckBandwidth() float64 {
+	t := p.sessions()
 	stages := []float64{}
 	if p.DownBandwidth > 0 && p.ArgBytes > 0 {
-		stages = append(stages, p.DownBandwidth/p.ArgBytes)
+		stages = append(stages, t*p.DownBandwidth/p.ArgBytes)
 	}
 	if p.UpBandwidth > 0 && p.ResultBytes > 0 {
-		stages = append(stages, p.UpBandwidth/p.ResultBytes)
+		stages = append(stages, t*p.UpBandwidth/p.ResultBytes)
 	}
 	if p.ClientTimePerTuple > 0 {
-		stages = append(stages, 1/p.ClientTimePerTuple.Seconds())
+		stages = append(stages, t/p.ClientTimePerTuple.Seconds())
 	}
 	if len(stages) == 0 {
 		return math.Inf(1)
@@ -276,7 +293,8 @@ func (p PipelineParams) RoundTripTime() time.Duration {
 // OptimalConcurrency returns B·T — the paper's prescription for the pipeline
 // concurrency factor (the buffer size between sender and receiver): the
 // number of tuples the pipeline can process during one tuple's round trip.
-// The result is at least 1.
+// The result is at least 1. With Sessions > 1 this is the total in-flight
+// window across the whole session pool.
 func OptimalConcurrency(p PipelineParams) int {
 	b := p.BottleneckBandwidth()
 	if math.IsInf(b, 1) {
@@ -287,4 +305,36 @@ func OptimalConcurrency(p PipelineParams) int {
 		return 1
 	}
 	return int(w)
+}
+
+// MinTransferRTTs is the smallest worthwhile per-session transfer, measured
+// in round-trip times: splitting a transfer below this leaves each session
+// spending comparable time on its setup handshake as on payload, so more
+// sessions stop paying for themselves.
+const MinTransferRTTs = 8
+
+// OptimalSessions derives the session fan-out T from measured link
+// characteristics: a transfer whose bottleneck direction carries
+// bottleneckBytes at bytesPerSec keeps benefiting from one more parallel
+// channel until each channel's share of the transfer no longer dominates a
+// setup round trip. T is the largest session count that still leaves at
+// least MinTransferRTTs round trips' worth of transfer time per session,
+// clamped to [1, max]. Unmeasured inputs (zero bytes, bandwidth or RTT)
+// yield 1 — parallelism is never guessed, only derived.
+func OptimalSessions(bottleneckBytes, bytesPerSec float64, rtt time.Duration, max int) int {
+	if max < 1 {
+		max = 1
+	}
+	if bottleneckBytes <= 0 || bytesPerSec <= 0 || rtt <= 0 {
+		return 1
+	}
+	transfer := bottleneckBytes / bytesPerSec
+	t := int(transfer / (MinTransferRTTs * rtt.Seconds()))
+	if t < 1 {
+		return 1
+	}
+	if t > max {
+		return max
+	}
+	return t
 }

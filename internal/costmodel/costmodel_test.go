@@ -370,3 +370,59 @@ func TestQuickCostModelInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPipelineSessions(t *testing.T) {
+	base := PipelineParams{
+		DownBandwidth:      3600,
+		UpBandwidth:        3600,
+		Latency:            50 * time.Millisecond,
+		ClientTimePerTuple: 2 * time.Millisecond,
+		ArgBytes:           100,
+		ResultBytes:        100,
+	}
+	b1 := base.BottleneckBandwidth()
+	par := base
+	par.Sessions = 4
+	if got := par.BottleneckBandwidth(); got != 4*b1 {
+		t.Errorf("4 sessions bottleneck = %g, want %g (every stage parallelises)", got, 4*b1)
+	}
+	// Sessions scale the total in-flight window linearly.
+	if w1, w4 := OptimalConcurrency(base), OptimalConcurrency(par); w4 < 3*w1 {
+		t.Errorf("concurrency with 4 sessions = %d, want ~4x the single-session %d", w4, w1)
+	}
+	// Zero and negative session counts behave as 1.
+	neg := base
+	neg.Sessions = -3
+	if neg.BottleneckBandwidth() != b1 {
+		t.Error("negative session count must behave as 1")
+	}
+}
+
+func TestOptimalSessions(t *testing.T) {
+	rtt := 100 * time.Millisecond
+	// A 216 KB transfer at 3600 B/s takes 60 s; with 8 RTTs (0.8 s) as the
+	// per-session floor, 60/0.8 = 75 sessions are justified before the cap.
+	if got := OptimalSessions(216_000, 3600, rtt, 8); got != 8 {
+		t.Errorf("capped sessions = %d, want 8", got)
+	}
+	if got := OptimalSessions(216_000, 3600, rtt, 1000); got != 75 {
+		t.Errorf("uncapped sessions = %d, want 75", got)
+	}
+	// A transfer that fits in a few round trips stays single-session.
+	if got := OptimalSessions(1000, 3600, rtt, 8); got != 1 {
+		t.Errorf("tiny transfer sessions = %d, want 1", got)
+	}
+	// Unmeasured inputs never guess parallelism.
+	for _, got := range []int{
+		OptimalSessions(0, 3600, rtt, 8),
+		OptimalSessions(216_000, 0, rtt, 8),
+		OptimalSessions(216_000, 3600, 0, 8),
+	} {
+		if got != 1 {
+			t.Errorf("unmeasured input sessions = %d, want 1", got)
+		}
+	}
+	if got := OptimalSessions(216_000, 3600, rtt, 0); got != 1 {
+		t.Errorf("max < 1 sessions = %d, want 1", got)
+	}
+}

@@ -449,3 +449,18 @@ func allOrdinals(n int) []int {
 	}
 	return out
 }
+
+// Unwrap implements Unwrapper for stats aggregation (NetStatsOf).
+func (f *Filter) Unwrap() Operator { return f.input }
+
+// Unwrap implements Unwrapper for stats aggregation (NetStatsOf).
+func (p *Project) Unwrap() Operator { return p.input }
+
+// Unwrap implements Unwrapper for stats aggregation (NetStatsOf).
+func (p *ProjectOrdinals) Unwrap() Operator { return p.input }
+
+// Unwrap implements Unwrapper for stats aggregation (NetStatsOf).
+func (l *Limit) Unwrap() Operator { return l.input }
+
+// Unwrap implements Unwrapper for stats aggregation (NetStatsOf).
+func (d *Distinct) Unwrap() Operator { return d.input }

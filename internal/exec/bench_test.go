@@ -165,6 +165,86 @@ func BenchmarkClientJoin(b *testing.B) {
 	})
 }
 
+// parallelBenchRows builds rows whose argument pair (Blob, Uniq) has
+// rows*dup distinct combinations over duplicate-heavy columns — the workload
+// shape of the parallel/dictionary paths.
+func parallelBenchRows(b *testing.B, rows int, dup float64) ([]types.Tuple, *types.Schema) {
+	b.Helper()
+	argDistinct := int(float64(rows) * dup)
+	if argDistinct < 1 {
+		argDistinct = 1
+	}
+	tuples, schema := dupWorkload(rows, 8, argDistinct, 120)
+	return tuples, schema
+}
+
+// BenchmarkSemiJoinParallel measures the session fan-out T against the
+// duplicate ratio D: T1/dup100 is the PR-2 single-session path, the other
+// variants add parallel sessions and the wire dictionary.
+func BenchmarkSemiJoinParallel(b *testing.B) {
+	for _, cfg := range []struct {
+		sessions int
+		dup      float64
+		dict     bool
+	}{
+		{1, 1.0, false},
+		{1, 0.25, false},
+		{1, 0.25, true},
+		{4, 0.25, false},
+		{4, 0.25, true},
+	} {
+		rows, schema := parallelBenchRows(b, 1024, cfg.dup)
+		name := fmt.Sprintf("T%d_dup%.0f_dict%v", cfg.sessions, cfg.dup*100, cfg.dict)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op, err := NewSemiJoin(NewValuesScan(schema, rows),
+					NewInProcessLink(deriveRuntime(b, 64), netsim.Unlimited()),
+					[]UDFBinding{deriveBinding()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				op.Sessions = cfg.sessions
+				op.DictBatches = cfg.dict
+				op.ConcurrencyFactor = 64
+				drainBatch(b, op)
+			}
+		})
+	}
+}
+
+// BenchmarkClientJoinParallel mirrors BenchmarkSemiJoinParallel for the
+// client-site join, whose full records duplicate even more on the wire.
+func BenchmarkClientJoinParallel(b *testing.B) {
+	for _, cfg := range []struct {
+		sessions int
+		dict     bool
+	}{
+		{1, false},
+		{1, true},
+		{4, false},
+		{4, true},
+	} {
+		rows, schema := parallelBenchRows(b, 1024, 0.25)
+		name := fmt.Sprintf("T%d_dict%v", cfg.sessions, cfg.dict)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op, err := NewClientJoin(NewValuesScan(schema, rows),
+					NewInProcessLink(deriveRuntime(b, 64), netsim.Unlimited()),
+					[]UDFBinding{deriveBinding()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				op.Sessions = cfg.sessions
+				op.DictBatches = cfg.dict
+				op.ShipBatchSize = DefaultBatchSize
+				drainBatch(b, op)
+			}
+		})
+	}
+}
+
 func BenchmarkFilterProject(b *testing.B) {
 	rows := benchRows(4096, 64)
 	build := func() Operator {

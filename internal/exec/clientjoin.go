@@ -18,13 +18,19 @@ const DefaultShipBatchSize = 8
 // ClientJoin executes a client-site UDF with the "join at the client"
 // strategy of Section 2.3.2: full records are shipped downlink, the client
 // applies the UDFs plus any pushable predicates and projections, and the
-// (possibly filtered and narrowed) records come back on the uplink. Sender
-// and receiver need no coordination because the records themselves flow
-// through the client; there is no bounded buffer.
+// (possibly filtered and narrowed) records come back on the uplink.
 //
 // Both directions are batched: the sender pulls whole input batches and ships
 // ShipBatchSize records per frame, and the receiver forwards whole decoded
-// result batches through the output channel instead of one tuple per send.
+// result batches instead of one tuple per send.
+//
+// With Sessions > 1 the sender deals frames round-robin across a pool of wire
+// sessions and the receiver re-merges the per-session reply streams in the
+// exact deal order — the client answers every frame with exactly one reply
+// frame (possibly empty after filtering), so per-session FIFO plus the deal
+// order reconstructs the global record order without sequence bookkeeping on
+// the wire. DictBatches additionally negotiates the per-batch value
+// dictionary encoding on every session.
 type ClientJoin struct {
 	baseState
 	input Operator
@@ -45,14 +51,22 @@ type ClientJoin struct {
 	FinalDelivery bool
 	// ShipBatchSize is the number of records per downlink frame.
 	ShipBatchSize int
+	// Sessions is the number of concurrent wire sessions record frames are
+	// dealt across. Values below 2 keep the single-session pipeline.
+	Sessions int
+	// DictBatches requests the wire-level per-batch value dictionary
+	// encoding; used only when the client acknowledges support.
+	DictBatches bool
 
 	schema    *types.Schema
 	outSchema *types.Schema // extended schema narrowed by ProjectOrdinals
 
-	session   *udfSession
-	out       chan []types.Tuple
+	sessions  []*udfSession
+	order     chan int             // session index of each sent frame, in send order
+	resCh     []chan []types.Tuple // per-session decoded reply batches, FIFO
 	errCh     chan error
-	wg        sync.WaitGroup
+	wg        sync.WaitGroup // sender + readers
+	readersWg sync.WaitGroup // readers only; the clean-end path waits for them
 	cancel    context.CancelFunc
 	cur       []types.Tuple // receiver batch currently being drained
 	curPos    int
@@ -114,10 +128,14 @@ func (c *ClientJoin) Schema() *types.Schema {
 
 // DeliveredRows reports how many rows the client kept when FinalDelivery is
 // in effect. Only meaningful after Close.
-func (c *ClientJoin) DeliveredRows() uint64 { return c.delivered }
+func (c *ClientJoin) DeliveredRows() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.delivered
+}
 
 // Open implements Operator: it validates the pushable projection, opens the
-// session, then starts the sender and receiver goroutines.
+// session pool, then starts the sender and the per-session readers.
 func (c *ClientJoin) Open(ctx context.Context) error {
 	if c.link == nil {
 		return fmt.Errorf("exec: client-site join has no client link")
@@ -143,6 +161,7 @@ func (c *ClientJoin) Open(ctx context.Context) error {
 		UDFs:            specs,
 		ProjectOrdinals: c.ProjectOrdinals,
 		FinalDelivery:   c.FinalDelivery,
+		DictBatches:     c.DictBatches,
 	}
 	if c.Pushable != nil {
 		data, err := expr.Marshal(c.Pushable)
@@ -152,33 +171,51 @@ func (c *ClientJoin) Open(ctx context.Context) error {
 		}
 		req.PushablePredicate = data
 	}
-	sess, err := openUDFSession(c.link, req)
+	nSessions := c.Sessions
+	if nSessions < 1 {
+		nSessions = 1
+	}
+	sessions, err := openSessionPool(c.link, nSessions, req)
 	if err != nil {
 		_ = c.input.Close()
 		return err
 	}
-	c.session = sess
-	c.out = make(chan []types.Tuple, 8)
-	c.errCh = make(chan error, 2)
+	c.sessions = sessions
+	// Unmerged in-flight frames are bounded by the per-session reply buffers
+	// plus the clients' turnaround, so a modest deal-order buffer suffices; a
+	// full channel just pauses the sender until the merge catches up.
+	c.order = make(chan int, 4096)
+	c.resCh = make([]chan []types.Tuple, len(sessions))
+	for i := range c.resCh {
+		c.resCh[i] = make(chan []types.Tuple, 8)
+	}
+	c.errCh = make(chan error, len(sessions)+1)
 	c.cur, c.curPos = nil, 0
+	c.delivered = 0
 	c.stats = NetStats{}
 
 	runCtx, cancel := context.WithCancel(ctx)
 	c.cancel = cancel
-	c.wg.Add(2)
+	c.wg.Add(1 + len(sessions))
+	c.readersWg.Add(len(sessions))
 	go c.runSender(runCtx)
-	go c.runReceiver(runCtx)
+	for i := range c.sessions {
+		go c.runReader(runCtx, i)
+	}
 
 	c.opened = true
 	c.closed = false
 	return nil
 }
 
-// runSender ships the full input stream downlink in batches, then initiates
-// the end-of-stream handshake.
+// runSender ships the full input stream downlink, dealing one frame per
+// session round-robin and recording the deal order for the merging receiver,
+// then initiates the end-of-stream handshake on every session.
 func (c *ClientJoin) runSender(ctx context.Context) {
 	defer c.wg.Done()
+	defer close(c.order)
 	batch := make([]types.Tuple, c.ShipBatchSize)
+	target := 0
 	for {
 		if ctx.Err() != nil {
 			return
@@ -191,7 +228,17 @@ func (c *ClientJoin) runSender(ctx context.Context) {
 		if n == 0 {
 			break
 		}
-		if err := c.session.sendBatch(batch[:n]); err != nil {
+		sess := c.sessions[target]
+		// The deal order must be on record before the reply can be merged;
+		// the channel is sized far above any sane frame count, but keep the
+		// cancellation escape for when it fills.
+		select {
+		case c.order <- target:
+		case <-ctx.Done():
+			return
+		}
+		target = (target + 1) % len(c.sessions)
+		if err := sess.sendBatch(batch[:n]); err != nil {
 			c.reportErr(err)
 			return
 		}
@@ -200,41 +247,49 @@ func (c *ClientJoin) runSender(ctx context.Context) {
 		c.stats.Invocations += int64(n)
 		c.mu.Unlock()
 	}
-	// Signal end of the downlink stream; the client will answer with its own
-	// End after all results have been emitted.
-	if err := c.session.conn.Send(wire.MsgEnd, wire.EncodeEnd(&wire.End{SessionID: c.session.id})); err != nil {
-		c.reportErr(err)
+	// Signal end of the downlink stream on every session; each client-side
+	// session answers with its own End after its results have been emitted.
+	for _, sess := range c.sessions {
+		if err := sess.conn.Send(wire.MsgEnd, wire.EncodeEnd(&wire.End{SessionID: sess.id})); err != nil {
+			c.reportErr(err)
+			return
+		}
 	}
 }
 
-// runReceiver consumes result batches and forwards them whole to the output
-// channel until the client's End arrives.
-func (c *ClientJoin) runReceiver(ctx context.Context) {
+// runReader consumes one session's reply stream, forwarding every decoded
+// batch — including empty ones, which keep the merge aligned with the deal
+// order — until the session's End arrives.
+func (c *ClientJoin) runReader(ctx context.Context, idx int) {
 	defer c.wg.Done()
-	defer close(c.out)
+	defer c.readersWg.Done()
+	defer close(c.resCh[idx])
+	sess := c.sessions[idx]
 	for {
 		if ctx.Err() != nil {
 			return
 		}
-		msg, err := c.session.conn.Receive()
+		msg, err := sess.conn.Receive()
 		if err != nil {
 			c.reportErr(err)
 			return
 		}
 		switch msg.Type {
-		case wire.MsgResultBatch:
+		case wire.MsgResultBatch, wire.MsgResultBatchDict:
 			// Each frame is decoded into its own batch: the tuple slice is
-			// handed to the output channel and owned by the consumer.
-			batch, err := wire.DecodeTupleBatch(msg.Payload)
+			// handed through the channel and owned by the consumer.
+			var batch *wire.TupleBatch
+			if msg.Type == wire.MsgResultBatchDict {
+				batch, err = wire.DecodeDictBatch(msg.Payload)
+			} else {
+				batch, err = wire.DecodeTupleBatch(msg.Payload)
+			}
 			if err != nil {
 				c.reportErr(err)
 				return
 			}
-			if len(batch.Tuples) == 0 {
-				continue
-			}
 			select {
-			case c.out <- batch.Tuples:
+			case c.resCh[idx] <- batch.Tuples:
 			case <-ctx.Done():
 				return
 			}
@@ -245,7 +300,7 @@ func (c *ClientJoin) runReceiver(ctx context.Context) {
 				return
 			}
 			c.mu.Lock()
-			c.delivered = end.Rows
+			c.delivered += end.Rows
 			c.mu.Unlock()
 			return
 		case wire.MsgError:
@@ -270,22 +325,59 @@ func (c *ClientJoin) reportErr(err error) {
 	}
 }
 
-// nextResultBatch blocks until the receiver delivers the next non-empty
-// result batch. ok is false when the stream has ended cleanly.
+// nextResultBatch blocks until the merge delivers the next non-empty result
+// batch: it follows the sender's deal order, popping exactly one reply per
+// sent frame from that frame's session. ok is false when the stream has ended
+// cleanly.
 func (c *ClientJoin) nextResultBatch() ([]types.Tuple, bool, error) {
-	select {
-	case err := <-c.errCh:
-		return nil, false, err
-	case batch, ok := <-c.out:
-		if !ok {
+	for {
+		select {
+		case err := <-c.errCh:
+			return nil, false, err
+		case idx, ok := <-c.order:
+			if !ok {
+				// All frames merged. A sender error is on errCh before the
+				// order channel closes; otherwise wait for the readers to
+				// consume every session's End (which carries the
+				// FinalDelivery row counts) before reporting a clean end.
+				select {
+				case err := <-c.errCh:
+					return nil, false, err
+				default:
+				}
+				c.readersWg.Wait()
+				select {
+				case err := <-c.errCh:
+					return nil, false, err
+				default:
+				}
+				return nil, false, nil
+			}
+			// The reply receive stays selected against errCh: a frame can be
+			// on record in the deal order but never actually sent (the
+			// sender's sendBatch failed after recording it), in which case
+			// the only wake-up is the sender's error.
+			var batch []types.Tuple
+			var open bool
 			select {
 			case err := <-c.errCh:
 				return nil, false, err
-			default:
+			case batch, open = <-c.resCh[idx]:
 			}
-			return nil, false, nil
+			if !open {
+				// The session's reader exited before replying to this frame.
+				select {
+				case err := <-c.errCh:
+					return nil, false, err
+				default:
+				}
+				return nil, false, fmt.Errorf("exec: client-site join reply stream ended early")
+			}
+			if len(batch) == 0 {
+				continue
+			}
+			return batch, true, nil
 		}
-		return batch, true, nil
 	}
 }
 
@@ -306,8 +398,8 @@ func (c *ClientJoin) Next() (types.Tuple, bool, error) {
 	return t, true, nil
 }
 
-// NextBatch implements Operator: it drains the receiver's batches directly
-// into dst.
+// NextBatch implements Operator: it drains the merged batches directly into
+// dst.
 func (c *ClientJoin) NextBatch(dst []types.Tuple) (int, error) {
 	if err := c.checkOpen(); err != nil {
 		return 0, err
@@ -333,16 +425,22 @@ func (c *ClientJoin) Close() error {
 	if c.cancel != nil {
 		c.cancel()
 	}
-	if c.session != nil {
-		// Closing the connection unblocks both goroutines regardless of where
-		// they are parked.
-		c.mu.Lock()
-		c.stats.BytesDown = c.session.conn.BytesSent()
-		c.stats.BytesUp = c.session.conn.BytesReceived()
-		c.mu.Unlock()
-		c.session.close()
+	if c.sessions != nil {
+		// Closing the connections unblocks the sender and every reader
+		// regardless of where they are parked.
+		for _, sess := range c.sessions {
+			sess.close()
+		}
 	}
 	c.wg.Wait()
+	if c.sessions != nil {
+		// Counters are summed only after every goroutine has stopped moving
+		// bytes, so the final NetStats reflects the traffic actually put on
+		// the wire (early close included).
+		c.mu.Lock()
+		c.stats.BytesDown, c.stats.BytesUp = sumSessionBytes(c.sessions)
+		c.mu.Unlock()
+	}
 	return c.input.Close()
 }
 
@@ -351,9 +449,8 @@ func (c *ClientJoin) NetStats() NetStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := c.stats
-	if c.session != nil {
-		out.BytesDown = c.session.conn.BytesSent()
-		out.BytesUp = c.session.conn.BytesReceived()
+	if c.sessions != nil && !c.closed {
+		out.BytesDown, out.BytesUp = sumSessionBytes(c.sessions)
 	}
 	return out
 }

@@ -121,6 +121,10 @@ type udfSession struct {
 	conn *wire.Conn
 	id   uint64
 	seq  uint64
+	// dict is set when the client accepted the per-batch value dictionary
+	// encoding for this session; sendBatch then dictionary-encodes frames it
+	// shrinks and receiveResult accepts dictionary result frames.
+	dict bool
 	// recv is the reusable result-batch scratch; its Tuples slice is recycled
 	// across receiveResult calls, while the decoded values themselves are
 	// backed by a fresh per-frame arena and stay valid indefinitely.
@@ -128,7 +132,9 @@ type udfSession struct {
 }
 
 // openUDFSession opens a connection through the link and performs the setup
-// handshake.
+// handshake. The dictionary encoding is armed only when the request asked for
+// it and the client's ack confirmed support, so pre-dictionary clients keep
+// receiving plain batches.
 func openUDFSession(link ClientLink, req *wire.SetupRequest) (*udfSession, error) {
 	conn, err := link.OpenSession()
 	if err != nil {
@@ -162,24 +168,37 @@ func openUDFSession(link ClientLink, req *wire.SetupRequest) (*udfSession, error
 		_ = conn.Close()
 		return nil, fmt.Errorf("exec: client rejected setup: %s", ack.Error)
 	}
-	return &udfSession{conn: conn, id: req.SessionID}, nil
+	return &udfSession{conn: conn, id: req.SessionID, dict: req.DictBatches && ack.DictBatches}, nil
 }
 
-// sendBatch ships a batch of tuples downlink, encoding into a pooled buffer
-// so the steady state allocates nothing per frame.
+// openSessionPool opens n sessions over the link, each with its own setup
+// handshake and session ID. On any failure the already-opened sessions are
+// closed and the error returned.
+func openSessionPool(link ClientLink, n int, req *wire.SetupRequest) ([]*udfSession, error) {
+	if n < 1 {
+		n = 1
+	}
+	sessions := make([]*udfSession, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := openUDFSession(link, req)
+		if err != nil {
+			for _, open := range sessions {
+				open.close()
+			}
+			return nil, err
+		}
+		sessions = append(sessions, s)
+	}
+	return sessions, nil
+}
+
+// sendBatch ships a batch of tuples downlink through the shared pooled
+// encode path; on dictionary sessions the frame uses the per-batch value
+// dictionary whenever that is smaller.
 func (s *udfSession) sendBatch(tuples []types.Tuple) error {
 	batch := wire.TupleBatch{SessionID: s.id, Seq: s.seq, Tuples: tuples}
 	s.seq++
-	buf := wire.GetBuffer()
-	payload, err := wire.AppendTupleBatch(*buf, &batch)
-	if err != nil {
-		wire.PutBuffer(buf)
-		return err
-	}
-	err = s.conn.Send(wire.MsgTupleBatch, payload)
-	*buf = payload
-	wire.PutBuffer(buf)
-	return err
+	return wire.SendBatch(s.conn, &batch, s.dict, wire.MsgTupleBatch, wire.MsgTupleBatchDict)
 }
 
 // receiveResult reads the next result batch, translating client errors. The
@@ -195,6 +214,11 @@ func (s *udfSession) receiveResult() (*wire.TupleBatch, error) {
 		switch msg.Type {
 		case wire.MsgResultBatch:
 			if err := wire.DecodeTupleBatchInto(&s.recv, msg.Payload); err != nil {
+				return nil, err
+			}
+			return &s.recv, nil
+		case wire.MsgResultBatchDict:
+			if err := wire.DecodeDictBatchInto(&s.recv, msg.Payload); err != nil {
 				return nil, err
 			}
 			return &s.recv, nil
@@ -234,7 +258,7 @@ func (s *udfSession) end() (uint64, error) {
 				return 0, err
 			}
 			return e.Rows, nil
-		case wire.MsgResultBatch:
+		case wire.MsgResultBatch, wire.MsgResultBatchDict:
 			// Late results that the caller chose not to consume are drained.
 			continue
 		case wire.MsgError:

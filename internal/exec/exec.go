@@ -182,6 +182,30 @@ type NetReporter interface {
 	NetStats() NetStats
 }
 
+// Unwrapper is implemented by operators that decorate a single input and can
+// expose it (filters, projections, limits, sorts). NetStatsOf uses it to
+// find the client-site operator inside a planned tree.
+type Unwrapper interface {
+	Unwrap() Operator
+}
+
+// NetStatsOf returns the NetStats of op, looking through single-input
+// wrappers until a NetReporter is found. Operators that neither report nor
+// unwrap yield zero stats.
+func NetStatsOf(op Operator) NetStats {
+	for op != nil {
+		if rep, ok := op.(NetReporter); ok {
+			return rep.NetStats()
+		}
+		u, ok := op.(Unwrapper)
+		if !ok {
+			break
+		}
+		op = u.Unwrap()
+	}
+	return NetStats{}
+}
+
 // baseState tracks the open/closed lifecycle shared by the simpler operators.
 type baseState struct {
 	opened bool

@@ -18,6 +18,12 @@ import (
 //
 // An optional result cache eliminates duplicate invocations, following the
 // caching technique of [HN97] that the paper cites for server-site UDFs.
+//
+// With Sessions > 1 the operator keeps one synchronous round trip in flight
+// per session: up to T tuples are shipped on T sessions before the first
+// result is awaited, overlapping their round trips while preserving the
+// defining one-invocation-per-round-trip behaviour of each session (and the
+// exact output order). Sessions <= 1 is the paper's strict ping-pong.
 type NaiveUDF struct {
 	baseState
 	input Operator
@@ -27,14 +33,30 @@ type NaiveUDF struct {
 	// EnableCache caches results by argument key, skipping round trips for
 	// argument duplicates.
 	EnableCache bool
+	// Sessions is the number of concurrent wire sessions, each carrying at
+	// most one in-flight round trip.
+	Sessions int
 
 	schema      *types.Schema
 	argOrdinals []int          // union of all argument ordinals, sorted
 	remapped    []wire.UDFSpec // specs with ordinals into the shipped tuple
 
-	session *udfSession
-	cache   *argCache
-	stats   NetStats
+	sessions []*udfSession
+	free     []int                    // session indices with no round trip in flight
+	window   []naivePending           // FIFO of read-ahead input tuples
+	inflight map[uint64][]types.Tuple // argument tuples with a round trip in flight, by hash
+	inputEOF bool
+	cache    *argCache
+	stats    NetStats
+}
+
+// naivePending is one read-ahead input tuple of the in-flight window.
+type naivePending struct {
+	in   types.Tuple
+	args types.Tuple
+	hash uint64
+	sess int         // session carrying the round trip; -1 when none
+	res  types.Tuple // non-nil once resolved (from the cache at read time)
 }
 
 // NewNaiveUDF builds the operator. The UDF bindings reference columns of the
@@ -125,15 +147,27 @@ func (n *NaiveUDF) Open(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	sess, err := openUDFSession(n.link, &wire.SetupRequest{
+	nSessions := n.Sessions
+	if nSessions < 1 {
+		nSessions = 1
+	}
+	sessions, err := openSessionPool(n.link, nSessions, &wire.SetupRequest{
 		Mode:        wire.ModeNaive,
 		InputSchema: shipped,
 		UDFs:        n.remapped,
 	})
 	if err != nil {
+		_ = n.input.Close()
 		return err
 	}
-	n.session = sess
+	n.sessions = sessions
+	n.free = n.free[:0]
+	for i := range sessions {
+		n.free = append(n.free, i)
+	}
+	n.window = n.window[:0]
+	n.inflight = make(map[uint64][]types.Tuple)
+	n.inputEOF = false
 	if n.EnableCache {
 		n.cache = newArgCache()
 	}
@@ -143,54 +177,139 @@ func (n *NaiveUDF) Open(ctx context.Context) error {
 	return nil
 }
 
-// Next implements Operator: one blocking round trip per non-cached tuple.
-func (n *NaiveUDF) Next() (types.Tuple, bool, error) {
-	if err := n.checkOpen(); err != nil {
-		return nil, false, err
+// fillWindow reads ahead and launches round trips until every session has one
+// in flight (or the input is exhausted). Cache hits and duplicates of
+// in-flight arguments join the window without consuming a session; the
+// read-ahead itself is bounded so a duplicate-heavy stream cannot buffer the
+// whole input.
+func (n *NaiveUDF) fillWindow() error {
+	limit := len(n.sessions) + DefaultBatchSize
+	for !n.inputEOF && len(n.free) > 0 && len(n.window) < limit {
+		in, ok, err := n.input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			n.inputEOF = true
+			return nil
+		}
+		args, err := in.Project(n.argOrdinals)
+		if err != nil {
+			return err
+		}
+		p := naivePending{in: in, args: args, hash: hashArgs(args), sess: -1}
+		if n.EnableCache {
+			if cached, hit := n.cache.get(args, p.hash); hit {
+				p.res = cached
+				n.window = append(n.window, p)
+				continue
+			}
+			if tupleInFlight(n.inflight[p.hash], args) {
+				// An equal argument launched by an earlier window entry is
+				// already on its way; entries resolve in FIFO order, so the
+				// cache will hold the result by the time this one is emitted.
+				n.window = append(n.window, p)
+				continue
+			}
+		}
+		sess := n.free[len(n.free)-1]
+		n.free = n.free[:len(n.free)-1]
+		if err := n.sessions[sess].sendBatch([]types.Tuple{args}); err != nil {
+			return err
+		}
+		n.stats.Messages++
+		n.stats.Invocations++
+		n.stats.RoundTrips++
+		n.inflight[p.hash] = append(n.inflight[p.hash], args)
+		p.sess = sess
+		n.window = append(n.window, p)
 	}
-	in, ok, err := n.input.Next()
-	if err != nil || !ok {
-		return nil, false, err
-	}
-	args, err := in.Project(n.argOrdinals)
-	if err != nil {
-		return nil, false, err
-	}
-	var argHash uint64
-	if n.EnableCache {
-		argHash = hashArgs(args)
-		if cached, hit := n.cache.get(args, argHash); hit {
-			return in.Concat(cached), true, nil
+	return nil
+}
+
+// tupleInFlight reports whether an argument tuple equal to args is in chain.
+func tupleInFlight(chain []types.Tuple, args types.Tuple) bool {
+	for _, t := range chain {
+		if t.Equal(args) {
+			return true
 		}
 	}
-	if err := n.session.sendBatch([]types.Tuple{args}); err != nil {
-		return nil, false, err
+	return false
+}
+
+// resolve produces the result tuple for the window head, receiving its round
+// trip when one is in flight.
+func (n *NaiveUDF) resolve(p *naivePending) (types.Tuple, error) {
+	if p.res != nil {
+		return p.res, nil
 	}
-	n.stats.Messages++
-	n.stats.Invocations++
-	n.stats.RoundTrips++
-	res, err := n.session.receiveResult()
+	if p.sess < 0 {
+		// Deferred duplicate of an earlier in-flight argument, which has
+		// resolved (and been cached) by now — entries resolve in FIFO order.
+		cached, hit := n.cache.get(p.args, p.hash)
+		if !hit {
+			return nil, fmt.Errorf("exec: naive UDF window lost a deferred duplicate result")
+		}
+		return cached, nil
+	}
+	res, err := n.sessions[p.sess].receiveResult()
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
+	n.free = append(n.free, p.sess)
+	n.removeInFlight(p.hash, p.args)
 	if len(res.Tuples) != 1 {
-		return nil, false, fmt.Errorf("exec: naive UDF expected one result, got %d", len(res.Tuples))
+		return nil, fmt.Errorf("exec: naive UDF expected one result, got %d", len(res.Tuples))
 	}
 	results := res.Tuples[0]
 	if results.Len() != len(n.udfs) {
-		return nil, false, fmt.Errorf("exec: naive UDF expected %d result columns, got %d", len(n.udfs), results.Len())
+		return nil, fmt.Errorf("exec: naive UDF expected %d result columns, got %d", len(n.udfs), results.Len())
 	}
 	if n.EnableCache {
 		// Clone before caching: the decoded result may share a codec buffer
 		// with the rest of its frame, and cached entries outlive the frame.
-		n.cache.put(args, argHash, results.Clone())
+		results = results.Clone()
+		n.cache.put(p.args, p.hash, results)
 	}
-	return in.Concat(results), true, nil
+	return results, nil
+}
+
+// removeInFlight drops one entry equal to args from the in-flight chain.
+func (n *NaiveUDF) removeInFlight(hash uint64, args types.Tuple) {
+	chain := n.inflight[hash]
+	for i, t := range chain {
+		if t.Equal(args) {
+			chain[i] = chain[len(chain)-1]
+			n.inflight[hash] = chain[:len(chain)-1]
+			return
+		}
+	}
+}
+
+// Next implements Operator: one blocking round trip per non-cached tuple,
+// with up to Sessions round trips overlapped by the read-ahead window.
+func (n *NaiveUDF) Next() (types.Tuple, bool, error) {
+	if err := n.checkOpen(); err != nil {
+		return nil, false, err
+	}
+	if err := n.fillWindow(); err != nil {
+		return nil, false, err
+	}
+	if len(n.window) == 0 {
+		return nil, false, nil
+	}
+	p := n.window[0]
+	n.window = n.window[1:]
+	res, err := n.resolve(&p)
+	if err != nil {
+		return nil, false, err
+	}
+	return p.in.Concat(res), true, nil
 }
 
 // NextBatch implements Operator via the generic tuple-at-a-time adapter: one
 // blocking round trip per tuple is the defining behaviour of this operator,
-// so there is nothing to batch.
+// so there is nothing to batch beyond the session window.
 func (n *NaiveUDF) NextBatch(dst []types.Tuple) (int, error) {
 	return ScalarNextBatch(n, dst)
 }
@@ -201,11 +320,16 @@ func (n *NaiveUDF) Close() error {
 		return nil
 	}
 	n.closed = true
-	if n.session != nil {
-		_, _ = n.session.end()
-		n.stats.BytesDown = n.session.conn.BytesSent()
-		n.stats.BytesUp = n.session.conn.BytesReceived()
-		n.session.close()
+	if n.sessions != nil {
+		// Abandoned in-flight round trips (early close) are drained by the
+		// end handshake, which skips late result batches.
+		for _, sess := range n.sessions {
+			_, _ = sess.end()
+		}
+		n.stats.BytesDown, n.stats.BytesUp = sumSessionBytes(n.sessions)
+		for _, sess := range n.sessions {
+			sess.close()
+		}
 	}
 	n.cache = nil
 	return n.input.Close()
@@ -213,9 +337,8 @@ func (n *NaiveUDF) Close() error {
 
 // NetStats implements NetReporter.
 func (n *NaiveUDF) NetStats() NetStats {
-	if n.session != nil {
-		n.stats.BytesDown = n.session.conn.BytesSent()
-		n.stats.BytesUp = n.session.conn.BytesReceived()
+	if n.sessions != nil && !n.closed {
+		n.stats.BytesDown, n.stats.BytesUp = sumSessionBytes(n.sessions)
 	}
 	return n.stats
 }

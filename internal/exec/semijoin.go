@@ -32,6 +32,14 @@ const DefaultSendBatchSize = 32
 // whole-batch channel sends; the receiver drains one parked batch at a time.
 // Duplicate elimination and the result table are hash-keyed (collision chains
 // resolved by value comparison), so the steady state allocates no key strings.
+//
+// With Sessions > 1 the operator opens a pool of wire sessions and fans
+// argument frames out across them round-robin; one reader goroutine per
+// session matches returned results with that session's send order and
+// publishes them in a shared result table the receiver waits on, so output
+// order stays exactly the input order while the frames themselves travel in
+// parallel. DictBatches additionally negotiates the per-batch value
+// dictionary encoding for both directions of every session.
 type SemiJoin struct {
 	baseState
 	input Operator
@@ -44,6 +52,14 @@ type SemiJoin struct {
 	// SendBatchSize is the number of duplicate-free argument tuples shipped
 	// per downlink frame. Values below 1 select DefaultSendBatchSize.
 	SendBatchSize int
+	// Sessions is the number of concurrent wire sessions (the paper's T
+	// parallel channels) argument frames are fanned out across. Values below
+	// 2 keep the classic single-session pipeline.
+	Sessions int
+	// DictBatches requests the wire-level per-batch value dictionary
+	// encoding for the operator's sessions; it is used only when the client
+	// acknowledges support and only on frames it shrinks.
+	DictBatches bool
 	// SortInput, when set, sorts the input on the argument columns before
 	// sending so the receiver performs a pure merge join (the assumption the
 	// paper makes for its receiver). Result correctness does not depend on
@@ -54,14 +70,15 @@ type SemiJoin struct {
 	argOrdinals []int
 	remapped    []wire.UDFSpec
 
-	session *udfSession
-	buffer  chan []bufferedRecord
-	pending chan pendingArg // argument tuples in the order they were sent
-	sendErr chan error
-	wg      sync.WaitGroup
-	cancel  context.CancelFunc
+	sessions  []*udfSession
+	pendings  []chan pendingArg // per-session argument tuples in send order
+	results   *resultTable
+	buffer    chan []bufferedRecord
+	sendErr   chan error
+	wg        sync.WaitGroup // sender
+	readersWg sync.WaitGroup // per-session readers
+	cancel    context.CancelFunc
 
-	cache  *argCache
 	cur    []bufferedRecord // receiver's current parked batch
 	curPos int
 	stats  NetStats
@@ -80,6 +97,71 @@ type bufferedRecord struct {
 type pendingArg struct {
 	args types.Tuple
 	hash uint64
+}
+
+// resultTable is the shared receiver-side state of the (possibly parallel)
+// semi-join: the per-session readers publish matched results here and the
+// receiver waits for the entry of the argument it needs. The condition
+// variable replaces the demand-driven receive loop of the single-session
+// design — readers always drain their sessions, which is also what keeps a
+// multi-session client from ever blocking on an unread uplink write.
+type resultTable struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	cache *argCache
+	err   error
+	done  bool
+}
+
+func newResultTable() *resultTable {
+	t := &resultTable{cache: newArgCache()}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// put publishes the result for one shipped argument and wakes waiters.
+func (t *resultTable) put(args types.Tuple, hash uint64, res types.Tuple) {
+	t.mu.Lock()
+	t.cache.put(args, hash, res)
+	t.mu.Unlock()
+	t.cond.Broadcast()
+}
+
+// fail records the first reader error and wakes waiters. Errors reported
+// after finish (connection teardown noise during Close) are dropped.
+func (t *resultTable) fail(err error) {
+	t.mu.Lock()
+	if t.err == nil && !t.done {
+		t.err = err
+	}
+	t.mu.Unlock()
+	t.cond.Broadcast()
+}
+
+// finish marks the table closed, releasing any waiter.
+func (t *resultTable) finish() {
+	t.mu.Lock()
+	t.done = true
+	t.mu.Unlock()
+	t.cond.Broadcast()
+}
+
+// wait blocks until the result for args is available (or the table fails).
+func (t *resultTable) wait(args types.Tuple, hash uint64) (types.Tuple, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		if res, ok := t.cache.get(args, hash); ok {
+			return res, nil
+		}
+		if t.err != nil {
+			return nil, t.err
+		}
+		if t.done {
+			return nil, fmt.Errorf("exec: semi-join closed before result arrived")
+		}
+		t.cond.Wait()
+	}
 }
 
 // NewSemiJoin builds the operator.
@@ -105,7 +187,8 @@ func NewSemiJoin(input Operator, link ClientLink, udfs []UDFBinding) (*SemiJoin,
 // Schema implements Operator.
 func (s *SemiJoin) Schema() *types.Schema { return s.schema }
 
-// Open implements Operator: it opens the session and starts the sender.
+// Open implements Operator: it opens the session pool and starts the sender
+// and the per-session result readers.
 func (s *SemiJoin) Open(ctx context.Context) error {
 	if s.link == nil {
 		return fmt.Errorf("exec: semi-join operator has no client link")
@@ -131,28 +214,48 @@ func (s *SemiJoin) Open(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	sess, err := openUDFSession(s.link, &wire.SetupRequest{
+	nSessions := s.Sessions
+	if nSessions < 1 {
+		nSessions = 1
+	}
+	sessions, err := openSessionPool(s.link, nSessions, &wire.SetupRequest{
 		Mode:        wire.ModeSemiJoin,
 		InputSchema: shipped,
 		UDFs:        s.remapped,
+		DictBatches: s.DictBatches,
 	})
 	if err != nil {
 		_ = in.Close()
 		return err
 	}
-	s.session = sess
+	s.sessions = sessions
 	// The buffer holds record batches; sizing it in batches of the sender's
 	// read granularity keeps roughly ConcurrencyFactor tuples in flight.
 	readBatch := s.senderReadBatch()
 	s.buffer = make(chan []bufferedRecord, (s.ConcurrencyFactor+readBatch-1)/readBatch)
-	s.pending = make(chan pendingArg, 1<<16)
+	// The pending budget (far above any sane concurrency factor) is split
+	// across the pool so the operator's eager channel allocation stays flat
+	// in the session count; a full channel only pauses the sender until that
+	// session's reader drains results, which is ordinary flow control.
+	pendingCap := (1 << 16) / len(sessions)
+	if pendingCap < 1<<10 {
+		pendingCap = 1 << 10
+	}
+	s.pendings = make([]chan pendingArg, len(sessions))
+	for i := range s.pendings {
+		s.pendings[i] = make(chan pendingArg, pendingCap)
+	}
 	s.sendErr = make(chan error, 1)
-	s.cache = newArgCache()
+	s.results = newResultTable()
 	s.cur, s.curPos = nil, 0
 	s.stats = NetStats{}
 
 	senderCtx, cancel := context.WithCancel(ctx)
 	s.cancel = cancel
+	for i := range s.sessions {
+		s.readersWg.Add(1)
+		go s.runReader(s.sessions[i], s.pendings[i])
+	}
 	s.wg.Add(1)
 	go s.runSender(senderCtx, in)
 
@@ -178,41 +281,44 @@ func (s *SemiJoin) senderReadBatch() int {
 }
 
 // runSender is the sender thread of Figure 3: it reads input record batches,
-// ships the batch's distinct argument tuples downlink in one frame, and parks
-// the full records in the bounded buffer for the receiver.
-//
-// Pipeline-safety invariant: the sender performs exactly one (potentially
-// blocking) frame send per input batch, immediately followed by parking that
-// batch's records. Hence whenever a send blocks, every previously shipped
-// argument's record batch is already parked, which guarantees the receiver
-// will demand (and therefore read) the earlier result frames — unblocking the
-// client, which in turn unblocks this send. Flushing more than once between
-// park operations would break this invariant and can deadlock on the
-// synchronous in-process pipe.
+// ships each batch's distinct argument tuples downlink in one frame — cycling
+// round-robin through the session pool — and parks the full records in the
+// bounded buffer for the receiver. Because every session has a dedicated
+// reader draining its results into the shared table, a send can only block on
+// link transfer, never on an unread reply, regardless of how many frames are
+// in flight across the pool.
 func (s *SemiJoin) runSender(ctx context.Context, in Operator) {
 	defer s.wg.Done()
 	defer close(s.buffer)
-	defer close(s.pending)
+	defer func() {
+		for _, p := range s.pendings {
+			close(p)
+		}
+	}()
 	seen := newTupleSet(nil)
 	readBatch := s.senderReadBatch()
 	batch := make([]types.Tuple, readBatch)
 	sendBuf := make([]types.Tuple, 0, readBatch)
 	sendHashes := make([]uint64, 0, readBatch)
+	target := 0 // round-robin session cursor
 	flush := func() error {
 		if len(sendBuf) == 0 {
 			return nil
 		}
-		// Announce the send order to the receiver before the frame hits the
-		// wire. The pending channel is sized far above any sane concurrency
-		// factor, but keep the cancellation escape for when it does fill.
+		sess, pending := s.sessions[target], s.pendings[target]
+		target = (target + 1) % len(s.sessions)
+		// Announce the send order to this session's reader before the frame
+		// hits the wire. The pending channel is sized far above any sane
+		// concurrency factor, but keep the cancellation escape for when it
+		// does fill.
 		for i, args := range sendBuf {
 			select {
-			case s.pending <- pendingArg{args: args, hash: sendHashes[i]}:
+			case pending <- pendingArg{args: args, hash: sendHashes[i]}:
 			case <-ctx.Done():
 				return ctx.Err()
 			}
 		}
-		if err := s.session.sendBatch(sendBuf); err != nil {
+		if err := sess.sendBatch(sendBuf); err != nil {
 			return err
 		}
 		s.mu.Lock()
@@ -237,8 +343,8 @@ func (s *SemiJoin) runSender(ctx context.Context, in Operator) {
 		}
 		records := make([]bufferedRecord, 0, n)
 		// One arena backs every argument projection of this input batch; the
-		// tuples escape into the dedup set, the pending channel and the cache,
-		// and the arena is never recycled, so they stay valid.
+		// tuples escape into the dedup set, the pending channels and the
+		// result table, and the arena is never recycled, so they stay valid.
 		arena := make([]types.Value, 0, n*len(s.argOrdinals))
 		for _, t := range batch[:n] {
 			var args types.Tuple
@@ -256,8 +362,6 @@ func (s *SemiJoin) runSender(ctx context.Context, in Operator) {
 			}
 			records = append(records, bufferedRecord{tuple: t, args: args, hash: argHash})
 		}
-		// The batch's single flush, immediately followed by the park — see
-		// the pipeline-safety invariant above.
 		if err := flush(); err != nil {
 			s.reportSendErr(err)
 			return
@@ -266,6 +370,33 @@ func (s *SemiJoin) runSender(ctx context.Context, in Operator) {
 		case s.buffer <- records:
 		case <-ctx.Done():
 			return
+		}
+	}
+}
+
+// runReader drains one session's result stream, matching each returned tuple
+// with the next pending argument of that session — the per-channel half of
+// the merge join the paper describes for the receiver — and publishing it in
+// the shared result table.
+func (s *SemiJoin) runReader(sess *udfSession, pending chan pendingArg) {
+	defer s.readersWg.Done()
+	for {
+		batch, err := sess.receiveResult()
+		if err != nil {
+			s.results.fail(err)
+			return
+		}
+		for _, res := range batch.Tuples {
+			p, ok := <-pending
+			if !ok {
+				s.results.fail(fmt.Errorf("exec: semi-join received more results than arguments sent"))
+				return
+			}
+			if res.Len() != len(s.udfs) {
+				s.results.fail(fmt.Errorf("exec: semi-join expected %d result columns, got %d", len(s.udfs), res.Len()))
+				return
+			}
+			s.results.put(p.args, p.hash, res)
 		}
 	}
 }
@@ -304,7 +435,7 @@ func (s *SemiJoin) nextRecord() (bufferedRecord, bool, error) {
 }
 
 // Next implements Operator: it is the receiver thread of Figure 3, joining
-// buffered records with the result stream coming back from the client.
+// buffered records with the result stream the session readers publish.
 func (s *SemiJoin) Next() (types.Tuple, bool, error) {
 	if err := s.checkOpen(); err != nil {
 		return nil, false, err
@@ -313,7 +444,7 @@ func (s *SemiJoin) Next() (types.Tuple, bool, error) {
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	results, err := s.resultFor(rec)
+	results, err := s.results.wait(rec.args, rec.hash)
 	if err != nil {
 		return nil, false, err
 	}
@@ -337,7 +468,7 @@ func (s *SemiJoin) NextBatch(dst []types.Tuple) (int, error) {
 		if !ok {
 			return out, nil
 		}
-		results, err := s.resultFor(rec)
+		results, err := s.results.wait(rec.args, rec.hash)
 		if err != nil {
 			return out, err
 		}
@@ -355,41 +486,14 @@ func (s *SemiJoin) NextBatch(dst []types.Tuple) (int, error) {
 	return out, nil
 }
 
-// resultFor returns the UDF results for a record's argument tuple, reading
-// further result batches from the client as needed. Results arrive in the
-// order the distinct arguments were sent, so each received result is matched
-// with the next pending argument — the merge-join the paper describes for the
-// receiver.
-func (s *SemiJoin) resultFor(rec bufferedRecord) (types.Tuple, error) {
-	for {
-		if res, ok := s.cache.get(rec.args, rec.hash); ok {
-			return res, nil
-		}
-		batch, err := s.session.receiveResult()
-		if err != nil {
-			return nil, err
-		}
-		for _, res := range batch.Tuples {
-			p, ok := <-s.pending
-			if !ok {
-				return nil, fmt.Errorf("exec: semi-join received more results than arguments sent")
-			}
-			if res.Len() != len(s.udfs) {
-				return nil, fmt.Errorf("exec: semi-join expected %d result columns, got %d", len(s.udfs), res.Len())
-			}
-			s.cache.put(p.args, p.hash, res)
-		}
-	}
-}
-
 // Close implements Operator.
 //
 // Close must work both after a clean drain and when the caller abandons the
-// stream early (e.g. a LIMIT above the operator). In the early case the
-// sender may be blocked writing to the link while the client is blocked
-// writing results nobody reads; Close therefore drains both the buffer and
-// the incoming message stream until the sender exits, then tears down the
-// connection instead of performing the graceful end handshake.
+// stream early (e.g. a LIMIT above the operator). The session readers keep
+// every connection drained, so the sender can only be parked on the bounded
+// buffer (drained here) or mid-transfer on the link (finite); once it exits,
+// the result table is retired and the connections closed, which unblocks the
+// readers.
 func (s *SemiJoin) Close() error {
 	if s.closed {
 		return nil
@@ -398,32 +502,36 @@ func (s *SemiJoin) Close() error {
 	if s.cancel != nil {
 		s.cancel()
 	}
-	if s.session != nil {
-		drainDone := make(chan struct{})
+	if s.sessions != nil {
+		drained := make(chan struct{})
 		go func() {
+			defer close(drained)
 			for range s.buffer {
 			}
 		}()
-		go func() {
-			defer close(drainDone)
-			for {
-				if _, err := s.session.conn.Receive(); err != nil {
-					return
-				}
-			}
-		}()
 		s.wg.Wait()
+		<-drained
+		s.results.finish()
+		for _, sess := range s.sessions {
+			sess.close()
+		}
+		s.readersWg.Wait()
 		s.mu.Lock()
-		s.stats.BytesDown = s.session.conn.BytesSent()
-		s.stats.BytesUp = s.session.conn.BytesReceived()
+		s.stats.BytesDown, s.stats.BytesUp = sumSessionBytes(s.sessions)
 		s.mu.Unlock()
-		s.session.close()
-		<-drainDone
 	} else {
 		s.wg.Wait()
 	}
-	s.cache = nil
 	return s.input.Close()
+}
+
+// sumSessionBytes totals the framed traffic of a session pool.
+func sumSessionBytes(sessions []*udfSession) (down, up int64) {
+	for _, sess := range sessions {
+		down += sess.conn.BytesSent()
+		up += sess.conn.BytesReceived()
+	}
+	return down, up
 }
 
 // NetStats implements NetReporter.
@@ -431,9 +539,8 @@ func (s *SemiJoin) NetStats() NetStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := s.stats
-	if s.session != nil {
-		out.BytesDown = s.session.conn.BytesSent()
-		out.BytesUp = s.session.conn.BytesReceived()
+	if s.sessions != nil && !s.closed {
+		out.BytesDown, out.BytesUp = sumSessionBytes(s.sessions)
 	}
 	return out
 }

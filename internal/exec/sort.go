@@ -113,3 +113,6 @@ func (s *Sort) Close() error {
 	s.rows = nil
 	return s.input.Close()
 }
+
+// Unwrap implements Unwrapper for stats aggregation (NetStatsOf).
+func (s *Sort) Unwrap() Operator { return s.input }

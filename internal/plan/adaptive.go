@@ -103,7 +103,7 @@ func (a *Adaptive) Open(ctx context.Context) error {
 		a.inner, err = a.planner.NewOperator(a.query, a.decision)
 	} else {
 		a.monitored = true
-		a.inner, err = a.planner.newMonitoredInner(a.query, a.strategy, a.decision.Concurrency)
+		a.inner, err = a.planner.newMonitoredInner(a.query, a.strategy, a.decision)
 	}
 	if err != nil {
 		return err
@@ -120,7 +120,7 @@ func (a *Adaptive) Open(ctx context.Context) error {
 // extended record comes back to the server, where the adaptive wrapper itself
 // applies the pushable predicate and projection so that output rows stay 1:1
 // with input rows inside the operator.
-func (p *Planner) newMonitoredInner(q Query, s Strategy, concurrency int) (exec.Operator, error) {
+func (p *Planner) newMonitoredInner(q Query, s Strategy, d *Decision) (exec.Operator, error) {
 	input, err := q.NewInput()
 	if err != nil {
 		return nil, err
@@ -128,7 +128,7 @@ func (p *Planner) newMonitoredInner(q Query, s Strategy, concurrency int) (exec.
 	if q.ServerFilter != nil {
 		input = exec.NewFilter(input, q.ServerFilter)
 	}
-	return p.newUDFOperator(input, q, s, concurrency)
+	return p.newUDFOperator(input, q, s, d)
 }
 
 // Next implements exec.Operator.
@@ -232,11 +232,20 @@ func (a *Adaptive) reconsider() error {
 	if next != StrategyClientJoin || a.strategy == StrategyClientJoin {
 		return nil
 	}
-	// The decision flipped: build and open the client-site join (resuming
-	// from the first undelivered input row) before touching the running
-	// operator, so a failed instantiation leaves the healthy monitored plan
-	// in place instead of killing the query mid-flight.
-	op, err := a.planner.newOperatorSkipping(a.query, StrategyClientJoin, a.decision.Concurrency, a.rowsSeen)
+	// The decision flipped: re-derive the link-level knobs for the
+	// client-site join's byte profile — it ships full records, so both the
+	// session fan-out (sized from the bottleneck transfer) and the
+	// dictionary prediction (whole-record columns, no dedup rescale) differ
+	// from the monitored semi-join's — then build and open the new operator
+	// (resuming from the first undelivered input row) before touching the
+	// running one, so a failed instantiation leaves the healthy monitored
+	// plan in place instead of killing the query mid-flight.
+	revised := *a.decision
+	revised.Strategy = StrategyClientJoin
+	revised.Params = params
+	revised.SemiJoinCost, revised.ClientJoinCost = sjc, cjc
+	finalizeLinkKnobs(&revised, a.query, a.planner.Config.maxSessions())
+	op, err := a.planner.newOperatorSkipping(a.query, &revised, StrategyClientJoin, a.rowsSeen)
 	if err != nil {
 		return nil
 	}
@@ -255,8 +264,7 @@ func (a *Adaptive) reconsider() error {
 	a.monitored = false
 	a.replanned = true
 	a.strategy = StrategyClientJoin
-	a.decision.Params = params
-	a.decision.SemiJoinCost, a.decision.ClientJoinCost = sjc, cjc
+	*a.decision = revised
 	return nil
 }
 

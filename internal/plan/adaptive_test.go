@@ -74,7 +74,7 @@ func TestAdaptiveReplanSwitchesToClientJoin(t *testing.T) {
 	}
 
 	// Byte-identical to the unplanned client-site join over the whole input…
-	cjOp, err := p.newOperatorSkipping(q, StrategyClientJoin, 0, 0)
+	cjOp, err := p.newOperatorSkipping(q, d, StrategyClientJoin, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestAdaptiveReplanSwitchesToClientJoin(t *testing.T) {
 	}
 
 	// …and to the unplanned semi-join (all strategies agree on results).
-	sjOp, err := p.newOperatorSkipping(q, StrategySemiJoin, 0, 0)
+	sjOp, err := p.newOperatorSkipping(q, d, StrategySemiJoin, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestAdaptiveStaysWhenEstimatesHold(t *testing.T) {
 	if adaptive.Replanned() {
 		t.Error("adaptive operator switched although the estimates held")
 	}
-	cjOp, err := p.newOperatorSkipping(q, StrategyClientJoin, 0, 0)
+	cjOp, err := p.newOperatorSkipping(q, d, StrategyClientJoin, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

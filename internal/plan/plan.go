@@ -47,6 +47,14 @@ const (
 	perTupleOverhead = 4
 	// maxConcurrency caps the derived pipeline concurrency factor.
 	maxConcurrency = 1024
+	// DefaultMaxSessions caps the derived parallel session fan-out when the
+	// config does not override it.
+	DefaultMaxSessions = 8
+	// minDictSavings is the predicted fractional byte saving below which the
+	// planner leaves the dictionary encoding off: the encoder's auto
+	// fallback makes a wrong "on" harmless, but skipping the negotiation
+	// avoids paying the per-frame dictionary construction for nothing.
+	minDictSavings = 0.02
 )
 
 // Strategy identifies the execution strategy the planner instantiates. It
@@ -92,6 +100,9 @@ type Config struct {
 	// "first K batches" of the re-planning rule, expressed in rows). Values
 	// < 1 select DefaultReplanAfterRows.
 	ReplanAfterRows int
+	// MaxSessions caps the parallel session fan-out the planner derives from
+	// the measured link. Values < 1 select DefaultMaxSessions.
+	MaxSessions int
 	// Link, when non-nil, is a pre-measured link observation; the planner
 	// skips the probe. Useful when many plans share one physical link.
 	Link *exec.LinkObservation
@@ -116,6 +127,13 @@ func (c Config) replanAfterRows() int {
 		return DefaultReplanAfterRows
 	}
 	return c.ReplanAfterRows
+}
+
+func (c Config) maxSessions() int {
+	if c.MaxSessions < 1 {
+		return DefaultMaxSessions
+	}
+	return c.MaxSessions
 }
 
 // Query describes one client-site UDF application for the planner.
@@ -176,8 +194,20 @@ type Decision struct {
 	ClientJoinCost costmodel.LinkCost
 	// EstimatedRows is the cardinality estimate for the operator's input.
 	EstimatedRows int
-	// Concurrency is the derived semi-join pipeline concurrency factor (B·T).
+	// Concurrency is the derived semi-join pipeline concurrency factor (B·T,
+	// totalled across the session pool).
 	Concurrency int
+	// Sessions is the derived parallel session fan-out T: how many wire
+	// sessions the operator deals its frames across, from the measured
+	// bottleneck transfer time and round trip (costmodel.OptimalSessions).
+	Sessions int
+	// DictBatches enables the wire-level per-batch value dictionary when the
+	// sampled per-column duplicate structure predicts it pays.
+	DictBatches bool
+	// DictSavings is the predicted fractional downlink byte saving of the
+	// dictionary encoding on the shipped columns (0 when DictBatches is
+	// off).
+	DictSavings float64
 	// Stats is the sampling pass output.
 	Stats SampleStats
 	// Link is the probe observation used for N.
@@ -260,8 +290,101 @@ func (p *Planner) Plan(ctx context.Context, q Query) (*Decision, error) {
 	if err != nil {
 		return nil, fmt.Errorf("plan: %w", err)
 	}
-	d.Concurrency = concurrencyFor(d.Params, link)
+	finalizeLinkKnobs(d, q, p.Config.maxSessions())
 	return d, nil
+}
+
+// finalizeLinkKnobs derives the decision's link-level knobs — session
+// fan-out, pipeline concurrency factor and dictionary choice — from its
+// strategy, parameters, link observation and sample statistics. It is shared
+// by Plan and the adaptive mid-query re-plan so a strategy switch always
+// re-derives the knobs exactly the way a fresh plan would.
+func finalizeLinkKnobs(d *Decision, q Query, maxSessions int) {
+	d.Sessions = sessionsFor(d, maxSessions)
+	d.Concurrency = concurrencyFor(d.Params, d.Link, d.Sessions)
+	// The naive operator ships one tuple per frame, where a per-batch
+	// dictionary can never shrink anything; the decision must describe the
+	// plan that actually executes.
+	d.DictSavings, d.DictBatches = 0, false
+	if d.Strategy != StrategyNaive {
+		d.DictSavings = dictSavings(d.Stats, q, d.Strategy)
+		d.DictBatches = d.DictSavings >= minDictSavings
+	}
+}
+
+// sessionsFor derives the parallel session fan-out T from the measured link:
+// the bottleneck direction's total transfer is split across sessions as long
+// as each session keeps at least costmodel.MinTransferRTTs round trips of
+// payload (costmodel.OptimalSessions). The naive strategy stays on one
+// session — its defining behaviour is the synchronous round trip, and the
+// planner only selects it for workloads with at most one expected
+// invocation anyway.
+func sessionsFor(d *Decision, max int) int {
+	if d.Strategy == StrategyNaive {
+		return 1
+	}
+	cs := costmodel.StrategySemiJoin
+	if d.Strategy == StrategyClientJoin {
+		cs = costmodel.StrategyClientJoin
+	}
+	down, up, err := costmodel.TotalBytes(cs, d.Params)
+	if err != nil {
+		return 1
+	}
+	var tDown, tUp float64
+	if d.Link.DownBytesPerSec > 0 {
+		tDown = down / d.Link.DownBytesPerSec
+	}
+	if d.Link.UpBytesPerSec > 0 {
+		tUp = up / d.Link.UpBytesPerSec
+	}
+	transferBytes, bw := down, d.Link.DownBytesPerSec
+	if tUp > tDown {
+		transferBytes, bw = up, d.Link.UpBytesPerSec
+	}
+	return costmodel.OptimalSessions(transferBytes, bw, d.Link.RTT, max)
+}
+
+// dictSavings predicts the fractional downlink byte saving of the per-batch
+// value dictionary over the columns the strategy ships: a column whose
+// sampled distinct-value fraction is f re-encodes only ~f of its occurrences
+// per batch, at the price of one index byte per occurrence. For the
+// semi-join (and naive) strategies the shipped stream is the distinct
+// argument tuples, so each column's fraction is rescaled by the tuple-level
+// D — the distinct values survive dedup while the row count shrinks.
+func dictSavings(stats SampleStats, q Query, s Strategy) float64 {
+	if len(stats.ColDistinctFraction) == 0 {
+		return 0
+	}
+	cols := argOrdinalUnion(q.UDFs)
+	rescale := stats.DistinctFraction
+	if s == StrategyClientJoin {
+		cols = cols[:0]
+		for o := range stats.ColDistinctFraction {
+			cols = append(cols, o)
+		}
+		rescale = 1
+	}
+	var total, saved float64
+	for _, o := range cols {
+		if o < 0 || o >= len(stats.AvgColBytes) {
+			continue
+		}
+		f := stats.ColDistinctFraction[o]
+		if rescale > 0 && rescale < 1 {
+			f /= rescale
+		}
+		if f > 1 {
+			f = 1
+		}
+		b := stats.AvgColBytes[o]
+		total += b
+		saved += (1-f)*b - 1
+	}
+	if total <= 0 || saved <= 0 {
+		return 0
+	}
+	return saved / total
 }
 
 // estimateRows combines the sample with catalog priors: an exhausted sample is
@@ -398,9 +521,10 @@ func projectionFraction(stats SampleStats, q Query, resultSize float64) float64 
 
 // concurrencyFor derives the semi-join pipeline concurrency factor from the
 // measured link: the paper's B·T prescription (Section 3.1.2), computed from
-// the probed bandwidths and round-trip time. An unmeasurable link keeps the
-// engine default.
-func concurrencyFor(p costmodel.Params, link exec.LinkObservation) int {
+// the probed bandwidths and round-trip time, totalled across the session
+// pool (every stage parallelises with the fan-out, so the in-flight window
+// scales with it). An unmeasurable link keeps the engine default.
+func concurrencyFor(p costmodel.Params, link exec.LinkObservation, sessions int) int {
 	if link.DownBytesPerSec <= 0 && link.UpBytesPerSec <= 0 {
 		return exec.DefaultConcurrencyFactor
 	}
@@ -410,6 +534,7 @@ func concurrencyFor(p costmodel.Params, link exec.LinkObservation) int {
 		Latency:       link.RTT / 2,
 		ArgBytes:      p.ArgFraction*p.InputSize + p.PerTupleOverhead,
 		ResultBytes:   p.ResultSize + p.PerTupleOverhead,
+		Sessions:      sessions,
 	})
 	if w > maxConcurrency {
 		return maxConcurrency
@@ -420,15 +545,17 @@ func concurrencyFor(p costmodel.Params, link exec.LinkObservation) int {
 // NewOperator instantiates the decision's strategy over a fresh input
 // subtree, splitting the pushable predicate and projection onto the right
 // side of the link: the client for the client-site join, the server (above
-// the join-back) for the semi-join and the naive operator.
+// the join-back) for the semi-join and the naive operator. The decision's
+// derived session fan-out and dictionary-encoding choice are applied to the
+// instantiated operator.
 func (p *Planner) NewOperator(q Query, d *Decision) (exec.Operator, error) {
-	return p.newOperatorSkipping(q, d.Strategy, d.Concurrency, 0)
+	return p.newOperatorSkipping(q, d, d.Strategy, 0)
 }
 
-// newOperatorSkipping is NewOperator with an optional number of (post-filter)
-// input rows to skip — the re-planning hook: rows already delivered by the
-// previous strategy are not re-read.
-func (p *Planner) newOperatorSkipping(q Query, s Strategy, concurrency, skip int) (exec.Operator, error) {
+// newOperatorSkipping is NewOperator with a strategy override and an optional
+// number of (post-filter) input rows to skip — the re-planning hook: rows
+// already delivered by the previous strategy are not re-read.
+func (p *Planner) newOperatorSkipping(q Query, d *Decision, s Strategy, skip int) (exec.Operator, error) {
 	input, err := q.NewInput()
 	if err != nil {
 		return nil, err
@@ -445,6 +572,8 @@ func (p *Planner) newOperatorSkipping(q Query, s Strategy, concurrency, skip int
 		if err != nil {
 			return nil, err
 		}
+		op.Sessions = d.Sessions
+		op.DictBatches = d.DictBatches
 		// ProjectOrdinals is not set yet, so Schema() is the full extended
 		// record — the width the pushable predicate is bound against.
 		pushable, server, err := splitPushable(q, op.Schema().Len())
@@ -458,7 +587,7 @@ func (p *Planner) newOperatorSkipping(q Query, s Strategy, concurrency, skip int
 		}
 		return exec.NewFilter(op, server), nil
 	case StrategySemiJoin, StrategyNaive:
-		op, err := p.newUDFOperator(input, q, s, concurrency)
+		op, err := p.newUDFOperator(input, q, s, d)
 		if err != nil {
 			return nil, err
 		}
@@ -472,16 +601,18 @@ func (p *Planner) newOperatorSkipping(q Query, s Strategy, concurrency, skip int
 // an already-assembled input; it is shared by the planner's direct
 // instantiation path and the adaptive operator's monitored phase so both
 // always run identically configured operators.
-func (p *Planner) newUDFOperator(input exec.Operator, q Query, s Strategy, concurrency int) (exec.Operator, error) {
+func (p *Planner) newUDFOperator(input exec.Operator, q Query, s Strategy, d *Decision) (exec.Operator, error) {
 	switch s {
 	case StrategySemiJoin:
 		op, err := exec.NewSemiJoin(input, p.Link, q.UDFs)
 		if err != nil {
 			return nil, err
 		}
-		if concurrency > 0 {
-			op.ConcurrencyFactor = concurrency
+		if d.Concurrency > 0 {
+			op.ConcurrencyFactor = d.Concurrency
 		}
+		op.Sessions = d.Sessions
+		op.DictBatches = d.DictBatches
 		return op, nil
 	case StrategyNaive:
 		op, err := exec.NewNaiveUDF(input, p.Link, q.UDFs)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"csq/internal/catalog"
 	"csq/internal/client"
@@ -407,5 +408,124 @@ func TestPlanQueryValidation(t *testing.T) {
 	q.UDFs = []exec.UDFBinding{{Name: "Score", ArgOrdinals: []int{9}, ResultKind: types.KindBytes}}
 	if _, err := p.Plan(context.Background(), q); err == nil {
 		t.Error("out-of-range argument ordinal should fail")
+	}
+}
+
+// TestPlanDerivesSessionsAndDict: with a measured asymmetric link the planner
+// fans the winning operator out across parallel sessions sized by the
+// bottleneck transfer, and enables the wire dictionary when the sampled
+// per-column duplicate structure predicts savings.
+func TestPlanDerivesSessionsAndDict(t *testing.T) {
+	// All-distinct payloads force the client-site join; the Extra column is
+	// identical across rows, so shipping full records is dictionary-friendly.
+	rows := make([]types.Tuple, 400)
+	for i := range rows {
+		rows[i] = rowWithKey(i, uint32(1000+i))
+	}
+	rt := testRuntime(t)
+	p := newTestPlanner(t, rt, netsim.Unlimited())
+	p.Config.Link = &exec.LinkObservation{
+		DownBytesPerSec: 180_000,
+		UpBytesPerSec:   3_600,
+		Asymmetry:       50,
+		RTT:             100 * time.Millisecond,
+	}
+	q := testQuery(rows, testCatalog(t, rt))
+	d, err := p.Plan(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Strategy != StrategyClientJoin {
+		t.Fatalf("planned %s, want client-site join", d.Strategy)
+	}
+	if d.Sessions < 2 || d.Sessions > DefaultMaxSessions {
+		t.Errorf("derived sessions = %d, want parallel fan-out within [2, %d]", d.Sessions, DefaultMaxSessions)
+	}
+	if !d.DictBatches || d.DictSavings < 0.3 {
+		t.Errorf("dict = %v savings = %.2f; the constant Extra column should predict >= 0.3", d.DictBatches, d.DictSavings)
+	}
+	// The derived fan-out and encoding must reach the instantiated operator,
+	// and the parallel dictionary-encoded plan must stay correct.
+	op, err := p.NewOperator(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, ok := op.(*exec.ClientJoin)
+	if !ok {
+		t.Fatalf("planned operator is %T, want *exec.ClientJoin", op)
+	}
+	if cj.Sessions != d.Sessions || cj.DictBatches != d.DictBatches {
+		t.Errorf("operator got sessions=%d dict=%v, decision says %d/%v", cj.Sessions, cj.DictBatches, d.Sessions, d.DictBatches)
+	}
+	got, err := exec.Collect(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := range rows {
+		if uint32(1000+i)%10 == 0 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("parallel dict client join returned %d rows, want %d", len(got), want)
+	}
+
+	// The session cap is configurable.
+	p.Config.MaxSessions = 2
+	d2, err := p.Plan(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Sessions > 2 {
+		t.Errorf("sessions = %d exceeds the configured cap 2", d2.Sessions)
+	}
+}
+
+// TestPlanSingleSessionOnUnmeasuredLink: without measured bandwidths the
+// planner never guesses parallelism.
+func TestPlanSingleSessionOnUnmeasuredLink(t *testing.T) {
+	rows := make([]types.Tuple, 200)
+	for i := range rows {
+		rows[i] = rowWithKey(i, uint32(i%8))
+	}
+	rt := testRuntime(t)
+	p := newTestPlanner(t, rt, netsim.Unlimited())
+	d, err := p.Plan(context.Background(), testQuery(rows, testCatalog(t, rt)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Sessions != 1 {
+		t.Errorf("unmeasured link derived %d sessions, want 1", d.Sessions)
+	}
+}
+
+// TestDictSavingsPrediction pins the per-strategy dictionary model: the
+// semi-join ships distinct argument tuples, so a single-column argument whose
+// every distinct value survives dedup predicts no savings, while the
+// client-site join's full records keep their duplicate columns.
+func TestDictSavingsPrediction(t *testing.T) {
+	stats := SampleStats{
+		PassingRows:         400,
+		AvgColBytes:         []float64{11, 106, 106},
+		ColDistinctFraction: []float64{1, 0.02, 1.0 / 400},
+		DistinctFraction:    0.02, // argument tuples are the payload column
+	}
+	q := Query{UDFs: testBindings()}
+	// Semi-join: the shipped stream is the 8 distinct payloads — within it
+	// every value is distinct (0.02/0.02 = 1), so the dictionary cannot help.
+	if s := dictSavings(stats, q, StrategySemiJoin); s != 0 {
+		t.Errorf("semi-join savings = %.3f, want 0 (distinct args stay distinct)", s)
+	}
+	// Client-site join: full records keep both duplicate-heavy columns (the
+	// 2%-distinct Payload and the near-constant Extra), so nearly all of
+	// their bytes are predicted away: (0.98·106-1 + (1-1/400)·106-1) / 223.
+	s := dictSavings(stats, q, StrategyClientJoin)
+	if s < 0.85 || s > 0.97 {
+		t.Errorf("client-join savings = %.3f, want ~0.93", s)
+	}
+	// An empty sample predicts nothing.
+	if s := dictSavings(SampleStats{}, q, StrategyClientJoin); s != 0 {
+		t.Errorf("empty-sample savings = %.3f, want 0", s)
 	}
 }

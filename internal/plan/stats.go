@@ -36,6 +36,12 @@ type SampleStats struct {
 	// DistinctFraction is the sketch's estimate of D over the argument
 	// columns of passing rows.
 	DistinctFraction float64
+	// ColDistinctFraction estimates, per input column ordinal, the fraction
+	// of passing rows carrying a distinct value in that column — the
+	// duplicate structure the wire dictionary encoding exploits (a column
+	// with fraction f is encoded ~f times per batch plus an index per row).
+	// Measured exactly over the sample via per-column value-hash sets.
+	ColDistinctFraction []float64
 }
 
 // sampleInput drives the sampling pass: it opens a fresh input subtree, reads
@@ -57,6 +63,10 @@ func sampleInput(ctx context.Context, src exec.Operator, argOrdinals []int, serv
 	sketch := NewDistinctSketch(sketchK)
 	ev := &expr.Evaluator{}
 	colBytes := make([]int64, width)
+	colSeen := make([]map[uint64]struct{}, width)
+	for i := range colSeen {
+		colSeen[i] = make(map[uint64]struct{})
+	}
 	batch := make([]types.Tuple, exec.DefaultBatchSize)
 	for stats.ScannedRows < maxRows {
 		want := maxRows - stats.ScannedRows
@@ -86,6 +96,7 @@ func sampleInput(ctx context.Context, src exec.Operator, argOrdinals []int, serv
 			for i, v := range t {
 				if i < width {
 					colBytes[i] += int64(v.Size())
+					colSeen[i][v.Hash()] = struct{}{}
 				}
 			}
 			sketch.Add(t.Hash(argOrdinals))
@@ -108,6 +119,10 @@ func sampleInput(ctx context.Context, src exec.Operator, argOrdinals []int, serv
 		stats.AvgRecordBytes = float64(record) / float64(stats.PassingRows)
 		stats.AvgArgBytes = float64(args) / float64(stats.PassingRows)
 		stats.DistinctFraction = sketch.DistinctFraction()
+		stats.ColDistinctFraction = make([]float64, width)
+		for i := range colSeen {
+			stats.ColDistinctFraction[i] = float64(len(colSeen[i])) / float64(stats.PassingRows)
+		}
 	}
 	return stats, nil
 }

@@ -88,6 +88,9 @@ func EncodeSetup(s *SetupRequest) ([]byte, error) {
 	if s.FinalDelivery {
 		flags |= 1
 	}
+	if s.DictBatches {
+		flags |= 2
+	}
 	dst = append(dst, flags)
 	dst = types.EncodeSchema(dst, s.InputSchema)
 	dst = binary.AppendUvarint(dst, uint64(len(s.UDFs)))
@@ -110,6 +113,7 @@ func DecodeSetup(src []byte) (*SetupRequest, error) {
 	s.SessionID = binary.LittleEndian.Uint64(src)
 	s.Mode = Mode(src[8])
 	s.FinalDelivery = src[9]&1 != 0
+	s.DictBatches = src[9]&2 != 0
 	off := 10
 	schema, n, err := types.DecodeSchema(src[off:])
 	if err != nil {
@@ -158,7 +162,9 @@ func DecodeSetup(src []byte) (*SetupRequest, error) {
 	return s, nil
 }
 
-// EncodeSetupAck serialises a SetupAck.
+// EncodeSetupAck serialises a SetupAck. The capability flags ride in a
+// trailing byte that pre-dictionary decoders (which stop after the error
+// string) simply never look at.
 func EncodeSetupAck(a *SetupAck) []byte {
 	var dst []byte
 	dst = binary.LittleEndian.AppendUint64(dst, a.SessionID)
@@ -168,20 +174,29 @@ func EncodeSetupAck(a *SetupAck) []byte {
 		dst = append(dst, 0)
 	}
 	dst = appendString(dst, a.Error)
+	caps := byte(0)
+	if a.DictBatches {
+		caps |= 1
+	}
+	dst = append(dst, caps)
 	return dst
 }
 
-// DecodeSetupAck deserialises a SetupAck.
+// DecodeSetupAck deserialises a SetupAck. Acks from pre-dictionary clients
+// lack the trailing capability byte; every capability then reads as false.
 func DecodeSetupAck(src []byte) (*SetupAck, error) {
 	if len(src) < 9 {
 		return nil, fmt.Errorf("wire: setup ack too short")
 	}
 	a := &SetupAck{SessionID: binary.LittleEndian.Uint64(src), OK: src[8] != 0}
-	msg, _, err := readString(src[9:])
+	msg, n, err := readString(src[9:])
 	if err != nil {
 		return nil, err
 	}
 	a.Error = msg
+	if len(src) > 9+n {
+		a.DictBatches = src[9+n]&1 != 0
+	}
 	return a, nil
 }
 

@@ -1,0 +1,256 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"csq/internal/types"
+)
+
+// Per-batch value dictionary encoding of tuple batches.
+//
+// A dictionary frame encodes each distinct column value of the batch exactly
+// once and represents rows as uvarint indices into that dictionary, so a
+// duplicate-heavy batch costs one encoding per distinct value plus one or two
+// index bytes per occurrence instead of re-encoding every occurrence. The
+// layout is:
+//
+//	SessionID u64 | Seq u64
+//	dictCount uvarint | dictCount value encodings (types.EncodeValue)
+//	rowCount uvarint | per row: colCount uvarint, colCount dict indices (uvarint)
+//
+// Distinctness is byte-level: the value encoding is deterministic, so equal
+// values produce equal encodings and the encoder dedups by comparing encoded
+// bytes (hash-chained). The encoding is only used on sessions that negotiated
+// it (SetupRequest.DictBatches echoed by SetupAck.DictBatches), and only for
+// frames it actually shrinks — AppendTupleBatchAuto falls back to the plain
+// encoding otherwise, so the dictionary never costs bytes.
+
+// dictEncoder is the reusable state of one dictionary encoding pass.
+type dictEncoder struct {
+	chains map[uint64][]int32 // value hash → dict entry indices
+	offs   []int              // offs[i]..offs[i+1] bounds entry i in vals
+	vals   []byte             // concatenated distinct value encodings
+	rows   []byte             // row section: per row, colCount + indices
+	// plainValBytes accumulates what the batch's values would cost in the
+	// plain encoding (every occurrence re-encoded), for the auto decision.
+	plainValBytes int
+}
+
+var dictEncPool = sync.Pool{New: func() any {
+	return &dictEncoder{chains: make(map[uint64][]int32)}
+}}
+
+func (e *dictEncoder) reset() {
+	clear(e.chains)
+	e.offs = append(e.offs[:0], 0)
+	e.vals = e.vals[:0]
+	e.rows = e.rows[:0]
+	e.plainValBytes = 0
+}
+
+// addValue interns v and returns its dictionary index.
+func (e *dictEncoder) addValue(v types.Value) (int32, error) {
+	h := v.Hash()
+	start := len(e.vals)
+	vals, err := types.EncodeValue(e.vals, v)
+	if err != nil {
+		return 0, err
+	}
+	e.vals = vals
+	enc := e.vals[start:]
+	e.plainValBytes += len(enc)
+	for _, idx := range e.chains[h] {
+		if bytes.Equal(e.vals[e.offs[idx]:e.offs[idx+1]], enc) {
+			e.vals = e.vals[:start] // duplicate: drop the re-encoding
+			return idx, nil
+		}
+	}
+	idx := int32(len(e.offs) - 1)
+	e.offs = append(e.offs, len(e.vals))
+	e.chains[h] = append(e.chains[h], idx)
+	return idx, nil
+}
+
+// uvarintLen returns the encoded size of x.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// AppendTupleBatchDict appends the dictionary encoding of b to dst.
+func AppendTupleBatchDict(dst []byte, b *TupleBatch) ([]byte, error) {
+	out, _, err := appendTupleBatchChoosing(dst, b, false)
+	return out, err
+}
+
+// AppendTupleBatchAuto appends whichever of the dictionary and plain
+// encodings of b is smaller and reports whether the dictionary form was used
+// (the caller picks the matching message type). Pair it with
+// GetBuffer/PutBuffer like AppendTupleBatch.
+func AppendTupleBatchAuto(dst []byte, b *TupleBatch) ([]byte, bool, error) {
+	return appendTupleBatchChoosing(dst, b, true)
+}
+
+func appendTupleBatchChoosing(dst []byte, b *TupleBatch, auto bool) ([]byte, bool, error) {
+	e := dictEncPool.Get().(*dictEncoder)
+	defer dictEncPool.Put(e)
+	e.reset()
+	plainSize := 16 + uvarintLen(uint64(len(b.Tuples)))
+	for _, t := range b.Tuples {
+		plainSize += uvarintLen(uint64(len(t)))
+		e.rows = binary.AppendUvarint(e.rows, uint64(len(t)))
+		for _, v := range t {
+			idx, err := e.addValue(v)
+			if err != nil {
+				return nil, false, err
+			}
+			e.rows = binary.AppendUvarint(e.rows, uint64(idx))
+		}
+	}
+	plainSize += e.plainValBytes
+	entries := len(e.offs) - 1
+	dictSize := 16 + uvarintLen(uint64(entries)) + len(e.vals) +
+		uvarintLen(uint64(len(b.Tuples))) + len(e.rows)
+	if auto && dictSize >= plainSize {
+		// Assemble the plain encoding from the bytes the dictionary pass
+		// already produced — the value encodings in vals, addressed through
+		// the row indices — instead of re-encoding every occurrence.
+		dst = binary.LittleEndian.AppendUint64(dst, b.SessionID)
+		dst = binary.LittleEndian.AppendUint64(dst, b.Seq)
+		dst = binary.AppendUvarint(dst, uint64(len(b.Tuples)))
+		off := 0
+		for range b.Tuples {
+			cols, c := binary.Uvarint(e.rows[off:])
+			off += c
+			dst = binary.AppendUvarint(dst, cols)
+			for j := uint64(0); j < cols; j++ {
+				idx, c := binary.Uvarint(e.rows[off:])
+				off += c
+				dst = append(dst, e.vals[e.offs[idx]:e.offs[idx+1]]...)
+			}
+		}
+		return dst, false, nil
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, b.SessionID)
+	dst = binary.LittleEndian.AppendUint64(dst, b.Seq)
+	dst = binary.AppendUvarint(dst, uint64(entries))
+	dst = append(dst, e.vals...)
+	dst = binary.AppendUvarint(dst, uint64(len(b.Tuples)))
+	dst = append(dst, e.rows...)
+	return dst, true, nil
+}
+
+// SendBatch encodes b — with the per-batch value dictionary when dict is set
+// and it shrinks the frame — and sends it on conn, using plainType or
+// dictType to match the encoding actually emitted. Encoding goes through a
+// pooled buffer so the steady state allocates nothing per frame. It is the
+// single send path shared by the server operators (tuple frames) and the
+// client runtime (result frames).
+func SendBatch(conn *Conn, b *TupleBatch, dict bool, plainType, dictType MsgType) error {
+	buf := GetBuffer()
+	var payload []byte
+	var err error
+	msgType := plainType
+	if dict {
+		var usedDict bool
+		payload, usedDict, err = AppendTupleBatchAuto(*buf, b)
+		if usedDict {
+			msgType = dictType
+		}
+	} else {
+		payload, err = AppendTupleBatch(*buf, b)
+	}
+	if err != nil {
+		PutBuffer(buf)
+		return err
+	}
+	err = conn.Send(msgType, payload)
+	*buf = payload
+	PutBuffer(buf)
+	return err
+}
+
+// DecodeDictBatchInto deserialises a dictionary-encoded TupleBatch into b,
+// reusing b.Tuples' capacity. Like DecodeTupleBatchInto, all decoded values
+// of the frame live in freshly allocated arenas that are never recycled, so
+// the tuples handed out stay valid indefinitely; rows share the dictionary's
+// value entries rather than carrying copies.
+func DecodeDictBatchInto(b *TupleBatch, src []byte) error {
+	if len(src) < 16 {
+		return fmt.Errorf("wire: dict batch too short")
+	}
+	b.SessionID = binary.LittleEndian.Uint64(src)
+	b.Seq = binary.LittleEndian.Uint64(src[8:])
+	off := 16
+	entries, c := binary.Uvarint(src[off:])
+	if c <= 0 || entries > 1<<24 {
+		return fmt.Errorf("wire: dict batch: bad dictionary size")
+	}
+	off += c
+	dict := make([]types.Value, 0, entries)
+	for i := uint64(0); i < entries; i++ {
+		v, used, err := types.DecodeValue(src[off:])
+		if err != nil {
+			return fmt.Errorf("wire: dict batch entry %d: %v", i, err)
+		}
+		dict = append(dict, v)
+		off += used
+	}
+	n, c := binary.Uvarint(src[off:])
+	if c <= 0 || n > 1<<24 {
+		return fmt.Errorf("wire: dict batch: bad row count")
+	}
+	off += c
+	if b.Tuples == nil || cap(b.Tuples) < int(n) {
+		b.Tuples = make([]types.Tuple, 0, n)
+	} else {
+		b.Tuples = b.Tuples[:0]
+	}
+	// Rows are assembled in one shared arena of dictionary references; the
+	// arena may move while growing, so tuples are sliced out afterwards.
+	arena := make([]types.Value, 0, 4*n)
+	starts := make([]int, 0, n+1)
+	for i := uint64(0); i < n; i++ {
+		starts = append(starts, len(arena))
+		cols, c := binary.Uvarint(src[off:])
+		if c <= 0 || cols > 1<<20 {
+			return fmt.Errorf("wire: dict batch row %d: bad column count", i)
+		}
+		off += c
+		for j := uint64(0); j < cols; j++ {
+			idx, c := binary.Uvarint(src[off:])
+			if c <= 0 {
+				return fmt.Errorf("wire: dict batch row %d: bad index", i)
+			}
+			if idx >= entries {
+				return fmt.Errorf("wire: dict batch row %d: index %d outside dictionary of %d", i, idx, entries)
+			}
+			off += c
+			arena = append(arena, dict[idx])
+		}
+	}
+	starts = append(starts, len(arena))
+	for i := 0; i < int(n); i++ {
+		b.Tuples = append(b.Tuples, types.Tuple(arena[starts[i]:starts[i+1]:starts[i+1]]))
+	}
+	if off != len(src) {
+		return fmt.Errorf("wire: dict batch: %d trailing bytes", len(src)-off)
+	}
+	return nil
+}
+
+// DecodeDictBatch deserialises a dictionary-encoded TupleBatch.
+func DecodeDictBatch(src []byte) (*TupleBatch, error) {
+	b := &TupleBatch{}
+	if err := DecodeDictBatchInto(b, src); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -57,6 +57,14 @@ const (
 	// live bandwidth of each link direction and hence the network asymmetry N,
 	// without relying on configured values.
 	MsgProbe
+	// MsgTupleBatchDict is a TupleBatch (server→client) in the per-batch value
+	// dictionary encoding: each distinct column value is encoded once and rows
+	// reference it by index. Only sent on sessions that negotiated
+	// DictBatches in the setup handshake.
+	MsgTupleBatchDict
+	// MsgResultBatchDict is a ResultBatch (client→server) in the dictionary
+	// encoding, under the same negotiation.
+	MsgResultBatchDict
 )
 
 // String implements fmt.Stringer.
@@ -80,6 +88,10 @@ func (t MsgType) String() string {
 		return "FINAL_RESULT"
 	case MsgProbe:
 		return "PROBE"
+	case MsgTupleBatchDict:
+		return "TUPLE_BATCH_DICT"
+	case MsgResultBatchDict:
+		return "RESULT_BATCH_DICT"
 	default:
 		return "INVALID"
 	}
@@ -260,6 +272,12 @@ type SetupRequest struct {
 	// (the plan merged the UDF with the final result operator), so nothing
 	// needs to be returned to the server except a row count.
 	FinalDelivery bool
+	// DictBatches requests the per-batch value dictionary encoding for this
+	// session's tuple traffic (both directions). It is carried as a flag bit
+	// that pre-dictionary clients ignore; the encoding is only used once the
+	// client echoes acceptance in its SetupAck, so old peers keep working on
+	// plain batches.
+	DictBatches bool
 }
 
 // SetupAck is the client's answer to a SetupRequest.
@@ -267,6 +285,10 @@ type SetupAck struct {
 	SessionID uint64
 	OK        bool
 	Error     string
+	// DictBatches confirms the dictionary-encoding request of the setup. It
+	// is encoded as a trailing capability byte that pre-dictionary servers
+	// ignore; its absence reads as false, disabling the encoding.
+	DictBatches bool
 }
 
 // TupleBatch is a batch of shipped tuples (downlink) or returned tuples
