@@ -134,7 +134,7 @@ func compareToBaseline(results []Result, baselinePath string, maxRegress float64
 	}
 	var baseline Report
 	if err := json.Unmarshal(data, &baseline); err != nil {
-		return nil, fmt.Errorf("parse %s: %v", baselinePath, err)
+		return nil, fmt.Errorf("parse %s: %w", baselinePath, err)
 	}
 	base := make(map[string]Result, len(baseline.Results))
 	for _, r := range baseline.Results {
@@ -231,7 +231,7 @@ func runPackage(pkg, benchtime string) ([]Result, error) {
 	outBytes, err := cmd.CombinedOutput()
 	output := string(outBytes)
 	if err != nil {
-		return nil, fmt.Errorf("%v\n%s", err, output)
+		return nil, fmt.Errorf("%w\n%s", err, output)
 	}
 	var results []Result
 	for _, line := range strings.Split(output, "\n") {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"csq/internal/catalog"
+	"csq/internal/exec"
+	"csq/internal/expr"
+	"csq/internal/logical"
+	"csq/internal/plan"
+	"csq/internal/storage"
+	"csq/internal/types"
+)
+
+// explainFigure8 plans one Figure-8-style workload point (I=1000B, A=50%,
+// R=2000B, S=0.5 on a symmetric modem) and renders all three planning layers:
+// the logical tree, the rewritten tree, and the lowered physical plan with
+// the chosen strategy, session fan-out and dictionary decision. The link
+// observation is fixed (N=1 modem numbers) instead of probed, so the output
+// is deterministic — it backs the -explain flag and the golden-file test.
+func explainFigure8() (string, error) {
+	s := figure8Sweep()
+	pt := s.points[4] // S=0.5
+	rows := buildRows(s, pt)
+	schema := types.NewSchema(
+		types.Column{Name: "Arg", Kind: types.KindBytes},
+		types.Column{Name: "Extra", Kind: types.KindBytes},
+	)
+	table, err := storage.NewHeapTable("objects", schema)
+	if err != nil {
+		return "", err
+	}
+	if err := table.InsertBatch(rows); err != nil {
+		return "", err
+	}
+	cat := catalog.New()
+	if err := cat.AddTable(&catalog.Table{Name: "objects", Schema: schema, Stats: table.Stats(), Data: table}); err != nil {
+		return "", err
+	}
+	rt, err := newRuntime(pt)
+	if err != nil {
+		return "", err
+	}
+	if err := announceIntoCatalog(rt, cat); err != nil {
+		return "", err
+	}
+
+	planner := plan.NewPlanner(nil) // planning only; nothing executes
+	planner.Config.Link = &exec.LinkObservation{
+		DownBytesPerSec: 3600,
+		UpBytesPerSec:   3600,
+		Asymmetry:       1,
+		RTT:             200 * time.Millisecond,
+	}
+
+	catTable, err := cat.Table("objects")
+	if err != nil {
+		return "", err
+	}
+	scan, err := logical.NewScan(catTable, "")
+	if err != nil {
+		return "", err
+	}
+	q := plan.Query{
+		Source: scan,
+		UDFs: []exec.UDFBinding{
+			{Name: "Produce", ArgOrdinals: []int{0}, ResultKind: types.KindBytes},
+			{Name: "Keep", ArgOrdinals: []int{0}, ResultKind: types.KindBool},
+		},
+		Pushable: expr.NewBoundColumnRef(3, types.KindBool),
+		Project:  []int{1, 2},
+		Table:    catTable,
+		Catalog:  cat,
+	}
+	tp, err := planner.PlanQuery(context.Background(), q)
+	if err != nil {
+		return "", err
+	}
+	header := fmt.Sprintf("EXPLAIN figure8 %s (I=%dB, A=%d%%, R=%dB, N=1 modem)\n",
+		pt.label, pt.argBytes+pt.nonArgBytes, 100*pt.argBytes/(pt.argBytes+pt.nonArgBytes), pt.resultBytes)
+	return header + tp.Explain(), nil
+}

@@ -35,6 +35,7 @@ import (
 	"csq/internal/client"
 	"csq/internal/exec"
 	"csq/internal/expr"
+	"csq/internal/logical"
 	"csq/internal/netsim"
 	"csq/internal/plan"
 	"csq/internal/sim"
@@ -284,7 +285,7 @@ func runPoint(s sweep, pt point, link *exec.LinkObservation, rt *client.Runtime,
 		return nil, exec.NetStats{}, err
 	}
 	cat := catalog.New()
-	if err := cat.AddTable(&catalog.Table{Name: "objects", Schema: schema, Stats: table.Stats()}); err != nil {
+	if err := cat.AddTable(&catalog.Table{Name: "objects", Schema: schema, Stats: table.Stats(), Data: table}); err != nil {
 		return nil, exec.NetStats{}, err
 	}
 	if err := announceIntoCatalog(rt, cat); err != nil {
@@ -300,10 +301,12 @@ func runPoint(s sweep, pt point, link *exec.LinkObservation, rt *client.Runtime,
 	if err != nil {
 		return nil, exec.NetStats{}, err
 	}
+	scan, err := logical.NewScan(catTable, "")
+	if err != nil {
+		return nil, exec.NetStats{}, err
+	}
 	q := plan.Query{
-		NewInput: func() (exec.Operator, error) {
-			return exec.NewTableScan(table, ""), nil
-		},
+		Source: scan,
 		UDFs: []exec.UDFBinding{
 			{Name: "Produce", ArgOrdinals: []int{0}, ResultKind: types.KindBytes},
 			{Name: "Keep", ArgOrdinals: []int{0}, ResultKind: types.KindBool},
@@ -376,8 +379,18 @@ func main() {
 	sweepName := flag.String("sweep", "all", "figure10, figure8, figure9 or all")
 	timescale := flag.Float64("timescale", 2000, "netsim time scale (shaping runs this much faster than nominal)")
 	noexec := flag.Bool("noexec", false, "skip executing the planned operators; plan only")
+	explain := flag.Bool("explain", false, "print the logical, rewritten and physical plan for a Figure-8 workload and exit")
 	verbose := flag.Bool("v", false, "print every sample point")
 	flag.Parse()
+
+	if *explain {
+		out, err := explainFigure8()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
 
 	sweeps := []sweep{}
 	switch *sweepName {

@@ -98,6 +98,12 @@ type Table struct {
 	Schema *types.Schema
 	// Stats carries simple statistics maintained by the storage layer.
 	Stats TableStats
+	// Data optionally carries the storage engine's handle for the table's
+	// rows (normally a *storage.HeapTable). It is typed as any because the
+	// storage engine itself depends on the catalog for its statistics types;
+	// the physical lowering layer asserts it back to the engine's table type
+	// when it instantiates a logical Scan node.
+	Data any
 }
 
 // TableStats holds per-table statistics used for costing.

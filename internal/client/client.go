@@ -348,7 +348,7 @@ func (r *Runtime) newSession(req *wire.SetupRequest) (*session, error) {
 	if len(req.PushablePredicate) > 0 {
 		pred, err := expr.Unmarshal(req.PushablePredicate)
 		if err != nil {
-			return nil, fmt.Errorf("bad pushable predicate: %v", err)
+			return nil, fmt.Errorf("bad pushable predicate: %w", err)
 		}
 		s.predicate = pred
 		// Function calls inside the pushable predicate are served by this
@@ -405,7 +405,7 @@ func (r *Runtime) processBatch(s *session, tuples []types.Tuple) ([]types.Tuple,
 			r.recordInvocation(f.Name)
 			v, err := f.Body(args)
 			if err != nil {
-				return nil, fmt.Errorf("UDF %s: %v", f.Name, err)
+				return nil, fmt.Errorf("UDF %s: %w", f.Name, err)
 			}
 			arena = append(arena, v)
 		}
@@ -414,7 +414,7 @@ func (r *Runtime) processBatch(s *session, tuples []types.Tuple) ([]types.Tuple,
 		if s.predicate != nil {
 			keep, err := s.eval.EvalBool(s.predicate, extended)
 			if err != nil {
-				return nil, fmt.Errorf("pushable predicate: %v", err)
+				return nil, fmt.Errorf("pushable predicate: %w", err)
 			}
 			if !keep {
 				arena = arena[:start]
@@ -432,7 +432,7 @@ func (r *Runtime) processBatch(s *session, tuples []types.Tuple) ([]types.Tuple,
 				var err error
 				arena, projected, err = types.ProjectInto(arena, extended, s.req.ProjectOrdinals)
 				if err != nil {
-					return nil, fmt.Errorf("pushable projection: %v", err)
+					return nil, fmt.Errorf("pushable projection: %w", err)
 				}
 				ret = projected
 			}

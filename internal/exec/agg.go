@@ -185,7 +185,7 @@ func (h *HashAggregate) accumulate(st *aggState, t types.Tuple) error {
 		case AggSum, AggAvg:
 			f, err := v.Float()
 			if err != nil {
-				return fmt.Errorf("exec: %s over non-numeric column: %v", a.Func, err)
+				return fmt.Errorf("exec: %s over non-numeric column: %w", a.Func, err)
 			}
 			st.sums[i] += f
 		case AggMin:

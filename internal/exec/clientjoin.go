@@ -106,7 +106,7 @@ func (c *ClientJoin) projectedSchema() (*types.Schema, error) {
 	}
 	s, err := c.schema.Project(c.ProjectOrdinals)
 	if err != nil {
-		return nil, fmt.Errorf("exec: client-site join pushable projection: %v", err)
+		return nil, fmt.Errorf("exec: client-site join pushable projection: %w", err)
 	}
 	return s, nil
 }
@@ -167,7 +167,7 @@ func (c *ClientJoin) Open(ctx context.Context) error {
 		data, err := expr.Marshal(c.Pushable)
 		if err != nil {
 			_ = c.input.Close()
-			return fmt.Errorf("exec: marshal pushable predicate: %v", err)
+			return fmt.Errorf("exec: marshal pushable predicate: %w", err)
 		}
 		req.PushablePredicate = data
 	}

@@ -81,7 +81,7 @@ func (b *Binder) Bind(e Expr) (Expr, error) {
 		case n.Op == OpAdd || n.Op == OpSub || n.Op == OpMul || n.Op == OpDiv:
 			k, err := arithmeticKind(lk, rk)
 			if err != nil {
-				return nil, fmt.Errorf("expr: %s: %v", n.Op, err)
+				return nil, fmt.Errorf("expr: %s: %w", n.Op, err)
 			}
 			n.kind = k
 		default:
@@ -116,7 +116,7 @@ func (b *Binder) Bind(e Expr) (Expr, error) {
 			}
 			rk, err := bi.ResultKind(kinds)
 			if err != nil {
-				return nil, fmt.Errorf("expr: %s: %v", bi.Name, err)
+				return nil, fmt.Errorf("expr: %s: %w", bi.Name, err)
 			}
 			n.Builtin = bi
 			n.kind = rk

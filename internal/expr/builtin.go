@@ -167,7 +167,7 @@ func init() {
 			Eval: func(args []types.Value) (types.Value, error) {
 				ts, err := wantSeries(args)
 				if err != nil {
-					return types.Value{}, fmt.Errorf("%s: %v", name, err)
+					return types.Value{}, fmt.Errorf("%s: %w", name, err)
 				}
 				if ts == nil {
 					return types.Null(types.KindFloat), nil
@@ -190,7 +190,7 @@ func init() {
 		Eval: func(args []types.Value) (types.Value, error) {
 			ts, err := wantSeries(args)
 			if err != nil {
-				return types.Value{}, fmt.Errorf("ts_change: %v", err)
+				return types.Value{}, fmt.Errorf("ts_change: %w", err)
 			}
 			if ts == nil {
 				return types.Null(types.KindFloat), nil

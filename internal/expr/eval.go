@@ -182,11 +182,11 @@ func evalArithmetic(op Op, l, r types.Value) (types.Value, error) {
 	}
 	a, err := l.Float()
 	if err != nil {
-		return types.Value{}, fmt.Errorf("expr: %s: %v", op, err)
+		return types.Value{}, fmt.Errorf("expr: %s: %w", op, err)
 	}
 	b, err := r.Float()
 	if err != nil {
-		return types.Value{}, fmt.Errorf("expr: %s: %v", op, err)
+		return types.Value{}, fmt.Errorf("expr: %s: %w", op, err)
 	}
 	switch op {
 	case OpAdd:

@@ -1,0 +1,74 @@
+package expr
+
+import (
+	"testing"
+
+	"csq/internal/types"
+)
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := NewBinary(OpAnd,
+		NewBinary(OpGt, NewBoundColumnRef(2, types.KindInt), NewConst(types.NewInt(5))),
+		NewFuncCall("f", NewBoundColumnRef(0, types.KindInt)))
+	c := Clone(orig)
+	if c.String() != orig.String() {
+		t.Fatalf("clone renders differently: %s vs %s", c, orig)
+	}
+	// Mutating the clone's references must not touch the original.
+	Walk(c, func(n Expr) bool {
+		if ref, ok := n.(*ColumnRef); ok {
+			ref.Ordinal += 100
+		}
+		return true
+	})
+	if cols := Columns(orig); len(cols) != 2 || cols[0] != 0 || cols[1] != 2 {
+		t.Errorf("original columns changed to %v", cols)
+	}
+}
+
+func TestRemapColumns(t *testing.T) {
+	pred := NewBinary(OpEq, NewBoundColumnRef(3, types.KindInt), NewBoundColumnRef(1, types.KindInt))
+	out, err := RemapColumns(pred, map[int]int{1: 0, 3: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := Columns(out); len(cols) != 2 || cols[0] != 0 || cols[1] != 2 {
+		t.Errorf("remapped columns = %v, want [0 2]", cols)
+	}
+	// The input is untouched.
+	if cols := Columns(pred); cols[0] != 1 || cols[1] != 3 {
+		t.Errorf("input mutated: %v", cols)
+	}
+	// A missing image is an error, not a silent pass-through.
+	if _, err := RemapColumns(pred, map[int]int{1: 0}); err == nil {
+		t.Error("remap with a missing ordinal should fail")
+	}
+	// Nil stays nil.
+	if out, err := RemapColumns(nil, nil); err != nil || out != nil {
+		t.Errorf("remap(nil) = %v, %v", out, err)
+	}
+}
+
+func TestShiftColumns(t *testing.T) {
+	pred := NewBinary(OpAnd, NewBoundColumnRef(1, types.KindBool), NewBoundColumnRef(4, types.KindBool))
+	out := ShiftColumns(pred, 2, -1)
+	if cols := Columns(out); len(cols) != 2 || cols[0] != 1 || cols[1] != 3 {
+		t.Errorf("shifted columns = %v, want [1 3]", cols)
+	}
+}
+
+func TestMaxColumnAndReferencesOnly(t *testing.T) {
+	if got := MaxColumn(NewConst(types.NewInt(1))); got != -1 {
+		t.Errorf("MaxColumn of a constant = %d, want -1", got)
+	}
+	pred := NewBinary(OpLt, NewBoundColumnRef(5, types.KindInt), NewConst(types.NewInt(0)))
+	if got := MaxColumn(pred); got != 5 {
+		t.Errorf("MaxColumn = %d, want 5", got)
+	}
+	if ReferencesOnly(pred, 5) {
+		t.Error("ordinal 5 should be outside width 5")
+	}
+	if !ReferencesOnly(pred, 6) {
+		t.Error("ordinal 5 should be inside width 6")
+	}
+}

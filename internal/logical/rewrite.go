@@ -1,0 +1,437 @@
+package logical
+
+import (
+	"fmt"
+	"strings"
+
+	"csq/internal/exec"
+	"csq/internal/expr"
+)
+
+// The rule-based rewriter. Rules are semantics-preserving tree transforms
+// applied bottom-up until a fixpoint:
+//
+//   - merge-filters collapses stacked filters into one conjunction;
+//   - push-filter-through-project moves a filter below a positional
+//     projection, remapping its column references;
+//   - push-filter-through-join sends single-side conjuncts below the join
+//     (predicate pushdown), keeping mixed conjuncts above as a residual;
+//   - absorb-pushable-into-udf-apply splits a filter above a UDF application
+//     into server-evaluable conjuncts over input columns (pushed below the
+//     application, so they filter before anything is shipped) and
+//     UDF-dependent conjuncts (absorbed as the node's pushable predicate);
+//   - absorb-project-into-udf-apply turns a positional projection directly
+//     above a UDF application into its pushable projection;
+//   - compose-projects collapses stacked positional projections;
+//   - prune-udf-apply-input narrows a UDF application's input to the columns
+//     actually needed — UDF arguments, pushable-predicate inputs and
+//     projected outputs — rewriting every ordinal the node carries;
+//   - drop-identity-project removes projections that are the identity.
+//
+// All rules are copy-on-write (see the package documentation's ownership
+// rules): they build new nodes through the constructors and never mutate
+// their input.
+
+// A Rule inspects the given node (not its children — the engine walks the
+// tree) and either returns a replacement with changed=true, or the original
+// with changed=false.
+type Rule struct {
+	Name  string
+	Apply func(Node) (Node, bool, error)
+}
+
+// DefaultRules is the standard rule set, in application order.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: "merge-filters", Apply: mergeFilters},
+		{Name: "push-filter-through-project", Apply: pushFilterThroughProject},
+		{Name: "push-filter-through-join", Apply: pushFilterThroughJoin},
+		{Name: "absorb-pushable-into-udf-apply", Apply: absorbPushableIntoUDFApply},
+		{Name: "absorb-project-into-udf-apply", Apply: absorbProjectIntoUDFApply},
+		{Name: "compose-projects", Apply: composeProjects},
+		{Name: "prune-udf-apply-input", Apply: pruneUDFApplyInput},
+		{Name: "drop-identity-project", Apply: dropIdentityProject},
+	}
+}
+
+// maxRewritePasses bounds the fixpoint iteration; the default rules only move
+// work downward or shrink the tree, so in practice a handful of passes
+// suffice and hitting the cap indicates a buggy rule.
+const maxRewritePasses = 64
+
+// Rewrite applies the default rules to the tree until no rule fires, and
+// returns the rewritten tree. The input tree is left untouched.
+func Rewrite(root Node) (Node, error) {
+	return RewriteWith(root, DefaultRules())
+}
+
+// RewriteWith is Rewrite with an explicit rule set.
+func RewriteWith(root Node, rules []Rule) (Node, error) {
+	cur := root
+	for pass := 0; pass < maxRewritePasses; pass++ {
+		next, changed, err := rewritePass(cur, rules)
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			return next, nil
+		}
+		cur = next
+	}
+	return nil, fmt.Errorf("logical: rewriter did not reach a fixpoint in %d passes", maxRewritePasses)
+}
+
+// rewritePass rewrites children first, rebuilds the node when they changed,
+// then tries every rule once at the node.
+func rewritePass(n Node, rules []Rule) (Node, bool, error) {
+	changed := false
+	kids := n.Children()
+	if len(kids) > 0 {
+		newKids := make([]Node, len(kids))
+		kidChanged := false
+		for i, c := range kids {
+			nc, ch, err := rewritePass(c, rules)
+			if err != nil {
+				return nil, false, err
+			}
+			newKids[i] = nc
+			kidChanged = kidChanged || ch
+		}
+		if kidChanged {
+			rebuilt, err := withChildren(n, newKids)
+			if err != nil {
+				return nil, false, err
+			}
+			n = rebuilt
+			changed = true
+		}
+	}
+	for _, r := range rules {
+		out, fired, err := r.Apply(n)
+		if err != nil {
+			return nil, false, fmt.Errorf("logical: rule %s: %w", r.Name, err)
+		}
+		if fired {
+			n = out
+			changed = true
+		}
+	}
+	return n, changed, nil
+}
+
+// withChildren rebuilds a node with replacement children through its
+// constructor, revalidating and re-inferring the schema.
+func withChildren(n Node, kids []Node) (Node, error) {
+	switch t := n.(type) {
+	case *Filter:
+		return NewFilter(kids[0], t.Pred)
+	case *Project:
+		return NewProject(kids[0], t.Ordinals)
+	case *Join:
+		return NewJoin(kids[0], kids[1], t.LeftKeys, t.RightKeys, t.Residual)
+	case *Aggregate:
+		return NewAggregate(kids[0], t.GroupBy, t.Aggs)
+	case *Distinct:
+		return NewDistinct(kids[0], t.Ordinals)
+	case *Limit:
+		return NewLimit(kids[0], t.N)
+	case *UDFApply:
+		return newUDFApply(kids[0], t.UDFs, t.Pushable, t.Project)
+	default:
+		if len(kids) != 0 {
+			return nil, fmt.Errorf("logical: cannot rebuild %T with children", n)
+		}
+		return n, nil
+	}
+}
+
+// mergeFilters: Filter(p1) over Filter(p2) becomes one Filter(p2 AND p1) —
+// the inner predicate keeps evaluating first.
+func mergeFilters(n Node) (Node, bool, error) {
+	outer, ok := n.(*Filter)
+	if !ok {
+		return n, false, nil
+	}
+	inner, ok := outer.Input.(*Filter)
+	if !ok {
+		return n, false, nil
+	}
+	pred := expr.Conjoin(append(expr.Conjuncts(inner.Pred), expr.Conjuncts(outer.Pred)...))
+	out, err := NewFilter(inner.Input, pred)
+	return out, err == nil, err
+}
+
+// pushFilterThroughProject: a filter over a positional projection becomes the
+// projection over the filter, with the predicate's ordinals remapped to the
+// pre-projection schema.
+func pushFilterThroughProject(n Node) (Node, bool, error) {
+	f, ok := n.(*Filter)
+	if !ok {
+		return n, false, nil
+	}
+	p, ok := f.Input.(*Project)
+	if !ok {
+		return n, false, nil
+	}
+	mapping := make(map[int]int, len(p.Ordinals))
+	for i, o := range p.Ordinals {
+		mapping[i] = o
+	}
+	pred, err := expr.RemapColumns(f.Pred, mapping)
+	if err != nil {
+		return nil, false, err
+	}
+	nf, err := NewFilter(p.Input, pred)
+	if err != nil {
+		return nil, false, err
+	}
+	out, err := NewProject(nf, p.Ordinals)
+	return out, err == nil, err
+}
+
+// pushFilterThroughJoin: conjuncts of a filter above a join that reference
+// only one side (and call no client-site UDF) move below the join into that
+// side; mixed conjuncts stay above as a residual filter.
+func pushFilterThroughJoin(n Node) (Node, bool, error) {
+	f, ok := n.(*Filter)
+	if !ok {
+		return n, false, nil
+	}
+	j, ok := f.Input.(*Join)
+	if !ok {
+		return n, false, nil
+	}
+	leftW := j.Left.Schema().Len()
+	totalW := j.Schema().Len()
+	var left, right, residual []expr.Expr
+	for _, c := range expr.Conjuncts(f.Pred) {
+		cols := expr.Columns(c)
+		switch {
+		case !expr.ServerOnly(c) || len(cols) == 0:
+			residual = append(residual, c)
+		case cols[len(cols)-1] < leftW:
+			left = append(left, c)
+		case cols[0] >= leftW && cols[len(cols)-1] < totalW:
+			right = append(right, expr.ShiftColumns(c, 0, -leftW))
+		default:
+			residual = append(residual, c)
+		}
+	}
+	if len(left) == 0 && len(right) == 0 {
+		return n, false, nil
+	}
+	newLeft, newRight := j.Left, j.Right
+	var err error
+	if len(left) > 0 {
+		if newLeft, err = NewFilter(j.Left, expr.Conjoin(left)); err != nil {
+			return nil, false, err
+		}
+	}
+	if len(right) > 0 {
+		if newRight, err = NewFilter(j.Right, expr.Conjoin(right)); err != nil {
+			return nil, false, err
+		}
+	}
+	nj, err := NewJoin(newLeft, newRight, j.LeftKeys, j.RightKeys, j.Residual)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(residual) == 0 {
+		return nj, true, nil
+	}
+	out, err := NewFilter(nj, expr.Conjoin(residual))
+	return out, err == nil, err
+}
+
+// absorbPushableIntoUDFApply splits a filter directly above a UDF application
+// (with no pushable projection yet) into:
+//
+//   - conjuncts over input columns only, with no client-site call: pushed
+//     below the application, filtering before anything is shipped;
+//   - conjuncts evaluable at the client (they may reference UDF result
+//     columns): absorbed as the node's pushable predicate;
+//   - everything else: kept above as a residual filter.
+func absorbPushableIntoUDFApply(n Node) (Node, bool, error) {
+	f, ok := n.(*Filter)
+	if !ok {
+		return n, false, nil
+	}
+	u, ok := f.Input.(*UDFApply)
+	if !ok || len(u.Project) > 0 {
+		return n, false, nil
+	}
+	inW := u.InputWidth()
+	extW := u.ExtendedSchema().Len()
+	avail := make(map[int]bool, extW)
+	for i := 0; i < extW; i++ {
+		avail[i] = true
+	}
+	udfResults := make(map[string]bool, len(u.UDFs))
+	for _, b := range u.UDFs {
+		udfResults[strings.ToLower(b.Name)] = true
+	}
+	var below, absorb, residual []expr.Expr
+	for _, c := range expr.Conjuncts(f.Pred) {
+		switch {
+		case expr.ServerOnly(c) && expr.MaxColumn(c) < inW && len(expr.Columns(c)) > 0:
+			below = append(below, c)
+		case expr.PushableToClient(c, avail, udfResults):
+			absorb = append(absorb, c)
+		default:
+			residual = append(residual, c)
+		}
+	}
+	if len(below) == 0 && len(absorb) == 0 {
+		return n, false, nil
+	}
+	input := u.Input
+	var err error
+	if len(below) > 0 {
+		if input, err = NewFilter(u.Input, expr.Conjoin(below)); err != nil {
+			return nil, false, err
+		}
+	}
+	pushable := expr.Conjoin(append(expr.Conjuncts(u.Pushable), absorb...))
+	nu, err := newUDFApply(input, u.UDFs, pushable, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(residual) == 0 {
+		return nu, true, nil
+	}
+	out, err := NewFilter(nu, expr.Conjoin(residual))
+	return out, err == nil, err
+}
+
+// absorbProjectIntoUDFApply turns a positional projection directly above a
+// UDF application into its pushable projection (composing with one already
+// absorbed).
+func absorbProjectIntoUDFApply(n Node) (Node, bool, error) {
+	p, ok := n.(*Project)
+	if !ok {
+		return n, false, nil
+	}
+	u, ok := p.Input.(*UDFApply)
+	if !ok {
+		return n, false, nil
+	}
+	project := p.Ordinals
+	if len(u.Project) > 0 {
+		project = make([]int, len(p.Ordinals))
+		for i, o := range p.Ordinals {
+			project[i] = u.Project[o]
+		}
+	}
+	out, err := newUDFApply(u.Input, u.UDFs, u.Pushable, project)
+	return out, err == nil, err
+}
+
+// composeProjects collapses stacked positional projections into one.
+func composeProjects(n Node) (Node, bool, error) {
+	outer, ok := n.(*Project)
+	if !ok {
+		return n, false, nil
+	}
+	inner, ok := outer.Input.(*Project)
+	if !ok {
+		return n, false, nil
+	}
+	ords := make([]int, len(outer.Ordinals))
+	for i, o := range outer.Ordinals {
+		ords[i] = inner.Ordinals[o]
+	}
+	out, err := NewProject(inner.Input, ords)
+	return out, err == nil, err
+}
+
+// pruneUDFApplyInput narrows a projected UDF application's input to the
+// columns it actually consumes: UDF arguments, input columns its pushable
+// predicate reads, and input columns its projection returns. A positional
+// projection is inserted below the application and every ordinal the node
+// carries (argument ordinals, pushable references, projection entries) is
+// rewritten against the narrowed schema.
+func pruneUDFApplyInput(n Node) (Node, bool, error) {
+	u, ok := n.(*UDFApply)
+	if !ok || len(u.Project) == 0 {
+		return n, false, nil
+	}
+	inW := u.InputWidth()
+	needed := map[int]bool{}
+	for _, o := range u.ArgOrdinals() {
+		needed[o] = true
+	}
+	for _, o := range expr.Columns(u.Pushable) {
+		if o < inW {
+			needed[o] = true
+		}
+	}
+	for _, o := range u.Project {
+		if o < inW {
+			needed[o] = true
+		}
+	}
+	if len(needed) >= inW {
+		return n, false, nil
+	}
+	keep := make([]int, 0, len(needed))
+	for o := 0; o < inW; o++ {
+		if needed[o] {
+			keep = append(keep, o)
+		}
+	}
+	pos := make(map[int]int, len(keep))
+	for i, o := range keep {
+		pos[o] = i
+	}
+	newW := len(keep)
+	// Extended-schema remapping: input ordinals through pos, result-column
+	// ordinals shifted down by the removed input width.
+	extMap := make(map[int]int, inW+len(u.UDFs))
+	for o, i := range pos {
+		extMap[o] = i
+	}
+	for i := range u.UDFs {
+		extMap[inW+i] = newW + i
+	}
+
+	input, err := NewProject(u.Input, keep)
+	if err != nil {
+		return nil, false, err
+	}
+	udfs := make([]exec.UDFBinding, len(u.UDFs))
+	for i, b := range u.UDFs {
+		nb := b
+		nb.ArgOrdinals = make([]int, len(b.ArgOrdinals))
+		for j, o := range b.ArgOrdinals {
+			nb.ArgOrdinals[j] = pos[o]
+		}
+		udfs[i] = nb
+	}
+	pushable, err := expr.RemapColumns(u.Pushable, extMap)
+	if err != nil {
+		return nil, false, err
+	}
+	project := make([]int, len(u.Project))
+	for i, o := range u.Project {
+		project[i] = extMap[o]
+	}
+	out, err := newUDFApply(input, udfs, pushable, project)
+	return out, err == nil, err
+}
+
+// dropIdentityProject removes a projection that returns its input unchanged.
+func dropIdentityProject(n Node) (Node, bool, error) {
+	p, ok := n.(*Project)
+	if !ok {
+		return n, false, nil
+	}
+	if len(p.Ordinals) != p.Input.Schema().Len() {
+		return n, false, nil
+	}
+	for i, o := range p.Ordinals {
+		if i != o {
+			return n, false, nil
+		}
+	}
+	return p.Input, true, nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"csq/internal/exec"
 	"csq/internal/expr"
+	"csq/internal/logical"
 	"csq/internal/types"
 )
 
@@ -15,8 +16,9 @@ import (
 // the true pushable-predicate selectivity and the observed result size, and
 // re-evaluates the cost model every ReplanAfterRows rows. If the decision
 // flips to the client-site join, the current operator is torn down and the
-// client-site join resumes from the first input row that has not yet been
-// delivered — rows already shipped and returned are reused, not recomputed.
+// client-site join resumes by re-lowering the UDF application's input subtree
+// from the first input row that has not yet been delivered — rows already
+// shipped and returned are reused, not recomputed.
 //
 // Re-planning relies on the monitored strategies' outputs mapping 1:1, in
 // order, onto their (post-server-filter) input rows, which is why the
@@ -26,10 +28,10 @@ import (
 // mapping (the client filters before returning), so it runs unmonitored.
 type Adaptive struct {
 	planner  *Planner
-	query    Query
+	pq       *preparedQuery
 	decision *Decision
 
-	schema  *types.Schema // output schema: extended record narrowed by Project
+	schema  *types.Schema // output schema: extended record narrowed by the projection
 	argOrds []int
 
 	ctx       context.Context
@@ -51,28 +53,23 @@ type Adaptive struct {
 
 // NewAdaptive wraps a planning decision in the re-planning operator.
 func (p *Planner) NewAdaptive(q Query, d *Decision) (*Adaptive, error) {
-	if q.NewInput == nil || d == nil {
-		return nil, fmt.Errorf("plan: adaptive operator needs a query and a decision")
+	if d == nil {
+		return nil, fmt.Errorf("plan: adaptive operator needs a decision")
 	}
-	probe, err := q.NewInput()
+	pq, err := p.prepared(q)
 	if err != nil {
 		return nil, err
 	}
-	ext := exec.ExtendedSchema(probe.Schema(), q.UDFs)
-	_ = probe.Close()
-	schema := ext
-	if len(q.Project) > 0 {
-		schema, err = ext.Project(q.Project)
-		if err != nil {
-			return nil, err
-		}
+	schema, err := pq.outputSchema()
+	if err != nil {
+		return nil, err
 	}
 	return &Adaptive{
 		planner:  p,
-		query:    q,
+		pq:       pq,
 		decision: d,
 		schema:   schema,
-		argOrds:  argOrdinalUnion(q.UDFs),
+		argOrds:  pq.apply.ArgOrdinals(),
 		strategy: d.Strategy,
 	}, nil
 }
@@ -85,6 +82,14 @@ func (a *Adaptive) Strategy() Strategy { return a.strategy }
 
 // Replanned reports whether a mid-query strategy switch happened.
 func (a *Adaptive) Replanned() bool { return a.replanned }
+
+// lowerer returns a fresh lowering context for the adaptive query's subtree.
+func (a *Adaptive) lowerer() *lowerer {
+	return &lowerer{
+		planner:   a.planner,
+		decisions: map[*logical.UDFApply]*Decision{a.pq.apply: a.decision},
+	}
+}
 
 // Open implements exec.Operator.
 func (a *Adaptive) Open(ctx context.Context) error {
@@ -100,10 +105,10 @@ func (a *Adaptive) Open(ctx context.Context) error {
 	var err error
 	if a.strategy == StrategyClientJoin {
 		a.monitored = false
-		a.inner, err = a.planner.NewOperator(a.query, a.decision)
+		a.inner, err = a.lowerer().applyOperator(a.pq.apply, a.pq.pushable, a.pq.project, a.decision, a.strategy, 0)
 	} else {
 		a.monitored = true
-		a.inner, err = a.planner.newMonitoredInner(a.query, a.strategy, a.decision)
+		a.inner, err = a.newMonitoredInner(a.strategy)
 	}
 	if err != nil {
 		return err
@@ -116,19 +121,17 @@ func (a *Adaptive) Open(ctx context.Context) error {
 	return nil
 }
 
-// newMonitoredInner builds the UDF operator for the monitored phase: the full
-// extended record comes back to the server, where the adaptive wrapper itself
-// applies the pushable predicate and projection so that output rows stay 1:1
-// with input rows inside the operator.
-func (p *Planner) newMonitoredInner(q Query, s Strategy, d *Decision) (exec.Operator, error) {
-	input, err := q.NewInput()
+// newMonitoredInner builds the UDF operator for the monitored phase: the
+// application's input subtree is lowered fresh and the full extended record
+// comes back to the server, where the adaptive wrapper itself applies the
+// pushable predicate and projection so that output rows stay 1:1 with input
+// rows inside the operator.
+func (a *Adaptive) newMonitoredInner(s Strategy) (exec.Operator, error) {
+	input, err := a.lowerer().lower(a.pq.apply.Input)
 	if err != nil {
 		return nil, err
 	}
-	if q.ServerFilter != nil {
-		input = exec.NewFilter(input, q.ServerFilter)
-	}
-	return p.newUDFOperator(input, q, s, d)
+	return a.planner.newUDFOperator(input, a.pq.apply.UDFs, s, a.decision)
 }
 
 // Next implements exec.Operator.
@@ -165,8 +168,8 @@ func (a *Adaptive) NextBatch(dst []types.Tuple) (int, error) {
 		for _, t := range in[:n] {
 			a.rowsSeen++
 			a.sketch.Add(t.Hash(a.argOrds))
-			if a.query.Pushable != nil {
-				keep, err := a.ev.EvalBool(a.query.Pushable, t)
+			if a.pq.pushable != nil {
+				keep, err := a.ev.EvalBool(a.pq.pushable, t)
 				if err != nil {
 					return out, err
 				}
@@ -175,8 +178,8 @@ func (a *Adaptive) NextBatch(dst []types.Tuple) (int, error) {
 				}
 			}
 			a.kept++
-			if len(a.query.Project) > 0 {
-				p, err := t.Project(a.query.Project)
+			if len(a.pq.project) > 0 {
+				p, err := t.Project(a.pq.project)
 				if err != nil {
 					return out, err
 				}
@@ -205,7 +208,7 @@ func (a *Adaptive) NextBatch(dst []types.Tuple) (int, error) {
 func (a *Adaptive) reconsider() error {
 	params := a.decision.Params
 	params.DistinctFraction = a.sketch.DistinctFraction()
-	if a.query.Pushable != nil && a.rowsSeen > 0 {
+	if a.pq.pushable != nil && a.rowsSeen > 0 {
 		s := float64(a.kept) / float64(a.rowsSeen)
 		if s <= 0 {
 			s = 1 / float64(a.rowsSeen)
@@ -236,16 +239,17 @@ func (a *Adaptive) reconsider() error {
 	// client-site join's byte profile — it ships full records, so both the
 	// session fan-out (sized from the bottleneck transfer) and the
 	// dictionary prediction (whole-record columns, no dedup rescale) differ
-	// from the monitored semi-join's — then build and open the new operator
-	// (resuming from the first undelivered input row) before touching the
-	// running one, so a failed instantiation leaves the healthy monitored
-	// plan in place instead of killing the query mid-flight.
+	// from the monitored semi-join's — then re-lower the application's input
+	// subtree into the new operator (resuming from the first undelivered
+	// input row) before touching the running one, so a failed instantiation
+	// leaves the healthy monitored plan in place instead of killing the
+	// query mid-flight.
 	revised := *a.decision
 	revised.Strategy = StrategyClientJoin
 	revised.Params = params
 	revised.SemiJoinCost, revised.ClientJoinCost = sjc, cjc
-	finalizeLinkKnobs(&revised, a.query, a.planner.Config.maxSessions())
-	op, err := a.planner.newOperatorSkipping(a.query, &revised, StrategyClientJoin, a.rowsSeen)
+	finalizeLinkKnobs(&revised, a.pq.spec, a.planner.Config.maxSessions())
+	op, err := a.lowerer().applyOperator(a.pq.apply, a.pq.pushable, a.pq.project, &revised, StrategyClientJoin, a.rowsSeen)
 	if err != nil {
 		return nil
 	}
@@ -302,7 +306,8 @@ func (a *Adaptive) NetStats() exec.NetStats {
 }
 
 // skip discards the first n rows of its input; the re-planning switch uses it
-// to resume a fresh subtree after the rows the previous strategy delivered.
+// to resume a freshly lowered subtree after the rows the previous strategy
+// delivered.
 type skip struct {
 	exec.Operator
 	n int

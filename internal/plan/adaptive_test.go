@@ -54,7 +54,7 @@ func TestAdaptiveReplanSwitchesToClientJoin(t *testing.T) {
 	p.Config.SampleRows = 128
 	p.Config.ReplanAfterRows = 256
 
-	q := testQuery(rows, testCatalog(t, rt))
+	q := testQuery(t, rows, testCatalog(t, rt))
 	d, err := p.Plan(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
@@ -116,7 +116,7 @@ func TestAdaptiveStaysWhenEstimatesHold(t *testing.T) {
 	p.Config.SampleRows = 128
 	p.Config.ReplanAfterRows = 128
 
-	q := testQuery(rows, testCatalog(t, rt))
+	q := testQuery(t, rows, testCatalog(t, rt))
 	d, err := p.Plan(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
@@ -157,7 +157,7 @@ func TestAdaptiveClientJoinRunsDirect(t *testing.T) {
 	}
 	rt := testRuntime(t)
 	p := newTestPlanner(t, rt, netsim.Unlimited())
-	q := testQuery(rows, testCatalog(t, rt))
+	q := testQuery(t, rows, testCatalog(t, rt))
 	d, err := p.Plan(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,134 @@
+package plan
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"csq/internal/catalog"
+	"csq/internal/exec"
+	"csq/internal/logical"
+	"csq/internal/netsim"
+	"csq/internal/storage"
+	"csq/internal/types"
+)
+
+// TestExplainRendersAllThreeLayers plans a semi-join-winning query over a
+// real heap table and checks the EXPLAIN rendering: logical tree, rewritten
+// tree, and the physical plan with the server-side pushable wrappers the
+// semi-join strategy lowers to.
+func TestExplainRendersAllThreeLayers(t *testing.T) {
+	rows := make([]types.Tuple, 400)
+	for i := range rows {
+		rows[i] = rowWithKey(i, uint32(i%8)) // duplicate-heavy: semi-join wins
+	}
+	table, err := storage.NewHeapTable("events", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	rt := testRuntime(t)
+	cat := testCatalog(t, rt)
+	if err := cat.AddTable(&catalog.Table{Name: "events", Schema: testSchema(), Stats: table.Stats(), Data: table}); err != nil {
+		t.Fatal(err)
+	}
+	scan, err := logical.NewScanByName(cat, "events", "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newTestPlanner(t, rt, netsim.Unlimited())
+	q := testQuery(t, rows, cat)
+	q.Source = scan
+
+	tp, err := p.PlanQuery(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tp.Applies[0].Decision.Strategy; got != StrategySemiJoin {
+		t.Fatalf("planned %s, want semi-join", got)
+	}
+	out := tp.Explain()
+	for _, want := range []string{
+		"logical plan:",
+		"rewritten plan:",
+		"physical plan:",
+		"scan events as e",
+		"project [0 2] (server side)",
+		"filter $3 (server side, above join-back)",
+		"semi-join [Score Qualify]",
+		"table-scan events",
+		"cost/tuple",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The planned scan-backed tree executes like the values-backed one.
+	op, err := tp.NewOperator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.Collect(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := range rows {
+		if uint32(i%8)%10 == 0 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("scan-backed plan returned %d rows, want %d", len(got), want)
+	}
+}
+
+// TestLowerScanWithoutHandle: a catalog entry without a storage handle fails
+// at lowering with a clear error instead of a panic.
+func TestLowerScanWithoutHandle(t *testing.T) {
+	cat := catalog.New()
+	if err := cat.AddTable(&catalog.Table{Name: "ghost", Schema: testSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	scan, err := logical.NewScanByName(cat, "ghost", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := testRuntime(t)
+	p := newTestPlanner(t, rt, netsim.Unlimited())
+	q := Query{Source: scan, UDFs: testBindings(), Catalog: testCatalog(t, rt)}
+	_, err = p.Plan(context.Background(), q)
+	if err == nil || !strings.Contains(err.Error(), "no storage handle") {
+		t.Errorf("planning a handle-less scan = %v, want storage-handle error", err)
+	}
+}
+
+// TestPlanEmptyInputFallsBackToNaive: an empty source with no priors cannot
+// feed the cost model; the plan degrades to the naive operator (correct at
+// any cardinality) instead of failing, and executes to an empty result.
+func TestPlanEmptyInputFallsBackToNaive(t *testing.T) {
+	rt := testRuntime(t)
+	p := newTestPlanner(t, rt, netsim.Unlimited())
+	q := testQuery(t, nil, testCatalog(t, rt))
+	d, err := p.Plan(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Strategy != StrategyNaive || !d.Fallback {
+		t.Fatalf("empty input planned as %s (fallback=%v), want naive fallback", d.Strategy, d.Fallback)
+	}
+	op, err := p.NewOperator(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.Collect(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty input returned %d rows", len(got))
+	}
+}

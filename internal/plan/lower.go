@@ -1,0 +1,375 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"csq/internal/catalog"
+	"csq/internal/exec"
+	"csq/internal/expr"
+	"csq/internal/logical"
+	"csq/internal/storage"
+)
+
+// This file is the physical lowering layer: it walks a rewritten logical
+// tree, runs the sampling/probing/cost-model machinery once per UDFApply
+// node, and instantiates exec operators. Instantiation is repeatable — every
+// call builds a fresh operator tree from the declarative nodes, which is what
+// lets the planner sample an input subtree, execute it, and later re-lower it
+// for adaptive re-planning without any reset-the-iterator protocol.
+
+// ApplyPlan pairs one UDFApply node of the rewritten tree with its decision.
+type ApplyPlan struct {
+	Apply    *logical.UDFApply
+	Decision *Decision
+}
+
+// TreePlan is a planned logical tree: the original and rewritten forms, and
+// one decision per UDFApply node. NewOperator instantiates a fresh physical
+// operator tree from it; Explain renders all three layers.
+type TreePlan struct {
+	// Original is the tree as handed to the planner, before rewriting.
+	Original logical.Node
+	// Root is the rewritten tree the decisions and operators are built from.
+	Root logical.Node
+	// Applies lists the UDF applications in lowering (post-order) with their
+	// decisions.
+	Applies []ApplyPlan
+
+	planner   *Planner
+	catalog   *catalog.Catalog
+	decisions map[*logical.UDFApply]*Decision
+}
+
+// PlanTree rewrites the logical tree and makes a strategy decision for every
+// UDFApply node in it, in post-order (so an outer application's sampling pass
+// can instantiate its already-planned inputs). The catalog supplies UDF cost
+// metadata; it may be nil when kind-based defaults are acceptable.
+func (p *Planner) PlanTree(ctx context.Context, root logical.Node, cat *catalog.Catalog) (*TreePlan, error) {
+	return p.planTree(ctx, root, cat, nil)
+}
+
+func (p *Planner) planTree(ctx context.Context, root logical.Node, cat *catalog.Catalog, tablePrior *catalog.Table) (*TreePlan, error) {
+	if root == nil {
+		return nil, fmt.Errorf("plan: nil logical tree")
+	}
+	rewritten, err := logical.Rewrite(root)
+	if err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	tp := &TreePlan{
+		Original:  root,
+		Root:      rewritten,
+		planner:   p,
+		catalog:   cat,
+		decisions: map[*logical.UDFApply]*Decision{},
+	}
+	for _, apply := range logical.Applies(rewritten) {
+		spec := applySpec{apply: apply, cat: cat, table: tablePrior}
+		if spec.table == nil {
+			spec.table = findScanTable(apply.Input)
+		}
+		d, err := p.planApply(ctx, tp.lowerer(), spec)
+		if err != nil {
+			return nil, err
+		}
+		tp.decisions[apply] = d
+		tp.Applies = append(tp.Applies, ApplyPlan{Apply: apply, Decision: d})
+	}
+	return tp, nil
+}
+
+// NewOperator instantiates a fresh physical operator tree for the planned
+// logical tree. It can be called any number of times; every call builds new
+// operators from the shared declarative nodes and decisions.
+func (tp *TreePlan) NewOperator() (exec.Operator, error) {
+	return tp.lowerer().lower(tp.Root)
+}
+
+func (tp *TreePlan) lowerer() *lowerer {
+	return &lowerer{planner: tp.planner, decisions: tp.decisions}
+}
+
+// findScanTable descends through cardinality-preserving single-input nodes
+// to a Scan and returns its catalog entry, for cardinality priors. Filters
+// are allowed because the sampling pass measures their selectivity; joins,
+// aggregates, limits and distincts stop the descent — their output
+// cardinality is not the base table's.
+func findScanTable(n logical.Node) *catalog.Table {
+	for n != nil {
+		switch t := n.(type) {
+		case *logical.Scan:
+			return t.Table
+		case *logical.Filter:
+			n = t.Input
+		case *logical.Project:
+			n = t.Input
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// lowerer instantiates exec operators from logical nodes, using the planned
+// decision for each UDFApply node. Callers needing a forced strategy or an
+// input-row skip for one application (the adaptive operator's mid-query
+// switch) call applyOperator on that node directly.
+type lowerer struct {
+	planner   *Planner
+	decisions map[*logical.UDFApply]*Decision
+}
+
+// lower builds a fresh operator tree for the node.
+func (lw *lowerer) lower(n logical.Node) (exec.Operator, error) {
+	switch t := n.(type) {
+	case *logical.Scan:
+		data, ok := t.Table.Data.(*storage.HeapTable)
+		if !ok {
+			return nil, fmt.Errorf("plan: scan of %q: catalog entry has no storage handle", t.Table.Name)
+		}
+		return exec.NewTableScan(data, t.Alias), nil
+	case *logical.Values:
+		return exec.NewValuesScan(t.Schema(), t.Rows), nil
+	case *logical.Filter:
+		in, err := lw.lower(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewFilter(in, t.Pred), nil
+	case *logical.Project:
+		in, err := lw.lower(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewProjectOrdinals(in, t.Ordinals)
+	case *logical.Join:
+		left, err := lw.lower(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := lw.lower(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewHashJoin(left, right, t.LeftKeys, t.RightKeys, t.Residual)
+	case *logical.Aggregate:
+		in, err := lw.lower(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewHashAggregate(in, t.GroupBy, t.Aggs)
+	case *logical.Distinct:
+		in, err := lw.lower(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewDistinct(in, t.Ordinals), nil
+	case *logical.Limit:
+		in, err := lw.lower(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewLimit(in, t.N), nil
+	case *logical.UDFApply:
+		d, ok := lw.decisions[t]
+		if !ok {
+			return nil, fmt.Errorf("plan: UDF application %s has no decision (not planned by this tree plan)", t)
+		}
+		return lw.applyOperator(t, t.Pushable, t.Project, d, d.Strategy, 0)
+	default:
+		return nil, fmt.Errorf("plan: cannot lower unknown logical node %T", n)
+	}
+}
+
+// applyOperator instantiates one UDF application with the given pushable
+// predicate and projection, placing them on the right side of the link for
+// the strategy: at the client for the client-site join, at the server above
+// the join-back for the semi-join and the naive operator. skip discards the
+// first input rows (post any pushed-down filter) — the adaptive re-planning
+// resume hook.
+func (lw *lowerer) applyOperator(apply *logical.UDFApply, pushable expr.Expr, project []int, d *Decision, s Strategy, skip int) (exec.Operator, error) {
+	input, err := lw.lower(apply.Input)
+	if err != nil {
+		return nil, err
+	}
+	if skip > 0 {
+		input = newSkip(input, skip)
+	}
+	p := lw.planner
+	switch s {
+	case StrategyClientJoin:
+		op, err := exec.NewClientJoin(input, p.Link, apply.UDFs)
+		if err != nil {
+			return nil, err
+		}
+		op.Sessions = d.Sessions
+		op.DictBatches = d.DictBatches
+		client, server := splitClientEvaluable(pushable, apply)
+		op.Pushable = client
+		if server == nil {
+			op.ProjectOrdinals = project
+			return op, nil
+		}
+		// A server-side residue needs the full extended record, so the
+		// projection is applied above it rather than at the client.
+		var out exec.Operator = exec.NewFilter(op, server)
+		if len(project) > 0 {
+			return exec.NewProjectOrdinals(out, project)
+		}
+		return out, nil
+	case StrategySemiJoin, StrategyNaive:
+		op, err := p.newUDFOperator(input, apply.UDFs, s, d)
+		if err != nil {
+			return nil, err
+		}
+		var out exec.Operator = op
+		if pushable != nil {
+			out = exec.NewFilter(out, pushable)
+		}
+		if len(project) > 0 {
+			return exec.NewProjectOrdinals(out, project)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("plan: unknown strategy %d", s)
+	}
+}
+
+// splitClientEvaluable partitions a pushable predicate's conjuncts into those
+// the client can evaluate over the shipped extended record (no server-site
+// UDF calls, no out-of-record columns) and the residue the server must apply
+// above the operator. The rewriter only absorbs client-evaluable conjuncts,
+// so for absorbed predicates the residue is nil; the split matters for folded
+// predicates coming from the adaptive path.
+func splitClientEvaluable(pushable expr.Expr, apply *logical.UDFApply) (client, server expr.Expr) {
+	if pushable == nil {
+		return nil, nil
+	}
+	extW := apply.ExtendedSchema().Len()
+	avail := make(map[int]bool, extW)
+	for i := 0; i < extW; i++ {
+		avail[i] = true
+	}
+	udfResults := make(map[string]bool, len(apply.UDFs))
+	for _, u := range apply.UDFs {
+		udfResults[strings.ToLower(u.Name)] = true
+	}
+	var cs, ss []expr.Expr
+	for _, c := range expr.Conjuncts(pushable) {
+		if expr.PushableToClient(c, avail, udfResults) {
+			cs = append(cs, c)
+		} else {
+			ss = append(ss, c)
+		}
+	}
+	return expr.Conjoin(cs), expr.Conjoin(ss)
+}
+
+// newUDFOperator builds and configures the semi-join or naive operator over
+// an already-assembled input; it is shared by the lowering path and the
+// adaptive operator's monitored phase so both always run identically
+// configured operators.
+func (p *Planner) newUDFOperator(input exec.Operator, udfs []exec.UDFBinding, s Strategy, d *Decision) (exec.Operator, error) {
+	switch s {
+	case StrategySemiJoin:
+		op, err := exec.NewSemiJoin(input, p.Link, udfs)
+		if err != nil {
+			return nil, err
+		}
+		if d.Concurrency > 0 {
+			op.ConcurrencyFactor = d.Concurrency
+		}
+		op.Sessions = d.Sessions
+		op.DictBatches = d.DictBatches
+		return op, nil
+	case StrategyNaive:
+		op, err := exec.NewNaiveUDF(input, p.Link, udfs)
+		if err != nil {
+			return nil, err
+		}
+		op.EnableCache = true
+		return op, nil
+	default:
+		return nil, fmt.Errorf("plan: strategy %s is not a server-joined UDF operator", s)
+	}
+}
+
+// planApply makes the decision for one UDF application: it instantiates the
+// node's input subtree, samples it, measures (or reuses) the link
+// observation, assembles the cost-model parameters and picks the strategy.
+func (p *Planner) planApply(ctx context.Context, lw *lowerer, spec applySpec) (*Decision, error) {
+	stats, err := p.sampleApply(ctx, lw, spec.apply)
+	if err != nil {
+		return nil, fmt.Errorf("plan: sampling pass: %w", err)
+	}
+
+	var link exec.LinkObservation
+	if p.Config.Link != nil {
+		link = *p.Config.Link
+	} else {
+		link, err = exec.ProbeAsymmetry(ctx, p.Link, p.Config.ProbeBytes)
+		if err != nil {
+			return nil, fmt.Errorf("plan: link probe: %w", err)
+		}
+	}
+
+	d := &Decision{Stats: stats, Link: link}
+	d.EstimatedRows = estimateRows(stats, spec)
+	d.Params, err = assembleParams(stats, spec, link, d.EstimatedRows)
+	if errors.Is(err, errEmptySample) {
+		// Degenerate input: nothing sampled and no catalog priors to size a
+		// record with. The naive operator is correct at any cardinality and
+		// carries the least machinery for the zero-row stream this almost
+		// always is, so fall back to it instead of failing the plan.
+		d.Strategy = StrategyNaive
+		d.Sessions = 1
+		d.Concurrency = exec.DefaultConcurrencyFactor
+		d.Fallback = true
+		return d, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	d.Strategy, d.SemiJoinCost, d.ClientJoinCost, err = ChooseStrategy(d.Params)
+	if err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	finalizeLinkKnobs(d, spec, p.Config.maxSessions())
+	return d, nil
+}
+
+// sampleApply runs the sampling pass for one UDF application. The rewriter
+// normalises the input spine to [Project] [Filter] rest, so the pass peels
+// those off: rows are pulled from a fresh instantiation of the rest, the
+// filter predicate is evaluated explicitly (measuring its selectivity for
+// cardinality estimation), and the projection is applied positionally so the
+// column statistics describe the records the operator will actually see.
+func (p *Planner) sampleApply(ctx context.Context, lw *lowerer, apply *logical.UDFApply) (SampleStats, error) {
+	node := apply.Input
+	var projection []int
+	if proj, ok := node.(*logical.Project); ok {
+		projection = proj.Ordinals
+		node = proj.Input
+	}
+	var pred expr.Expr
+	if f, ok := node.(*logical.Filter); ok {
+		pred = f.Pred
+		node = f.Input
+	}
+	src, err := lw.lower(node)
+	if err != nil {
+		return SampleStats{}, err
+	}
+	argOrds := apply.ArgOrdinals()
+	if projection != nil {
+		mapped := make([]int, len(argOrds))
+		for i, o := range argOrds {
+			mapped[i] = projection[o]
+		}
+		argOrds = mapped
+	}
+	return sampleInput(ctx, src, argOrds, pred, projection, p.Config.sampleRows(), p.Config.sketchSize())
+}

@@ -1,36 +1,50 @@
-// Package plan implements the cost-based strategy planner of the paper: given
-// a client-site UDF application over a scan/filter/project subtree, it decides
-// between naive tuple-at-a-time evaluation, the semi-join strategy and the
-// client-site join using the Section 3.2 bandwidth cost model — with every
-// model parameter measured or looked up rather than hand-supplied.
+// Package plan is the physical planning layer: it lowers a logical plan tree
+// (package logical) onto the execution engine's operators, choosing — per
+// UDFApply node — between naive tuple-at-a-time evaluation, the semi-join
+// strategy and the client-site join using the paper's Section 3.2 bandwidth
+// cost model, with every model parameter measured or looked up rather than
+// hand-supplied.
 //
-// The planner closes the loop the paper describes:
+// The pipeline is
+//
+//	Query (thin constructor) → logical tree → logical.Rewrite (predicate
+//	pushdown, pushable absorption, projection pruning) → lower (this
+//	package: sampling, link probing, cost-model decisions, operator
+//	instantiation)
+//
+// For each UDFApply node of the rewritten tree:
 //
 //   - A, D, S, P and I come from catalog metadata plus a bounded sampling
-//     pass over the batched input (package-internal sampleInput), with D
-//     estimated by a streaming KMV sketch;
+//     pass over a fresh instantiation of the node's input subtree (package
+//     internal sampleInput), with D estimated by a streaming KMV sketch;
 //   - R comes from the catalog's client-UDF announcements;
 //   - N is measured live by probing the query's own client link
-//     (exec.ProbeAsymmetry);
-//   - the winning operator is instantiated with its pushable predicates and
-//     projections split out (client-side for the client-site join,
-//     server-side above the semi-join);
+//     (exec.ProbeAsymmetry), once per plan;
+//   - the winning operator is instantiated with the node's pushable
+//     predicate and projection on the right side of the link: the client for
+//     the client-site join, the server (above the join-back) for the
+//     semi-join and the naive operator;
 //   - the Adaptive wrapper re-checks the decision mid-query from observed
-//     statistics and switches strategy without discarding rows already
-//     delivered.
+//     statistics and switches strategy by re-lowering the node's input
+//     subtree, without discarding rows already delivered.
 package plan
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"sort"
-	"strings"
 
 	"csq/internal/catalog"
 	"csq/internal/costmodel"
 	"csq/internal/exec"
 	"csq/internal/expr"
+	"csq/internal/logical"
 )
+
+// errEmptySample marks the degenerate-input condition — nothing sampled and
+// no catalog priors to size a record with — that the lowering pass answers
+// with the naive fallback instead of a planning failure.
+var errEmptySample = errors.New("plan: cannot size input records (empty sample and no table stats)")
 
 // Defaults for Config fields left zero.
 const (
@@ -136,54 +150,87 @@ func (c Config) maxSessions() int {
 	return c.MaxSessions
 }
 
-// Query describes one client-site UDF application for the planner.
+// Query is the thin constructor for the common single-UDF-application query
+// shape: a declarative input subtree, the client-site UDFs to apply, and the
+// predicates and projection around them. Logical assembles it into a logical
+// tree; everything else — predicate splitting, projection pruning, strategy
+// choice — happens in the rewrite and lowering layers. Arbitrary shapes
+// (UDFs above joins, several UDF applications in one tree) skip Query and go
+// through Planner.PlanTree directly.
 type Query struct {
-	// NewInput builds a fresh instance of the input subtree (scan, or scan
-	// plus server-side filter/project operators). The planner calls it once
-	// for the sampling pass and once per instantiated strategy, so it must
-	// return an operator positioned at the start of the stream.
-	NewInput func() (exec.Operator, error)
-	// UDFs are the client-site UDFs to apply; ordinals reference the input
+	// Source is the declarative input subtree (a logical Scan, Values, or any
+	// tree without UDF applications). The lowering layer instantiates a fresh
+	// operator tree from it for every pass that needs one — sampling,
+	// execution, adaptive re-planning — so there is no shared-iterator state
+	// to reset between passes.
+	Source logical.Node
+	// UDFs are the client-site UDFs to apply; ordinals reference the source
 	// schema.
 	UDFs []exec.UDFBinding
-	// ServerFilter is an optional server-evaluable predicate over the input
-	// schema. The planner applies it below the client-site operator and uses
-	// its sampled selectivity to scale the input cardinality.
+	// ServerFilter is an optional server-evaluable predicate over the source
+	// schema, applied below the UDF application.
 	ServerFilter expr.Expr
-	// Pushable is an optional predicate over the extended schema (input
-	// columns followed by one result column per UDF). The client-site join
-	// evaluates it at the client; the other strategies evaluate it at the
-	// server above the join-back.
+	// Pushable is an optional predicate over the extended schema (source
+	// columns followed by one result column per UDF). The rewriter splits it:
+	// server-evaluable conjuncts are pushed below the UDF application,
+	// client-evaluable ones are absorbed into it.
 	Pushable expr.Expr
 	// Project optionally narrows the output to these extended-schema
 	// ordinals (a pushable projection). Empty keeps every column.
 	Project []int
 	// Table optionally supplies catalog statistics for the scanned relation
-	// (cardinality priors when the sample does not exhaust the input).
+	// (cardinality priors when the sample does not exhaust the input). When
+	// nil, the planner looks for a Scan node below the UDF application.
 	Table *catalog.Table
 	// Catalog supplies UDF cost metadata (result sizes, predicate
 	// selectivities) as announced by the client runtime.
 	Catalog *catalog.Catalog
 }
 
-// argOrdinalUnion returns the sorted union of all UDF argument ordinals.
-func argOrdinalUnion(udfs []exec.UDFBinding) []int {
-	seen := map[int]bool{}
-	for _, u := range udfs {
-		for _, o := range u.ArgOrdinals {
-			seen[o] = true
+// Logical assembles the query's logical tree, pre-rewrite: Project over
+// Filter(Pushable) over UDFApply over Filter(ServerFilter) over Source.
+func (q Query) Logical() (logical.Node, error) {
+	if q.Source == nil {
+		return nil, fmt.Errorf("plan: query has no input")
+	}
+	if len(q.UDFs) == 0 {
+		return nil, fmt.Errorf("plan: query has no client-site UDFs")
+	}
+	var n logical.Node = q.Source
+	var err error
+	if q.ServerFilter != nil {
+		if n, err = logical.NewFilter(n, q.ServerFilter); err != nil {
+			return nil, fmt.Errorf("plan: %w", err)
 		}
 	}
-	out := make([]int, 0, len(seen))
-	for o := range seen {
-		out = append(out, o)
+	if n, err = logical.NewUDFApply(n, q.UDFs); err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
 	}
-	sort.Ints(out)
-	return out
+	if q.Pushable != nil {
+		if n, err = logical.NewFilter(n, q.Pushable); err != nil {
+			return nil, fmt.Errorf("plan: %w", err)
+		}
+	}
+	if len(q.Project) > 0 {
+		if n, err = logical.NewProject(n, q.Project); err != nil {
+			return nil, fmt.Errorf("plan: %w", err)
+		}
+	}
+	return n, nil
 }
 
-// Decision is the planner's output: the chosen strategy, the parameters it
-// was derived from, and the evidence (sample statistics and link probe).
+// applySpec bundles one rewritten UDFApply node with the metadata context its
+// decision is derived from: the catalog (UDF result sizes and selectivities)
+// and an optional table prior for cardinality estimation.
+type applySpec struct {
+	apply *logical.UDFApply
+	table *catalog.Table
+	cat   *catalog.Catalog
+}
+
+// Decision is the planner's output for one UDF application: the chosen
+// strategy, the parameters it was derived from, and the evidence (sample
+// statistics and link probe).
 type Decision struct {
 	// Strategy is the winning strategy.
 	Strategy Strategy
@@ -208,13 +255,18 @@ type Decision struct {
 	// dictionary encoding on the shipped columns (0 when DictBatches is
 	// off).
 	DictSavings float64
+	// Fallback reports that the decision is the degenerate-input fallback: an
+	// empty sample with no catalog priors cannot feed the cost model, so the
+	// naive operator (correct for any cardinality, cheapest machinery for
+	// none) is chosen without one.
+	Fallback bool
 	// Stats is the sampling pass output.
 	Stats SampleStats
 	// Link is the probe observation used for N.
 	Link exec.LinkObservation
 }
 
-// Planner plans client-site UDF applications over one client link.
+// Planner plans UDF applications over one client link.
 type Planner struct {
 	// Link is the client link queries execute over; the planner probes it to
 	// measure the network asymmetry.
@@ -245,61 +297,39 @@ func ChooseStrategy(p costmodel.Params) (Strategy, costmodel.LinkCost, costmodel
 	return StrategyClientJoin, sj, cj, nil
 }
 
-// Plan measures statistics and the link, assembles the cost-model parameters
-// and returns the winning strategy.
+// Plan lowers the query through the logical→rewrite→lower pipeline and
+// returns the decision for its UDF application.
 func (p *Planner) Plan(ctx context.Context, q Query) (*Decision, error) {
-	if q.NewInput == nil {
-		return nil, fmt.Errorf("plan: query has no input")
-	}
-	if len(q.UDFs) == 0 {
-		return nil, fmt.Errorf("plan: query has no client-site UDFs")
-	}
-	src, err := q.NewInput()
+	tp, err := p.PlanQuery(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	argOrds := argOrdinalUnion(q.UDFs)
-	for _, o := range argOrds {
-		if o < 0 || o >= src.Schema().Len() {
-			_ = src.Close()
-			return nil, fmt.Errorf("plan: UDF argument ordinal %d out of range", o)
-		}
-	}
-	stats, err := sampleInput(ctx, src, argOrds, q.ServerFilter, p.Config.sampleRows(), p.Config.sketchSize())
-	if err != nil {
-		return nil, fmt.Errorf("plan: sampling pass: %w", err)
-	}
+	return tp.Applies[0].Decision, nil
+}
 
-	var link exec.LinkObservation
-	if p.Config.Link != nil {
-		link = *p.Config.Link
-	} else {
-		link, err = exec.ProbeAsymmetry(ctx, p.Link, p.Config.ProbeBytes)
-		if err != nil {
-			return nil, fmt.Errorf("plan: link probe: %w", err)
-		}
-	}
-
-	d := &Decision{Stats: stats, Link: link}
-	d.EstimatedRows = estimateRows(stats, q)
-	d.Params, err = assembleParams(stats, q, link, d.EstimatedRows)
+// PlanQuery builds the query's logical tree and plans it. The returned
+// TreePlan has exactly one UDF application.
+func (p *Planner) PlanQuery(ctx context.Context, q Query) (*TreePlan, error) {
+	root, err := q.Logical()
 	if err != nil {
 		return nil, err
 	}
-	d.Strategy, d.SemiJoinCost, d.ClientJoinCost, err = ChooseStrategy(d.Params)
+	tp, err := p.planTree(ctx, root, q.Catalog, q.Table)
 	if err != nil {
-		return nil, fmt.Errorf("plan: %w", err)
+		return nil, err
 	}
-	finalizeLinkKnobs(d, q, p.Config.maxSessions())
-	return d, nil
+	if len(tp.Applies) != 1 {
+		return nil, fmt.Errorf("plan: query rewrote to %d UDF applications, want exactly 1", len(tp.Applies))
+	}
+	return tp, nil
 }
 
 // finalizeLinkKnobs derives the decision's link-level knobs — session
 // fan-out, pipeline concurrency factor and dictionary choice — from its
 // strategy, parameters, link observation and sample statistics. It is shared
-// by Plan and the adaptive mid-query re-plan so a strategy switch always
-// re-derives the knobs exactly the way a fresh plan would.
-func finalizeLinkKnobs(d *Decision, q Query, maxSessions int) {
+// by the lowering pass and the adaptive mid-query re-plan so a strategy
+// switch always re-derives the knobs exactly the way a fresh plan would.
+func finalizeLinkKnobs(d *Decision, spec applySpec, maxSessions int) {
 	d.Sessions = sessionsFor(d, maxSessions)
 	d.Concurrency = concurrencyFor(d.Params, d.Link, d.Sessions)
 	// The naive operator ships one tuple per frame, where a per-batch
@@ -307,7 +337,7 @@ func finalizeLinkKnobs(d *Decision, q Query, maxSessions int) {
 	// plan that actually executes.
 	d.DictSavings, d.DictBatches = 0, false
 	if d.Strategy != StrategyNaive {
-		d.DictSavings = dictSavings(d.Stats, q, d.Strategy)
+		d.DictSavings = dictSavings(d.Stats, spec, d.Strategy)
 		d.DictBatches = d.DictSavings >= minDictSavings
 	}
 }
@@ -352,11 +382,11 @@ func sessionsFor(d *Decision, max int) int {
 // semi-join (and naive) strategies the shipped stream is the distinct
 // argument tuples, so each column's fraction is rescaled by the tuple-level
 // D — the distinct values survive dedup while the row count shrinks.
-func dictSavings(stats SampleStats, q Query, s Strategy) float64 {
+func dictSavings(stats SampleStats, spec applySpec, s Strategy) float64 {
 	if len(stats.ColDistinctFraction) == 0 {
 		return 0
 	}
-	cols := argOrdinalUnion(q.UDFs)
+	cols := spec.apply.ArgOrdinals()
 	rescale := stats.DistinctFraction
 	if s == StrategyClientJoin {
 		cols = cols[:0]
@@ -390,12 +420,12 @@ func dictSavings(stats SampleStats, q Query, s Strategy) float64 {
 // estimateRows combines the sample with catalog priors: an exhausted sample is
 // an exact count; otherwise the table's row count is scaled by the sampled
 // filter selectivity; failing both, the sample itself is the lower bound.
-func estimateRows(stats SampleStats, q Query) int {
+func estimateRows(stats SampleStats, spec applySpec) int {
 	if stats.Exhausted {
 		return stats.PassingRows
 	}
-	if q.Table != nil && q.Table.Stats.RowCount > 0 {
-		n := int(float64(q.Table.Stats.RowCount) * stats.FilterSelectivity)
+	if spec.table != nil && spec.table.Stats.RowCount > 0 {
+		n := int(float64(spec.table.Stats.RowCount) * stats.FilterSelectivity)
 		if n < stats.PassingRows {
 			n = stats.PassingRows
 		}
@@ -406,13 +436,13 @@ func estimateRows(stats SampleStats, q Query) int {
 
 // assembleParams builds the cost-model parameters from measurements and
 // catalog metadata.
-func assembleParams(stats SampleStats, q Query, link exec.LinkObservation, rows int) (costmodel.Params, error) {
+func assembleParams(stats SampleStats, spec applySpec, link exec.LinkObservation, rows int) (costmodel.Params, error) {
 	inputSize := stats.AvgRecordBytes
-	if inputSize <= 0 && q.Table != nil {
-		inputSize = float64(q.Table.Stats.AvgRowSize)
+	if inputSize <= 0 && spec.table != nil {
+		inputSize = float64(spec.table.Stats.AvgRowSize)
 	}
 	if inputSize <= 0 {
-		return costmodel.Params{}, fmt.Errorf("plan: cannot size input records (empty sample and no table stats)")
+		return costmodel.Params{}, errEmptySample
 	}
 	argFraction := stats.AvgArgBytes / inputSize
 	if argFraction <= 0 {
@@ -421,14 +451,14 @@ func assembleParams(stats SampleStats, q Query, link exec.LinkObservation, rows 
 	if argFraction > 1 {
 		argFraction = 1
 	}
-	resultSize := resultSizeOf(q)
+	resultSize := resultSizeOf(spec)
 	params := costmodel.Params{
 		Rows:               rows,
 		InputSize:          inputSize,
 		ArgFraction:        argFraction,
 		DistinctFraction:   stats.DistinctFraction,
-		Selectivity:        pushableSelectivity(q, len(stats.AvgColBytes)),
-		ProjectionFraction: projectionFraction(stats, q, resultSize),
+		Selectivity:        pushableSelectivity(spec, len(stats.AvgColBytes)),
+		ProjectionFraction: projectionFraction(stats, spec, resultSize),
 		ResultSize:         resultSize,
 		Asymmetry:          link.Asymmetry,
 		PerTupleOverhead:   perTupleOverhead,
@@ -447,11 +477,11 @@ func udfResultSize(cat *catalog.Catalog, b exec.UDFBinding) float64 {
 	return float64(expr.KindSize(b.ResultKind))
 }
 
-// resultSizeOf sums the returned-result sizes of the query's UDFs.
-func resultSizeOf(q Query) float64 {
+// resultSizeOf sums the returned-result sizes of the application's UDFs.
+func resultSizeOf(spec applySpec) float64 {
 	total := 0.0
-	for _, b := range q.UDFs {
-		total += udfResultSize(q.Catalog, b)
+	for _, b := range spec.apply.UDFs {
+		total += udfResultSize(spec.cat, b)
 	}
 	return total
 }
@@ -459,17 +489,17 @@ func resultSizeOf(q Query) float64 {
 // pushableSelectivity estimates S for the pushable predicate. A conjunct that
 // is a bare reference to a boolean UDF result column uses that UDF's declared
 // catalog selectivity; everything else falls back to the System-R heuristics.
-func pushableSelectivity(q Query, inputWidth int) float64 {
-	if q.Pushable == nil {
+func pushableSelectivity(spec applySpec, inputWidth int) float64 {
+	if spec.apply.Pushable == nil {
 		return 1
 	}
 	s := 1.0
-	for _, c := range expr.Conjuncts(q.Pushable) {
+	for _, c := range expr.Conjuncts(spec.apply.Pushable) {
 		cs := -1.0
 		if ref, ok := c.(*expr.ColumnRef); ok && ref.Bound() && ref.Ordinal >= inputWidth {
 			idx := ref.Ordinal - inputWidth
-			if idx < len(q.UDFs) && q.Catalog != nil {
-				if u, err := q.Catalog.UDF(q.UDFs[idx].Name); err == nil && u.Selectivity > 0 {
+			if idx < len(spec.apply.UDFs) && spec.cat != nil {
+				if u, err := spec.cat.UDF(spec.apply.UDFs[idx].Name); err == nil && u.Selectivity > 0 {
 					cs = u.Selectivity
 				}
 			}
@@ -494,19 +524,19 @@ func pushableSelectivity(q Query, inputWidth int) float64 {
 // empty sample there are no per-column sizes to apportion (assembleParams may
 // have fallen back to catalog table stats for I), so P defaults to 1 rather
 // than crediting the projection with columns measured as zero bytes.
-func projectionFraction(stats SampleStats, q Query, resultSize float64) float64 {
+func projectionFraction(stats SampleStats, spec applySpec, resultSize float64) float64 {
 	full := stats.AvgRecordBytes + resultSize
-	if stats.PassingRows == 0 || full <= 0 || len(q.Project) == 0 {
+	if stats.PassingRows == 0 || full <= 0 || len(spec.apply.Project) == 0 {
 		return 1
 	}
 	projected := 0.0
 	inputWidth := len(stats.AvgColBytes)
-	for _, o := range q.Project {
+	for _, o := range spec.apply.Project {
 		switch {
 		case o >= 0 && o < inputWidth:
 			projected += stats.AvgColBytes[o]
-		case o >= inputWidth && o-inputWidth < len(q.UDFs):
-			projected += udfResultSize(q.Catalog, q.UDFs[o-inputWidth])
+		case o >= inputWidth && o-inputWidth < len(spec.apply.UDFs):
+			projected += udfResultSize(spec.cat, spec.apply.UDFs[o-inputWidth])
 		}
 	}
 	p := projected / full
@@ -540,138 +570,4 @@ func concurrencyFor(p costmodel.Params, link exec.LinkObservation, sessions int)
 		return maxConcurrency
 	}
 	return w
-}
-
-// NewOperator instantiates the decision's strategy over a fresh input
-// subtree, splitting the pushable predicate and projection onto the right
-// side of the link: the client for the client-site join, the server (above
-// the join-back) for the semi-join and the naive operator. The decision's
-// derived session fan-out and dictionary-encoding choice are applied to the
-// instantiated operator.
-func (p *Planner) NewOperator(q Query, d *Decision) (exec.Operator, error) {
-	return p.newOperatorSkipping(q, d, d.Strategy, 0)
-}
-
-// newOperatorSkipping is NewOperator with a strategy override and an optional
-// number of (post-filter) input rows to skip — the re-planning hook: rows
-// already delivered by the previous strategy are not re-read.
-func (p *Planner) newOperatorSkipping(q Query, d *Decision, s Strategy, skip int) (exec.Operator, error) {
-	input, err := q.NewInput()
-	if err != nil {
-		return nil, err
-	}
-	if q.ServerFilter != nil {
-		input = exec.NewFilter(input, q.ServerFilter)
-	}
-	if skip > 0 {
-		input = newSkip(input, skip)
-	}
-	switch s {
-	case StrategyClientJoin:
-		op, err := exec.NewClientJoin(input, p.Link, q.UDFs)
-		if err != nil {
-			return nil, err
-		}
-		op.Sessions = d.Sessions
-		op.DictBatches = d.DictBatches
-		// ProjectOrdinals is not set yet, so Schema() is the full extended
-		// record — the width the pushable predicate is bound against.
-		pushable, server, err := splitPushable(q, op.Schema().Len())
-		if err != nil {
-			return nil, err
-		}
-		op.Pushable = pushable
-		op.ProjectOrdinals = q.Project
-		if server == nil {
-			return op, nil
-		}
-		return exec.NewFilter(op, server), nil
-	case StrategySemiJoin, StrategyNaive:
-		op, err := p.newUDFOperator(input, q, s, d)
-		if err != nil {
-			return nil, err
-		}
-		return wrapServerPushable(op, q)
-	default:
-		return nil, fmt.Errorf("plan: unknown strategy %d", s)
-	}
-}
-
-// newUDFOperator builds and configures the semi-join or naive operator over
-// an already-assembled input; it is shared by the planner's direct
-// instantiation path and the adaptive operator's monitored phase so both
-// always run identically configured operators.
-func (p *Planner) newUDFOperator(input exec.Operator, q Query, s Strategy, d *Decision) (exec.Operator, error) {
-	switch s {
-	case StrategySemiJoin:
-		op, err := exec.NewSemiJoin(input, p.Link, q.UDFs)
-		if err != nil {
-			return nil, err
-		}
-		if d.Concurrency > 0 {
-			op.ConcurrencyFactor = d.Concurrency
-		}
-		op.Sessions = d.Sessions
-		op.DictBatches = d.DictBatches
-		return op, nil
-	case StrategyNaive:
-		op, err := exec.NewNaiveUDF(input, p.Link, q.UDFs)
-		if err != nil {
-			return nil, err
-		}
-		op.EnableCache = true
-		return op, nil
-	default:
-		return nil, fmt.Errorf("plan: strategy %s is not a server-joined UDF operator", s)
-	}
-}
-
-// splitPushable decides whether the pushable predicate can run at the client.
-// It returns (clientPredicate, serverPredicate): conjuncts that reference only
-// columns present at the client (the whole extended record) and call no
-// server-site UDF go to the client; the rest stay above the operator.
-func splitPushable(q Query, extWidth int) (clientSide, serverSide expr.Expr, err error) {
-	if q.Pushable == nil {
-		return nil, nil, nil
-	}
-	avail := map[int]bool{}
-	for i := 0; i < extWidth; i++ {
-		avail[i] = true
-	}
-	udfResults := map[string]bool{}
-	for _, u := range q.UDFs {
-		udfResults[strings.ToLower(u.Name)] = true
-	}
-	var client, server []expr.Expr
-	for _, c := range expr.Conjuncts(q.Pushable) {
-		if expr.PushableToClient(c, avail, udfResults) {
-			client = append(client, c)
-		} else {
-			server = append(server, c)
-		}
-	}
-	if len(server) > 0 && len(q.Project) > 0 {
-		// A server-side residue would need columns the pushable projection may
-		// have removed; refuse rather than silently compute on the wrong row.
-		return nil, nil, fmt.Errorf("plan: pushable projection combined with non-pushable predicate conjuncts")
-	}
-	return expr.Conjoin(client), expr.Conjoin(server), nil
-}
-
-// wrapServerPushable applies the pushable predicate and projection at the
-// server, above a semi-join or naive operator whose output is the extended
-// record.
-func wrapServerPushable(op exec.Operator, q Query) (exec.Operator, error) {
-	out := op
-	if q.Pushable != nil {
-		out = exec.NewFilter(out, q.Pushable)
-	}
-	if len(q.Project) > 0 {
-		proj, err := exec.NewProjectOrdinals(out, q.Project)
-		if err != nil {
-			return nil, err
-		}
-		out = proj
-	}
-	return out, nil
 }

@@ -12,6 +12,7 @@ import (
 	"csq/internal/costmodel"
 	"csq/internal/exec"
 	"csq/internal/expr"
+	"csq/internal/logical"
 	"csq/internal/netsim"
 	"csq/internal/types"
 	"csq/internal/wire"
@@ -123,12 +124,20 @@ func testBindings() []exec.UDFBinding {
 	}
 }
 
+// testValues builds the declarative source node over the rows.
+func testValues(t testing.TB, rows []types.Tuple) logical.Node {
+	t.Helper()
+	src, err := logical.NewValues(testSchema(), rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
 // extended schema ordinals: 0 ID, 1 Payload, 2 Extra, 3 Score, 4 Qualify.
-func testQuery(rows []types.Tuple, cat *catalog.Catalog) Query {
+func testQuery(t testing.TB, rows []types.Tuple, cat *catalog.Catalog) Query {
 	return Query{
-		NewInput: func() (exec.Operator, error) {
-			return exec.NewValuesScan(testSchema(), rows), nil
-		},
+		Source:   testValues(t, rows),
 		UDFs:     testBindings(),
 		Pushable: expr.NewBoundColumnRef(4, types.KindBool),
 		Project:  []int{0, 3},
@@ -182,7 +191,7 @@ func TestSampleInputMeasures(t *testing.T) {
 	filter := expr.NewBinary(expr.OpGe,
 		expr.NewBoundColumnRef(0, types.KindString),
 		expr.NewConst(types.NewString("N0100")))
-	stats, err := sampleInput(context.Background(), src, []int{1}, filter, 500, 256)
+	stats, err := sampleInput(context.Background(), src, []int{1}, filter, nil, 500, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +301,7 @@ func TestPlanPicksSemiJoinForDuplicateHeavyInput(t *testing.T) {
 	}
 	rt := testRuntime(t)
 	p := newTestPlanner(t, rt, netsim.Unlimited())
-	d, err := p.Plan(context.Background(), testQuery(rows, testCatalog(t, rt)))
+	d, err := p.Plan(context.Background(), testQuery(t, rows, testCatalog(t, rt)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +315,7 @@ func TestPlanPicksSemiJoinForDuplicateHeavyInput(t *testing.T) {
 		t.Errorf("S = %g, want the catalog-declared 0.1", d.Params.Selectivity)
 	}
 	// Execute the planned operator and verify against a hand-built semi-join.
-	op, err := p.NewOperator(testQuery(rows, testCatalog(t, rt)), d)
+	op, err := p.NewOperator(testQuery(t, rows, testCatalog(t, rt)), d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +346,7 @@ func TestPlanPicksClientJoinForDistinctInput(t *testing.T) {
 	}
 	rt := testRuntime(t)
 	p := newTestPlanner(t, rt, netsim.Unlimited())
-	q := testQuery(rows, testCatalog(t, rt))
+	q := testQuery(t, rows, testCatalog(t, rt))
 	d, err := p.Plan(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
@@ -367,9 +376,7 @@ func TestPlanNaiveDegenerateCase(t *testing.T) {
 	// A small-result UDF keeps the semi-join side of the argmin, which the
 	// single-row input then degrades to naive.
 	q := Query{
-		NewInput: func() (exec.Operator, error) {
-			return exec.NewValuesScan(testSchema(), rows), nil
-		},
+		Source:  testValues(t, rows),
 		UDFs:    []exec.UDFBinding{{Name: "Qualify", ArgOrdinals: []int{1}, ResultKind: types.KindBool}},
 		Catalog: testCatalog(t, rt),
 	}
@@ -399,9 +406,7 @@ func TestPlanQueryValidation(t *testing.T) {
 	if _, err := p.Plan(context.Background(), Query{}); err == nil {
 		t.Error("query without input should fail")
 	}
-	q := Query{NewInput: func() (exec.Operator, error) {
-		return exec.NewValuesScan(testSchema(), nil), nil
-	}}
+	q := Query{Source: testValues(t, nil)}
 	if _, err := p.Plan(context.Background(), q); err == nil {
 		t.Error("query without UDFs should fail")
 	}
@@ -430,7 +435,11 @@ func TestPlanDerivesSessionsAndDict(t *testing.T) {
 		Asymmetry:       50,
 		RTT:             100 * time.Millisecond,
 	}
-	q := testQuery(rows, testCatalog(t, rt))
+	q := testQuery(t, rows, testCatalog(t, rt))
+	// Return (Extra, Score): the duplicate-heavy Extra column survives the
+	// rewriter's projection pruning, so the shipped records keep the
+	// dictionary-friendly structure this test is about.
+	q.Project = []int{2, 3}
 	d, err := p.Plan(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
@@ -491,7 +500,7 @@ func TestPlanSingleSessionOnUnmeasuredLink(t *testing.T) {
 	}
 	rt := testRuntime(t)
 	p := newTestPlanner(t, rt, netsim.Unlimited())
-	d, err := p.Plan(context.Background(), testQuery(rows, testCatalog(t, rt)))
+	d, err := p.Plan(context.Background(), testQuery(t, rows, testCatalog(t, rt)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -511,21 +520,25 @@ func TestDictSavingsPrediction(t *testing.T) {
 		ColDistinctFraction: []float64{1, 0.02, 1.0 / 400},
 		DistinctFraction:    0.02, // argument tuples are the payload column
 	}
-	q := Query{UDFs: testBindings()}
+	apply, err := logical.NewUDFApply(testValues(t, nil), testBindings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := applySpec{apply: apply}
 	// Semi-join: the shipped stream is the 8 distinct payloads — within it
 	// every value is distinct (0.02/0.02 = 1), so the dictionary cannot help.
-	if s := dictSavings(stats, q, StrategySemiJoin); s != 0 {
+	if s := dictSavings(stats, spec, StrategySemiJoin); s != 0 {
 		t.Errorf("semi-join savings = %.3f, want 0 (distinct args stay distinct)", s)
 	}
 	// Client-site join: full records keep both duplicate-heavy columns (the
 	// 2%-distinct Payload and the near-constant Extra), so nearly all of
 	// their bytes are predicted away: (0.98·106-1 + (1-1/400)·106-1) / 223.
-	s := dictSavings(stats, q, StrategyClientJoin)
+	s := dictSavings(stats, spec, StrategyClientJoin)
 	if s < 0.85 || s > 0.97 {
 		t.Errorf("client-join savings = %.3f, want ~0.93", s)
 	}
 	// An empty sample predicts nothing.
-	if s := dictSavings(SampleStats{}, q, StrategyClientJoin); s != 0 {
+	if s := dictSavings(SampleStats{}, spec, StrategyClientJoin); s != 0 {
 		t.Errorf("empty-sample savings = %.3f, want 0", s)
 	}
 }

@@ -1,0 +1,101 @@
+package plan
+
+import (
+	"fmt"
+
+	"csq/internal/exec"
+	"csq/internal/expr"
+	"csq/internal/logical"
+	"csq/internal/types"
+)
+
+// preparedQuery is a Query after rewriting: its sole UDF application, plus
+// the pushable predicate and projection folded from the application's
+// absorbed work and any residual Filter/Project spine the rewriter left
+// above it. The folded forms are what operator instantiation and the
+// adaptive wrapper work with, so they see the whole query even when a
+// conjunct could not be absorbed (e.g. one calling a server-site UDF).
+type preparedQuery struct {
+	apply    *logical.UDFApply
+	pushable expr.Expr
+	project  []int
+	spec     applySpec
+}
+
+// prepared builds the query's logical tree, rewrites it, and folds the spine
+// above its single UDF application.
+func (p *Planner) prepared(q Query) (*preparedQuery, error) {
+	lroot, err := q.Logical()
+	if err != nil {
+		return nil, err
+	}
+	root, err := logical.Rewrite(lroot)
+	if err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	applies := logical.Applies(root)
+	if len(applies) != 1 {
+		return nil, fmt.Errorf("plan: query rewrote to %d UDF applications, want exactly 1", len(applies))
+	}
+	apply := applies[0]
+	pushable := apply.Pushable
+	project := apply.Project
+	var residual []expr.Expr
+	for n := logical.Node(root); n != logical.Node(apply); {
+		switch t := n.(type) {
+		case *logical.Project:
+			if len(project) > 0 {
+				return nil, fmt.Errorf("plan: query rewrote to stacked projections above the UDF application")
+			}
+			project = t.Ordinals
+			n = t.Input
+		case *logical.Filter:
+			residual = append(residual, expr.Conjuncts(t.Pred)...)
+			n = t.Input
+		default:
+			return nil, fmt.Errorf("plan: unsupported %T above the query's UDF application", n)
+		}
+	}
+	if len(residual) > 0 {
+		pushable = expr.Conjoin(append(expr.Conjuncts(pushable), residual...))
+	}
+	spec := applySpec{apply: apply, cat: q.Catalog, table: q.Table}
+	if spec.table == nil {
+		spec.table = findScanTable(apply.Input)
+	}
+	return &preparedQuery{
+		apply:    apply,
+		pushable: pushable,
+		project:  project,
+		spec:     spec,
+	}, nil
+}
+
+// outputSchema is the prepared query's output schema: the extended record
+// narrowed by the folded projection.
+func (pq *preparedQuery) outputSchema() (*types.Schema, error) {
+	ext := pq.apply.ExtendedSchema()
+	if len(pq.project) == 0 {
+		return ext, nil
+	}
+	return ext.Project(pq.project)
+}
+
+// NewOperator instantiates the decision's strategy for the query, lowering
+// the rewritten input subtree fresh and splitting the folded pushable
+// predicate and projection onto the right side of the link.
+func (p *Planner) NewOperator(q Query, d *Decision) (exec.Operator, error) {
+	return p.newOperatorSkipping(q, d, d.Strategy, 0)
+}
+
+// newOperatorSkipping is NewOperator with a strategy override and an optional
+// number of (post-filter) input rows to skip — the re-planning hook: rows
+// already delivered by the previous strategy are not re-read.
+func (p *Planner) newOperatorSkipping(q Query, d *Decision, s Strategy, skip int) (exec.Operator, error) {
+	pq, err := p.prepared(q)
+	if err != nil {
+		return nil, err
+	}
+	lw := &lowerer{planner: p, decisions: map[*logical.UDFApply]*Decision{pq.apply: d}}
+	return lw.applyOperator(pq.apply, pq.pushable, pq.project, d, s, skip)
+}

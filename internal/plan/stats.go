@@ -47,8 +47,22 @@ type SampleStats struct {
 // sampleInput drives the sampling pass: it opens a fresh input subtree, reads
 // up to maxRows rows in batches, evaluates the server filter, and accumulates
 // sizes and the distinct-argument sketch over the rows that pass.
-func sampleInput(ctx context.Context, src exec.Operator, argOrdinals []int, serverFilter expr.Expr, maxRows, sketchK int) (SampleStats, error) {
-	width := src.Schema().Len()
+//
+// projection, when non-nil, re-expresses the column statistics positionally:
+// the measured record is t[projection[0]], t[projection[1]], … — the shape a
+// Project node between the filter and the UDF application (inserted by the
+// rewriter's pruning rule) gives the operator. argOrdinals always index the
+// source tuple directly; the caller pre-maps them through the projection.
+func sampleInput(ctx context.Context, src exec.Operator, argOrdinals []int, serverFilter expr.Expr, projection []int, maxRows, sketchK int) (SampleStats, error) {
+	srcWidth := src.Schema().Len()
+	cols := projection
+	if cols == nil {
+		cols = make([]int, srcWidth)
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	width := len(cols)
 	stats := SampleStats{
 		FilterSelectivity: 1,
 		DistinctFraction:  1,
@@ -93,8 +107,9 @@ func sampleInput(ctx context.Context, src exec.Operator, argOrdinals []int, serv
 				}
 			}
 			stats.PassingRows++
-			for i, v := range t {
-				if i < width {
+			for i, o := range cols {
+				if o >= 0 && o < t.Len() {
+					v := t[o]
 					colBytes[i] += int64(v.Size())
 					colSeen[i][v.Hash()] = struct{}{}
 				}
@@ -106,14 +121,17 @@ func sampleInput(ctx context.Context, src exec.Operator, argOrdinals []int, serv
 		stats.FilterSelectivity = float64(stats.PassingRows) / float64(stats.ScannedRows)
 	}
 	if stats.PassingRows > 0 {
-		var record, args int64
+		var record int64
+		argSet := make(map[int]bool, len(argOrdinals))
+		for _, o := range argOrdinals {
+			argSet[o] = true
+		}
+		var args int64
 		for i, b := range colBytes {
 			stats.AvgColBytes[i] = float64(b) / float64(stats.PassingRows)
 			record += b
-		}
-		for _, o := range argOrdinals {
-			if o >= 0 && o < width {
-				args += colBytes[o]
+			if argSet[cols[i]] {
+				args += b
 			}
 		}
 		stats.AvgRecordBytes = float64(record) / float64(stats.PassingRows)

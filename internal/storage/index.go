@@ -113,7 +113,7 @@ func BuildSortedIndex(t *HeapTable, keyOrdinals []int) (*SortedIndex, error) {
 		return c < 0
 	})
 	if sortErr != nil {
-		return nil, fmt.Errorf("storage: sorted index: %v", sortErr)
+		return nil, fmt.Errorf("storage: sorted index: %w", sortErr)
 	}
 	return idx, nil
 }

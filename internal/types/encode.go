@@ -96,7 +96,7 @@ func DecodeValue(src []byte) (Value, int, error) {
 	case KindString:
 		n, ln, err := decodeLen(rest)
 		if err != nil {
-			return Value{}, 0, fmt.Errorf("types: decode STRING: %v", err)
+			return Value{}, 0, fmt.Errorf("types: decode STRING: %w", err)
 		}
 		if len(rest) < ln+n {
 			return Value{}, 0, fmt.Errorf("types: decode STRING: short input")
@@ -105,7 +105,7 @@ func DecodeValue(src []byte) (Value, int, error) {
 	case KindBytes:
 		n, ln, err := decodeLen(rest)
 		if err != nil {
-			return Value{}, 0, fmt.Errorf("types: decode BYTES: %v", err)
+			return Value{}, 0, fmt.Errorf("types: decode BYTES: %w", err)
 		}
 		if len(rest) < ln+n {
 			return Value{}, 0, fmt.Errorf("types: decode BYTES: short input")
@@ -116,7 +116,7 @@ func DecodeValue(src []byte) (Value, int, error) {
 	case KindTimeSeries:
 		n, ln, err := decodeLen(rest)
 		if err != nil {
-			return Value{}, 0, fmt.Errorf("types: decode TIMESERIES: %v", err)
+			return Value{}, 0, fmt.Errorf("types: decode TIMESERIES: %w", err)
 		}
 		if len(rest) < ln+8*n {
 			return Value{}, 0, fmt.Errorf("types: decode TIMESERIES: short input")
@@ -171,7 +171,7 @@ func DecodeTuple(src []byte) (Tuple, int, error) {
 	for i := uint64(0); i < n; i++ {
 		v, used, err := DecodeValue(src[off:])
 		if err != nil {
-			return nil, 0, fmt.Errorf("types: decode tuple column %d: %v", i, err)
+			return nil, 0, fmt.Errorf("types: decode tuple column %d: %w", i, err)
 		}
 		t = append(t, v)
 		off += used
@@ -197,7 +197,7 @@ func DecodeTupleAppend(arena []Value, src []byte) ([]Value, int, int, error) {
 	for i := uint64(0); i < n; i++ {
 		v, used, err := DecodeValue(src[off:])
 		if err != nil {
-			return arena[:start], 0, 0, fmt.Errorf("types: decode tuple column %d: %v", i, err)
+			return arena[:start], 0, 0, fmt.Errorf("types: decode tuple column %d: %w", i, err)
 		}
 		arena = append(arena, v)
 		off += used
@@ -251,11 +251,11 @@ func DecodeSchema(src []byte) (*Schema, int, error) {
 		off++
 		q, err := readStr()
 		if err != nil {
-			return nil, 0, fmt.Errorf("types: decode schema: %v", err)
+			return nil, 0, fmt.Errorf("types: decode schema: %w", err)
 		}
 		name, err := readStr()
 		if err != nil {
-			return nil, 0, fmt.Errorf("types: decode schema: %v", err)
+			return nil, 0, fmt.Errorf("types: decode schema: %w", err)
 		}
 		cols = append(cols, Column{Qualifier: q, Name: name, Kind: kind})
 	}

@@ -369,7 +369,7 @@ func (v Value) Cast(target Kind) (Value, error) {
 		case KindString:
 			i, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
 			if err != nil {
-				return Value{}, fmt.Errorf("types: cannot cast %q to INT: %v", v.s, err)
+				return Value{}, fmt.Errorf("types: cannot cast %q to INT: %w", v.s, err)
 			}
 			return NewInt(i), nil
 		}
@@ -380,7 +380,7 @@ func (v Value) Cast(target Kind) (Value, error) {
 		case KindString:
 			f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
 			if err != nil {
-				return Value{}, fmt.Errorf("types: cannot cast %q to FLOAT: %v", v.s, err)
+				return Value{}, fmt.Errorf("types: cannot cast %q to FLOAT: %w", v.s, err)
 			}
 			return NewFloat(f), nil
 		}
@@ -393,7 +393,7 @@ func (v Value) Cast(target Kind) (Value, error) {
 		case KindString:
 			b, err := strconv.ParseBool(strings.TrimSpace(strings.ToLower(v.s)))
 			if err != nil {
-				return Value{}, fmt.Errorf("types: cannot cast %q to BOOL: %v", v.s, err)
+				return Value{}, fmt.Errorf("types: cannot cast %q to BOOL: %w", v.s, err)
 			}
 			return NewBool(b), nil
 		}

@@ -117,7 +117,7 @@ func DecodeSetup(src []byte) (*SetupRequest, error) {
 	off := 10
 	schema, n, err := types.DecodeSchema(src[off:])
 	if err != nil {
-		return nil, fmt.Errorf("wire: setup schema: %v", err)
+		return nil, fmt.Errorf("wire: setup schema: %w", err)
 	}
 	s.InputSchema = schema
 	off += n
@@ -150,7 +150,7 @@ func DecodeSetup(src []byte) (*SetupRequest, error) {
 	off += int(predLen)
 	ords, n, err := readInts(src[off:])
 	if err != nil {
-		return nil, fmt.Errorf("wire: setup: projection: %v", err)
+		return nil, fmt.Errorf("wire: setup: projection: %w", err)
 	}
 	off += n
 	if len(ords) > 0 {
@@ -254,7 +254,7 @@ func DecodeTupleBatchInto(b *TupleBatch, src []byte) error {
 		var err error
 		arena, _, c, err = types.DecodeTupleAppend(arena, src[off:])
 		if err != nil {
-			return fmt.Errorf("wire: tuple batch row %d: %v", i, err)
+			return fmt.Errorf("wire: tuple batch row %d: %w", i, err)
 		}
 		off += c
 	}
@@ -359,7 +359,7 @@ func DecodeRegisterUDF(src []byte) (*RegisterUDF, error) {
 	r := &RegisterUDF{}
 	name, off, err := readString(src)
 	if err != nil {
-		return nil, fmt.Errorf("wire: register udf: %v", err)
+		return nil, fmt.Errorf("wire: register udf: %w", err)
 	}
 	r.Name = name
 	n, c := binary.Uvarint(src[off:])

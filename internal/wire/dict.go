@@ -198,7 +198,7 @@ func DecodeDictBatchInto(b *TupleBatch, src []byte) error {
 	for i := uint64(0); i < entries; i++ {
 		v, used, err := types.DecodeValue(src[off:])
 		if err != nil {
-			return fmt.Errorf("wire: dict batch entry %d: %v", i, err)
+			return fmt.Errorf("wire: dict batch entry %d: %w", i, err)
 		}
 		dict = append(dict, v)
 		off += used
