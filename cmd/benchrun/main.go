@@ -1,7 +1,7 @@
 // Command benchrun executes the engine's benchmark suites (internal/exec,
-// internal/wire) via `go test -bench`, parses the standard benchmark output,
-// and writes the results as JSON so the repository's performance trajectory
-// can be tracked across commits.
+// internal/wire, internal/service) via `go test -bench`, parses the standard
+// benchmark output, and writes the results as JSON so the repository's
+// performance trajectory can be tracked across commits.
 //
 // With -compare it additionally gates regressions: every batch-path benchmark
 // (name ending in "/batch") present in both the fresh run and the baseline
@@ -70,7 +70,7 @@ func main() {
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
-		pkgs = []string{"./internal/exec", "./internal/wire"}
+		pkgs = []string{"./internal/exec", "./internal/wire", "./internal/service"}
 	}
 
 	var results []Result

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"csq/internal/types"
 	"csq/internal/wire"
@@ -117,12 +118,21 @@ type TableStats struct {
 	DistinctFraction map[int]float64
 }
 
-// Catalog is a thread-safe registry of tables and UDFs.
+// Catalog is a thread-safe registry of tables and UDFs. Every mutation —
+// table or UDF registration, drop, statistics update — advances the catalog
+// version; the planner's cross-query statistics cache keys on it so cached
+// samples and cost metadata go stale the moment the catalog changes.
 type Catalog struct {
+	version atomic.Uint64
+
 	mu     sync.RWMutex
 	tables map[string]*Table
 	udfs   map[string]*UDF
 }
+
+// Version returns the catalog's mutation counter. It changes on every
+// AddTable/DropTable/AddUDF/RegisterClientUDF/DropUDF/UpdateStats call.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
 
 // New returns an empty catalog.
 func New() *Catalog {
@@ -150,6 +160,7 @@ func (c *Catalog) AddTable(t *Table) error {
 		return fmt.Errorf("catalog: table %q already exists", t.Name)
 	}
 	c.tables[k] = t
+	c.version.Add(1)
 	return nil
 }
 
@@ -162,6 +173,7 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("catalog: table %q does not exist", name)
 	}
 	delete(c.tables, k)
+	c.version.Add(1)
 	return nil
 }
 
@@ -203,6 +215,7 @@ func (c *Catalog) AddUDF(u *UDF) error {
 		return fmt.Errorf("catalog: UDF %q already exists", u.Name)
 	}
 	c.udfs[k] = u
+	c.version.Add(1)
 	return nil
 }
 
@@ -235,6 +248,7 @@ func (c *Catalog) RegisterClientUDF(r *wire.RegisterUDF) (*UDF, error) {
 		return nil, fmt.Errorf("catalog: %q is already a server-site UDF", u.Name)
 	}
 	c.udfs[k] = u
+	c.version.Add(1)
 	return u, nil
 }
 
@@ -247,6 +261,7 @@ func (c *Catalog) DropUDF(name string) error {
 		return fmt.Errorf("catalog: UDF %q does not exist", name)
 	}
 	delete(c.udfs, k)
+	c.version.Add(1)
 	return nil
 }
 
@@ -294,5 +309,6 @@ func (c *Catalog) UpdateStats(name string, stats TableStats) error {
 		return fmt.Errorf("catalog: table %q does not exist", name)
 	}
 	t.Stats = stats
+	c.version.Add(1)
 	return nil
 }

@@ -7,8 +7,10 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sort"
 	"strings"
 	"sync"
@@ -189,6 +191,28 @@ func (r *Runtime) Serve(rw io.ReadWriteCloser) error {
 		return err
 	}
 	return r.ServeConn(conn)
+}
+
+// ServeListener accepts connections on ln and serves each with ServeConn (no
+// per-connection announcement — a query service learns about the client's
+// UDFs through its control connection instead). It returns when the listener
+// closes; per-connection errors only end their own connection. This is how a
+// client runtime exposes itself on TCP for a udfserverd to dial sessions to.
+func (r *Runtime) ServeListener(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("client: accept: %w", err)
+		}
+		go func() {
+			c := wire.NewConn(conn)
+			_ = r.ServeConn(c)
+			_ = c.Close()
+		}()
+	}
 }
 
 // ServeConn handles an already-framed connection without announcing UDFs

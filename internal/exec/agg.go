@@ -61,8 +61,16 @@ type HashAggregate struct {
 	aggs    []Aggregate
 	schema  *types.Schema
 
-	results []types.Tuple
-	pos     int
+	// SpillPartitions is the Grace partition fan-out used if the group table
+	// exceeds the query's memory budget; values < 2 select
+	// DefaultSpillPartitions. The planner sizes it from its memory estimate.
+	SpillPartitions int
+
+	mem       memAccount
+	spill     *aggSpill // non-nil once the operator has spilled
+	groupOrds []int     // ordinals of the key within stored group rows
+	results   []types.Tuple
+	pos       int
 }
 
 type aggState struct {
@@ -105,20 +113,31 @@ func NewHashAggregate(input Operator, groupBy []int, aggs []Aggregate) (*HashAgg
 		}
 		cols = append(cols, types.Column{Name: name, Kind: kind})
 	}
-	return &HashAggregate{input: input, groupBy: groupBy, aggs: aggs, schema: types.NewSchema(cols...)}, nil
+	return &HashAggregate{
+		input: input, groupBy: groupBy, aggs: aggs,
+		schema:    types.NewSchema(cols...),
+		groupOrds: allOrdinals(len(groupBy)),
+	}, nil
 }
 
 // Schema implements Operator.
 func (h *HashAggregate) Schema() *types.Schema { return h.schema }
 
-// Open implements Operator: it consumes the entire input and computes groups.
+// Open implements Operator: it consumes the entire input and computes
+// groups, charging the group table against the query's memory budget. If the
+// table goes over budget (and the aggregate is grouped), it switches to
+// Grace-partitioned spill execution: accumulated partial states are flushed
+// to disk partition-wise, the remaining input streams to raw partitions, and
+// every partition is aggregated separately (see spill.go). The deterministic
+// group-value sort makes the output byte-identical either way.
 func (h *HashAggregate) Open(ctx context.Context) error {
 	if err := h.input.Open(ctx); err != nil {
 		return err
 	}
+	h.mem = memAccount{t: MemTrackerFrom(ctx)}
+	h.spill = nil
 	groups := make(map[uint64][]*aggState)
-	groupOrds := allOrdinals(len(h.groupBy)) // ordinals of the key within stored group rows
-	var states []*aggState                   // insertion-ordered view of all groups
+	var states []*aggState // insertion-ordered view of all groups
 	batch := make([]types.Tuple, DefaultBatchSize)
 	for {
 		if err := ctx.Err(); err != nil {
@@ -131,42 +150,91 @@ func (h *HashAggregate) Open(ctx context.Context) error {
 		if n == 0 {
 			break
 		}
-		for _, t := range batch[:n] {
-			hash := t.Hash(h.groupBy)
-			var st *aggState
-			for _, cand := range groups[hash] {
-				if crossEqual(t, h.groupBy, cand.groupRow, groupOrds) {
-					st = cand
-					break
-				}
-			}
-			if st == nil {
-				groupRow, err := t.Project(h.groupBy)
-				if err != nil {
+		if h.spill != nil {
+			for _, t := range batch[:n] {
+				if err := h.spill.addRaw(t); err != nil {
 					return err
 				}
-				st = &aggState{
-					groupRow: groupRow,
-					sums:     make([]float64, len(h.aggs)),
-					mins:     make([]types.Value, len(h.aggs)),
-					maxs:     make([]types.Value, len(h.aggs)),
-					counts:   make([]int64, len(h.aggs)),
-				}
-				groups[hash] = append(groups[hash], st)
-				states = append(states, st)
 			}
-			if err := h.accumulate(st, t); err != nil {
+			continue
+		}
+		for _, t := range batch[:n] {
+			n, err := h.foldTuple(groups, &states, t)
+			if err != nil {
+				return err
+			}
+			if err := h.mem.grow(n); err != nil {
 				return err
 			}
 		}
+		if len(h.groupBy) > 0 && h.mem.t.OverBudget() {
+			sp, err := beginAggSpill(h, states)
+			if err != nil {
+				return err
+			}
+			// The operator owns the spill from here: Close releases its runs
+			// even when Open later fails (input error, cancellation).
+			h.spill = sp
+			groups, states = nil, nil
+			h.mem.releaseAll()
+		}
 	}
-	if err := h.emit(states); err != nil {
+	if h.spill != nil {
+		rows, err := h.spill.finish(ctx, h)
+		h.spill.close()
+		h.spill = nil
+		if err != nil {
+			return err
+		}
+		h.results = rows
+	} else {
+		rows, err := h.materialize(states)
+		if err != nil {
+			return err
+		}
+		h.results = rows
+	}
+	if err := h.finalizeResults(); err != nil {
 		return err
 	}
 	h.pos = 0
-	h.opened = true
-	h.closed = false
+	h.markOpen(ctx)
 	return nil
+}
+
+// foldTuple folds one input tuple into its group's state, creating the state
+// on first sight. It returns the memory charge of a newly created state (0
+// when the group already existed).
+func (h *HashAggregate) foldTuple(groups map[uint64][]*aggState, states *[]*aggState, t types.Tuple) (int64, error) {
+	hash := t.Hash(h.groupBy)
+	var st *aggState
+	for _, cand := range groups[hash] {
+		if crossEqual(t, h.groupBy, cand.groupRow, h.groupOrds) {
+			st = cand
+			break
+		}
+	}
+	var charge int64
+	if st == nil {
+		groupRow, err := t.Project(h.groupBy)
+		if err != nil {
+			return 0, err
+		}
+		st = &aggState{
+			groupRow: groupRow,
+			sums:     make([]float64, len(h.aggs)),
+			mins:     make([]types.Value, len(h.aggs)),
+			maxs:     make([]types.Value, len(h.aggs)),
+			counts:   make([]int64, len(h.aggs)),
+		}
+		groups[hash] = append(groups[hash], st)
+		*states = append(*states, st)
+		charge = tupleMemSize(groupRow) + aggStateMemSize(len(h.aggs))
+	}
+	if err := h.accumulate(st, t); err != nil {
+		return 0, err
+	}
+	return charge, nil
 }
 
 // accumulate folds one input tuple into its group's state.
@@ -205,22 +273,11 @@ func (h *HashAggregate) accumulate(st *aggState, t types.Tuple) error {
 	return nil
 }
 
-// emit sorts the groups by their group-column values (the deterministic
-// output order) and materialises one result row per group.
-func (h *HashAggregate) emit(states []*aggState) error {
-	groupOrds := allOrdinals(len(h.groupBy))
-	var sortErr error
-	sort.SliceStable(states, func(i, j int) bool {
-		c, err := types.CompareOn(states[i].groupRow, states[j].groupRow, groupOrds)
-		if err != nil && sortErr == nil {
-			sortErr = err
-		}
-		return c < 0
-	})
-	if sortErr != nil {
-		return sortErr
-	}
-	h.results = h.results[:0]
+// materialize turns aggregation states into result rows, in state order. The
+// deterministic output ordering is applied afterwards by finalizeResults, so
+// the in-memory and spilled paths (which materialise per partition) share it.
+func (h *HashAggregate) materialize(states []*aggState) ([]types.Tuple, error) {
+	results := make([]types.Tuple, 0, len(states))
 	for _, st := range states {
 		row := st.groupRow.Clone()
 		for i, a := range h.aggs {
@@ -251,10 +308,29 @@ func (h *HashAggregate) emit(states []*aggState) error {
 			}
 			row = row.Append(v)
 		}
-		h.results = append(h.results, row)
+		results = append(results, row)
 	}
-	// A global aggregate (no GROUP BY) over an empty input still produces one
-	// row of zero/NULL aggregates, per SQL semantics.
+	return results, nil
+}
+
+// finalizeResults sorts the materialised rows by their group-column values
+// (the deterministic output order; group rows are unique, so the order does
+// not depend on which partition produced a row) and applies the SQL
+// convention that a global aggregate over an empty input still produces one
+// row of zero/NULL aggregates.
+func (h *HashAggregate) finalizeResults() error {
+	groupOrds := allOrdinals(len(h.groupBy))
+	var sortErr error
+	sort.SliceStable(h.results, func(i, j int) bool {
+		c, err := types.CompareOn(h.results[i], h.results[j], groupOrds)
+		if err != nil && sortErr == nil {
+			sortErr = err
+		}
+		return c < 0
+	})
+	if sortErr != nil {
+		return sortErr
+	}
 	if len(h.groupBy) == 0 && len(h.results) == 0 {
 		row := types.Tuple{}
 		for _, a := range h.aggs {
@@ -296,5 +372,8 @@ func (h *HashAggregate) NextBatch(dst []types.Tuple) (int, error) {
 func (h *HashAggregate) Close() error {
 	h.closed = true
 	h.results = nil
+	h.spill.close()
+	h.spill = nil
+	h.mem.releaseAll()
 	return h.input.Close()
 }

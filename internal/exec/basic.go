@@ -35,8 +35,7 @@ func (f *Filter) Open(ctx context.Context) error {
 	if err := f.input.Open(ctx); err != nil {
 		return err
 	}
-	f.opened = true
-	f.closed = false
+	f.markOpen(ctx)
 	return nil
 }
 
@@ -150,8 +149,7 @@ func (p *Project) Open(ctx context.Context) error {
 	if err := p.input.Open(ctx); err != nil {
 		return err
 	}
-	p.opened = true
-	p.closed = false
+	p.markOpen(ctx)
 	return nil
 }
 
@@ -237,8 +235,7 @@ func (p *ProjectOrdinals) Open(ctx context.Context) error {
 	if err := p.input.Open(ctx); err != nil {
 		return err
 	}
-	p.opened = true
-	p.closed = false
+	p.markOpen(ctx)
 	return nil
 }
 
@@ -313,8 +310,7 @@ func (l *Limit) Open(ctx context.Context) error {
 		return err
 	}
 	l.seen = 0
-	l.opened = true
-	l.closed = false
+	l.markOpen(ctx)
 	return nil
 }
 
@@ -366,6 +362,7 @@ type Distinct struct {
 	input    Operator
 	ordinals []int
 	seen     *tupleSet
+	mem      memAccount // duplicate-set memory charge
 	scratch  []types.Tuple
 }
 
@@ -383,8 +380,8 @@ func (d *Distinct) Open(ctx context.Context) error {
 		return err
 	}
 	d.seen = newTupleSet(d.ordinals)
-	d.opened = true
-	d.closed = false
+	d.mem = memAccount{t: MemTrackerFrom(ctx)}
+	d.markOpen(ctx)
 	return nil
 }
 
@@ -425,6 +422,9 @@ func (d *Distinct) NextBatch(dst []types.Tuple) (int, error) {
 		out := 0
 		for _, t := range in[:n] {
 			if added, _ := d.seen.add(t); added {
+				if err := d.mem.grow(tupleMemSize(t)); err != nil {
+					return out, err
+				}
 				dst[out] = t
 				out++
 			}
@@ -439,6 +439,7 @@ func (d *Distinct) NextBatch(dst []types.Tuple) (int, error) {
 func (d *Distinct) Close() error {
 	d.closed = true
 	d.seen = nil
+	d.mem.releaseAll()
 	return d.input.Close()
 }
 

@@ -68,7 +68,8 @@ type ClientJoin struct {
 	wg        sync.WaitGroup // sender + readers
 	readersWg sync.WaitGroup // readers only; the clean-end path waits for them
 	cancel    context.CancelFunc
-	cur       []types.Tuple // receiver batch currently being drained
+	runCtx    context.Context // sender/reader context (query ctx + Close cancel)
+	cur       []types.Tuple   // receiver batch currently being drained
 	curPos    int
 	delivered uint64
 	stats     NetStats
@@ -175,7 +176,7 @@ func (c *ClientJoin) Open(ctx context.Context) error {
 	if nSessions < 1 {
 		nSessions = 1
 	}
-	sessions, err := openSessionPool(c.link, nSessions, req)
+	sessions, err := openSessionPool(ctx, c.link, nSessions, req)
 	if err != nil {
 		_ = c.input.Close()
 		return err
@@ -196,6 +197,7 @@ func (c *ClientJoin) Open(ctx context.Context) error {
 
 	runCtx, cancel := context.WithCancel(ctx)
 	c.cancel = cancel
+	c.runCtx = runCtx
 	c.wg.Add(1 + len(sessions))
 	c.readersWg.Add(len(sessions))
 	go c.runSender(runCtx)
@@ -203,8 +205,7 @@ func (c *ClientJoin) Open(ctx context.Context) error {
 		go c.runReader(runCtx, i)
 	}
 
-	c.opened = true
-	c.closed = false
+	c.markOpen(ctx)
 	return nil
 }
 
@@ -339,11 +340,17 @@ func (c *ClientJoin) nextResultBatch() ([]types.Tuple, bool, error) {
 				// All frames merged. A sender error is on errCh before the
 				// order channel closes; otherwise wait for the readers to
 				// consume every session's End (which carries the
-				// FinalDelivery row counts) before reporting a clean end.
+				// FinalDelivery row counts) before reporting a clean end. A
+				// cancelled context also closes the order channel (the sender
+				// bails out), which must surface as the context error rather
+				// than a silently truncated result.
 				select {
 				case err := <-c.errCh:
 					return nil, false, err
 				default:
+				}
+				if err := c.runCtx.Err(); err != nil && !c.closed {
+					return nil, false, err
 				}
 				c.readersWg.Wait()
 				select {

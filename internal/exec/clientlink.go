@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync/atomic"
@@ -121,6 +122,9 @@ type udfSession struct {
 	conn *wire.Conn
 	id   uint64
 	seq  uint64
+	// unbind releases the connection's query-context binding (set when the
+	// session was opened under a cancellable context).
+	unbind func()
 	// dict is set when the client accepted the per-batch value dictionary
 	// encoding for this session; sendBatch then dictionary-encodes frames it
 	// shrinks and receiveResult accepts dictionary result frames.
@@ -135,52 +139,61 @@ type udfSession struct {
 // handshake. The dictionary encoding is armed only when the request asked for
 // it and the client's ack confirmed support, so pre-dictionary clients keep
 // receiving plain batches.
-func openUDFSession(link ClientLink, req *wire.SetupRequest) (*udfSession, error) {
+//
+// The session's connection is bound to ctx: the context's deadline becomes
+// the connection's I/O deadline and cancellation aborts blocked frame I/O, so
+// a dead client (or a cancelled query) cannot wedge a server-side operator.
+func openUDFSession(ctx context.Context, link ClientLink, req *wire.SetupRequest) (*udfSession, error) {
 	conn, err := link.OpenSession()
 	if err != nil {
+		return nil, err
+	}
+	unbind := conn.BindContext(ctx)
+	fail := func(err error) (*udfSession, error) {
+		unbind()
+		_ = conn.Close()
 		return nil, err
 	}
 	req.SessionID = nextSessionID()
 	payload, err := wire.EncodeSetup(req)
 	if err != nil {
-		_ = conn.Close()
-		return nil, err
+		return fail(err)
 	}
 	if err := conn.Send(wire.MsgSetup, payload); err != nil {
-		_ = conn.Close()
-		return nil, err
+		return fail(err)
 	}
 	msg, err := conn.Receive()
 	if err != nil {
-		_ = conn.Close()
-		return nil, err
+		return fail(err)
 	}
 	if msg.Type != wire.MsgSetupAck {
-		_ = conn.Close()
-		return nil, fmt.Errorf("exec: expected SETUP_ACK, got %s", msg.Type)
+		return fail(fmt.Errorf("exec: expected SETUP_ACK, got %s", msg.Type))
 	}
 	ack, err := wire.DecodeSetupAck(msg.Payload)
 	if err != nil {
-		_ = conn.Close()
-		return nil, err
+		return fail(err)
 	}
 	if !ack.OK {
-		_ = conn.Close()
-		return nil, fmt.Errorf("exec: client rejected setup: %s", ack.Error)
+		return fail(fmt.Errorf("exec: client rejected setup: %s", ack.Error))
 	}
-	return &udfSession{conn: conn, id: req.SessionID, dict: req.DictBatches && ack.DictBatches}, nil
+	return &udfSession{
+		conn:   conn,
+		id:     req.SessionID,
+		dict:   req.DictBatches && ack.DictBatches,
+		unbind: unbind,
+	}, nil
 }
 
 // openSessionPool opens n sessions over the link, each with its own setup
-// handshake and session ID. On any failure the already-opened sessions are
-// closed and the error returned.
-func openSessionPool(link ClientLink, n int, req *wire.SetupRequest) ([]*udfSession, error) {
+// handshake and session ID, all bound to the query context. On any failure
+// the already-opened sessions are closed and the error returned.
+func openSessionPool(ctx context.Context, link ClientLink, n int, req *wire.SetupRequest) ([]*udfSession, error) {
 	if n < 1 {
 		n = 1
 	}
 	sessions := make([]*udfSession, 0, n)
 	for i := 0; i < n; i++ {
-		s, err := openUDFSession(link, req)
+		s, err := openUDFSession(ctx, link, req)
 		if err != nil {
 			for _, open := range sessions {
 				open.close()
@@ -273,11 +286,15 @@ func (s *udfSession) end() (uint64, error) {
 	}
 }
 
-// close shuts the session connection.
+// close shuts the session connection and releases its context binding.
 func (s *udfSession) close() {
-	if s != nil && s.conn != nil {
-		_ = s.conn.Close()
+	if s == nil || s.conn == nil {
+		return
 	}
+	if s.unbind != nil {
+		s.unbind()
+	}
+	_ = s.conn.Close()
 }
 
 // netStatsFromConn converts connection counters to operator stats.

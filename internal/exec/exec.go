@@ -206,10 +206,23 @@ func NetStatsOf(op Operator) NetStats {
 	return NetStats{}
 }
 
-// baseState tracks the open/closed lifecycle shared by the simpler operators.
+// baseState tracks the open/closed lifecycle shared by the operators and
+// threads the Open-time context through the Next/NextBatch hot paths: every
+// call checks the query context, so a cancelled or expired query stops
+// promptly no matter how deep the operator tree is. On the batched fast path
+// that is one check per batch; the tuple-at-a-time path pays it per row,
+// which is noise next to its per-row evaluation and allocation costs.
 type baseState struct {
+	ctx    context.Context
 	opened bool
 	closed bool
+}
+
+// markOpen records a successful Open and the query context it ran under.
+func (b *baseState) markOpen(ctx context.Context) {
+	b.ctx = ctx
+	b.opened = true
+	b.closed = false
 }
 
 func (b *baseState) checkOpen() error {
@@ -218,6 +231,13 @@ func (b *baseState) checkOpen() error {
 	}
 	if b.closed {
 		return fmt.Errorf("exec: operator used after Close")
+	}
+	if b.ctx != nil {
+		// Returned unwrapped so callers observe context.Canceled /
+		// context.DeadlineExceeded with errors.Is.
+		if err := b.ctx.Err(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -22,7 +22,14 @@ type HashJoin struct {
 	eval        *expr.Evaluator
 	schema      *types.Schema
 
+	// SpillPartitions is the Grace partition fan-out used if the build side
+	// exceeds the query's memory budget; values < 2 select
+	// DefaultSpillPartitions. The planner sizes it from its memory estimate.
+	SpillPartitions int
+
 	table     map[uint64][]joinBucket
+	mem       memAccount    // build-table memory charge
+	spill     *joinSpill    // non-nil once the operator has spilled
 	pending   []types.Tuple // matches for the current left tuple not yet emitted
 	current   types.Tuple
 	leftBatch []types.Tuple // scratch batch pulled from the left input
@@ -55,11 +62,16 @@ func NewHashJoin(left, right Operator, leftKeys, rightKeys []int, residual expr.
 // Schema implements Operator.
 func (j *HashJoin) Schema() *types.Schema { return j.schema }
 
-// Open implements Operator: it materialises the inner side into a hash table.
+// Open implements Operator: it materialises the inner side into a hash
+// table, charging the build against the query's memory budget. If the build
+// goes over budget the join switches to Grace-partitioned spill execution
+// (see spill.go), which produces byte-identical output from bounded memory.
 func (j *HashJoin) Open(ctx context.Context) error {
 	if err := j.right.Open(ctx); err != nil {
 		return err
 	}
+	j.mem = memAccount{t: MemTrackerFrom(ctx)}
+	j.spill = nil
 	j.table = make(map[uint64][]joinBucket)
 	batch := make([]types.Tuple, DefaultBatchSize)
 	for {
@@ -73,17 +85,38 @@ func (j *HashJoin) Open(ctx context.Context) error {
 		if n == 0 {
 			break
 		}
+		if j.spill != nil {
+			for _, t := range batch[:n] {
+				if err := j.spill.addRight(t); err != nil {
+					return err
+				}
+			}
+			continue
+		}
 		for _, t := range batch[:n] {
 			j.insert(t)
+			if err := j.mem.grow(tupleMemSize(t)); err != nil {
+				return err
+			}
+		}
+		if j.mem.t.OverBudget() {
+			sp, err := beginJoinSpill(j)
+			if err != nil {
+				return err
+			}
+			j.spill = sp
 		}
 	}
-	if err := j.left.Open(ctx); err != nil {
+	if j.spill != nil {
+		if err := j.spill.run(ctx); err != nil {
+			return err
+		}
+	} else if err := j.left.Open(ctx); err != nil {
 		return err
 	}
 	j.pending = nil
 	j.leftPos, j.leftLen = 0, 0
-	j.opened = true
-	j.closed = false
+	j.markOpen(ctx)
 	return nil
 }
 
@@ -135,6 +168,9 @@ func (j *HashJoin) Next() (types.Tuple, bool, error) {
 	if err := j.checkOpen(); err != nil {
 		return nil, false, err
 	}
+	if j.spill != nil {
+		return j.spill.next()
+	}
 	for {
 		for len(j.pending) > 0 {
 			match := j.pending[0]
@@ -160,6 +196,18 @@ func (j *HashJoin) Next() (types.Tuple, bool, error) {
 func (j *HashJoin) NextBatch(dst []types.Tuple) (int, error) {
 	if err := j.checkOpen(); err != nil {
 		return 0, err
+	}
+	if j.spill != nil {
+		out := 0
+		for out < len(dst) {
+			t, ok, err := j.spill.next()
+			if err != nil || !ok {
+				return out, err
+			}
+			dst[out] = t
+			out++
+		}
+		return out, nil
 	}
 	width := j.schema.Len()
 	var arena []types.Value
@@ -204,6 +252,9 @@ func (j *HashJoin) NextBatch(dst []types.Tuple) (int, error) {
 func (j *HashJoin) Close() error {
 	j.closed = true
 	j.table = nil
+	j.spill.close()
+	j.spill = nil
+	j.mem.releaseAll()
 	err1 := j.left.Close()
 	err2 := j.right.Close()
 	if err1 != nil {
@@ -257,8 +308,7 @@ func (j *MergeJoin) Open(ctx context.Context) error {
 	}
 	j.started = false
 	j.rightGroup = nil
-	j.opened = true
-	j.closed = false
+	j.markOpen(ctx)
 	return nil
 }
 
@@ -444,8 +494,7 @@ func (j *NestedLoopJoin) Open(ctx context.Context) error {
 	}
 	j.haveLeft = false
 	j.rightPos = 0
-	j.opened = true
-	j.closed = false
+	j.markOpen(ctx)
 	return nil
 }
 

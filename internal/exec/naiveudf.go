@@ -47,6 +47,7 @@ type NaiveUDF struct {
 	inflight map[uint64][]types.Tuple // argument tuples with a round trip in flight, by hash
 	inputEOF bool
 	cache    *argCache
+	mem      memAccount // result-cache memory charge
 	stats    NetStats
 }
 
@@ -151,7 +152,7 @@ func (n *NaiveUDF) Open(ctx context.Context) error {
 	if nSessions < 1 {
 		nSessions = 1
 	}
-	sessions, err := openSessionPool(n.link, nSessions, &wire.SetupRequest{
+	sessions, err := openSessionPool(ctx, n.link, nSessions, &wire.SetupRequest{
 		Mode:        wire.ModeNaive,
 		InputSchema: shipped,
 		UDFs:        n.remapped,
@@ -168,12 +169,12 @@ func (n *NaiveUDF) Open(ctx context.Context) error {
 	n.window = n.window[:0]
 	n.inflight = make(map[uint64][]types.Tuple)
 	n.inputEOF = false
+	n.mem = memAccount{t: MemTrackerFrom(ctx)}
 	if n.EnableCache {
 		n.cache = newArgCache()
 	}
 	n.stats = NetStats{}
-	n.opened = true
-	n.closed = false
+	n.markOpen(ctx)
 	return nil
 }
 
@@ -268,7 +269,11 @@ func (n *NaiveUDF) resolve(p *naivePending) (types.Tuple, error) {
 	if n.EnableCache {
 		// Clone before caching: the decoded result may share a codec buffer
 		// with the rest of its frame, and cached entries outlive the frame.
+		// The cache retains both tuples for the query's lifetime; charge them.
 		results = results.Clone()
+		if err := n.mem.grow(tupleMemSize(p.args) + tupleMemSize(results)); err != nil {
+			return nil, err
+		}
 		n.cache.put(p.args, p.hash, results)
 	}
 	return results, nil
@@ -321,8 +326,18 @@ func (n *NaiveUDF) Close() error {
 	}
 	n.closed = true
 	if n.sessions != nil {
-		// Abandoned in-flight round trips (early close) are drained by the
-		// end handshake, which skips late result batches.
+		// Abandoned in-flight round trips (early close) must be received
+		// before the end handshake writes anything: over a synchronous
+		// transport the client may itself be blocked writing one of those
+		// replies, and a server blocked writing End against a client blocked
+		// writing a result deadlocks both sides. Draining first leaves every
+		// session quiescent, after which the End exchange is safe.
+		for _, p := range n.window {
+			if p.sess >= 0 {
+				_, _ = n.sessions[p.sess].receiveResult()
+			}
+		}
+		n.window = n.window[:0]
 		for _, sess := range n.sessions {
 			_, _ = sess.end()
 		}
@@ -332,6 +347,7 @@ func (n *NaiveUDF) Close() error {
 		}
 	}
 	n.cache = nil
+	n.mem.releaseAll()
 	return n.input.Close()
 }
 

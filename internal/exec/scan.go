@@ -8,19 +8,21 @@ import (
 	"csq/internal/types"
 )
 
-// TableScan produces every tuple of a stored heap table, optionally
-// re-qualifying the schema with a query alias.
+// TableScan produces every tuple of a stored relation, optionally
+// re-qualifying the schema with a query alias. It scans any storage.Relation
+// — normally a *storage.HeapTable, but also wrappers around one (statistics
+// counters in tests, future storage backends).
 type TableScan struct {
 	baseState
-	table  *storage.HeapTable
+	table  storage.Relation
 	alias  string
 	schema *types.Schema
 	it     *storage.TableIterator
 }
 
-// NewTableScan returns a scan over the table. When alias is non-empty the
+// NewTableScan returns a scan over the relation. When alias is non-empty the
 // produced schema is qualified with it (SELECT ... FROM StockQuotes S).
-func NewTableScan(table *storage.HeapTable, alias string) *TableScan {
+func NewTableScan(table storage.Relation, alias string) *TableScan {
 	schema := table.Schema().Clone()
 	if alias != "" {
 		schema = schema.WithQualifier(alias)
@@ -39,8 +41,7 @@ func (s *TableScan) Open(ctx context.Context) error {
 		return fmt.Errorf("exec: table scan has no table")
 	}
 	s.it = s.table.Iterator()
-	s.opened = true
-	s.closed = false
+	s.markOpen(ctx)
 	return ctx.Err()
 }
 
@@ -87,8 +88,7 @@ func (s *ValuesScan) Schema() *types.Schema { return s.schema }
 // Open implements Operator.
 func (s *ValuesScan) Open(ctx context.Context) error {
 	s.pos = 0
-	s.opened = true
-	s.closed = false
+	s.markOpen(ctx)
 	return ctx.Err()
 }
 

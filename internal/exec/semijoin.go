@@ -78,6 +78,8 @@ type SemiJoin struct {
 	wg        sync.WaitGroup // sender
 	readersWg sync.WaitGroup // per-session readers
 	cancel    context.CancelFunc
+	runCtx    context.Context // sender/receiver context (query ctx + Close cancel)
+	mem       memAccount      // dedup-set and result-cache memory charge
 
 	cur    []bufferedRecord // receiver's current parked batch
 	curPos int
@@ -218,7 +220,7 @@ func (s *SemiJoin) Open(ctx context.Context) error {
 	if nSessions < 1 {
 		nSessions = 1
 	}
-	sessions, err := openSessionPool(s.link, nSessions, &wire.SetupRequest{
+	sessions, err := openSessionPool(ctx, s.link, nSessions, &wire.SetupRequest{
 		Mode:        wire.ModeSemiJoin,
 		InputSchema: shipped,
 		UDFs:        s.remapped,
@@ -252,6 +254,15 @@ func (s *SemiJoin) Open(ctx context.Context) error {
 
 	senderCtx, cancel := context.WithCancel(ctx)
 	s.cancel = cancel
+	s.runCtx = senderCtx
+	s.mem = memAccount{t: MemTrackerFrom(ctx)}
+	// Cancellation wake-up: a receiver parked in results.wait is not watching
+	// any channel, so the context's end must be translated into a table
+	// failure. Close cancels senderCtx, which also retires this goroutine.
+	go func() {
+		<-senderCtx.Done()
+		s.results.fail(senderCtx.Err())
+	}()
 	for i := range s.sessions {
 		s.readersWg.Add(1)
 		go s.runReader(s.sessions[i], s.pendings[i])
@@ -259,8 +270,7 @@ func (s *SemiJoin) Open(ctx context.Context) error {
 	s.wg.Add(1)
 	go s.runSender(senderCtx, in)
 
-	s.opened = true
-	s.closed = false
+	s.markOpen(ctx)
 	return nil
 }
 
@@ -355,6 +365,12 @@ func (s *SemiJoin) runSender(ctx context.Context, in Operator) {
 			}
 			added, argHash := seen.add(args)
 			if added {
+				// The dedup set retains the argument tuple for the query's
+				// lifetime; charge it against the memory budget.
+				if err := s.mem.grow(tupleMemSize(args)); err != nil {
+					s.reportSendErr(err)
+					return
+				}
 				// Step 1 of the paper's pipeline: ship the duplicate-free
 				// argument values downlink.
 				sendBuf = append(sendBuf, args)
@@ -396,6 +412,11 @@ func (s *SemiJoin) runReader(sess *udfSession, pending chan pendingArg) {
 				s.results.fail(fmt.Errorf("exec: semi-join expected %d result columns, got %d", len(s.udfs), res.Len()))
 				return
 			}
+			// The result table retains the result for the query's lifetime.
+			if err := s.mem.grow(tupleMemSize(res)); err != nil {
+				s.results.fail(err)
+				return
+			}
 			s.results.put(p.args, p.hash, res)
 		}
 	}
@@ -418,11 +439,16 @@ func (s *SemiJoin) nextRecord() (bufferedRecord, bool, error) {
 			return bufferedRecord{}, false, err
 		case recs, ok := <-s.buffer:
 			if !ok {
-				// Input exhausted; surface any straggler sender error.
+				// Input exhausted; surface any straggler sender error. A
+				// cancelled context also closes the buffer (the sender bails
+				// out), which must read as the context error, not a clean end.
 				select {
 				case err := <-s.sendErr:
 					return bufferedRecord{}, false, err
 				default:
+				}
+				if err := s.runCtx.Err(); err != nil && !s.closed {
+					return bufferedRecord{}, false, err
 				}
 				return bufferedRecord{}, false, nil
 			}
@@ -522,6 +548,7 @@ func (s *SemiJoin) Close() error {
 	} else {
 		s.wg.Wait()
 	}
+	s.mem.releaseAll()
 	return s.input.Close()
 }
 

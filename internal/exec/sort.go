@@ -79,8 +79,7 @@ func (s *Sort) Open(ctx context.Context) error {
 		return sortErr
 	}
 	s.pos = 0
-	s.opened = true
-	s.closed = false
+	s.markOpen(ctx)
 	return nil
 }
 

@@ -53,14 +53,14 @@ func (tp *TreePlan) physicalInto(b *strings.Builder, n logical.Node, depth int) 
 		writeLine(b, depth, fmt.Sprintf("project %v", t.Ordinals))
 		tp.physicalInto(b, t.Input, depth+1)
 	case *logical.Join:
-		writeLine(b, depth, t.String())
+		writeLine(b, depth, t.String()+tp.memSuffix(t))
 		tp.physicalInto(b, t.Left, depth+1)
 		tp.physicalInto(b, t.Right, depth+1)
 	case *logical.Aggregate:
-		writeLine(b, depth, "hash-"+t.String())
+		writeLine(b, depth, "hash-"+t.String()+tp.memSuffix(t))
 		tp.physicalInto(b, t.Input, depth+1)
 	case *logical.Distinct:
-		writeLine(b, depth, t.String())
+		writeLine(b, depth, t.String()+tp.memSuffix(t))
 		tp.physicalInto(b, t.Input, depth+1)
 	case *logical.Limit:
 		writeLine(b, depth, t.String())
@@ -108,6 +108,7 @@ func (tp *TreePlan) applyInto(b *strings.Builder, u *logical.UDFApply, depth int
 		}
 	}
 	writeLine(b, depth, line)
+	writeLine(b, depth+1, fmt.Sprintf("· mem≈%dB (spill expected: %s)", d.EstimatedMemBytes, yesNo(d.SpillExpected)))
 	if d.Fallback {
 		writeLine(b, depth+1, "· degenerate input: empty sample and no priors, naive fallback")
 	} else {
@@ -125,4 +126,23 @@ func onOff(on bool, savings float64) string {
 		return fmt.Sprintf("on(%.2f)", savings)
 	}
 	return "off"
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// memSuffix renders a memory-hungry operator's estimated retained state and
+// whether the configured budget is expected to force it to spill.
+func (tp *TreePlan) memSuffix(n logical.Node) string {
+	est, ok := tp.mem[n]
+	if !ok {
+		return ""
+	}
+	budget := tp.planner.Config.MemBudget
+	return fmt.Sprintf(" [mem≈%dB spill expected: %s]",
+		est.OpBytes, yesNo(budget > 0 && est.OpBytes > budget))
 }

@@ -41,6 +41,14 @@ type TreePlan struct {
 	planner   *Planner
 	catalog   *catalog.Catalog
 	decisions map[*logical.UDFApply]*Decision
+	mem       map[logical.Node]memEstimate
+}
+
+// MemEstimate returns the planner's estimate of the retained operator state
+// (in bytes) for a node of the rewritten tree, and whether one exists.
+func (tp *TreePlan) MemEstimate(n logical.Node) (int64, bool) {
+	est, ok := tp.mem[n]
+	return est.OpBytes, ok
 }
 
 // PlanTree rewrites the logical tree and makes a strategy decision for every
@@ -78,6 +86,16 @@ func (p *Planner) planTree(ctx context.Context, root logical.Node, cat *catalog.
 		tp.decisions[apply] = d
 		tp.Applies = append(tp.Applies, ApplyPlan{Apply: apply, Decision: d})
 	}
+	// With every decision made, estimate per-operator memory so the lowering
+	// layer can size spill partition counts against the query's budget and
+	// EXPLAIN can report expected spilling.
+	tp.mem = estimateMem(rewritten, tp.decisions)
+	for _, ap := range tp.Applies {
+		if est, ok := tp.mem[ap.Apply]; ok {
+			ap.Decision.EstimatedMemBytes = est.OpBytes
+			ap.Decision.SpillExpected = p.Config.MemBudget > 0 && est.OpBytes > p.Config.MemBudget
+		}
+	}
 	return tp, nil
 }
 
@@ -89,7 +107,7 @@ func (tp *TreePlan) NewOperator() (exec.Operator, error) {
 }
 
 func (tp *TreePlan) lowerer() *lowerer {
-	return &lowerer{planner: tp.planner, decisions: tp.decisions}
+	return &lowerer{planner: tp.planner, decisions: tp.decisions, mem: tp.mem}
 }
 
 // findScanTable descends through cardinality-preserving single-input nodes
@@ -120,13 +138,27 @@ func findScanTable(n logical.Node) *catalog.Table {
 type lowerer struct {
 	planner   *Planner
 	decisions map[*logical.UDFApply]*Decision
+	mem       map[logical.Node]memEstimate // per-node state estimates (may be nil)
+}
+
+// spillPartitionsFor sizes an operator's Grace fan-out from its memory
+// estimate and the configured per-query budget; 0 keeps the engine default.
+func (lw *lowerer) spillPartitionsFor(n logical.Node) int {
+	if lw.mem == nil {
+		return 0
+	}
+	est, ok := lw.mem[n]
+	if !ok {
+		return 0
+	}
+	return pickSpillPartitions(est.OpBytes, lw.planner.Config.MemBudget)
 }
 
 // lower builds a fresh operator tree for the node.
 func (lw *lowerer) lower(n logical.Node) (exec.Operator, error) {
 	switch t := n.(type) {
 	case *logical.Scan:
-		data, ok := t.Table.Data.(*storage.HeapTable)
+		data, ok := t.Table.Data.(storage.Relation)
 		if !ok {
 			return nil, fmt.Errorf("plan: scan of %q: catalog entry has no storage handle", t.Table.Name)
 		}
@@ -154,13 +186,23 @@ func (lw *lowerer) lower(n logical.Node) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewHashJoin(left, right, t.LeftKeys, t.RightKeys, t.Residual)
+		join, err := exec.NewHashJoin(left, right, t.LeftKeys, t.RightKeys, t.Residual)
+		if err != nil {
+			return nil, err
+		}
+		join.SpillPartitions = lw.spillPartitionsFor(t)
+		return join, nil
 	case *logical.Aggregate:
 		in, err := lw.lower(t.Input)
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewHashAggregate(in, t.GroupBy, t.Aggs)
+		agg, err := exec.NewHashAggregate(in, t.GroupBy, t.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		agg.SpillPartitions = lw.spillPartitionsFor(t)
+		return agg, nil
 	case *logical.Distinct:
 		in, err := lw.lower(t.Input)
 		if err != nil {
@@ -297,27 +339,55 @@ func (p *Planner) newUDFOperator(input exec.Operator, udfs []exec.UDFBinding, s 
 	}
 }
 
-// planApply makes the decision for one UDF application: it instantiates the
-// node's input subtree, samples it, measures (or reuses) the link
-// observation, assembles the cost-model parameters and picks the strategy.
+// planApply makes the decision for one UDF application: it obtains sampling
+// statistics (from the cross-query cache when fresh, otherwise by sampling a
+// fresh instantiation of the node's input subtree), measures or reuses the
+// link observation, assembles the cost-model parameters and picks the
+// strategy.
 func (p *Planner) planApply(ctx context.Context, lw *lowerer, spec applySpec) (*Decision, error) {
-	stats, err := p.sampleApply(ctx, lw, spec.apply)
-	if err != nil {
-		return nil, fmt.Errorf("plan: sampling pass: %w", err)
+	cache := p.Config.StatsCache
+	var cacheKey string
+	cacheable := false
+	if cache != nil {
+		cacheKey, cacheable = sampleCacheKey(spec, p.Config)
+	}
+	var stats SampleStats
+	statsFromCache := false
+	if cacheable {
+		stats, statsFromCache = cache.lookupSample(cacheKey)
+	}
+	if !statsFromCache {
+		var err error
+		stats, err = p.sampleApply(ctx, lw, spec.apply)
+		if err != nil {
+			return nil, fmt.Errorf("plan: sampling pass: %w", err)
+		}
+		if cacheable {
+			cache.storeSample(cacheKey, stats)
+		}
 	}
 
 	var link exec.LinkObservation
-	if p.Config.Link != nil {
+	linkFromCache := false
+	switch {
+	case p.Config.Link != nil:
 		link = *p.Config.Link
-	} else {
+	default:
+		if obs, ok := cache.LinkObservation(p.Config.LinkKey); ok {
+			link, linkFromCache = obs, true
+			break
+		}
+		var err error
 		link, err = exec.ProbeAsymmetry(ctx, p.Link, p.Config.ProbeBytes)
 		if err != nil {
 			return nil, fmt.Errorf("plan: link probe: %w", err)
 		}
+		cache.StoreLink(p.Config.LinkKey, link)
 	}
 
-	d := &Decision{Stats: stats, Link: link}
+	d := &Decision{Stats: stats, Link: link, StatsFromCache: statsFromCache, LinkFromCache: linkFromCache}
 	d.EstimatedRows = estimateRows(stats, spec)
+	var err error
 	d.Params, err = assembleParams(stats, spec, link, d.EstimatedRows)
 	if errors.Is(err, errEmptySample) {
 		// Degenerate input: nothing sampled and no catalog priors to size a

@@ -120,6 +120,21 @@ type Config struct {
 	// Link, when non-nil, is a pre-measured link observation; the planner
 	// skips the probe. Useful when many plans share one physical link.
 	Link *exec.LinkObservation
+	// StatsCache, when non-nil, is the cross-query statistics cache: repeated
+	// plans over unchanged tables reuse the sampled statistics and the
+	// probe-measured link observation instead of re-measuring. Entries are
+	// keyed on table data versions and the catalog version, so any mutation
+	// invalidates them implicitly.
+	StatsCache *StatsCache
+	// LinkKey identifies the physical client link within the StatsCache's
+	// probe cache (e.g. the client runtime's address). Empty disables probe
+	// reuse even when a StatsCache is set.
+	LinkKey string
+	// MemBudget is the per-query memory budget in bytes the lowered plan will
+	// execute under (the service's spill threshold). The lowering layer sizes
+	// Grace spill partition counts from it and EXPLAIN reports whether
+	// spilling is expected. Zero means unlimited.
+	MemBudget int64
 }
 
 func (c Config) sampleRows() int {
@@ -260,6 +275,19 @@ type Decision struct {
 	// naive operator (correct for any cardinality, cheapest machinery for
 	// none) is chosen without one.
 	Fallback bool
+	// EstimatedMemBytes is the estimated operator state the chosen strategy
+	// retains while running (dedup tables, result caches); the lowering
+	// layer compares it against the query's memory budget.
+	EstimatedMemBytes int64
+	// SpillExpected reports that EstimatedMemBytes exceeds the configured
+	// per-query memory budget, so the governed runtime is expected to spill.
+	SpillExpected bool
+	// StatsFromCache reports that Stats was served by the cross-query
+	// statistics cache instead of a live sampling pass.
+	StatsFromCache bool
+	// LinkFromCache reports that Link was served by the cache instead of a
+	// live probe.
+	LinkFromCache bool
 	// Stats is the sampling pass output.
 	Stats SampleStats
 	// Link is the probe observation used for N.

@@ -1,0 +1,266 @@
+package plan
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"csq/internal/catalog"
+	"csq/internal/exec"
+	"csq/internal/logical"
+	"csq/internal/netsim"
+	"csq/internal/storage"
+	"csq/internal/types"
+	"csq/internal/wire"
+)
+
+// countingRelation wraps a heap table and counts how many snapshot iterators
+// are handed out — i.e. how many scans actually touch storage. The planner's
+// sampling pass opens exactly one per plan, so the counter distinguishes a
+// cache hit (no new scan) from a re-sample.
+type countingRelation struct {
+	*storage.HeapTable
+	scans atomic.Int64
+}
+
+func (c *countingRelation) Iterator() *storage.TableIterator {
+	c.scans.Add(1)
+	return c.HeapTable.Iterator()
+}
+
+// statsCacheFixture builds a heap-backed catalog table behind a counting
+// wrapper plus a planner with a fixed link observation (no probing) and a
+// shared StatsCache.
+func statsCacheFixture(t *testing.T) (*countingRelation, *catalog.Catalog, *Planner, *StatsCache) {
+	t.Helper()
+	heap, err := storage.NewHeapTable("objects", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := heap.Insert(rowWithKey(i, uint32(i%50))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counting := &countingRelation{HeapTable: heap}
+	cat := testCatalog(t, testRuntime(t))
+	if err := cat.AddTable(&catalog.Table{
+		Name:   "objects",
+		Schema: testSchema(),
+		Stats:  heap.Stats(),
+		Data:   counting,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewStatsCache()
+	p := NewPlanner(nil)
+	p.Config.Link = &exec.LinkObservation{
+		DownBytesPerSec: 3600, UpBytesPerSec: 3600, Asymmetry: 1, RTT: 200 * time.Millisecond,
+	}
+	p.Config.StatsCache = cache
+	return counting, cat, p, cache
+}
+
+func statsCacheQuery(t *testing.T, cat *catalog.Catalog) Query {
+	t.Helper()
+	table, err := cat.Table("objects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := logical.NewScan(table, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testQuery(t, nil, cat)
+	q.Source = scan
+	q.Table = table
+	return q
+}
+
+// TestStatsCacheHitSkipsSamplingPass plans the same query twice: the second
+// plan must not run a second sampling pass (no new storage scan) and must
+// produce the same decision.
+func TestStatsCacheHitSkipsSamplingPass(t *testing.T) {
+	counting, cat, p, cache := statsCacheFixture(t)
+	q := statsCacheQuery(t, cat)
+
+	first, err := p.PlanQuery(context.Background(), q)
+	if err != nil {
+		t.Fatalf("first plan: %v", err)
+	}
+	if got := counting.scans.Load(); got != 1 {
+		t.Fatalf("first plan ran %d scans, want exactly 1 (the sampling pass)", got)
+	}
+	if first.Applies[0].Decision.StatsFromCache {
+		t.Fatalf("first plan claims cached stats")
+	}
+
+	second, err := p.PlanQuery(context.Background(), q)
+	if err != nil {
+		t.Fatalf("second plan: %v", err)
+	}
+	if got := counting.scans.Load(); got != 1 {
+		t.Fatalf("second plan re-sampled: %d scans total, want 1", got)
+	}
+	d1, d2 := first.Applies[0].Decision, second.Applies[0].Decision
+	if !d2.StatsFromCache {
+		t.Fatalf("second plan did not use the cache")
+	}
+	if d1.Strategy != d2.Strategy || d1.EstimatedRows != d2.EstimatedRows {
+		t.Fatalf("cached decision differs: %s/%d vs %s/%d",
+			d1.Strategy, d1.EstimatedRows, d2.Strategy, d2.EstimatedRows)
+	}
+	if cache.Hits() != 1 || cache.Misses() != 1 {
+		t.Fatalf("cache counters hits=%d misses=%d, want 1/1", cache.Hits(), cache.Misses())
+	}
+}
+
+// TestStatsCacheInvalidatedByTableWrite mutates the scanned table between
+// plans; the stale entry's key no longer matches, forcing a fresh sampling
+// pass.
+func TestStatsCacheInvalidatedByTableWrite(t *testing.T) {
+	counting, cat, p, _ := statsCacheFixture(t)
+	q := statsCacheQuery(t, cat)
+
+	if _, err := p.PlanQuery(context.Background(), q); err != nil {
+		t.Fatalf("first plan: %v", err)
+	}
+	if err := counting.Insert(rowWithKey(999, 999)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PlanQuery(context.Background(), q); err != nil {
+		t.Fatalf("plan after insert: %v", err)
+	}
+	if got := counting.scans.Load(); got != 2 {
+		t.Fatalf("plan after a table write must re-sample: %d scans, want 2", got)
+	}
+}
+
+// TestStatsCacheInvalidatedByCatalogChange mutates the catalog (a UDF
+// re-registration, as a reconnecting client would) between plans; the cache
+// key carries the catalog version, so the entry goes stale.
+func TestStatsCacheInvalidatedByCatalogChange(t *testing.T) {
+	counting, cat, p, _ := statsCacheFixture(t)
+	q := statsCacheQuery(t, cat)
+
+	if _, err := p.PlanQuery(context.Background(), q); err != nil {
+		t.Fatalf("first plan: %v", err)
+	}
+	if _, err := cat.RegisterClientUDF(&wire.RegisterUDF{
+		Name: "Score", ResultKind: types.KindBytes, ResultSize: 4000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PlanQuery(context.Background(), q); err != nil {
+		t.Fatalf("plan after catalog change: %v", err)
+	}
+	if got := counting.scans.Load(); got != 2 {
+		t.Fatalf("plan after a catalog change must re-sample: %d scans, want 2", got)
+	}
+}
+
+// TestStatsCacheLinkReuse probes a live in-process link once and serves the
+// second plan's N from the cache.
+func TestStatsCacheLinkReuse(t *testing.T) {
+	counting, cat, _, cache := statsCacheFixture(t)
+	_ = counting
+	rt := testRuntime(t)
+	p := newTestPlanner(t, rt, netsim.LinkConfig{
+		DownBandwidth: 1 << 20, UpBandwidth: 1 << 20, TimeScale: 1000,
+	})
+	p.Config.StatsCache = cache
+	p.Config.LinkKey = "inproc-test-link"
+	p.Config.ProbeBytes = 8 << 10
+	q := statsCacheQuery(t, cat)
+
+	first, err := p.PlanQuery(context.Background(), q)
+	if err != nil {
+		t.Fatalf("first plan: %v", err)
+	}
+	if first.Applies[0].Decision.LinkFromCache {
+		t.Fatalf("first plan claims a cached link observation")
+	}
+	second, err := p.PlanQuery(context.Background(), q)
+	if err != nil {
+		t.Fatalf("second plan: %v", err)
+	}
+	d := second.Applies[0].Decision
+	if !d.LinkFromCache {
+		t.Fatalf("second plan re-probed the link")
+	}
+	if d.Link != first.Applies[0].Decision.Link {
+		t.Fatalf("cached link observation differs")
+	}
+}
+
+// TestValuesInputsAreNotCached ensures unversioned (Values-backed) inputs
+// bypass the cache entirely rather than serving stale samples.
+func TestValuesInputsAreNotCached(t *testing.T) {
+	_, cat, p, cache := statsCacheFixture(t)
+	rows := make([]types.Tuple, 50)
+	for i := range rows {
+		rows[i] = rowWithKey(i, uint32(i))
+	}
+	q := testQuery(t, rows, cat)
+	if _, err := p.PlanQuery(context.Background(), q); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if _, err := p.PlanQuery(context.Background(), q); err != nil {
+		t.Fatalf("second plan: %v", err)
+	}
+	if cache.Hits() != 0 {
+		t.Fatalf("values-backed query hit the cache (%d hits)", cache.Hits())
+	}
+}
+
+func TestStatsCacheExplicitInvalidation(t *testing.T) {
+	counting, cat, p, cache := statsCacheFixture(t)
+	q := statsCacheQuery(t, cat)
+	if _, err := p.PlanQuery(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	cache.Invalidate()
+	if _, err := p.PlanQuery(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	if got := counting.scans.Load(); got != 2 {
+		t.Fatalf("explicit invalidation must force a re-sample: %d scans, want 2", got)
+	}
+	cache.StoreLink("l", exec.LinkObservation{Asymmetry: 7})
+	if _, ok := cache.LinkObservation("l"); !ok {
+		t.Fatalf("stored link observation not found")
+	}
+	cache.InvalidateLink("l")
+	if _, ok := cache.LinkObservation("l"); ok {
+		t.Fatalf("link observation survived invalidation")
+	}
+	var nilCache *StatsCache
+	if nilCache.Hits() != 0 || nilCache.Misses() != 0 {
+		t.Fatalf("nil cache counters must be zero")
+	}
+	nilCache.Invalidate()
+	nilCache.InvalidateLink("x")
+	nilCache.StoreLink("x", exec.LinkObservation{})
+	if _, ok := nilCache.LinkObservation("x"); ok {
+		t.Fatalf("nil cache must miss")
+	}
+}
+
+func TestPickSpillPartitions(t *testing.T) {
+	cases := []struct {
+		est, budget int64
+		want        int
+	}{
+		{0, 1 << 20, 0},           // no estimate: engine default
+		{1 << 20, 0, 0},           // no budget: engine default
+		{1 << 20, 1 << 20, 16},    // small overage: floor
+		{256 << 20, 1 << 20, 128}, // huge overage: clamped
+		{32 << 20, 1 << 20, 64},   // 32M over 512K halves = 64
+	}
+	for _, c := range cases {
+		if got := pickSpillPartitions(c.est, c.budget); got != c.want {
+			t.Errorf("pickSpillPartitions(%d, %d) = %d, want %d", c.est, c.budget, got, c.want)
+		}
+	}
+}

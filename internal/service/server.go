@@ -1,0 +1,639 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"csq/internal/exec"
+	"csq/internal/expr"
+	"csq/internal/logical"
+	"csq/internal/plan"
+	"csq/internal/types"
+	"csq/internal/wire"
+)
+
+// Server is the wire front-end of a Service: it listens for requester
+// connections speaking the framed protocol's MsgQuery/MsgCancel extension and
+// streams query results back as MsgResultBatch frames (SessionID = query ID)
+// terminated by MsgEnd, or MsgError on failure.
+//
+// One connection multiplexes any number of concurrent queries. A requester
+// may also announce client UDF metadata with MsgRegisterUDF frames (upserted
+// into the service catalog), exactly as the client runtime's Announce does.
+//
+// Capabilities are negotiated like the dict-batch flag: the QuerySpec carries
+// requested capability bits, the MsgQueryAck echoes the supported subset, and
+// a requester only uses what was echoed — so both directions degrade
+// gracefully against older peers.
+type Server struct {
+	svc *Service
+
+	// DialTimeout bounds UDF-session connection establishment.
+	DialTimeout time.Duration
+	// WriteStallTimeout bounds how long one result-frame write to a
+	// requester may block. A requester that dies silently (or stops reading)
+	// would otherwise wedge its queries' streaming sends forever — holding
+	// admission slots past any deadline, since the shared control connection
+	// cannot be bound to a single query's context. Zero selects
+	// DefaultWriteStallTimeout.
+	WriteStallTimeout time.Duration
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// DefaultWriteStallTimeout is the default bound on one control-connection
+// write.
+const DefaultWriteStallTimeout = 30 * time.Second
+
+func (s *Server) writeStall() time.Duration {
+	if s.WriteStallTimeout <= 0 {
+		return DefaultWriteStallTimeout
+	}
+	return s.WriteStallTimeout
+}
+
+// stallGuardConn arms a fresh write deadline before every write, so a peer
+// that stops reading fails the writer within the stall timeout instead of
+// blocking it forever. Reads are unaffected (the control loop legitimately
+// idles waiting for the next request).
+type stallGuardConn struct {
+	net.Conn
+	stall time.Duration
+}
+
+func (c *stallGuardConn) Write(p []byte) (int, error) {
+	_ = c.Conn.SetWriteDeadline(time.Now().Add(c.stall))
+	return c.Conn.Write(p)
+}
+
+// serverCaps is the capability subset this server supports.
+const serverCaps = wire.CapCancel
+
+// NewServer builds a wire front-end over the service.
+func NewServer(svc *Service) *Server {
+	return &Server{svc: svc, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts requester connections on ln until the listener closes or
+// Close is called.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("service: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("service: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("service: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address, when serving.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes every requester connection (cancelling the
+// queries they own) and shuts the service down.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.svc.Close()
+}
+
+// handleConn is one requester connection's control loop.
+func (s *Server) handleConn(nc net.Conn) {
+	conn := wire.NewConn(&stallGuardConn{Conn: nc, stall: s.writeStall()})
+	owned := struct {
+		sync.Mutex
+		queries map[uint64]*Query
+	}{queries: make(map[uint64]*Query)}
+	defer func() {
+		// A dying requester connection cancels every query it owns; the
+		// per-query contexts tear their UDF sessions down.
+		owned.Lock()
+		qs := make([]*Query, 0, len(owned.queries))
+		for _, q := range owned.queries {
+			qs = append(qs, q)
+		}
+		owned.Unlock()
+		for _, q := range qs {
+			q.Cancel()
+		}
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+	}()
+
+	for {
+		msg, err := conn.Receive()
+		if err != nil {
+			return // disconnect (clean or not) ends the control loop
+		}
+		switch msg.Type {
+		case wire.MsgRegisterUDF:
+			reg, err := wire.DecodeRegisterUDF(msg.Payload)
+			if err != nil {
+				_ = s.sendError(conn, 0, fmt.Sprintf("bad registration: %v", err))
+				continue
+			}
+			if _, err := s.svc.cat.RegisterClientUDF(reg); err != nil {
+				_ = s.sendError(conn, 0, err.Error())
+			}
+		case wire.MsgEnd:
+			// End of an announcement burst (client.Runtime.Announce sends
+			// one); nothing to do.
+		case wire.MsgQuery:
+			spec, err := wire.DecodeQuerySpec(msg.Payload)
+			if err != nil {
+				_ = s.sendError(conn, 0, fmt.Sprintf("bad query: %v", err))
+				continue
+			}
+			// A peer-chosen QueryID that is already in flight on this
+			// connection would interleave two result streams under one ID
+			// and orphan the earlier query; reject it up front.
+			owned.Lock()
+			_, dup := owned.queries[spec.QueryID]
+			owned.Unlock()
+			var req Request
+			if dup {
+				err = fmt.Errorf("query ID %d is already in flight on this connection", spec.QueryID)
+			} else {
+				req, err = s.buildRequest(conn, spec)
+			}
+			ack := &wire.QueryAck{QueryID: spec.QueryID, OK: err == nil, Caps: spec.Caps & serverCaps}
+			if err != nil {
+				ack.Error = err.Error()
+			}
+			// The ack goes out before the query is submitted, so no result
+			// batch can beat it onto the wire.
+			if sendErr := conn.Send(wire.MsgQueryAck, wire.EncodeQueryAck(ack)); sendErr != nil {
+				return
+			}
+			if err != nil {
+				continue
+			}
+			q, serr := s.svc.Submit(context.Background(), req)
+			if serr != nil {
+				_ = s.sendError(conn, spec.QueryID, serr.Error())
+				continue
+			}
+			owned.Lock()
+			owned.queries[spec.QueryID] = q
+			owned.Unlock()
+			go func(id uint64) {
+				s.streamResult(conn, id, q)
+				owned.Lock()
+				delete(owned.queries, id)
+				owned.Unlock()
+			}(spec.QueryID)
+		case wire.MsgCancel:
+			c, err := wire.DecodeCancel(msg.Payload)
+			if err != nil {
+				_ = s.sendError(conn, 0, fmt.Sprintf("bad cancel: %v", err))
+				continue
+			}
+			owned.Lock()
+			q := owned.queries[c.QueryID]
+			owned.Unlock()
+			if q != nil {
+				q.Cancel()
+			}
+		default:
+			_ = s.sendError(conn, 0, fmt.Sprintf("unexpected message %s", msg.Type))
+		}
+	}
+}
+
+// buildRequest translates a QuerySpec into a service request; the caller
+// submits it after acknowledging, and streams results via streamResult.
+func (s *Server) buildRequest(conn *wire.Conn, spec *wire.QuerySpec) (Request, error) {
+	tree, err := s.buildTree(spec)
+	if err != nil {
+		return Request{}, err
+	}
+	req := Request{
+		Tree:      tree,
+		MemBudget: spec.MemBudget,
+	}
+	if spec.TimeoutMillis > 0 {
+		req.Timeout = time.Duration(spec.TimeoutMillis) * time.Millisecond
+	}
+	if spec.ClientAddr != "" {
+		req.Link = &exec.DialLink{Addr: spec.ClientAddr, DialTimeout: s.DialTimeout}
+		req.LinkKey = spec.ClientAddr
+	}
+	// Results are streamed straight onto the control connection as they are
+	// produced; Conn.Send serialises concurrent queries' frames.
+	req.OnBatch = func(batch []types.Tuple) error {
+		payload := wire.GetBuffer()
+		defer wire.PutBuffer(payload)
+		b := wire.TupleBatch{SessionID: spec.QueryID, Tuples: batch}
+		data, err := wire.AppendTupleBatch(*payload, &b)
+		if err != nil {
+			return err
+		}
+		*payload = data
+		return conn.Send(wire.MsgResultBatch, data)
+	}
+	return req, nil
+}
+
+// streamResult waits the query out and terminates its result stream with an
+// End (row count) or an Error frame.
+func (s *Server) streamResult(conn *wire.Conn, id uint64, q *Query) {
+	res, err := q.Wait()
+	if err != nil {
+		_ = s.sendError(conn, id, err.Error())
+		return
+	}
+	_ = conn.Send(wire.MsgEnd, wire.EncodeEnd(&wire.End{SessionID: id, Rows: uint64(res.RowCount)}))
+}
+
+func (s *Server) sendError(conn *wire.Conn, session uint64, msg string) error {
+	return conn.Send(wire.MsgError, wire.EncodeError(&wire.ErrorMsg{SessionID: session, Message: msg}))
+}
+
+// buildTree assembles the spec's logical tree: scan → [filter] → [udf-apply
+// with pushable/projection] over the named catalog table.
+func (s *Server) buildTree(spec *wire.QuerySpec) (logical.Node, error) {
+	table, err := s.svc.cat.Table(spec.Table)
+	if err != nil {
+		return nil, err
+	}
+	scan, err := logical.NewScan(table, "")
+	if err != nil {
+		return nil, err
+	}
+	var serverFilter expr.Expr
+	if len(spec.Filter) > 0 {
+		serverFilter, err = expr.Unmarshal(spec.Filter)
+		if err != nil {
+			return nil, fmt.Errorf("service: query filter: %w", err)
+		}
+	}
+	if len(spec.UDFs) == 0 {
+		// Pure server-side query.
+		var n logical.Node = scan
+		if serverFilter != nil {
+			if n, err = logical.NewFilter(n, serverFilter); err != nil {
+				return nil, err
+			}
+		}
+		if len(spec.Project) > 0 {
+			if n, err = logical.NewProject(n, spec.Project); err != nil {
+				return nil, err
+			}
+		}
+		return n, nil
+	}
+	bindings := make([]exec.UDFBinding, 0, len(spec.UDFs))
+	for _, u := range spec.UDFs {
+		udf, err := s.svc.cat.UDF(u.Name)
+		if err != nil {
+			return nil, fmt.Errorf("service: query UDF %q is not registered", u.Name)
+		}
+		bindings = append(bindings, exec.UDFBinding{
+			Name:        udf.Name,
+			ArgOrdinals: append([]int(nil), u.ArgOrdinals...),
+			ResultKind:  udf.ResultKind,
+		})
+	}
+	var pushable expr.Expr
+	if len(spec.Pushable) > 0 {
+		pushable, err = expr.Unmarshal(spec.Pushable)
+		if err != nil {
+			return nil, fmt.Errorf("service: pushable predicate: %w", err)
+		}
+	}
+	q := plan.Query{
+		Source:       scan,
+		UDFs:         bindings,
+		ServerFilter: serverFilter,
+		Pushable:     pushable,
+		Project:      append([]int(nil), spec.Project...),
+	}
+	return q.Logical()
+}
+
+// Requester is the client side of the MsgQuery protocol: a thin helper that
+// submits queries to a running server and collects streamed results. It is
+// what cmd tools and tests use; each Requester owns one control connection
+// and may run any number of queries over it concurrently.
+type Requester struct {
+	conn *wire.Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]*eventQueue
+	readErr error
+	started bool
+}
+
+type requesterEvent struct {
+	batch []types.Tuple
+	rows  uint64
+	err   error
+	done  bool
+	ack   *wire.QueryAck
+}
+
+// eventQueue is an unbounded per-query event buffer. Unbounded matters: the
+// read loop demultiplexes all queries of one connection, so a delivery that
+// could block (a full fixed-size channel of an abandoned or slow collector)
+// would wedge every other query's stream. Memory stays bounded by the
+// query's own result size — the same bound Collect imposes anyway.
+type eventQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	evs    []requesterEvent
+	closed bool
+}
+
+func newEventQueue() *eventQueue {
+	q := &eventQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends an event; it never blocks.
+func (q *eventQueue) push(ev requesterEvent) {
+	q.mu.Lock()
+	if !q.closed {
+		q.evs = append(q.evs, ev)
+	}
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// close wakes every waiter; pending events stay readable.
+func (q *eventQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// pop blocks for the next event; ok is false once the queue is closed and
+// drained.
+func (q *eventQueue) pop() (requesterEvent, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.evs) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.evs) == 0 {
+		return requesterEvent{}, false
+	}
+	ev := q.evs[0]
+	q.evs = q.evs[1:]
+	return ev, true
+}
+
+// NewRequester wraps an established connection to a query server.
+func NewRequester(nc net.Conn) *Requester {
+	return &Requester{
+		conn:    wire.NewConn(nc),
+		pending: make(map[uint64]*eventQueue),
+	}
+}
+
+// Dial connects to a query server.
+func Dial(addr string) (*Requester, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("service: dial %s: %w", addr, err)
+	}
+	return NewRequester(nc), nil
+}
+
+// Close shuts the control connection; the server cancels every query this
+// requester still owns.
+func (r *Requester) Close() error { return r.conn.Close() }
+
+// RegisterUDFs announces client UDF metadata to the server catalog (the same
+// frames client.Runtime.Announce sends).
+func (r *Requester) RegisterUDFs(regs []*wire.RegisterUDF) error {
+	for _, reg := range regs {
+		if err := r.conn.Send(wire.MsgRegisterUDF, wire.EncodeRegisterUDF(reg)); err != nil {
+			return err
+		}
+	}
+	return r.conn.Send(wire.MsgEnd, wire.EncodeEnd(&wire.End{}))
+}
+
+// readLoop demultiplexes server frames to per-query channels.
+func (r *Requester) readLoop() {
+	for {
+		msg, err := r.conn.Receive()
+		if err != nil {
+			// Closing the per-query queues wakes every collector; collectors
+			// read the terminal error from readErr.
+			r.mu.Lock()
+			r.readErr = err
+			pending := r.pending
+			r.pending = make(map[uint64]*eventQueue)
+			r.mu.Unlock()
+			for _, q := range pending {
+				q.close()
+			}
+			return
+		}
+		switch msg.Type {
+		case wire.MsgQueryAck:
+			ack, err := wire.DecodeQueryAck(msg.Payload)
+			if err != nil {
+				continue
+			}
+			r.deliver(ack.QueryID, requesterEvent{ack: ack})
+		case wire.MsgResultBatch:
+			batch, err := wire.DecodeTupleBatch(msg.Payload)
+			if err != nil {
+				continue
+			}
+			r.deliver(batch.SessionID, requesterEvent{batch: batch.Tuples})
+		case wire.MsgEnd:
+			end, err := wire.DecodeEnd(msg.Payload)
+			if err != nil {
+				continue
+			}
+			r.deliver(end.SessionID, requesterEvent{rows: end.Rows, done: true})
+		case wire.MsgError:
+			e, err := wire.DecodeError(msg.Payload)
+			if err != nil {
+				continue
+			}
+			r.deliver(e.SessionID, requesterEvent{err: fmt.Errorf("service: %s", e.Message), done: true})
+		}
+	}
+}
+
+func (r *Requester) deliver(id uint64, ev requesterEvent) {
+	r.mu.Lock()
+	q := r.pending[id]
+	r.mu.Unlock()
+	if q != nil {
+		q.push(ev)
+	}
+}
+
+// RemoteQuery is one in-flight query submitted through a Requester.
+type RemoteQuery struct {
+	r    *Requester
+	id   uint64
+	caps uint32
+	ch   *eventQueue
+}
+
+// Submit sends a QuerySpec (its QueryID and Caps are managed by the
+// requester) and waits for the server's admission ack.
+func (r *Requester) Submit(spec wire.QuerySpec) (*RemoteQuery, error) {
+	r.mu.Lock()
+	if !r.started {
+		r.started = true
+		go r.readLoop()
+	}
+	if r.readErr != nil {
+		err := r.readErr
+		r.mu.Unlock()
+		return nil, err
+	}
+	r.nextID++
+	spec.QueryID = r.nextID
+	spec.Caps = serverCaps
+	ch := newEventQueue()
+	r.pending[spec.QueryID] = ch
+	r.mu.Unlock()
+
+	payload, err := wire.EncodeQuerySpec(&spec)
+	if err != nil {
+		r.drop(spec.QueryID)
+		return nil, err
+	}
+	if err := r.conn.Send(wire.MsgQuery, payload); err != nil {
+		r.drop(spec.QueryID)
+		return nil, err
+	}
+	ev, ok := ch.pop()
+	if ev.err != nil {
+		r.drop(spec.QueryID)
+		return nil, ev.err
+	}
+	if !ok || ev.ack == nil {
+		r.drop(spec.QueryID)
+		r.mu.Lock()
+		err := r.readErr
+		r.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("service: expected QUERY_ACK")
+	}
+	if !ev.ack.OK {
+		r.drop(spec.QueryID)
+		return nil, fmt.Errorf("service: query rejected: %s", ev.ack.Error)
+	}
+	return &RemoteQuery{r: r, id: spec.QueryID, caps: ev.ack.Caps, ch: ch}, nil
+}
+
+func (r *Requester) drop(id uint64) {
+	r.mu.Lock()
+	delete(r.pending, id)
+	r.mu.Unlock()
+}
+
+// Cancel sends a MsgCancel — only when the server's ack granted CapCancel.
+func (q *RemoteQuery) Cancel() error {
+	if q.caps&wire.CapCancel == 0 {
+		return fmt.Errorf("service: server did not negotiate cancellation")
+	}
+	return q.r.conn.Send(wire.MsgCancel, wire.EncodeCancel(&wire.Cancel{QueryID: q.id}))
+}
+
+// Collect drains the query's result stream into memory.
+func (q *RemoteQuery) Collect() ([]types.Tuple, error) {
+	defer q.r.drop(q.id)
+	var rows []types.Tuple
+	for {
+		ev, ok := q.ch.pop()
+		if !ok {
+			break
+		}
+		if ev.batch != nil {
+			rows = append(rows, ev.batch...)
+			continue
+		}
+		if ev.done {
+			if ev.err != nil {
+				return rows, ev.err
+			}
+			return rows, nil
+		}
+	}
+	// The queue was closed by a dying read loop; surface its error.
+	q.r.mu.Lock()
+	err := q.r.readErr
+	q.r.mu.Unlock()
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return rows, err
+}
+
+// errIsCanceled reports whether a server-side error string describes a
+// cancelled query (the error crosses the wire as text).
+func ErrIsCanceled(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "context canceled")
+}

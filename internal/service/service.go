@@ -1,0 +1,511 @@
+// Package service turns the single-query planning and execution stack into a
+// governed multi-query service: it accepts concurrent queries (each a logical
+// tree plus a client link), runs the plan→lower→execute pipeline for each one
+// under a per-query context with deadline and cancellation, enforces a global
+// admission limit, governs memory through a per-query exec.MemTracker (soft
+// budget → Grace spilling in HashJoin/HashAggregate, hard limit → query
+// failure), shares one cross-query plan.StatsCache so repeated queries reuse
+// sampled statistics and probe-measured link observations, and exposes
+// per-query lifecycle statistics.
+//
+// The wire front-end (Server, cmd/udfserverd) speaks the MsgQuery/MsgCancel
+// framing extension on top of this.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csq/internal/catalog"
+	"csq/internal/exec"
+	"csq/internal/logical"
+	"csq/internal/plan"
+	"csq/internal/types"
+)
+
+// State is a query's lifecycle state.
+type State uint8
+
+// Query lifecycle states, in the order they normally occur.
+const (
+	// StateQueued: submitted, waiting for an admission slot.
+	StateQueued State = iota
+	// StatePlanning: holding a slot, running the plan→lower pipeline.
+	StatePlanning
+	// StateRunning: executing the lowered operator tree.
+	StateRunning
+	// StateDone: finished successfully.
+	StateDone
+	// StateFailed: finished with an error.
+	StateFailed
+	// StateCanceled: terminated by cancellation or deadline.
+	StateCanceled
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StatePlanning:
+		return "planning"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCanceled:
+		return "canceled"
+	default:
+		return "unknown"
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultMaxConcurrent is the default admission limit.
+	DefaultMaxConcurrent = 8
+	// DefaultKeepFinished is how many finished queries' stats are retained.
+	DefaultKeepFinished = 128
+)
+
+// Config tunes the service. The zero value selects the defaults.
+type Config struct {
+	// MaxConcurrent is the global admission limit: at most this many queries
+	// hold planning/execution slots simultaneously; the rest wait in
+	// StateQueued. Values < 1 select DefaultMaxConcurrent.
+	MaxConcurrent int
+	// MemBudget is the default per-query soft memory budget in bytes; going
+	// over it makes HashJoin/HashAggregate spill to disk. 0 means unlimited.
+	MemBudget int64
+	// HardMemLimit is the default per-query hard memory limit; a query whose
+	// unspillable state exceeds it fails with exec.ErrMemoryLimit. 0 = none.
+	HardMemLimit int64
+	// DefaultTimeout bounds each query's wall-clock time when the request
+	// does not set one. 0 means no deadline.
+	DefaultTimeout time.Duration
+	// TempDir is where spill runs are created ("" = system temp dir).
+	TempDir string
+	// KeepFinished bounds how many finished queries stay visible in Queries.
+	// Values < 1 select DefaultKeepFinished.
+	KeepFinished int
+	// Planner carries base planner knobs (sample rows, sketch size, probe
+	// size, session caps, a fixed link observation for tests). The service
+	// manages StatsCache, LinkKey and MemBudget per query on top of it.
+	Planner plan.Config
+}
+
+func (c Config) maxConcurrent() int {
+	if c.MaxConcurrent < 1 {
+		return DefaultMaxConcurrent
+	}
+	return c.MaxConcurrent
+}
+
+func (c Config) keepFinished() int {
+	if c.KeepFinished < 1 {
+		return DefaultKeepFinished
+	}
+	return c.KeepFinished
+}
+
+// Request describes one query.
+type Request struct {
+	// Tree is the query's logical plan. Trees without UDF applications are
+	// pure server-side queries and need no link.
+	Tree logical.Node
+	// Link is the client link UDF applications execute over.
+	Link exec.ClientLink
+	// LinkKey identifies the physical link in the cross-query stats cache
+	// (e.g. the client runtime's address), enabling probe reuse.
+	LinkKey string
+	// MemBudget overrides the service's per-query soft budget: > 0 sets a
+	// budget, 0 inherits the service default, < 0 disables budgeting.
+	MemBudget int64
+	// Timeout overrides the service's default per-query deadline: > 0 sets
+	// one, 0 inherits the default, < 0 disables it.
+	Timeout time.Duration
+	// OnBatch, when non-nil, streams result batches as they are produced
+	// instead of accumulating rows in the result. The callback owns the
+	// tuples; returning an error aborts the query.
+	OnBatch func(batch []types.Tuple) error
+}
+
+// QueryStats is a point-in-time snapshot of one query's lifecycle.
+type QueryStats struct {
+	ID        uint64
+	State     State
+	Err       string
+	Submitted time.Time
+	Started   time.Time // admission granted
+	Finished  time.Time
+	Rows      int64
+	// Memory governance, from the query's MemTracker.
+	MemPeakBytes int64
+	SpillEvents  int64
+	SpilledBytes int64
+	// Strategies lists the chosen strategy per UDF application.
+	Strategies []string
+	// StatsFromCache reports that at least one application's sampling
+	// statistics were served by the cross-query cache.
+	StatsFromCache bool
+}
+
+// Result is a finished query's output.
+type Result struct {
+	// Rows holds the accumulated result when no OnBatch sink was set.
+	Rows []types.Tuple
+	// RowCount is the number of rows produced (accumulated or streamed).
+	RowCount int64
+	// Stats is the final lifecycle snapshot.
+	Stats QueryStats
+}
+
+// Service runs queries.
+type Service struct {
+	cat   *catalog.Catalog
+	cfg   Config
+	cache *plan.StatsCache
+	sem   chan struct{}
+
+	nextID atomic.Uint64
+
+	mu       sync.Mutex
+	queries  map[uint64]*Query
+	finished []uint64 // finished query IDs in completion order, for pruning
+	closed   bool
+}
+
+// New builds a service over the given catalog.
+func New(cat *catalog.Catalog, cfg Config) *Service {
+	return &Service{
+		cat:     cat,
+		cfg:     cfg,
+		cache:   plan.NewStatsCache(),
+		sem:     make(chan struct{}, cfg.maxConcurrent()),
+		queries: make(map[uint64]*Query),
+	}
+}
+
+// StatsCache exposes the cross-query statistics cache (shared by every
+// query's planner).
+func (s *Service) StatsCache() *plan.StatsCache { return s.cache }
+
+// Query is the handle of one submitted query.
+type Query struct {
+	id     uint64
+	svc    *Service
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	collect bool
+	onBatch func([]types.Tuple) error
+
+	mu             sync.Mutex
+	state          State
+	err            error
+	rows           []types.Tuple
+	rowCount       int64
+	submitted      time.Time
+	started        time.Time
+	finished       time.Time
+	tracker        *exec.MemTracker
+	strategies     []string
+	statsFromCache bool
+}
+
+// ID returns the query's service-wide identifier.
+func (q *Query) ID() uint64 { return q.id }
+
+// Cancel aborts the query. Safe to call at any time, any number of times.
+func (q *Query) Cancel() { q.cancel() }
+
+// Done is closed when the query reaches a terminal state.
+func (q *Query) Done() <-chan struct{} { return q.done }
+
+// Wait blocks until the query finishes and returns its result.
+func (q *Query) Wait() (*Result, error) {
+	<-q.done
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err != nil {
+		return nil, q.err
+	}
+	return &Result{Rows: q.rows, RowCount: q.rowCount, Stats: q.statsLocked()}, nil
+}
+
+// Stats returns a point-in-time lifecycle snapshot.
+func (q *Query) Stats() QueryStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.statsLocked()
+}
+
+func (q *Query) statsLocked() QueryStats {
+	st := QueryStats{
+		ID:             q.id,
+		State:          q.state,
+		Submitted:      q.submitted,
+		Started:        q.started,
+		Finished:       q.finished,
+		Rows:           q.rowCount,
+		Strategies:     append([]string(nil), q.strategies...),
+		StatsFromCache: q.statsFromCache,
+	}
+	if q.err != nil {
+		st.Err = q.err.Error()
+	}
+	if q.tracker != nil {
+		st.MemPeakBytes = q.tracker.Peak()
+		st.SpillEvents = q.tracker.SpillEvents()
+		st.SpilledBytes = q.tracker.SpilledBytes()
+	}
+	return st
+}
+
+// Submit registers a query and starts it asynchronously; the returned handle
+// cancels, waits and reports stats. The context governs the whole query: its
+// cancellation or deadline terminates planning and execution.
+func (s *Service) Submit(ctx context.Context, req Request) (*Query, error) {
+	if req.Tree == nil {
+		return nil, fmt.Errorf("service: query has no logical tree")
+	}
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	var qctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		qctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		qctx, cancel = context.WithCancel(ctx)
+	}
+	q := &Query{
+		id:        s.nextID.Add(1),
+		svc:       s,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		collect:   req.OnBatch == nil,
+		onBatch:   req.OnBatch,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	// The closed check and the registration share one critical section, so a
+	// Submit racing Close either registers before Close's snapshot (and is
+	// cancelled and awaited by it) or observes closed and is refused — a
+	// query can never start against a service that has finished closing.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("service: closed")
+	}
+	s.queries[q.id] = q
+	s.mu.Unlock()
+	go q.run(qctx, req)
+	return q, nil
+}
+
+// Execute submits the query and waits for its result.
+func (s *Service) Execute(ctx context.Context, req Request) (*Result, error) {
+	q, err := s.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return q.Wait()
+}
+
+// Lookup returns a live or recently finished query handle.
+func (s *Service) Lookup(id uint64) (*Query, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queries[id]
+	return q, ok
+}
+
+// Queries returns lifecycle snapshots of every tracked query, oldest first.
+func (s *Service) Queries() []QueryStats {
+	s.mu.Lock()
+	qs := make([]*Query, 0, len(s.queries))
+	for _, q := range s.queries {
+		qs = append(qs, q)
+	}
+	s.mu.Unlock()
+	sort.Slice(qs, func(i, j int) bool { return qs[i].id < qs[j].id })
+	out := make([]QueryStats, len(qs))
+	for i, q := range qs {
+		out[i] = q.Stats()
+	}
+	return out
+}
+
+// Close cancels every active query and refuses new submissions.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	active := make([]*Query, 0, len(s.queries))
+	for _, q := range s.queries {
+		active = append(active, q)
+	}
+	s.mu.Unlock()
+	for _, q := range active {
+		q.cancel()
+		<-q.done
+	}
+}
+
+// budgetFor resolves the request's memory budget against the service default.
+func (s *Service) budgetFor(req Request) (budget, hard int64) {
+	budget, hard = s.cfg.MemBudget, s.cfg.HardMemLimit
+	if req.MemBudget > 0 {
+		budget = req.MemBudget
+	} else if req.MemBudget < 0 {
+		budget = 0
+	}
+	return budget, hard
+}
+
+// run is the query's lifecycle: admission → plan → lower → execute.
+func (q *Query) run(ctx context.Context, req Request) {
+	var err error
+	defer func() {
+		q.finish(ctx, err)
+	}()
+
+	// Admission: the global limit bounds how many queries plan and execute
+	// concurrently; a cancelled query leaves the queue immediately.
+	select {
+	case q.svc.sem <- struct{}{}:
+	case <-ctx.Done():
+		err = ctx.Err()
+		return
+	}
+	defer func() { <-q.svc.sem }()
+
+	q.mu.Lock()
+	q.started = time.Now()
+	q.state = StatePlanning
+	q.mu.Unlock()
+
+	budget, hard := q.svc.budgetFor(req)
+	tracker := exec.NewMemTracker(budget)
+	tracker.SetHardLimit(hard)
+	tracker.SetTempDir(q.svc.cfg.TempDir)
+	q.mu.Lock()
+	q.tracker = tracker
+	q.mu.Unlock()
+
+	planner := plan.NewPlanner(req.Link)
+	planner.Config = q.svc.cfg.Planner
+	planner.Config.StatsCache = q.svc.cache
+	planner.Config.LinkKey = req.LinkKey
+	planner.Config.MemBudget = budget
+
+	tp, perr := planner.PlanTree(ctx, req.Tree, q.svc.cat)
+	if perr != nil {
+		err = perr
+		return
+	}
+	strategies := make([]string, 0, len(tp.Applies))
+	fromCache := false
+	for _, ap := range tp.Applies {
+		strategies = append(strategies, ap.Decision.Strategy.String())
+		fromCache = fromCache || ap.Decision.StatsFromCache
+	}
+	q.mu.Lock()
+	q.strategies = strategies
+	q.statsFromCache = fromCache
+	q.state = StateRunning
+	q.mu.Unlock()
+
+	op, lerr := tp.NewOperator()
+	if lerr != nil {
+		err = lerr
+		return
+	}
+	err = q.drive(exec.WithMemTracker(ctx, tracker), op)
+}
+
+// drive executes the operator tree, streaming or accumulating batches.
+func (q *Query) drive(ctx context.Context, op exec.Operator) error {
+	if err := op.Open(ctx); err != nil {
+		_ = op.Close()
+		return err
+	}
+	batch := make([]types.Tuple, exec.DefaultBatchSize)
+	for {
+		n, err := op.NextBatch(batch)
+		if err != nil {
+			_ = op.Close()
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		q.mu.Lock()
+		q.rowCount += int64(n)
+		if q.collect {
+			q.rows = append(q.rows, batch[:n]...)
+		}
+		q.mu.Unlock()
+		if q.onBatch != nil {
+			if err := q.onBatch(batch[:n]); err != nil {
+				_ = op.Close()
+				return fmt.Errorf("service: result sink: %w", err)
+			}
+		}
+	}
+	return op.Close()
+}
+
+// finish records the terminal state and releases the handle's bookkeeping.
+func (q *Query) finish(ctx context.Context, err error) {
+	// A context that ended takes over the error classification: whatever
+	// low-level failure the teardown surfaced (a slammed connection deadline,
+	// a torn-down session), the query was cancelled or timed out, and it
+	// reports that, uniformly, as the context error. A query that completed
+	// cleanly before the context ended keeps its success.
+	if cerr := ctx.Err(); cerr != nil && err != nil {
+		err = cerr
+	}
+	q.mu.Lock()
+	q.err = err
+	q.finished = time.Now()
+	switch {
+	case err == nil:
+		q.state = StateDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		q.state = StateCanceled
+	default:
+		q.state = StateFailed
+	}
+	q.mu.Unlock()
+	q.cancel() // release the context's resources
+	close(q.done)
+	q.svc.retire(q)
+}
+
+// retire prunes old finished queries beyond the configured retention.
+func (s *Service) retire(q *Query) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finished = append(s.finished, q.id)
+	keep := s.cfg.keepFinished()
+	for len(s.finished) > keep {
+		victim := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.queries, victim)
+	}
+}

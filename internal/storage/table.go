@@ -8,10 +8,32 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"csq/internal/catalog"
 	"csq/internal/types"
 )
+
+// Relation is the read surface the execution engine scans: any named,
+// schema'd row source that can hand out snapshot iterators. *HeapTable is the
+// storage engine's implementation; tests wrap it (e.g. to count scans) and
+// future storage backends implement it directly.
+type Relation interface {
+	// Name returns the relation name.
+	Name() string
+	// Schema returns the relation's column layout. Callers must not modify it.
+	Schema() *types.Schema
+	// Iterator returns an iterator over a consistent snapshot of the rows.
+	Iterator() *TableIterator
+}
+
+// Versioned is implemented by relations that track a monotonically increasing
+// data version; the planner's cross-query statistics cache keys on it so a
+// mutation invalidates cached samples.
+type Versioned interface {
+	// Version returns the current data version. Any row mutation changes it.
+	Version() uint64
+}
 
 // HeapTable is an append-only in-memory relation. It is safe for concurrent
 // readers and writers; iteration sees a consistent snapshot of the rows
@@ -19,6 +41,8 @@ import (
 type HeapTable struct {
 	name   string
 	schema *types.Schema
+
+	version atomic.Uint64
 
 	mu   sync.RWMutex
 	rows []types.Tuple
@@ -51,8 +75,13 @@ func (h *HeapTable) Insert(t types.Tuple) error {
 	defer h.mu.Unlock()
 	h.rows = append(h.rows, t.Clone())
 	h.size += int64(t.Size())
+	h.version.Add(1)
 	return nil
 }
+
+// Version implements Versioned: it changes whenever the table's rows do, so
+// cached statistics keyed on it go stale exactly when the data does.
+func (h *HeapTable) Version() uint64 { return h.version.Load() }
 
 // InsertBatch appends many tuples, validating each.
 func (h *HeapTable) InsertBatch(ts []types.Tuple) error {
@@ -123,6 +152,7 @@ func (h *HeapTable) Truncate() {
 	defer h.mu.Unlock()
 	h.rows = nil
 	h.size = 0
+	h.version.Add(1)
 }
 
 // Stats computes the statistics the catalog and the optimizer need: row count,

@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestReceiveDeadlineFromContext binds a connection to a context with a
+// deadline and receives from a peer that never writes — the stalled-client
+// scenario. The read must fail with context.DeadlineExceeded around the
+// deadline instead of wedging forever.
+func TestReceiveDeadlineFromContext(t *testing.T) {
+	server, client := net.Pipe()
+	defer server.Close()
+	defer client.Close()
+	conn := NewConn(server)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	release := conn.BindContext(ctx)
+	defer release()
+
+	start := time.Now()
+	_, err := conn.Receive()
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected context.DeadlineExceeded from a stalled peer, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("receive took %v to fail; the deadline should have fired at ~150ms", elapsed)
+	}
+}
+
+// TestReceiveAbortsOnCancel cancels the bound context while a receive is
+// blocked on a silent peer; the receive must unblock promptly with
+// context.Canceled.
+func TestReceiveAbortsOnCancel(t *testing.T) {
+	server, client := net.Pipe()
+	defer server.Close()
+	defer client.Close()
+	conn := NewConn(server)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	release := conn.BindContext(ctx)
+	defer release()
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := conn.Receive()
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("expected context.Canceled, got %v", err)
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("cancellation took %v to unblock the receive", d)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatalf("receive still blocked 3s after cancellation")
+	}
+}
+
+// TestSendAbortsOnCancel covers the write direction: the peer never reads
+// (net.Pipe writes are fully synchronous), so the send blocks until the
+// bound context is cancelled.
+func TestSendAbortsOnCancel(t *testing.T) {
+	server, client := net.Pipe()
+	defer server.Close()
+	defer client.Close()
+	conn := NewConn(server)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	release := conn.BindContext(ctx)
+	defer release()
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- conn.Send(MsgProbe, make([]byte, 1<<20))
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("expected context.Canceled from blocked send, got %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatalf("send still blocked 3s after cancellation")
+	}
+}
+
+// TestReleaseRestoresConnection verifies that releasing an unexpired binding
+// clears the transport deadlines, leaving the connection usable for the next
+// query.
+func TestReleaseRestoresConnection(t *testing.T) {
+	server, client := net.Pipe()
+	defer server.Close()
+	defer client.Close()
+	sconn, cconn := NewConn(server), NewConn(client)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	release := sconn.BindContext(ctx)
+	release()
+	cancel()
+
+	go func() {
+		_ = cconn.Send(MsgEnd, EncodeEnd(&End{SessionID: 7}))
+	}()
+	msg, err := sconn.Receive()
+	if err != nil {
+		t.Fatalf("receive after release: %v", err)
+	}
+	if msg.Type != MsgEnd {
+		t.Fatalf("got %s, want END", msg.Type)
+	}
+}

@@ -1,0 +1,235 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Query-service framing: a requester submits queries to a running query
+// service (cmd/udfserverd) over the same framed protocol the UDF sessions
+// speak. The control conversation is
+//
+//	requester → server   MsgRegisterUDF*  (optional: announce client UDFs)
+//	requester → server   MsgQuery{QuerySpec}
+//	server → requester   MsgQueryAck{OK, Caps}
+//	server → requester   MsgResultBatch*  (SessionID = QueryID)
+//	server → requester   MsgEnd{Rows}  |  MsgError
+//	requester → server   MsgCancel{QueryID}  (any time after an ack with CapCancel)
+//
+// One connection multiplexes any number of concurrent queries; frames carry
+// the query ID the way UDF session frames carry the session ID.
+
+// Capability bits carried in QuerySpec.Caps and echoed (intersected with what
+// the server supports) in QueryAck.Caps. Like the dict-batch flag, a
+// capability is only used once the peer has echoed it, so old requesters and
+// old servers interoperate on the base protocol.
+const (
+	// CapCancel: the server accepts MsgCancel for this query.
+	CapCancel uint32 = 1 << 0
+	// CapStats: the server appends a lifecycle-stats line to the final MsgEnd
+	// (reserved; not yet populated).
+	CapStats uint32 = 1 << 1
+)
+
+// QuerySpec is the wire form of a service query: the common
+// filter→UDF-apply→pushable-filter→project shape over one stored table, plus
+// the client runtime address the UDF sessions should dial and the query's
+// resource envelope. UDFs may be empty for pure server-side queries.
+type QuerySpec struct {
+	// QueryID identifies the query on this connection; result batches carry
+	// it as their SessionID.
+	QueryID uint64
+	// Caps requests optional protocol features (see the Cap constants).
+	Caps uint32
+	// Table is the stored relation to scan, by catalog name.
+	Table string
+	// Filter, when non-empty, is a marshalled server-evaluable predicate over
+	// the table schema.
+	Filter []byte
+	// UDFs are the client-site UDFs to apply; ordinals reference the table
+	// schema. Result kinds and cost metadata come from the server catalog.
+	UDFs []UDFSpec
+	// Pushable, when non-empty, is a marshalled predicate over the extended
+	// schema (table columns + one result column per UDF).
+	Pushable []byte
+	// Project optionally narrows the output to these extended-schema ordinals.
+	Project []int
+	// ClientAddr is the address of the client UDF runtime the server should
+	// dial for UDF sessions. Empty is valid for UDF-free queries.
+	ClientAddr string
+	// MemBudget, when > 0, overrides the service's per-query spill budget in
+	// bytes for this query.
+	MemBudget int64
+	// TimeoutMillis, when > 0, bounds the query's wall-clock time.
+	TimeoutMillis int64
+}
+
+// QueryAck is the server's admission answer to a MsgQuery.
+type QueryAck struct {
+	QueryID uint64
+	OK      bool
+	Error   string
+	// Caps echoes the subset of the requested capabilities the server
+	// supports; absent bits must not be used.
+	Caps uint32
+}
+
+// Cancel aborts a running query.
+type Cancel struct {
+	QueryID uint64
+}
+
+// EncodeQuerySpec serialises a QuerySpec.
+func EncodeQuerySpec(q *QuerySpec) ([]byte, error) {
+	if q.Table == "" {
+		return nil, fmt.Errorf("wire: query spec needs a table")
+	}
+	var dst []byte
+	dst = binary.LittleEndian.AppendUint64(dst, q.QueryID)
+	dst = binary.LittleEndian.AppendUint32(dst, q.Caps)
+	dst = appendString(dst, q.Table)
+	dst = binary.AppendUvarint(dst, uint64(len(q.Filter)))
+	dst = append(dst, q.Filter...)
+	dst = binary.AppendUvarint(dst, uint64(len(q.UDFs)))
+	for _, u := range q.UDFs {
+		dst = appendString(dst, u.Name)
+		dst = appendInts(dst, u.ArgOrdinals)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(q.Pushable)))
+	dst = append(dst, q.Pushable...)
+	dst = appendInts(dst, q.Project)
+	dst = appendString(dst, q.ClientAddr)
+	dst = binary.AppendUvarint(dst, uint64(q.MemBudget))
+	dst = binary.AppendUvarint(dst, uint64(q.TimeoutMillis))
+	return dst, nil
+}
+
+// DecodeQuerySpec deserialises a QuerySpec.
+func DecodeQuerySpec(src []byte) (*QuerySpec, error) {
+	if len(src) < 12 {
+		return nil, fmt.Errorf("wire: query spec too short")
+	}
+	q := &QuerySpec{
+		QueryID: binary.LittleEndian.Uint64(src),
+		Caps:    binary.LittleEndian.Uint32(src[8:]),
+	}
+	off := 12
+	table, n, err := readString(src[off:])
+	if err != nil {
+		return nil, fmt.Errorf("wire: query spec table: %w", err)
+	}
+	q.Table = table
+	off += n
+	readBytes := func(what string) ([]byte, error) {
+		ln, c := binary.Uvarint(src[off:])
+		if c <= 0 || uint64(len(src)-off-c) < ln {
+			return nil, fmt.Errorf("wire: query spec: bad %s length", what)
+		}
+		off += c
+		var out []byte
+		if ln > 0 {
+			out = append([]byte(nil), src[off:off+int(ln)]...)
+		}
+		off += int(ln)
+		return out, nil
+	}
+	if q.Filter, err = readBytes("filter"); err != nil {
+		return nil, err
+	}
+	count, c := binary.Uvarint(src[off:])
+	if c <= 0 || count > 256 {
+		return nil, fmt.Errorf("wire: query spec: bad UDF count")
+	}
+	off += c
+	for i := uint64(0); i < count; i++ {
+		name, n, err := readString(src[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: query spec UDF: %w", err)
+		}
+		off += n
+		ords, n, err := readInts(src[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: query spec UDF ordinals: %w", err)
+		}
+		off += n
+		q.UDFs = append(q.UDFs, UDFSpec{Name: name, ArgOrdinals: ords})
+	}
+	if q.Pushable, err = readBytes("pushable"); err != nil {
+		return nil, err
+	}
+	proj, n, err := readInts(src[off:])
+	if err != nil {
+		return nil, fmt.Errorf("wire: query spec projection: %w", err)
+	}
+	off += n
+	if len(proj) > 0 {
+		q.Project = proj
+	}
+	addr, n, err := readString(src[off:])
+	if err != nil {
+		return nil, fmt.Errorf("wire: query spec client addr: %w", err)
+	}
+	q.ClientAddr = addr
+	off += n
+	budget, c := binary.Uvarint(src[off:])
+	if c <= 0 {
+		return nil, fmt.Errorf("wire: query spec: bad budget")
+	}
+	off += c
+	q.MemBudget = int64(budget)
+	timeout, c := binary.Uvarint(src[off:])
+	if c <= 0 {
+		return nil, fmt.Errorf("wire: query spec: bad timeout")
+	}
+	off += c
+	q.TimeoutMillis = int64(timeout)
+	if off != len(src) {
+		return nil, fmt.Errorf("wire: query spec: %d trailing bytes", len(src)-off)
+	}
+	return q, nil
+}
+
+// EncodeQueryAck serialises a QueryAck.
+func EncodeQueryAck(a *QueryAck) []byte {
+	var dst []byte
+	dst = binary.LittleEndian.AppendUint64(dst, a.QueryID)
+	if a.OK {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendString(dst, a.Error)
+	dst = binary.LittleEndian.AppendUint32(dst, a.Caps)
+	return dst
+}
+
+// DecodeQueryAck deserialises a QueryAck. Acks from older servers may lack
+// the trailing capability word; every capability then reads as absent.
+func DecodeQueryAck(src []byte) (*QueryAck, error) {
+	if len(src) < 9 {
+		return nil, fmt.Errorf("wire: query ack too short")
+	}
+	a := &QueryAck{QueryID: binary.LittleEndian.Uint64(src), OK: src[8] != 0}
+	msg, n, err := readString(src[9:])
+	if err != nil {
+		return nil, err
+	}
+	a.Error = msg
+	if len(src) >= 9+n+4 {
+		a.Caps = binary.LittleEndian.Uint32(src[9+n:])
+	}
+	return a, nil
+}
+
+// EncodeCancel serialises a Cancel.
+func EncodeCancel(c *Cancel) []byte {
+	return binary.LittleEndian.AppendUint64(nil, c.QueryID)
+}
+
+// DecodeCancel deserialises a Cancel.
+func DecodeCancel(src []byte) (*Cancel, error) {
+	if len(src) < 8 {
+		return nil, fmt.Errorf("wire: cancel too short")
+	}
+	return &Cancel{QueryID: binary.LittleEndian.Uint64(src)}, nil
+}

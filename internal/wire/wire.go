@@ -17,9 +17,12 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +68,20 @@ const (
 	// MsgResultBatchDict is a ResultBatch (client→server) in the dictionary
 	// encoding, under the same negotiation.
 	MsgResultBatchDict
+	// MsgQuery submits a query to the query service (requester→server). The
+	// payload is a QuerySpec; the spec's Caps field requests optional protocol
+	// features (capability-negotiated like the dict-batch flag: the server
+	// echoes the subset it supports in the MsgQueryAck, and the requester only
+	// uses a feature the ack confirmed, so old peers keep working).
+	MsgQuery
+	// MsgQueryAck answers a MsgQuery (server→requester) with admission status
+	// and the supported capability subset. Result rows then stream back as
+	// MsgResultBatch frames whose SessionID is the query ID, terminated by a
+	// MsgEnd carrying the row count (or a MsgError).
+	MsgQueryAck
+	// MsgCancel aborts a running query (requester→server). Only sent when the
+	// server's MsgQueryAck confirmed CapCancel.
+	MsgCancel
 )
 
 // String implements fmt.Stringer.
@@ -92,6 +109,12 @@ func (t MsgType) String() string {
 		return "TUPLE_BATCH_DICT"
 	case MsgResultBatchDict:
 		return "RESULT_BATCH_DICT"
+	case MsgQuery:
+		return "QUERY"
+	case MsgQueryAck:
+		return "QUERY_ACK"
+	case MsgCancel:
+		return "CANCEL"
 	default:
 		return "INVALID"
 	}
@@ -117,10 +140,68 @@ type Conn struct {
 	r   *bufio.Reader
 	rw  io.ReadWriteCloser
 
+	ctxMu sync.Mutex
+	ctx   context.Context // bound query context, when any
+
 	bytesOut atomic.Int64
 	bytesIn  atomic.Int64
 	sendNs   atomic.Int64
 	recvNs   atomic.Int64
+}
+
+// connDeadliner is the deadline surface of net.Conn; every transport the
+// engine uses (TCP, net.Pipe-based netsim pairs) provides it.
+type connDeadliner interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// BindContext ties the connection's blocking I/O to a query context: the
+// context's deadline becomes the read/write deadline of the underlying
+// transport, and cancellation aborts any in-flight or future Send/Receive
+// promptly (by slamming the deadlines shut, or closing transports without
+// deadline support). Send and Receive then surface ctx.Err() — so a dead or
+// stalled peer can wedge an operator for at most the query's deadline, and an
+// explicit cancel unwedges it immediately.
+//
+// The returned release function detaches the context and clears the
+// deadlines; call it when the query is done if the connection outlives it.
+// One context is bound at a time; binding replaces any previous binding.
+func (c *Conn) BindContext(ctx context.Context) (release func()) {
+	if ctx == nil {
+		return func() {}
+	}
+	c.ctxMu.Lock()
+	c.ctx = ctx
+	c.ctxMu.Unlock()
+	dl, _ := c.rw.(connDeadliner)
+	if dl != nil {
+		if d, ok := ctx.Deadline(); ok {
+			_ = dl.SetReadDeadline(d)
+			_ = dl.SetWriteDeadline(d)
+		}
+	}
+	stop := context.AfterFunc(ctx, func() {
+		if dl != nil {
+			past := time.Unix(1, 0)
+			_ = dl.SetReadDeadline(past)
+			_ = dl.SetWriteDeadline(past)
+		} else {
+			// No deadline support: closing is the only way to unblock I/O.
+			_ = c.rw.Close()
+		}
+	})
+	return func() {
+		stop()
+		c.ctxMu.Lock()
+		expired := c.ctx != nil && c.ctx.Err() != nil
+		c.ctx = nil
+		c.ctxMu.Unlock()
+		if dl != nil && !expired {
+			_ = dl.SetReadDeadline(time.Time{})
+			_ = dl.SetWriteDeadline(time.Time{})
+		}
+	}
 }
 
 // NewConn wraps a duplex byte stream in a framed message connection.
@@ -147,13 +228,53 @@ func (c *Conn) Send(t MsgType, payload []byte) error {
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = byte(t)
 	if _, err := c.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: write header: %w", err)
+		return c.ioError("write header", err)
 	}
 	if _, err := c.w.Write(payload); err != nil {
-		return fmt.Errorf("wire: write payload: %w", err)
+		return c.ioError("write payload", err)
 	}
 	c.bytesOut.Add(int64(len(hdr) + len(payload)))
-	return c.w.Flush()
+	if err := c.w.Flush(); err != nil {
+		return c.ioError("flush", err)
+	}
+	return nil
+}
+
+// ioError folds a bound, finished query context into an I/O failure: a read
+// or write that broke because the context's deadline slammed the transport
+// shut surfaces as the context error (context.Canceled or DeadlineExceeded),
+// which is what the operator layers and the service report.
+func (c *Conn) ioError(op string, err error) error {
+	if cerr := c.ctxIOErr(err); cerr != nil {
+		return fmt.Errorf("wire: %s: %w", op, cerr)
+	}
+	return fmt.Errorf("wire: %s: %w", op, err)
+}
+
+// ctxIOErr attributes an I/O failure to the bound context, if one explains
+// it. A transport deadline error while a context is bound is the context's
+// doing (its deadline is where the transport deadline came from), but the
+// wall clocks can disagree by nanoseconds — the transport may time out just
+// before ctx.Err() flips — so a deadline error briefly waits for the context
+// to catch up before falling back to the raw error.
+func (c *Conn) ctxIOErr(err error) error {
+	c.ctxMu.Lock()
+	ctx := c.ctx
+	c.ctxMu.Unlock()
+	if ctx == nil {
+		return nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Second):
+		}
+	}
+	return nil
 }
 
 // Receive reads one frame. The time spent blocked waiting for the frame
@@ -166,6 +287,9 @@ func (c *Conn) Receive() (Message, error) {
 	defer func() { c.recvNs.Add(int64(time.Since(start))) }()
 	var hdr [5]byte
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		if cerr := c.ctxIOErr(err); cerr != nil {
+			return Message{}, fmt.Errorf("wire: read header: %w", cerr)
+		}
 		return Message{}, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:4])
@@ -174,7 +298,7 @@ func (c *Conn) Receive() (Message, error) {
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(c.r, payload); err != nil {
-		return Message{}, fmt.Errorf("wire: read payload: %w", err)
+		return Message{}, c.ioError("read payload", err)
 	}
 	c.bytesIn.Add(int64(len(hdr)) + int64(n))
 	return Message{Type: MsgType(hdr[4]), Payload: payload}, nil
