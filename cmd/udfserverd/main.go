@@ -10,6 +10,12 @@
 //	udfserverd [-addr :7443] [-max-concurrent 8] [-mem-budget 67108864]
 //	           [-hard-mem-limit 0] [-timeout 30s] [-spill-dir ""]
 //	           [-demo-rows 0] [-stats-every 0]
+//	           [-max-redials 0] [-redial-backoff 0]
+//
+// -max-redials and -redial-backoff tune the fault-tolerant session layer:
+// how often a lost UDF session is redialled before the operator degrades
+// onto its surviving sessions, and how long to back off between attempts
+// (doubling per attempt, capped and jittered).
 //
 // With -demo-rows N the daemon seeds an "objects" table with N deterministic
 // rows (ID string, Payload bytes, Extra bytes) so a fresh build can be
@@ -26,6 +32,7 @@ import (
 	"time"
 
 	"csq/internal/catalog"
+	"csq/internal/exec"
 	"csq/internal/service"
 	"csq/internal/storage"
 	"csq/internal/types"
@@ -40,6 +47,8 @@ func main() {
 	spillDir := flag.String("spill-dir", "", "directory for spill runs (empty = system temp dir)")
 	demoRows := flag.Int("demo-rows", 0, "seed an 'objects' demo table with this many rows")
 	statsEvery := flag.Duration("stats-every", 0, "print per-query lifecycle stats on this interval (0 = off)")
+	maxRedials := flag.Int("max-redials", 0, "reconnection attempts per lost UDF session (0 = default, negative = degrade immediately)")
+	redialBackoff := flag.Duration("redial-backoff", 0, "base backoff between session redial attempts, doubling per attempt (0 = default)")
 	flag.Parse()
 
 	cat := catalog.New()
@@ -51,13 +60,15 @@ func main() {
 		fmt.Printf("udfserverd: seeded demo table 'objects' with %d rows\n", *demoRows)
 	}
 
-	svc := service.New(cat, service.Config{
+	cfg := service.Config{
 		MaxConcurrent:  *maxConcurrent,
 		MemBudget:      *memBudget,
 		HardMemLimit:   *hardLimit,
 		DefaultTimeout: *timeout,
 		TempDir:        *spillDir,
-	})
+	}
+	cfg.Planner.Retry = exec.RetryConfig{MaxRedials: *maxRedials, Backoff: *redialBackoff}
+	svc := service.New(cat, cfg)
 	srv := service.NewServer(svc)
 
 	if *statsEvery > 0 {
@@ -66,8 +77,9 @@ func main() {
 			defer t.Stop()
 			for range t.C {
 				for _, st := range svc.Queries() {
-					fmt.Printf("udfserverd: query %d %s rows=%d mem_peak=%dB spills=%d spilled=%dB strategies=%v err=%q\n",
-						st.ID, st.State, st.Rows, st.MemPeakBytes, st.SpillEvents, st.SpilledBytes, st.Strategies, st.Err)
+					fmt.Printf("udfserverd: query %d %s rows=%d mem_peak=%dB spills=%d spilled=%dB strategies=%v redials=%d failovers=%d sessions_lost=%d err=%q\n",
+						st.ID, st.State, st.Rows, st.MemPeakBytes, st.SpillEvents, st.SpilledBytes, st.Strategies,
+						st.Faults.Redials, st.Faults.Failovers, st.Faults.SessionsLost, st.Err)
 				}
 			}
 		}()

@@ -227,7 +227,10 @@ func (r *Runtime) ServeConn(conn *wire.Conn) error {
 	for {
 		msg, err := conn.Receive()
 		if err != nil {
-			if err == io.EOF || strings.Contains(err.Error(), "closed") {
+			// ErrPeerClosed is the server hanging up cleanly on a frame
+			// boundary; "closed" covers the transport being torn down under
+			// us. Mid-frame truncation and everything else is a real error.
+			if errors.Is(err, wire.ErrPeerClosed) || strings.Contains(err.Error(), "closed") {
 				return nil
 			}
 			return err
@@ -400,7 +403,15 @@ func (r *Runtime) newSession(req *wire.SetupRequest) (*session, error) {
 // the same session: the tuples share one per-batch arena and the slice is the
 // session's reusable scratch, which is exactly the lifetime the serve loop
 // needs (encode the reply, then move on).
-func (r *Runtime) processBatch(s *session, tuples []types.Tuple) ([]types.Tuple, error) {
+func (r *Runtime) processBatch(s *session, tuples []types.Tuple) (_ []types.Tuple, err error) {
+	// A panicking UDF must surface as a session error frame, not kill the
+	// whole connection: the server classifies an error frame as fatal and
+	// fails just that query, instead of redialing into the same panic.
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("UDF panicked: %v", rec)
+		}
+	}()
 	inWidth := s.req.InputSchema.Len()
 	extWidth := inWidth + len(s.udfs)
 	out := s.out[:0]

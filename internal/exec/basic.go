@@ -71,6 +71,12 @@ func (f *Filter) NextBatch(dst []types.Tuple) (int, error) {
 	}
 	in := f.scratch[:len(dst)]
 	for {
+		// A selective predicate can spin this loop over many empty child
+		// batches; re-check the query context each attempt so cancellation
+		// stops the scan instead of riding it to the end of the input.
+		if err := f.checkOpen(); err != nil {
+			return 0, err
+		}
 		n, err := f.input.NextBatch(in)
 		if err != nil {
 			return 0, err
@@ -412,6 +418,12 @@ func (d *Distinct) NextBatch(dst []types.Tuple) (int, error) {
 	}
 	in := d.scratch[:len(dst)]
 	for {
+		// Duplicate-heavy inputs can spin this loop over many batches that
+		// compact to nothing; re-check the query context each attempt so
+		// cancellation stops the scan promptly.
+		if err := d.checkOpen(); err != nil {
+			return 0, err
+		}
 		n, err := d.input.NextBatch(in)
 		if err != nil {
 			return 0, err

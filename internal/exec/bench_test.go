@@ -245,6 +245,31 @@ func BenchmarkClientJoinParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSemiJoinParallelFaulty measures the fault-tolerant session layer
+// under fire: one of four pooled sessions is killed mid-stream by an injected
+// drop and recovered by a successful redial plus unacked-frame replay. The
+// /batch sub-name puts it under benchrun's regression gate, so the recovery
+// path's overhead is tracked like any other batch pipeline.
+func BenchmarkSemiJoinParallelFaulty(b *testing.B) {
+	rows, schema := parallelBenchRows(b, 1024, 0.25)
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			link := NewInProcessLink(deriveRuntime(b, 64), netsim.Unlimited())
+			link.Faults = netsim.NewFaultScript(1).
+				Set(1, netsim.FaultConfig{DropAfterBytes: 2000})
+			op, err := NewSemiJoin(NewValuesScan(schema, rows), link,
+				[]UDFBinding{deriveBinding()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			op.Sessions = 4
+			op.ConcurrencyFactor = 64
+			drainBatch(b, op)
+		}
+	})
+}
+
 func BenchmarkFilterProject(b *testing.B) {
 	rows := benchRows(4096, 64)
 	build := func() Operator {

@@ -57,23 +57,72 @@ type ClientJoin struct {
 	// DictBatches requests the wire-level per-batch value dictionary
 	// encoding; used only when the client acknowledges support.
 	DictBatches bool
+	// Retry governs mid-query session re-establishment; the zero value
+	// enables fault tolerance with defaults.
+	Retry RetryConfig
 
 	schema    *types.Schema
 	outSchema *types.Schema // extended schema narrowed by ProjectOrdinals
 
-	sessions  []*udfSession
-	order     chan int             // session index of each sent frame, in send order
-	resCh     []chan []types.Tuple // per-session decoded reply batches, FIFO
-	errCh     chan error
-	wg        sync.WaitGroup // sender + readers
-	readersWg sync.WaitGroup // readers only; the clean-end path waits for them
+	slots   []*cjSlot
+	factory *sessionFactory
+	faults  faultCounters
+	order   chan *cjFrame // sent frames in deal order; the merge follows it
+	errCh   chan error
+	wg      sync.WaitGroup // sender + readers
+	// readersWg covers readers only; the clean-end path waits for them.
+	readersWg sync.WaitGroup
 	cancel    context.CancelFunc
 	runCtx    context.Context // sender/reader context (query ctx + Close cancel)
 	cur       []types.Tuple   // receiver batch currently being drained
 	curPos    int
 	delivered uint64
 	stats     NetStats
-	mu        sync.Mutex
+	finalLive int // pool size when the operator closed
+
+	mu          sync.Mutex
+	ackCond     *sync.Cond // signalled when outstanding reaches zero or on failure
+	outstanding int        // dealt frames not yet answered
+	failed      bool       // an error was reported; the sender must stop waiting
+}
+
+// cjFrame is one dealt downlink frame: the shipped records (retained until
+// the reply arrives, which is what makes replay possible) and a one-shot box
+// the slot's reader drops the reply batch into. Because the merge follows
+// the deal order of frames, not sessions, a frame replayed on a different
+// session still delivers its reply to the right merge position.
+type cjFrame struct {
+	tuples []types.Tuple
+	reply  chan []types.Tuple // capacity 1: exactly one reply per frame
+}
+
+// cjSlot is one lane of the session pool: its current session and the FIFO
+// of frames sent but not yet answered on it. Two locks split the lane's
+// concerns: sendMu serializes whole park-frame-then-send sequences (wire
+// order always equals FIFO order, even when the sender, a migration and a
+// replay compete for the lane), while mu guards the fields and is held only
+// for pointer-sized critical sections, never across blocking I/O — the
+// lane's reader takes only mu, so it can always drain replies and a blocked
+// send cannot deadlock against the client blocked writing a reply. Lock
+// order: sendMu before mu.
+type cjSlot struct {
+	sendMu   sync.Mutex
+	mu       sync.Mutex
+	sess     *udfSession
+	unacked  []*cjFrame
+	endSent  bool // End has been sent on this lane
+	finished bool // the lane's End reply arrived; its reader has retired
+	dead     bool // the lane is retired; no replacement could be dialled
+}
+
+// liveSession returns the slot's session if the lane is still active.
+func (slot *cjSlot) liveSession() *udfSession {
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.dead {
+		return nil
+	}
+	return slot.sess
 }
 
 // NewClientJoin builds the operator. UDF argument ordinals reference the
@@ -181,28 +230,36 @@ func (c *ClientJoin) Open(ctx context.Context) error {
 		_ = c.input.Close()
 		return err
 	}
-	c.sessions = sessions
+	c.slots = make([]*cjSlot, len(sessions))
+	for i, sess := range sessions {
+		c.slots[i] = &cjSlot{sess: sess}
+	}
+	c.factory = &sessionFactory{link: c.link, req: req, retry: c.Retry, stats: &c.faults}
 	// Unmerged in-flight frames are bounded by the per-session reply buffers
 	// plus the clients' turnaround, so a modest deal-order buffer suffices; a
 	// full channel just pauses the sender until the merge catches up.
-	c.order = make(chan int, 4096)
-	c.resCh = make([]chan []types.Tuple, len(sessions))
-	for i := range c.resCh {
-		c.resCh[i] = make(chan []types.Tuple, 8)
-	}
+	c.order = make(chan *cjFrame, 4096)
 	c.errCh = make(chan error, len(sessions)+1)
 	c.cur, c.curPos = nil, 0
 	c.delivered = 0
 	c.stats = NetStats{}
+	c.outstanding, c.failed = 0, false
+	c.ackCond = sync.NewCond(&c.mu)
 
 	runCtx, cancel := context.WithCancel(ctx)
 	c.cancel = cancel
 	c.runCtx = runCtx
+	// The sender parks on ackCond while waiting for the last replies before
+	// the End handshake; cancellation must wake it.
+	go func() {
+		<-runCtx.Done()
+		c.ackCond.Broadcast()
+	}()
 	c.wg.Add(1 + len(sessions))
 	c.readersWg.Add(len(sessions))
 	go c.runSender(runCtx)
-	for i := range c.sessions {
-		go c.runReader(runCtx, i)
+	for i := range c.slots {
+		go c.runReader(c.slots[i])
 	}
 
 	c.markOpen(ctx)
@@ -210,11 +267,19 @@ func (c *ClientJoin) Open(ctx context.Context) error {
 }
 
 // runSender ships the full input stream downlink, dealing one frame per
-// session round-robin and recording the deal order for the merging receiver,
-// then initiates the end-of-stream handshake on every session.
+// live slot round-robin and recording the deal order for the merging
+// receiver. Once the input is exhausted it waits until every dealt frame has
+// been answered — so no lane ever needs to carry a tuple frame after its End
+// — and only then runs the end-of-stream handshake on every surviving lane.
 func (c *ClientJoin) runSender(ctx context.Context) {
 	defer c.wg.Done()
 	defer close(c.order)
+	defer func() {
+		// A panicking input operator must fail this query, not the process.
+		if rec := recover(); rec != nil {
+			c.reportErr(fmt.Errorf("exec: client-site join sender panicked: %v", rec))
+		}
+	}()
 	batch := make([]types.Tuple, c.ShipBatchSize)
 	target := 0
 	for {
@@ -229,18 +294,25 @@ func (c *ClientJoin) runSender(ctx context.Context) {
 		if n == 0 {
 			break
 		}
-		sess := c.sessions[target]
+		// The frame retains its records until acknowledged: that copy is the
+		// replay buffer if its session dies.
+		frame := &cjFrame{
+			tuples: append([]types.Tuple(nil), batch[:n]...),
+			reply:  make(chan []types.Tuple, 1),
+		}
 		// The deal order must be on record before the reply can be merged;
 		// the channel is sized far above any sane frame count, but keep the
 		// cancellation escape for when it fills.
 		select {
-		case c.order <- target:
+		case c.order <- frame:
 		case <-ctx.Done():
 			return
 		}
-		target = (target + 1) % len(c.sessions)
-		if err := sess.sendBatch(batch[:n]); err != nil {
-			c.reportErr(err)
+		c.mu.Lock()
+		c.outstanding++
+		c.mu.Unlock()
+		if !c.dealFrame(frame, &target) {
+			c.reportErr(exhausted(fmt.Errorf("exec: client-site join has no live session to send on")))
 			return
 		}
 		c.mu.Lock()
@@ -248,37 +320,103 @@ func (c *ClientJoin) runSender(ctx context.Context) {
 		c.stats.Invocations += int64(n)
 		c.mu.Unlock()
 	}
-	// Signal end of the downlink stream on every session; each client-side
-	// session answers with its own End after its results have been emitted.
-	for _, sess := range c.sessions {
-		if err := sess.conn.Send(wire.MsgEnd, wire.EncodeEnd(&wire.End{SessionID: sess.id})); err != nil {
-			c.reportErr(err)
-			return
+	// Wait for the in-flight tail: End may only go out once nothing is
+	// unacknowledged anywhere, which guarantees recovery never has to replay
+	// a tuple frame onto a lane whose client already tore its session down.
+	c.mu.Lock()
+	for c.outstanding > 0 && !c.failed && ctx.Err() == nil {
+		c.ackCond.Wait()
+	}
+	stop := c.failed || ctx.Err() != nil
+	c.mu.Unlock()
+	if stop {
+		return
+	}
+	// Signal end of the downlink stream on every surviving session; each
+	// client-side session answers with its own End after its results have
+	// been emitted. A send failure wakes the lane's reader, whose recovery
+	// re-runs the handshake on a replacement session.
+	for _, slot := range c.slots {
+		slot.sendMu.Lock()
+		slot.mu.Lock()
+		if slot.dead {
+			slot.mu.Unlock()
+			slot.sendMu.Unlock()
+			continue
 		}
+		slot.endSent = true
+		sess := slot.sess
+		slot.mu.Unlock()
+		if err := sess.conn.Send(wire.MsgEnd, wire.EncodeEnd(&wire.End{SessionID: sess.id})); err != nil {
+			sess.abort()
+		}
+		slot.sendMu.Unlock()
 	}
 }
 
-// runReader consumes one session's reply stream, forwarding every decoded
-// batch — including empty ones, which keep the merge aligned with the deal
-// order — until the session's End arrives.
-func (c *ClientJoin) runReader(ctx context.Context, idx int) {
+// dealFrame parks frame on the next live slot and ships it; the send runs
+// outside the slot lock (the reader needs that lock to drain replies, which
+// is what unblocks the send on an unbuffered link) but under the slot's send
+// lock so park+send stays atomic against recovery and migration. A send
+// error does not fail the query: the frame is already parked, so the slot
+// reader's recovery replays it; aborting the captured session (recovery may
+// have swapped slot.sess already) is what kicks that reader out of its
+// blocked receive. Only having no live slot at all fails the deal.
+func (c *ClientJoin) dealFrame(frame *cjFrame, target *int) bool {
+	n := len(c.slots)
+	for i := 0; i < n; i++ {
+		slot := c.slots[(*target+i)%n]
+		slot.sendMu.Lock()
+		slot.mu.Lock()
+		if slot.dead {
+			slot.mu.Unlock()
+			slot.sendMu.Unlock()
+			continue
+		}
+		slot.unacked = append(slot.unacked, frame)
+		sess := slot.sess
+		slot.mu.Unlock()
+		if err := sess.sendBatch(frame.tuples); err != nil {
+			sess.abort()
+		}
+		slot.sendMu.Unlock()
+		*target = (*target + i + 1) % n
+		return true
+	}
+	return false
+}
+
+// runReader consumes one slot's reply stream, answering the slot's oldest
+// unacknowledged frame with every decoded batch — including empty ones,
+// which keep the merge aligned with the deal order — until the lane's End
+// arrives. On session death the reader doubles as the recovery agent,
+// replaying the slot's unacked frames on a replacement or surviving lane.
+func (c *ClientJoin) runReader(slot *cjSlot) {
 	defer c.wg.Done()
 	defer c.readersWg.Done()
-	defer close(c.resCh[idx])
-	sess := c.sessions[idx]
+	defer func() {
+		if rec := recover(); rec != nil {
+			c.reportErr(fmt.Errorf("exec: client-site join reader panicked: %v", rec))
+		}
+	}()
 	for {
-		if ctx.Err() != nil {
+		slot.mu.Lock()
+		sess, gone := slot.sess, slot.dead || slot.finished
+		slot.mu.Unlock()
+		if gone || c.runCtx.Err() != nil {
 			return
 		}
 		msg, err := sess.conn.Receive()
 		if err != nil {
-			c.reportErr(err)
-			return
+			if !c.recoverSlot(slot, sess, err) {
+				return
+			}
+			continue
 		}
 		switch msg.Type {
 		case wire.MsgResultBatch, wire.MsgResultBatchDict:
 			// Each frame is decoded into its own batch: the tuple slice is
-			// handed through the channel and owned by the consumer.
+			// handed through the reply box and owned by the consumer.
 			var batch *wire.TupleBatch
 			if msg.Type == wire.MsgResultBatchDict {
 				batch, err = wire.DecodeDictBatch(msg.Payload)
@@ -289,11 +427,23 @@ func (c *ClientJoin) runReader(ctx context.Context, idx int) {
 				c.reportErr(err)
 				return
 			}
-			select {
-			case c.resCh[idx] <- batch.Tuples:
-			case <-ctx.Done():
+			slot.mu.Lock()
+			if len(slot.unacked) == 0 {
+				slot.mu.Unlock()
+				c.reportErr(fmt.Errorf("exec: client-site join received more replies than frames sent"))
 				return
 			}
+			frame := slot.unacked[0]
+			slot.unacked = slot.unacked[1:]
+			slot.mu.Unlock()
+			frame.tuples = nil // acknowledged: release the replay copy
+			frame.reply <- batch.Tuples
+			c.mu.Lock()
+			c.outstanding--
+			if c.outstanding == 0 {
+				c.ackCond.Broadcast()
+			}
+			c.mu.Unlock()
 		case wire.MsgEnd:
 			end, err := wire.DecodeEnd(msg.Payload)
 			if err != nil {
@@ -303,6 +453,9 @@ func (c *ClientJoin) runReader(ctx context.Context, idx int) {
 			c.mu.Lock()
 			c.delivered += end.Rows
 			c.mu.Unlock()
+			slot.mu.Lock()
+			slot.finished = true
+			slot.mu.Unlock()
 			return
 		case wire.MsgError:
 			e, derr := wire.DecodeError(msg.Payload)
@@ -319,10 +472,167 @@ func (c *ClientJoin) runReader(ctx context.Context, idx int) {
 	}
 }
 
+// failoverBudget bounds the total session losses one query may absorb.
+func (c *ClientJoin) failoverBudget() int64 { return int64(4*len(c.slots) + 16) }
+
+// recoverSlot handles a dead session on slot: replay its unacked frames on a
+// redialled replacement (re-running the End handshake if it was already
+// under way), or degrade by re-dealing them to a surviving lane. It returns
+// whether the slot's reader should keep reading.
+func (c *ClientJoin) recoverSlot(slot *cjSlot, failed *udfSession, err error) bool {
+	// First unblock anyone mid-send on the dead connection: recovery below
+	// waits on the slot's send lock, and its holder can only release it once
+	// its blocked write errors out.
+	failed.abort()
+	if c.runCtx.Err() != nil {
+		return false
+	}
+	if c.Retry.Disable || wire.Classify(err) != wire.ClassRetryable {
+		c.reportErr(err)
+		return false
+	}
+	if c.faults.failovers.Load() >= c.failoverBudget() {
+		c.reportErr(fmt.Errorf("exec: client-site join failover budget exhausted: %w", err))
+		return false
+	}
+	slot.mu.Lock()
+	if slot.sess != failed || slot.dead {
+		alive := !slot.dead
+		slot.mu.Unlock()
+		return alive
+	}
+	slot.mu.Unlock()
+	c.faults.failovers.Add(1)
+	if repl, rerr := c.factory.redial(c.runCtx); rerr == nil {
+		slot.sendMu.Lock()
+		slot.mu.Lock()
+		if slot.dead || slot.sess != failed {
+			// Close (or another path) retired the slot while we redialled.
+			alive := !slot.dead
+			slot.mu.Unlock()
+			slot.sendMu.Unlock()
+			repl.close()
+			return alive
+		}
+		old := slot.sess
+		slot.sess = repl
+		frames := append([]*cjFrame(nil), slot.unacked...)
+		endSent := slot.endSent
+		slot.mu.Unlock()
+		// Replay in its own goroutine while this reader resumes draining the
+		// replacement: over an unbuffered link the client blocks writing its
+		// reply to the first replayed frame until someone receives it, so a
+		// synchronous replay here would deadlock. Holding the send lock until
+		// the replay finishes keeps new frames behind the replayed tail in
+		// wire order. FIFO acks guarantee a frame is only acknowledged (and
+		// its replay copy released) after this loop has already re-sent it.
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer slot.sendMu.Unlock()
+			if rpErr := c.replayFrames(repl, frames, endSent); rpErr != nil {
+				// The replacement died during replay; the reader's next
+				// receive errors and recovery runs again, bounded by the
+				// budget.
+				repl.abort()
+			}
+		}()
+		c.retireSession(old)
+		c.faults.replayed.Add(int64(len(frames)))
+		return true
+	} else if wire.Classify(rerr) == wire.ClassCanceled {
+		return false
+	}
+	// Degradation: the lane is gone; re-deal its unacked frames to a
+	// survivor. End was sent only after everything everywhere was
+	// acknowledged, so orphaned frames imply no lane is past its End yet and
+	// any survivor can carry them. Losing a lane that was already in its End
+	// handshake orphans nothing — only its FinalDelivery row count is lost.
+	c.faults.lost.Add(1)
+	slot.sendMu.Lock()
+	slot.mu.Lock()
+	if slot.dead {
+		// Close retired the slot while we redialled; nothing left to do.
+		slot.mu.Unlock()
+		slot.sendMu.Unlock()
+		return false
+	}
+	slot.dead = true
+	orphans := slot.unacked
+	slot.unacked = nil
+	old := slot.sess
+	slot.mu.Unlock()
+	slot.sendMu.Unlock()
+	c.retireSession(old)
+	if !c.migrate(orphans) {
+		c.reportErr(exhausted(err))
+	}
+	return false
+}
+
+// replayFrames re-ships unacknowledged frames (and the End marker, when the
+// lane's stream had already ended) on a fresh session.
+func (c *ClientJoin) replayFrames(sess *udfSession, frames []*cjFrame, endSent bool) error {
+	for _, f := range frames {
+		if err := sess.sendBatch(f.tuples); err != nil {
+			return err
+		}
+	}
+	if endSent {
+		return sess.conn.Send(wire.MsgEnd, wire.EncodeEnd(&wire.End{SessionID: sess.id}))
+	}
+	return nil
+}
+
+// migrate re-deals orphaned frames onto the first surviving slot. A failed
+// replay send is not fatal here: the frames are parked on the survivor
+// before the send, so the survivor's own reader replays them next.
+func (c *ClientJoin) migrate(orphans []*cjFrame) bool {
+	if len(orphans) == 0 {
+		return true
+	}
+	for _, slot := range c.slots {
+		slot.sendMu.Lock()
+		slot.mu.Lock()
+		if slot.dead {
+			slot.mu.Unlock()
+			slot.sendMu.Unlock()
+			continue
+		}
+		slot.unacked = append(slot.unacked, orphans...)
+		sess := slot.sess
+		slot.mu.Unlock()
+		if err := c.replayFrames(sess, orphans, false); err != nil {
+			sess.abort()
+		}
+		slot.sendMu.Unlock()
+		c.faults.replayed.Add(int64(len(orphans)))
+		return true
+	}
+	return false
+}
+
+// retireSession folds a finished session's traffic into the operator stats
+// and closes it.
+func (c *ClientJoin) retireSession(sess *udfSession) {
+	c.mu.Lock()
+	c.stats.BytesDown += sess.conn.BytesSent()
+	c.stats.BytesUp += sess.conn.BytesReceived()
+	c.mu.Unlock()
+	sess.close()
+}
+
 func (c *ClientJoin) reportErr(err error) {
 	select {
 	case c.errCh <- err:
 	default:
+	}
+	// Wake a sender parked on the acknowledgement barrier.
+	c.mu.Lock()
+	c.failed = true
+	c.mu.Unlock()
+	if c.ackCond != nil {
+		c.ackCond.Broadcast()
 	}
 }
 
@@ -335,7 +645,7 @@ func (c *ClientJoin) nextResultBatch() ([]types.Tuple, bool, error) {
 		select {
 		case err := <-c.errCh:
 			return nil, false, err
-		case idx, ok := <-c.order:
+		case frame, ok := <-c.order:
 			if !ok {
 				// All frames merged. A sender error is on errCh before the
 				// order channel closes; otherwise wait for the readers to
@@ -361,24 +671,16 @@ func (c *ClientJoin) nextResultBatch() ([]types.Tuple, bool, error) {
 				return nil, false, nil
 			}
 			// The reply receive stays selected against errCh: a frame can be
-			// on record in the deal order but never actually sent (the
-			// sender's sendBatch failed after recording it), in which case
-			// the only wake-up is the sender's error.
+			// on record in the deal order but unanswerable (its lane died
+			// and no replacement or survivor could carry it), in which case
+			// the only wake-up is the recovery error.
 			var batch []types.Tuple
-			var open bool
 			select {
 			case err := <-c.errCh:
 				return nil, false, err
-			case batch, open = <-c.resCh[idx]:
-			}
-			if !open {
-				// The session's reader exited before replying to this frame.
-				select {
-				case err := <-c.errCh:
-					return nil, false, err
-				default:
-				}
-				return nil, false, fmt.Errorf("exec: client-site join reply stream ended early")
+			case batch = <-frame.reply:
+			case <-c.runCtx.Done():
+				return nil, false, c.runCtx.Err()
 			}
 			if len(batch) == 0 {
 				continue
@@ -432,32 +734,53 @@ func (c *ClientJoin) Close() error {
 	if c.cancel != nil {
 		c.cancel()
 	}
-	if c.sessions != nil {
+	if c.slots != nil {
+		c.finalLive = c.liveSlots()
 		// Closing the connections unblocks the sender and every reader
-		// regardless of where they are parked.
-		for _, sess := range c.sessions {
-			sess.close()
+		// regardless of where they are parked. Counters fold into the stats
+		// as each session retires, so the final NetStats reflects the
+		// traffic actually put on the wire (early close included).
+		for _, slot := range c.slots {
+			slot.mu.Lock()
+			sess, dead := slot.sess, slot.dead
+			slot.dead = true
+			slot.mu.Unlock()
+			if !dead {
+				c.retireSession(sess)
+			}
 		}
 	}
 	c.wg.Wait()
-	if c.sessions != nil {
-		// Counters are summed only after every goroutine has stopped moving
-		// bytes, so the final NetStats reflects the traffic actually put on
-		// the wire (early close included).
-		c.mu.Lock()
-		c.stats.BytesDown, c.stats.BytesUp = sumSessionBytes(c.sessions)
-		c.mu.Unlock()
-	}
 	return c.input.Close()
+}
+
+// liveSlots counts the lanes still serving sessions.
+func (c *ClientJoin) liveSlots() int {
+	n := 0
+	for _, slot := range c.slots {
+		if slot.liveSession() != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // NetStats implements NetReporter.
 func (c *ClientJoin) NetStats() NetStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := c.stats
-	if c.sessions != nil && !c.closed {
-		out.BytesDown, out.BytesUp = sumSessionBytes(c.sessions)
-	}
+	c.mu.Unlock()
+	down, up := liveSlotBytes(c.slots)
+	out.BytesDown += down
+	out.BytesUp += up
 	return out
+}
+
+// FaultStats implements FaultReporter.
+func (c *ClientJoin) FaultStats() FaultStats {
+	live := c.finalLive
+	if !c.closed {
+		live = c.liveSlots()
+	}
+	return c.faults.snapshot(live)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,8 +36,16 @@ type InProcessLink struct {
 	Runtime *client.Runtime
 	// Link is the link shaping configuration (bandwidth, latency, asymmetry).
 	Link netsim.LinkConfig
+	// Faults, when non-nil, assigns a fault configuration to each session
+	// connection by 0-based open ordinal (initial pool sessions first, then
+	// every redial), overriding Link.Fault. This is how the chaos tests
+	// script which sessions die and whether redials succeed.
+	Faults *netsim.FaultScript
 
-	pairs []*netsim.Pair
+	linkBreaker
+	mu     sync.Mutex
+	opened int
+	pairs  []*netsim.Pair
 }
 
 // NewInProcessLink builds an in-process link to the given runtime over the
@@ -45,7 +54,8 @@ func NewInProcessLink(rt *client.Runtime, cfg netsim.LinkConfig) *InProcessLink 
 	return &InProcessLink{Runtime: rt, Link: cfg}
 }
 
-// OpenSession implements ClientLink.
+// OpenSession implements ClientLink. It is safe for concurrent use: mid-query
+// failover redials sessions from the operators' reader goroutines.
 func (l *InProcessLink) OpenSession() (*wire.Conn, error) {
 	if l.Runtime == nil {
 		return nil, fmt.Errorf("exec: in-process link has no client runtime")
@@ -53,8 +63,20 @@ func (l *InProcessLink) OpenSession() (*wire.Conn, error) {
 	if err := l.Link.Validate(); err != nil {
 		return nil, err
 	}
-	pair := netsim.NewPair(l.Link)
+	cfg := l.Link
+	l.mu.Lock()
+	ordinal := l.opened
+	l.opened++
+	if l.Faults != nil {
+		cfg.Fault = l.Faults.For(ordinal)
+	}
+	if cfg.Fault.RefuseDial {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("exec: open session %d: %w", ordinal, netsim.ErrDialRefused)
+	}
+	pair := netsim.NewPair(cfg)
 	l.pairs = append(l.pairs, pair)
+	l.mu.Unlock()
 	clientConn := wire.NewConn(pair.ClientSide)
 	go func() {
 		// The runtime exits when the server closes its side of the pair.
@@ -66,6 +88,8 @@ func (l *InProcessLink) OpenSession() (*wire.Conn, error) {
 
 // Stats sums the traffic of every session opened through this link.
 func (l *InProcessLink) Stats() netsim.Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var total netsim.Stats
 	for _, p := range l.pairs {
 		s := p.Stats()
@@ -80,10 +104,13 @@ func (l *InProcessLink) Stats() netsim.Stats {
 type DialLink struct {
 	// Addr is the client runtime's listen address.
 	Addr string
-	// Shaping, when non-nil, throttles the dialled connection.
+	// Shaping, when non-nil, throttles the dialled connection (and injects
+	// its faults, if any are configured).
 	Shaping *netsim.LinkConfig
 	// DialTimeout bounds connection establishment; zero means 5 seconds.
 	DialTimeout time.Duration
+
+	linkBreaker
 }
 
 // OpenSession implements ClientLink.
@@ -98,7 +125,7 @@ func (l *DialLink) OpenSession() (*wire.Conn, error) {
 	}
 	conn := net.Conn(raw)
 	if l.Shaping != nil {
-		conn = netsim.Shape(conn, l.Shaping.DownBandwidth, l.Shaping.Latency, l.Shaping.TimeScale, nil)
+		conn = netsim.ShapeLink(conn, *l.Shaping, nil)
 	}
 	return wire.NewConn(conn), nil
 }
@@ -284,6 +311,16 @@ func (s *udfSession) end() (uint64, error) {
 			return 0, fmt.Errorf("exec: unexpected message %s during end", msg.Type)
 		}
 	}
+}
+
+// abort slams the session's transport shut without releasing the context
+// binding, kicking any goroutine blocked on the connection out of its I/O;
+// the session is then retired through close as usual.
+func (s *udfSession) abort() {
+	if s == nil || s.conn == nil {
+		return
+	}
+	_ = s.conn.Close()
 }
 
 // close shuts the session connection and releases its context binding.

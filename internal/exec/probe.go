@@ -59,9 +59,24 @@ func ProbeAsymmetry(ctx context.Context, link ClientLink, probeBytes int) (LinkO
 	if small >= probeBytes {
 		probeBytes = small * 2
 	}
+	// The per-link circuit breaker guards the probe: after repeated link
+	// failures the planner falls back to configured link parameters instead
+	// of paying a doomed probe's timeout on every query.
+	breaker := BreakerOf(link)
+	if breaker != nil {
+		if err := breaker.Allow(); err != nil {
+			return LinkObservation{}, fmt.Errorf("exec: probe suppressed: %w", err)
+		}
+	}
 	conn, err := link.OpenSession()
 	if err != nil {
+		if breaker != nil {
+			breaker.Failure()
+		}
 		return LinkObservation{}, err
+	}
+	if breaker != nil {
+		breaker.Success()
 	}
 	defer func() { _ = conn.Close() }()
 	// Cancellation watchdog: closing the connection unblocks Send/Receive.

@@ -65,13 +65,17 @@ type SemiJoin struct {
 	// paper makes for its receiver). Result correctness does not depend on
 	// it; the receiver also keeps a hash cache of results.
 	SortInput bool
+	// Retry governs mid-query session re-establishment; the zero value
+	// enables fault tolerance with defaults.
+	Retry RetryConfig
 
 	schema      *types.Schema
 	argOrdinals []int
 	remapped    []wire.UDFSpec
 
-	sessions  []*udfSession
-	pendings  []chan pendingArg // per-session argument tuples in send order
+	slots     []*sjSlot
+	factory   *sessionFactory
+	faults    faultCounters
 	results   *resultTable
 	buffer    chan []bufferedRecord
 	sendErr   chan error
@@ -81,10 +85,30 @@ type SemiJoin struct {
 	runCtx    context.Context // sender/receiver context (query ctx + Close cancel)
 	mem       memAccount      // dedup-set and result-cache memory charge
 
-	cur    []bufferedRecord // receiver's current parked batch
-	curPos int
-	stats  NetStats
-	mu     sync.Mutex // guards stats updates from the sender
+	cur       []bufferedRecord // receiver's current parked batch
+	curPos    int
+	stats     NetStats
+	finalLive int        // pool size when the operator closed
+	mu        sync.Mutex // guards stats updates from the sender
+}
+
+// sjSlot is one lane of the session pool: the session currently serving it
+// plus the FIFO of shipped-but-unacknowledged argument tuples, which is
+// exactly what must be replayed if the session dies. Two locks split the
+// lane's concerns: sendMu serializes whole park-frames-then-send sequences
+// (so the wire order always equals the FIFO order, even when the sender, a
+// migration and a replay compete for the lane), while mu guards the fields
+// themselves and is only ever held for pointer-sized critical sections —
+// never across blocking I/O. The slot's reader takes only mu, so it can
+// always drain replies; a sender blocked mid-transfer therefore cannot
+// deadlock against the client blocked writing a reply. Lock order: sendMu
+// before mu.
+type sjSlot struct {
+	sendMu  sync.Mutex
+	mu      sync.Mutex
+	sess    *udfSession
+	pending []pendingArg // unacked argument tuples in send order
+	dead    bool         // the lane is retired; no replacement could be dialled
 }
 
 // bufferedRecord is one full record parked between sender and receiver,
@@ -220,33 +244,27 @@ func (s *SemiJoin) Open(ctx context.Context) error {
 	if nSessions < 1 {
 		nSessions = 1
 	}
-	sessions, err := openSessionPool(ctx, s.link, nSessions, &wire.SetupRequest{
+	setup := &wire.SetupRequest{
 		Mode:        wire.ModeSemiJoin,
 		InputSchema: shipped,
 		UDFs:        s.remapped,
 		DictBatches: s.DictBatches,
-	})
+	}
+	sessions, err := openSessionPool(ctx, s.link, nSessions, setup)
 	if err != nil {
 		_ = in.Close()
 		return err
 	}
-	s.sessions = sessions
+	s.slots = make([]*sjSlot, len(sessions))
+	for i, sess := range sessions {
+		s.slots[i] = &sjSlot{sess: sess}
+	}
+	s.factory = &sessionFactory{link: s.link, req: setup, retry: s.Retry, stats: &s.faults}
 	// The buffer holds record batches; sizing it in batches of the sender's
-	// read granularity keeps roughly ConcurrencyFactor tuples in flight.
+	// read granularity keeps roughly ConcurrencyFactor tuples in flight —
+	// which also bounds each slot's unacked-frame FIFO.
 	readBatch := s.senderReadBatch()
 	s.buffer = make(chan []bufferedRecord, (s.ConcurrencyFactor+readBatch-1)/readBatch)
-	// The pending budget (far above any sane concurrency factor) is split
-	// across the pool so the operator's eager channel allocation stays flat
-	// in the session count; a full channel only pauses the sender until that
-	// session's reader drains results, which is ordinary flow control.
-	pendingCap := (1 << 16) / len(sessions)
-	if pendingCap < 1<<10 {
-		pendingCap = 1 << 10
-	}
-	s.pendings = make([]chan pendingArg, len(sessions))
-	for i := range s.pendings {
-		s.pendings[i] = make(chan pendingArg, pendingCap)
-	}
 	s.sendErr = make(chan error, 1)
 	s.results = newResultTable()
 	s.cur, s.curPos = nil, 0
@@ -263,9 +281,9 @@ func (s *SemiJoin) Open(ctx context.Context) error {
 		<-senderCtx.Done()
 		s.results.fail(senderCtx.Err())
 	}()
-	for i := range s.sessions {
+	for i := range s.slots {
 		s.readersWg.Add(1)
-		go s.runReader(s.sessions[i], s.pendings[i])
+		go s.runReader(s.slots[i])
 	}
 	s.wg.Add(1)
 	go s.runSender(senderCtx, in)
@@ -301,8 +319,10 @@ func (s *SemiJoin) runSender(ctx context.Context, in Operator) {
 	defer s.wg.Done()
 	defer close(s.buffer)
 	defer func() {
-		for _, p := range s.pendings {
-			close(p)
+		// A panicking input operator must fail this query, not the process.
+		if rec := recover(); rec != nil {
+			s.reportSendErr(fmt.Errorf("exec: semi-join sender panicked: %v", rec))
+			s.results.fail(fmt.Errorf("exec: semi-join sender panicked: %v", rec))
 		}
 	}()
 	seen := newTupleSet(nil)
@@ -310,34 +330,49 @@ func (s *SemiJoin) runSender(ctx context.Context, in Operator) {
 	batch := make([]types.Tuple, readBatch)
 	sendBuf := make([]types.Tuple, 0, readBatch)
 	sendHashes := make([]uint64, 0, readBatch)
-	target := 0 // round-robin session cursor
+	target := 0 // round-robin slot cursor
 	flush := func() error {
 		if len(sendBuf) == 0 {
 			return nil
 		}
-		sess, pending := s.sessions[target], s.pendings[target]
-		target = (target + 1) % len(s.sessions)
-		// Announce the send order to this session's reader before the frame
-		// hits the wire. The pending channel is sized far above any sane
-		// concurrency factor, but keep the cancellation escape for when it
-		// does fill.
-		for i, args := range sendBuf {
-			select {
-			case pending <- pendingArg{args: args, hash: sendHashes[i]}:
-			case <-ctx.Done():
-				return ctx.Err()
+		// Park the frame's argument tuples in the slot's unacked FIFO, then
+		// ship the frame outside the slot lock: the slot's reader needs that
+		// lock to drain replies, and a reply being drained is what unblocks
+		// this send on an unbuffered link. The send lock keeps park+send
+		// atomic against recovery and migration instead. A send error does
+		// not fail the query: the frame is already parked, so the reader's
+		// recovery will replay it on a replacement or surviving session;
+		// aborting the captured session (recovery may have swapped slot.sess
+		// already) is what kicks that reader out of its blocked receive.
+		n := len(s.slots)
+		for i := 0; i < n; i++ {
+			slot := s.slots[(target+i)%n]
+			slot.sendMu.Lock()
+			slot.mu.Lock()
+			if slot.dead {
+				slot.mu.Unlock()
+				slot.sendMu.Unlock()
+				continue
 			}
+			for j, args := range sendBuf {
+				slot.pending = append(slot.pending, pendingArg{args: args, hash: sendHashes[j]})
+			}
+			sess := slot.sess
+			slot.mu.Unlock()
+			if err := sess.sendBatch(sendBuf); err != nil {
+				sess.abort()
+			}
+			slot.sendMu.Unlock()
+			target = (target + i + 1) % n
+			s.mu.Lock()
+			s.stats.Messages++
+			s.stats.Invocations += int64(len(sendBuf))
+			s.mu.Unlock()
+			sendBuf = sendBuf[:0]
+			sendHashes = sendHashes[:0]
+			return nil
 		}
-		if err := sess.sendBatch(sendBuf); err != nil {
-			return err
-		}
-		s.mu.Lock()
-		s.stats.Messages++
-		s.stats.Invocations += int64(len(sendBuf))
-		s.mu.Unlock()
-		sendBuf = sendBuf[:0]
-		sendHashes = sendHashes[:0]
-		return nil
+		return exhausted(fmt.Errorf("exec: semi-join has no live session to send on"))
 	}
 	for {
 		if ctx.Err() != nil {
@@ -390,24 +425,44 @@ func (s *SemiJoin) runSender(ctx context.Context, in Operator) {
 	}
 }
 
-// runReader drains one session's result stream, matching each returned tuple
-// with the next pending argument of that session — the per-channel half of
+// runReader drains one slot's result stream, matching each returned tuple
+// with the slot's oldest unacknowledged argument — the per-channel half of
 // the merge join the paper describes for the receiver — and publishing it in
-// the shared result table.
-func (s *SemiJoin) runReader(sess *udfSession, pending chan pendingArg) {
+// the shared result table. When the slot's session dies mid-query the reader
+// is also the recovery agent: being the sole consumer of the slot's FIFO, it
+// can replay the unacked tail onto a replacement or surviving session with
+// no risk of racing its own pops.
+func (s *SemiJoin) runReader(slot *sjSlot) {
 	defer s.readersWg.Done()
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.results.fail(fmt.Errorf("exec: semi-join reader panicked: %v", rec))
+		}
+	}()
 	for {
-		batch, err := sess.receiveResult()
-		if err != nil {
-			s.results.fail(err)
+		slot.mu.Lock()
+		sess, dead := slot.sess, slot.dead
+		slot.mu.Unlock()
+		if dead {
 			return
 		}
+		batch, err := sess.receiveResult()
+		if err != nil {
+			if !s.recoverSlot(slot, sess, err) {
+				return
+			}
+			continue
+		}
 		for _, res := range batch.Tuples {
-			p, ok := <-pending
-			if !ok {
+			slot.mu.Lock()
+			if len(slot.pending) == 0 {
+				slot.mu.Unlock()
 				s.results.fail(fmt.Errorf("exec: semi-join received more results than arguments sent"))
 				return
 			}
+			p := slot.pending[0]
+			slot.pending = slot.pending[1:]
+			slot.mu.Unlock()
 			if res.Len() != len(s.udfs) {
 				s.results.fail(fmt.Errorf("exec: semi-join expected %d result columns, got %d", len(s.udfs), res.Len()))
 				return
@@ -420,6 +475,173 @@ func (s *SemiJoin) runReader(sess *udfSession, pending chan pendingArg) {
 			s.results.put(p.args, p.hash, res)
 		}
 	}
+}
+
+// failoverBudget bounds the total session losses one query may absorb, so a
+// link that keeps flapping cannot make recovery loop forever.
+func (s *SemiJoin) failoverBudget() int64 { return int64(4*len(s.slots) + 16) }
+
+// recoverSlot handles a dead session on slot: replay the unacked FIFO on a
+// redialled replacement, or degrade by migrating it to a surviving slot.
+// It returns whether the slot's reader should keep reading.
+func (s *SemiJoin) recoverSlot(slot *sjSlot, failed *udfSession, err error) bool {
+	// First unblock anyone mid-send on the dead connection: recovery below
+	// waits on the slot's send lock, and its holder can only release it once
+	// its blocked write errors out.
+	failed.abort()
+	// Teardown and cancellation are not faults: surface the error (dropped
+	// if the table already finished) and stop.
+	if s.runCtx.Err() != nil {
+		s.results.fail(err)
+		return false
+	}
+	if s.Retry.Disable || wire.Classify(err) != wire.ClassRetryable {
+		s.results.fail(err)
+		return false
+	}
+	if s.faults.failovers.Load() >= s.failoverBudget() {
+		s.results.fail(fmt.Errorf("exec: semi-join failover budget exhausted: %w", err))
+		return false
+	}
+	slot.mu.Lock()
+	if slot.sess != failed || slot.dead {
+		// Someone else already recovered (or retired) this slot.
+		alive := !slot.dead
+		slot.mu.Unlock()
+		return alive
+	}
+	slot.mu.Unlock()
+	s.faults.failovers.Add(1)
+	if repl, rerr := s.factory.redial(s.runCtx); rerr == nil {
+		slot.sendMu.Lock()
+		slot.mu.Lock()
+		if slot.dead || slot.sess != failed {
+			// Close (or another path) retired the slot while we redialled.
+			alive := !slot.dead
+			slot.mu.Unlock()
+			slot.sendMu.Unlock()
+			repl.close()
+			return alive
+		}
+		old := slot.sess
+		slot.sess = repl
+		args := argsOf(slot.pending)
+		slot.mu.Unlock()
+		// Replay in its own goroutine while this reader resumes draining the
+		// replacement: over an unbuffered link the client blocks writing its
+		// reply to the first replayed frame until someone receives it, so a
+		// synchronous replay here would deadlock. Holding the send lock until
+		// the replay finishes keeps new frames behind the replayed tail in
+		// wire order.
+		s.readersWg.Add(1)
+		go func() {
+			defer s.readersWg.Done()
+			defer slot.sendMu.Unlock()
+			if rpErr := replayArgs(repl, args, s.SendBatchSize); rpErr != nil {
+				// The replacement died during replay; the reader's next
+				// receive will error and recovery runs again, bounded by
+				// the budget.
+				repl.abort()
+			}
+		}()
+		s.retireSession(old)
+		s.faults.replayed.Add(int64(len(args)))
+		return true
+	} else if wire.Classify(rerr) == wire.ClassCanceled {
+		s.results.fail(rerr)
+		return false
+	}
+	// Degradation: the lane is gone; re-deal its unacked frames to any
+	// surviving session. The pool shrinks — possibly down to one session —
+	// and only when no survivor is left does the query fail.
+	s.faults.lost.Add(1)
+	slot.sendMu.Lock()
+	slot.mu.Lock()
+	if slot.dead {
+		// Close retired the slot while we redialled; nothing left to do.
+		slot.mu.Unlock()
+		slot.sendMu.Unlock()
+		return false
+	}
+	slot.dead = true
+	orphans := slot.pending
+	slot.pending = nil
+	old := slot.sess
+	slot.mu.Unlock()
+	slot.sendMu.Unlock()
+	s.retireSession(old)
+	if !s.migrate(orphans) {
+		s.results.fail(exhausted(err))
+	}
+	return false
+}
+
+// migrate re-deals orphaned unacked arguments onto the first surviving slot.
+// A failed replay send is not fatal here: the frames are parked on the
+// survivor before the send, so the survivor's own reader replays them next.
+func (s *SemiJoin) migrate(orphans []pendingArg) bool {
+	if len(orphans) == 0 {
+		// Nothing is owed; losing the last session after its final result
+		// arrived must not fail the query.
+		return true
+	}
+	for _, slot := range s.slots {
+		slot.sendMu.Lock()
+		slot.mu.Lock()
+		if slot.dead {
+			slot.mu.Unlock()
+			slot.sendMu.Unlock()
+			continue
+		}
+		slot.pending = append(slot.pending, orphans...)
+		sess := slot.sess
+		slot.mu.Unlock()
+		if err := replayArgs(sess, argsOf(orphans), s.SendBatchSize); err != nil {
+			sess.abort()
+		}
+		slot.sendMu.Unlock()
+		s.faults.replayed.Add(int64(len(orphans)))
+		return true
+	}
+	return false
+}
+
+// retireSession folds a finished session's traffic into the operator stats
+// and closes it.
+func (s *SemiJoin) retireSession(sess *udfSession) {
+	s.mu.Lock()
+	s.stats.BytesDown += sess.conn.BytesSent()
+	s.stats.BytesUp += sess.conn.BytesReceived()
+	s.mu.Unlock()
+	sess.close()
+}
+
+// argsOf projects the argument tuples out of a pending FIFO for replay.
+func argsOf(pending []pendingArg) []types.Tuple {
+	out := make([]types.Tuple, len(pending))
+	for i, p := range pending {
+		out[i] = p.args
+	}
+	return out
+}
+
+// replayArgs re-ships argument tuples on a session in frames of at most
+// batchSize tuples.
+func replayArgs(sess *udfSession, args []types.Tuple, batchSize int) error {
+	if batchSize < 1 {
+		batchSize = DefaultSendBatchSize
+	}
+	for len(args) > 0 {
+		n := batchSize
+		if n > len(args) {
+			n = len(args)
+		}
+		if err := sess.sendBatch(args[:n]); err != nil {
+			return err
+		}
+		args = args[n:]
+	}
+	return nil
 }
 
 func (s *SemiJoin) reportSendErr(err error) {
@@ -528,7 +750,7 @@ func (s *SemiJoin) Close() error {
 	if s.cancel != nil {
 		s.cancel()
 	}
-	if s.sessions != nil {
+	if s.slots != nil {
 		drained := make(chan struct{})
 		go func() {
 			defer close(drained)
@@ -538,13 +760,17 @@ func (s *SemiJoin) Close() error {
 		s.wg.Wait()
 		<-drained
 		s.results.finish()
-		for _, sess := range s.sessions {
-			sess.close()
+		s.finalLive = s.liveSlots()
+		for _, slot := range s.slots {
+			slot.mu.Lock()
+			sess, dead := slot.sess, slot.dead
+			slot.dead = true
+			slot.mu.Unlock()
+			if !dead {
+				s.retireSession(sess)
+			}
 		}
 		s.readersWg.Wait()
-		s.mu.Lock()
-		s.stats.BytesDown, s.stats.BytesUp = sumSessionBytes(s.sessions)
-		s.mu.Unlock()
 	} else {
 		s.wg.Wait()
 	}
@@ -552,22 +778,57 @@ func (s *SemiJoin) Close() error {
 	return s.input.Close()
 }
 
-// sumSessionBytes totals the framed traffic of a session pool.
-func sumSessionBytes(sessions []*udfSession) (down, up int64) {
-	for _, sess := range sessions {
-		down += sess.conn.BytesSent()
-		up += sess.conn.BytesReceived()
+// liveSlotBytes totals the framed traffic of the sessions still serving
+// slots; retired sessions' traffic is already folded into the stats.
+func liveSlotBytes[T interface {
+	liveSession() *udfSession
+}](slots []T) (down, up int64) {
+	for _, slot := range slots {
+		if sess := slot.liveSession(); sess != nil {
+			down += sess.conn.BytesSent()
+			up += sess.conn.BytesReceived()
+		}
 	}
 	return down, up
+}
+
+// liveSession returns the slot's session if the lane is still active.
+func (slot *sjSlot) liveSession() *udfSession {
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.dead {
+		return nil
+	}
+	return slot.sess
+}
+
+// liveSlots counts the lanes still serving sessions.
+func (s *SemiJoin) liveSlots() int {
+	n := 0
+	for _, slot := range s.slots {
+		if slot.liveSession() != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // NetStats implements NetReporter.
 func (s *SemiJoin) NetStats() NetStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := s.stats
-	if s.sessions != nil && !s.closed {
-		out.BytesDown, out.BytesUp = sumSessionBytes(s.sessions)
-	}
+	s.mu.Unlock()
+	down, up := liveSlotBytes(s.slots)
+	out.BytesDown += down
+	out.BytesUp += up
 	return out
+}
+
+// FaultStats implements FaultReporter.
+func (s *SemiJoin) FaultStats() FaultStats {
+	live := s.finalLive
+	if !s.closed {
+		live = s.liveSlots()
+	}
+	return s.faults.snapshot(live)
 }

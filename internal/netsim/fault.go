@@ -1,0 +1,207 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjectedDrop is returned from writes on a connection that a FaultConfig
+// has severed. It unwraps to io.ErrClosedPipe so transport-level error
+// classification treats an injected drop exactly like a real link loss.
+var ErrInjectedDrop error = &injectedDropError{}
+
+type injectedDropError struct{}
+
+func (*injectedDropError) Error() string { return "netsim: injected connection drop" }
+func (*injectedDropError) Unwrap() error { return io.ErrClosedPipe }
+
+// ErrDialRefused is returned by links when a FaultConfig refuses connection
+// establishment. It unwraps to io.ErrClosedPipe so it classifies as a
+// transport failure (retryable) rather than a protocol error.
+var ErrDialRefused error = &dialRefusedError{}
+
+type dialRefusedError struct{}
+
+func (*dialRefusedError) Error() string { return "netsim: injected dial refusal" }
+func (*dialRefusedError) Unwrap() error { return io.ErrClosedPipe }
+
+// FaultConfig describes deterministic faults injected into a shaped
+// connection. The zero value injects nothing.
+//
+// Byte thresholds count payload bytes written on the server side of a Pair
+// (the downlink), which is the direction every strategy uses for result
+// frames; counting one deterministic direction makes a given config
+// reproduce the same failure point on every run.
+type FaultConfig struct {
+	// DropAfterBytes, when positive, severs the whole connection once this
+	// many downlink bytes have been written: the write crossing the boundary
+	// is truncated mid-frame, both endpoints are closed, and every later
+	// operation fails. The writer observes ErrInjectedDrop; the peer observes
+	// a closed transport.
+	DropAfterBytes int64
+	// StallAfterBytes, when positive, makes the first write crossing this
+	// byte boundary sleep for StallFor (divided by the link's TimeScale)
+	// before proceeding. Exercises deadline/cancellation paths without
+	// killing the connection.
+	StallAfterBytes int64
+	// StallFor is the stall duration; only meaningful with StallAfterBytes.
+	StallFor time.Duration
+	// CorruptAfterBytes, when positive, inverts the bits of the single byte
+	// that crosses this boundary, corrupting exactly one frame in transit.
+	CorruptAfterBytes int64
+	// RefuseDial makes connection establishment fail with ErrDialRefused
+	// before any bytes flow. Honoured by the exec link layer, not by
+	// NewPair itself.
+	RefuseDial bool
+}
+
+// active reports whether the config injects anything on an open connection.
+func (f FaultConfig) active() bool {
+	return f.DropAfterBytes > 0 || f.StallAfterBytes > 0 || f.CorruptAfterBytes > 0
+}
+
+// validate checks fault thresholds for nonsensical values.
+func (f FaultConfig) validate() error {
+	if f.DropAfterBytes < 0 || f.StallAfterBytes < 0 || f.CorruptAfterBytes < 0 {
+		return errors.New("netsim: negative fault byte threshold")
+	}
+	if f.StallFor < 0 {
+		return errors.New("netsim: negative stall duration")
+	}
+	if f.StallFor > 0 && f.StallAfterBytes <= 0 {
+		return errors.New("netsim: StallFor set without StallAfterBytes")
+	}
+	return nil
+}
+
+// faultState tracks injection progress for one connection. It is attached to
+// the counted (server/downlink) side of a Pair; closeAll severs both raw
+// pipe ends so the peer observes the drop too.
+type faultState struct {
+	cfg      FaultConfig
+	scale    float64
+	closeAll func()
+
+	mu        sync.Mutex
+	written   int64
+	stalled   bool
+	corrupted bool
+	dropped   bool
+}
+
+// admit decides what happens to a pending write of p. It returns the prefix
+// that may be written (possibly corrupted, possibly shortened), a stall
+// duration to sleep before writing, and the error to return after the prefix
+// has been written (nil if the write proceeds normally).
+func (f *faultState) admit(p []byte) (out []byte, stall time.Duration, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dropped {
+		return nil, 0, ErrInjectedDrop
+	}
+	out = p
+	start := f.written
+	end := start + int64(len(p))
+	if f.cfg.StallAfterBytes > 0 && !f.stalled && end > f.cfg.StallAfterBytes {
+		f.stalled = true
+		stall = f.cfg.StallFor
+		if f.scale > 1 {
+			stall = time.Duration(float64(stall) / f.scale)
+		}
+	}
+	if f.cfg.CorruptAfterBytes > 0 && !f.corrupted && end > f.cfg.CorruptAfterBytes && start <= f.cfg.CorruptAfterBytes {
+		f.corrupted = true
+		idx := f.cfg.CorruptAfterBytes - start // first byte past the boundary
+		if idx >= 0 && idx < int64(len(p)) {
+			out = append([]byte(nil), p...)
+			out[idx] ^= 0xFF
+		}
+	}
+	if f.cfg.DropAfterBytes > 0 && end > f.cfg.DropAfterBytes {
+		f.dropped = true
+		keep := f.cfg.DropAfterBytes - start
+		if keep < 0 {
+			keep = 0
+		}
+		out = out[:keep]
+		err = ErrInjectedDrop
+	}
+	f.written += int64(len(out))
+	return out, stall, err
+}
+
+// drop severs the connection pair (both ends), if a closeAll hook is set.
+func (f *faultState) drop() {
+	if f.closeAll != nil {
+		f.closeAll()
+	}
+}
+
+// FaultScript deterministically assigns per-connection faults by 0-based
+// connection ordinal: explicit ordinals first, then an optional seeded
+// probability draw, then an optional default. The same seed always yields
+// the same assignment sequence, making chaos runs reproducible.
+type FaultScript struct {
+	mu       sync.Mutex
+	perConn  map[int]FaultConfig
+	fallback *FaultConfig
+	rng      *rand.Rand
+	prob     float64
+	probCfg  FaultConfig
+}
+
+// NewFaultScript returns an empty script whose probabilistic draws (if any
+// are configured with WithProbability) are derived from seed.
+func NewFaultScript(seed int64) *FaultScript {
+	return &FaultScript{
+		perConn: make(map[int]FaultConfig),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Set assigns a fault to the connection with the given ordinal.
+func (s *FaultScript) Set(ordinal int, f FaultConfig) *FaultScript {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.perConn[ordinal] = f
+	return s
+}
+
+// SetDefault assigns a fault to every ordinal not covered by Set or by a
+// probability draw. Useful for "refuse every redial" scenarios.
+func (s *FaultScript) SetDefault(f FaultConfig) *FaultScript {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fallback = &f
+	return s
+}
+
+// WithProbability makes every ordinal not covered by Set receive f with
+// probability p, drawn from the script's seeded generator in ordinal call
+// order.
+func (s *FaultScript) WithProbability(p float64, f FaultConfig) *FaultScript {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prob = p
+	s.probCfg = f
+	return s
+}
+
+// For returns the fault config for the given connection ordinal.
+func (s *FaultScript) For(ordinal int) FaultConfig {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.perConn[ordinal]; ok {
+		return f
+	}
+	if s.prob > 0 && s.rng.Float64() < s.prob {
+		return s.probCfg
+	}
+	if s.fallback != nil {
+		return *s.fallback
+	}
+	return FaultConfig{}
+}

@@ -1,0 +1,201 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drain reads the client side until it fails, returning everything received.
+func drain(t *testing.T, r io.Reader, got *[]byte, done chan<- error) {
+	t.Helper()
+	buf := make([]byte, 256)
+	for {
+		n, err := r.Read(buf)
+		*got = append(*got, buf[:n]...)
+		if err != nil {
+			done <- err
+			return
+		}
+	}
+}
+
+func TestFaultDropAfterBytes(t *testing.T) {
+	p := NewPair(LinkConfig{Fault: FaultConfig{DropAfterBytes: 64}})
+	var got []byte
+	readErr := make(chan error, 1)
+	go drain(t, p.ClientSide, &got, readErr)
+
+	chunk := bytes.Repeat([]byte{0xAB}, 32)
+	for i := 0; i < 2; i++ {
+		if _, err := p.ServerSide.Write(chunk); err != nil {
+			t.Fatalf("write %d below the threshold failed: %v", i, err)
+		}
+	}
+	_, err := p.ServerSide.Write(chunk)
+	if !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("write crossing the threshold = %v, want ErrInjectedDrop", err)
+	}
+	if !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("ErrInjectedDrop must unwrap to io.ErrClosedPipe, got %v", err)
+	}
+	// The connection is severed: later writes fail too, and the peer
+	// observes the loss rather than hanging.
+	if _, err := p.ServerSide.Write(chunk); err == nil {
+		t.Fatal("write after the drop succeeded")
+	}
+	if err := <-readErr; err == nil {
+		t.Fatal("peer read kept succeeding after the drop")
+	}
+	if len(got) != 64 {
+		t.Fatalf("peer received %d bytes, want exactly the 64 below the threshold", len(got))
+	}
+}
+
+func TestFaultCorruptAfterBytes(t *testing.T) {
+	p := NewPair(LinkConfig{Fault: FaultConfig{CorruptAfterBytes: 10}})
+	var got []byte
+	readErr := make(chan error, 1)
+	go drain(t, p.ClientSide, &got, readErr)
+
+	sent := make([]byte, 20)
+	for i := range sent {
+		sent[i] = byte(i)
+	}
+	if _, err := p.ServerSide.Write(sent); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// A second write must pass untouched: exactly one byte is corrupted.
+	if _, err := p.ServerSide.Write(sent); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	_ = p.ServerSide.Close()
+	<-readErr
+
+	if len(got) != 40 {
+		t.Fatalf("received %d bytes, want 40", len(got))
+	}
+	for i, b := range got {
+		want := byte(i % 20)
+		if i == 10 {
+			want ^= 0xFF
+		}
+		if b != want {
+			t.Errorf("byte %d = %#x, want %#x", i, b, want)
+		}
+	}
+}
+
+func TestFaultStallAfterBytes(t *testing.T) {
+	// TimeScale divides the stall, so the nominal 2s pause becomes 20ms:
+	// long enough to measure, short enough for the test suite.
+	p := NewPair(LinkConfig{
+		TimeScale: 100,
+		Fault:     FaultConfig{StallAfterBytes: 4, StallFor: 2 * time.Second},
+	})
+	var got []byte
+	readErr := make(chan error, 1)
+	go drain(t, p.ClientSide, &got, readErr)
+
+	start := time.Now()
+	if _, err := p.ServerSide.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("stalled write finished in %v, want >= ~20ms", elapsed)
+	}
+	// The stall fires once; later writes proceed at link speed.
+	start = time.Now()
+	if _, err := p.ServerSide.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Millisecond {
+		t.Errorf("second write took %v, want no repeated stall", elapsed)
+	}
+	_ = p.ServerSide.Close()
+	<-readErr
+}
+
+func TestLinkConfigValidateFaultFields(t *testing.T) {
+	cases := []struct {
+		name  string
+		fault FaultConfig
+		ok    bool
+	}{
+		{"zero", FaultConfig{}, true},
+		{"drop", FaultConfig{DropAfterBytes: 100}, true},
+		{"stall", FaultConfig{StallAfterBytes: 10, StallFor: time.Second}, true},
+		{"negative drop", FaultConfig{DropAfterBytes: -1}, false},
+		{"negative stall bytes", FaultConfig{StallAfterBytes: -5}, false},
+		{"negative corrupt", FaultConfig{CorruptAfterBytes: -2}, false},
+		{"negative stall duration", FaultConfig{StallAfterBytes: 10, StallFor: -time.Second}, false},
+		{"stall duration without threshold", FaultConfig{StallFor: time.Second}, false},
+	}
+	for _, tc := range cases {
+		cfg := LinkConfig{Fault: tc.fault}
+		err := cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: Validate() = %v, want nil", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+		}
+	}
+}
+
+func TestFaultScriptAssignment(t *testing.T) {
+	drop := FaultConfig{DropAfterBytes: 128}
+	refuse := FaultConfig{RefuseDial: true}
+	s := NewFaultScript(1).Set(2, drop).SetDefault(refuse)
+	if got := s.For(2); got != drop {
+		t.Errorf("For(2) = %+v, want the explicit drop", got)
+	}
+	for _, ord := range []int{0, 1, 3, 99} {
+		if got := s.For(ord); !got.RefuseDial {
+			t.Errorf("For(%d) = %+v, want the refuse default", ord, got)
+		}
+	}
+}
+
+func TestFaultScriptSeededDeterminism(t *testing.T) {
+	draw := func(seed int64) []bool {
+		s := NewFaultScript(seed).WithProbability(0.5, FaultConfig{DropAfterBytes: 64})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = s.For(i).DropAfterBytes > 0
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ordinal %d differs between two scripts with the same seed", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Errorf("p=0.5 draw over %d ordinals hit %d times; want a mix", len(a), hits)
+	}
+}
+
+func TestFaultScriptConcurrentUse(t *testing.T) {
+	// Links consult the script from concurrent redial goroutines.
+	s := NewFaultScript(3).WithProbability(0.3, FaultConfig{RefuseDial: true})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = s.For(base*100 + i)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

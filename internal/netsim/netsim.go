@@ -45,6 +45,9 @@ type LinkConfig struct {
 	// tests fast while preserving the ratio between directions. Zero or
 	// negative means 1 (real time).
 	TimeScale float64
+	// Fault optionally injects deterministic failures into the connection;
+	// the zero value injects nothing. See FaultConfig.
+	Fault FaultConfig
 }
 
 // Asymmetry returns N = downlink bandwidth / uplink bandwidth, the paper's
@@ -113,6 +116,19 @@ type Pair struct {
 func NewPair(cfg LinkConfig) *Pair {
 	p := &Pair{cfg: cfg}
 	serverRaw, clientRaw := net.Pipe()
+	// Faults observe the downlink (server-side writes); a drop severs both
+	// raw pipe ends so the peer sees the failure too.
+	var fault *faultState
+	if cfg.Fault.active() {
+		fault = &faultState{
+			cfg:   cfg.Fault,
+			scale: cfg.scale(),
+			closeAll: func() {
+				serverRaw.Close()
+				clientRaw.Close()
+			},
+		}
+	}
 	// Writes from the server side travel on the downlink; writes from the
 	// client side travel on the uplink.
 	p.ServerSide = &shapedConn{
@@ -121,6 +137,7 @@ func NewPair(cfg LinkConfig) *Pair {
 		latency:  cfg.Latency,
 		scale:    cfg.scale(),
 		writeCtr: &p.bytesDown,
+		fault:    fault,
 	}
 	p.ClientSide = &shapedConn{
 		Conn:     clientRaw,
@@ -160,19 +177,44 @@ type shapedConn struct {
 	latency  time.Duration
 	scale    float64
 	writeCtr *atomic.Int64
+	fault    *faultState
 
 	mu       sync.Mutex
 	lastSend time.Time
 }
 
-// Write shapes and forwards the payload.
+// Write shapes and forwards the payload, applying any injected faults.
 func (c *shapedConn) Write(p []byte) (int, error) {
-	c.delay(len(p))
-	n, err := c.Conn.Write(p)
-	if c.writeCtr != nil {
-		c.writeCtr.Add(int64(n))
+	if c.fault == nil {
+		c.delay(len(p))
+		n, err := c.Conn.Write(p)
+		if c.writeCtr != nil {
+			c.writeCtr.Add(int64(n))
+		}
+		return n, err
 	}
-	return n, err
+	out, stall, faultErr := c.fault.admit(p)
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	var n int
+	var err error
+	if len(out) > 0 {
+		c.delay(len(out))
+		n, err = c.Conn.Write(out)
+		if c.writeCtr != nil {
+			c.writeCtr.Add(int64(n))
+		}
+	}
+	if faultErr != nil {
+		c.fault.drop()
+		return n, faultErr
+	}
+	if err != nil {
+		return n, err
+	}
+	// Report the full payload as written: a corrupted copy stands in for p.
+	return len(p), nil
 }
 
 func (c *shapedConn) delay(n int) {
@@ -246,5 +288,30 @@ func (c LinkConfig) Validate() error {
 	if c.TimeScale < 0 {
 		return fmt.Errorf("netsim: negative time scale")
 	}
+	if err := c.Fault.validate(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// ShapeLink wraps conn so that its writes are shaped by cfg's downlink
+// bandwidth, latency, and scale, with cfg.Fault injected; a drop closes the
+// wrapped conn. Written bytes are counted into ctr when non-nil.
+func ShapeLink(conn net.Conn, cfg LinkConfig, ctr *atomic.Int64) net.Conn {
+	var fault *faultState
+	if cfg.Fault.active() {
+		fault = &faultState{
+			cfg:      cfg.Fault,
+			scale:    cfg.scale(),
+			closeAll: func() { conn.Close() },
+		}
+	}
+	return &shapedConn{
+		Conn:     conn,
+		writeBW:  cfg.DownBandwidth,
+		latency:  cfg.Latency,
+		scale:    cfg.scale(),
+		writeCtr: ctr,
+		fault:    fault,
+	}
 }

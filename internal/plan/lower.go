@@ -249,6 +249,7 @@ func (lw *lowerer) applyOperator(apply *logical.UDFApply, pushable expr.Expr, pr
 		}
 		op.Sessions = d.Sessions
 		op.DictBatches = d.DictBatches
+		op.Retry = p.Config.Retry
 		client, server := splitClientEvaluable(pushable, apply)
 		op.Pushable = client
 		if server == nil {
@@ -326,6 +327,7 @@ func (p *Planner) newUDFOperator(input exec.Operator, udfs []exec.UDFBinding, s 
 		}
 		op.Sessions = d.Sessions
 		op.DictBatches = d.DictBatches
+		op.Retry = p.Config.Retry
 		return op, nil
 	case StrategyNaive:
 		op, err := exec.NewNaiveUDF(input, p.Link, udfs)
@@ -333,6 +335,7 @@ func (p *Planner) newUDFOperator(input exec.Operator, udfs []exec.UDFBinding, s 
 			return nil, err
 		}
 		op.EnableCache = true
+		op.Retry = p.Config.Retry
 		return op, nil
 	default:
 		return nil, fmt.Errorf("plan: strategy %s is not a server-joined UDF operator", s)

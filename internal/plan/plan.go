@@ -135,6 +135,11 @@ type Config struct {
 	// Grace spill partition counts from it and EXPLAIN reports whether
 	// spilling is expected. Zero means unlimited.
 	MemBudget int64
+	// Retry governs mid-query session re-establishment for the lowered
+	// client-site operators (redial attempts, backoff, or disabling fault
+	// tolerance altogether). The zero value enables fault tolerance with the
+	// exec package defaults.
+	Retry exec.RetryConfig
 }
 
 func (c Config) sampleRows() int {

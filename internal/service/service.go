@@ -101,8 +101,9 @@ type Config struct {
 	// Values < 1 select DefaultKeepFinished.
 	KeepFinished int
 	// Planner carries base planner knobs (sample rows, sketch size, probe
-	// size, session caps, a fixed link observation for tests). The service
-	// manages StatsCache, LinkKey and MemBudget per query on top of it.
+	// size, session caps, session retry policy, a fixed link observation for
+	// tests). The service manages StatsCache, LinkKey and MemBudget per query
+	// on top of it.
 	Planner plan.Config
 }
 
@@ -157,6 +158,14 @@ type QueryStats struct {
 	SpilledBytes int64
 	// Strategies lists the chosen strategy per UDF application.
 	Strategies []string
+	// SessionsPlanned lists the planned session-pool size per UDF
+	// application, aligned with Strategies. Compare with
+	// Faults.FinalSessions to see whether a pool degraded mid-query.
+	SessionsPlanned []int
+	// Faults aggregates the fault-tolerance activity of the query's
+	// client-site operators: redials, failovers, replayed frames, sessions
+	// lost and the pool size the query finished with.
+	Faults exec.FaultStats
 	// StatsFromCache reports that at least one application's sampling
 	// statistics were served by the cross-query cache.
 	StatsFromCache bool
@@ -212,17 +221,19 @@ type Query struct {
 	collect bool
 	onBatch func([]types.Tuple) error
 
-	mu             sync.Mutex
-	state          State
-	err            error
-	rows           []types.Tuple
-	rowCount       int64
-	submitted      time.Time
-	started        time.Time
-	finished       time.Time
-	tracker        *exec.MemTracker
-	strategies     []string
-	statsFromCache bool
+	mu              sync.Mutex
+	state           State
+	err             error
+	rows            []types.Tuple
+	rowCount        int64
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
+	tracker         *exec.MemTracker
+	strategies      []string
+	sessionsPlanned []int
+	faults          exec.FaultStats
+	statsFromCache  bool
 }
 
 // ID returns the query's service-wide identifier.
@@ -254,14 +265,16 @@ func (q *Query) Stats() QueryStats {
 
 func (q *Query) statsLocked() QueryStats {
 	st := QueryStats{
-		ID:             q.id,
-		State:          q.state,
-		Submitted:      q.submitted,
-		Started:        q.started,
-		Finished:       q.finished,
-		Rows:           q.rowCount,
-		Strategies:     append([]string(nil), q.strategies...),
-		StatsFromCache: q.statsFromCache,
+		ID:              q.id,
+		State:           q.state,
+		Submitted:       q.submitted,
+		Started:         q.started,
+		Finished:        q.finished,
+		Rows:            q.rowCount,
+		Strategies:      append([]string(nil), q.strategies...),
+		SessionsPlanned: append([]int(nil), q.sessionsPlanned...),
+		Faults:          q.faults,
+		StatsFromCache:  q.statsFromCache,
 	}
 	if q.err != nil {
 		st.Err = q.err.Error()
@@ -381,6 +394,11 @@ func (s *Service) budgetFor(req Request) (budget, hard int64) {
 func (q *Query) run(ctx context.Context, req Request) {
 	var err error
 	defer func() {
+		// A panicking operator (or planner) fails this query, not the
+		// process: the service keeps serving its other queries.
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("service: query panicked: %v", rec)
+		}
 		q.finish(ctx, err)
 	}()
 
@@ -419,13 +437,16 @@ func (q *Query) run(ctx context.Context, req Request) {
 		return
 	}
 	strategies := make([]string, 0, len(tp.Applies))
+	planned := make([]int, 0, len(tp.Applies))
 	fromCache := false
 	for _, ap := range tp.Applies {
 		strategies = append(strategies, ap.Decision.Strategy.String())
+		planned = append(planned, ap.Decision.Sessions)
 		fromCache = fromCache || ap.Decision.StatsFromCache
 	}
 	q.mu.Lock()
 	q.strategies = strategies
+	q.sessionsPlanned = planned
 	q.statsFromCache = fromCache
 	q.state = StateRunning
 	q.mu.Unlock()
@@ -438,17 +459,32 @@ func (q *Query) run(ctx context.Context, req Request) {
 	err = q.drive(exec.WithMemTracker(ctx, tracker), op)
 }
 
-// drive executes the operator tree, streaming or accumulating batches.
+// drive executes the operator tree, streaming or accumulating batches. The
+// operator is closed exactly once on every path (including panics unwinding
+// through here), and its fault-tolerance counters are snapshotted after the
+// close so QueryStats reports redials, failovers and pool degradation.
 func (q *Query) drive(ctx context.Context, op exec.Operator) error {
+	closed := false
+	closeOp := func() error {
+		if closed {
+			return nil
+		}
+		closed = true
+		cerr := op.Close()
+		faults := exec.FaultStatsOf(op)
+		q.mu.Lock()
+		q.faults = faults
+		q.mu.Unlock()
+		return cerr
+	}
+	defer func() { _ = closeOp() }()
 	if err := op.Open(ctx); err != nil {
-		_ = op.Close()
 		return err
 	}
 	batch := make([]types.Tuple, exec.DefaultBatchSize)
 	for {
 		n, err := op.NextBatch(batch)
 		if err != nil {
-			_ = op.Close()
 			return err
 		}
 		if n == 0 {
@@ -462,12 +498,11 @@ func (q *Query) drive(ctx context.Context, op exec.Operator) error {
 		q.mu.Unlock()
 		if q.onBatch != nil {
 			if err := q.onBatch(batch[:n]); err != nil {
-				_ = op.Close()
 				return fmt.Errorf("service: result sink: %w", err)
 			}
 		}
 	}
-	return op.Close()
+	return closeOp()
 }
 
 // finish records the terminal state and releases the handle's bookkeeping.

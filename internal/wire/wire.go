@@ -290,6 +290,11 @@ func (c *Conn) Receive() (Message, error) {
 		if cerr := c.ctxIOErr(err); cerr != nil {
 			return Message{}, fmt.Errorf("wire: read header: %w", cerr)
 		}
+		if err == io.EOF {
+			// EOF on a frame boundary is a clean peer shutdown; EOF inside a
+			// header or payload stays io.ErrUnexpectedEOF (truncation).
+			return Message{}, ErrPeerClosed
+		}
 		return Message{}, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:4])
