@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoDocsClean runs the checker against the real repository: no broken
+// links, every documented query example compiles.
+func TestRepoDocsClean(t *testing.T) {
+	root := "../.."
+	docs, err := docFiles(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) < 2 {
+		t.Fatalf("found %d doc files, want README.md plus docs/", len(docs))
+	}
+	for _, doc := range docs {
+		problems, err := checkLinks(root, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range problems {
+			t.Error(p)
+		}
+	}
+	problems, err := checkExamples(filepath.Join(root, "docs", "QUERYLANG.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// TestCheckLinksFindsBreakage builds a small doc tree with one good and one
+// broken relative link and checks only the broken one is reported; external
+// URLs and anchors must not be flagged.
+func TestCheckLinksFindsBreakage(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "real.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := filepath.Join(root, "index.md")
+	content := "[ok](real.md) [frag](real.md#part) [gone](missing.md)\n" +
+		"[ext](https://example.com/x) [anchor](#here)\n"
+	if err := os.WriteFile(doc, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := checkLinks(root, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing.md") {
+		t.Fatalf("problems = %q, want exactly one about missing.md", problems)
+	}
+}
+
+// TestCheckExamplesFindsBadQuery writes a reference with one valid and one
+// invalid example and checks the invalid one is reported with its line.
+func TestCheckExamplesFindsBadQuery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "QUERYLANG.md")
+	content := "intro\n\n```datalog\nn(count(*) as N) :- trades(_, _, _, _).\n```\n" +
+		"text\n\n```datalog\nans(X) :- nosuch(X).\n```\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := checkExamples(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], `unknown table "nosuch"`) {
+		t.Fatalf("problems = %q, want exactly one about nosuch", problems)
+	}
+	if !strings.Contains(problems[0], ":9:") {
+		t.Errorf("problem %q does not carry the fence's line number", problems[0])
+	}
+}

@@ -380,8 +380,22 @@ func main() {
 	timescale := flag.Float64("timescale", 2000, "netsim time scale (shaping runs this much faster than nominal)")
 	noexec := flag.Bool("noexec", false, "skip executing the planned operators; plan only")
 	explain := flag.Bool("explain", false, "print the logical, rewritten and physical plan for a Figure-8 workload and exit")
+	query := flag.String("query", "", "compile and run a textual query (docs/QUERYLANG.md) against the demo dataset; with -explain, print its plans instead")
 	verbose := flag.Bool("v", false, "print every sample point")
 	flag.Parse()
+
+	if *query != "" {
+		run := runQuery
+		if *explain {
+			run = explainQuery
+		}
+		out, err := run(*query)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
 
 	if *explain {
 		out, err := explainFigure8()

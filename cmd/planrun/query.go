@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"csq/internal/demo"
+	"csq/internal/exec"
+	"csq/internal/lang"
+	"csq/internal/netsim"
+	"csq/internal/plan"
+)
+
+// explainQuery compiles a textual query (docs/QUERYLANG.md) against the demo
+// dataset and renders all three planning layers — the compiled logical tree,
+// the rewritten tree, and the lowered physical plan with each UDF apply's
+// strategy decision. The link observation is fixed (symmetric 3600 B/s, 200 ms
+// RTT) instead of probed, so the output is deterministic and golden-testable.
+func explainQuery(text string) (string, error) {
+	cat, rt, err := demo.New()
+	if err != nil {
+		return "", err
+	}
+	root, err := lang.Compile(cat, text)
+	if err != nil {
+		return "", err
+	}
+	planner := plan.NewPlanner(exec.NewInProcessLink(rt, netsim.LinkConfig{}))
+	planner.Config.Link = &exec.LinkObservation{
+		DownBytesPerSec: 3600,
+		UpBytesPerSec:   3600,
+		Asymmetry:       1,
+		RTT:             200 * time.Millisecond,
+	}
+	tp, err := planner.PlanTree(context.Background(), root, cat)
+	if err != nil {
+		return "", err
+	}
+	return "EXPLAIN " + strings.TrimSpace(text) + "\n" + tp.Explain(), nil
+}
+
+// runQuery compiles, plans and executes a textual query against the demo
+// dataset, printing the result schema, every row and the row count.
+func runQuery(text string) (string, error) {
+	cat, rt, err := demo.New()
+	if err != nil {
+		return "", err
+	}
+	root, err := lang.Compile(cat, text)
+	if err != nil {
+		return "", err
+	}
+	planner := plan.NewPlanner(exec.NewInProcessLink(rt, netsim.LinkConfig{}))
+	planner.Config.Link = &exec.LinkObservation{
+		DownBytesPerSec: 3600,
+		UpBytesPerSec:   3600,
+		Asymmetry:       1,
+		RTT:             200 * time.Millisecond,
+	}
+	tp, err := planner.PlanTree(context.Background(), root, cat)
+	if err != nil {
+		return "", err
+	}
+	op, err := tp.NewOperator()
+	if err != nil {
+		return "", err
+	}
+	rows, err := exec.Collect(context.Background(), op)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	schema := root.Schema()
+	names := make([]string, schema.Len())
+	for i, col := range schema.Columns {
+		names[i] = col.Name
+	}
+	fmt.Fprintf(&b, "%s\n", strings.Join(names, "\t"))
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Fprintf(&b, "%s\n", strings.Join(cells, "\t"))
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(rows))
+	return b.String(), nil
+}

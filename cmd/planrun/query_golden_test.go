@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// docQueries are the worked examples of docs/QUERYLANG.md, in reference
+// order. internal/lang's TestDocExamplesEquivalence proves each one compiles
+// to its hand-built logical twin and executes identically; this golden pins
+// the user-facing `planrun -query ... -explain` rendering for the same set.
+var docQueries = []string{
+	"picks(Sym) :- stocks(Sym, _, Q), udf attractive(Q) as Keep, Keep = true.",
+	"high(Sym, Price) :- trades(Sym, _, Price, _), Price > 102.5.",
+	"aaa(Day, Price) :- trades('AAA', Day, Price, _).",
+	"value(Sym, Day) :- trades(Sym, Day, Price, Qty), Price * Qty > 50000.0.",
+	"detail(Sym, Sector, Price) :- trades(Sym, _, Price, _), stocks(Sym, Sector, _).",
+	"volume(Sym, sum(Qty) as Total) :- trades(Sym, _, _, Qty).",
+	"n(count(*) as N) :- trades(_, _, _, _).",
+	"sector_value(Sector, sum(Qty) as Total, avg(Price) as AvgPrice) :- trades(Sym, _, Price, Qty), stocks(Sym, Sector, _).",
+	"scored(Sym, Score) :- stocks(Sym, _, Q), udf analyze(Q) as Score.",
+	"report(Sym, Score, Chart) :- stocks(Sym, _, Q), udf analyze(Q) as Score, udf chart(Q) as Chart, Score > 100.",
+	"fresh(Id, Score) :- incoming(Id, Blob), udf score(Blob) as Score.",
+}
+
+// TestQueryExplainGolden pins the -query -explain output for every worked
+// example in docs/QUERYLANG.md. Planning is fully deterministic (fixed link
+// observation, deterministic demo data), so drift in the compiler, rewriter,
+// cost model or rendering shows up as a diff here — and means the embedded
+// outputs in the reference document need regenerating too.
+//
+// Regenerate with: go test ./cmd/planrun -run TestQueryExplainGolden -update
+func TestQueryExplainGolden(t *testing.T) {
+	var b strings.Builder
+	for i, q := range docQueries {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		out, err := explainQuery(q)
+		if err != nil {
+			t.Fatalf("explain %q: %v", q, err)
+		}
+		b.WriteString(out)
+	}
+	got := b.String()
+	const path = "testdata/query_explain.golden"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("-query -explain output drifted from golden file %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestRunQueryResults spot-checks executed -query output for a scalar
+// aggregate and the empty-table fallback.
+func TestRunQueryResults(t *testing.T) {
+	out, err := runQuery("n(count(*) as N) :- trades(_, _, _, _).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "N\n60\n(1 rows)\n"; out != want {
+		t.Errorf("count query output = %q, want %q", out, want)
+	}
+	out, err = runQuery("fresh(Id, Score) :- incoming(Id, Blob), udf score(Blob) as Score.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(out, "(0 rows)\n") {
+		t.Errorf("empty-table query output = %q, want zero rows", out)
+	}
+}

@@ -19,19 +19,24 @@
 //
 // With -demo-rows N the daemon seeds an "objects" table with N deterministic
 // rows (ID string, Payload bytes, Extra bytes) so a fresh build can be
-// queried immediately. -stats-every periodically prints per-query lifecycle
-// statistics.
+// queried immediately. With -demo it instead seeds the documentation's demo
+// catalog (trades, stocks, incoming — see docs/QUERYLANG.md), so textual
+// queries from the language reference run verbatim over the wire.
+// -stats-every periodically prints per-query lifecycle statistics.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"csq/internal/catalog"
+	"csq/internal/client"
+	"csq/internal/demo"
 	"csq/internal/exec"
 	"csq/internal/service"
 	"csq/internal/storage"
@@ -46,12 +51,33 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-query deadline (0 = none)")
 	spillDir := flag.String("spill-dir", "", "directory for spill runs (empty = system temp dir)")
 	demoRows := flag.Int("demo-rows", 0, "seed an 'objects' demo table with this many rows")
+	demoCatalog := flag.Bool("demo", false, "seed the documentation's demo catalog (trades, stocks, incoming) and serve its client UDFs")
 	statsEvery := flag.Duration("stats-every", 0, "print per-query lifecycle stats on this interval (0 = off)")
 	maxRedials := flag.Int("max-redials", 0, "reconnection attempts per lost UDF session (0 = default, negative = degrade immediately)")
 	redialBackoff := flag.Duration("redial-backoff", 0, "base backoff between session redial attempts, doubling per attempt (0 = default)")
 	flag.Parse()
 
 	cat := catalog.New()
+	if *demoCatalog {
+		// The demo catalog ships with a client UDF runtime (analyze,
+		// attractive, chart, score); serve it on loopback so textual queries
+		// can name it as their ClientAddr.
+		var rt *client.Runtime
+		var err error
+		cat, rt, err = demo.New()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "udfserverd: seed demo catalog: %v\n", err)
+			os.Exit(1)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "udfserverd: demo client runtime: %v\n", err)
+			os.Exit(1)
+		}
+		go func() { _ = rt.ServeListener(ln) }()
+		fmt.Printf("udfserverd: seeded demo catalog (trades, stocks, incoming)\n")
+		fmt.Printf("udfserverd: demo client UDF runtime on %s (use as ClientAddr for udf queries)\n", ln.Addr())
+	}
 	if *demoRows > 0 {
 		if err := seedDemo(cat, *demoRows); err != nil {
 			fmt.Fprintf(os.Stderr, "udfserverd: seed demo table: %v\n", err)

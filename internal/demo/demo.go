@@ -1,0 +1,260 @@
+// Package demo builds the deterministic demonstration dataset the textual
+// query front end is documented against: a small stock-trading catalog
+// (trades, stocks, incoming) plus a client UDF runtime (analyze, attractive,
+// chart, score). docs/QUERYLANG.md's worked examples, planrun -query,
+// udfserverd -demo and the front end's equivalence tests all run against
+// this one dataset, so the documentation, the CLI and the tests can never
+// disagree about what a query returns.
+//
+// Everything is generated from closed-form arithmetic — no clocks, no
+// randomness — so plans, explain output and result bytes are reproducible
+// across runs and machines.
+package demo
+
+import (
+	"fmt"
+	"net"
+
+	"csq/internal/catalog"
+	"csq/internal/client"
+	"csq/internal/storage"
+	"csq/internal/types"
+	"csq/internal/wire"
+)
+
+// Symbols are the ticker symbols of the demo universe, in catalog order.
+var Symbols = []string{"AAA", "BBB", "CCC", "DDD", "EEE", "FFF"}
+
+var sectors = []string{"tech", "tech", "energy", "energy", "retail", "retail"}
+
+// QuoteSamples is the length of each stocks.Quotes time series.
+const QuoteSamples = 32
+
+// AttractiveThreshold is the mean-quote cutoff the attractive UDF applies;
+// with the generated quotes it keeps three of the six symbols.
+const AttractiveThreshold = 101.0
+
+// ChartBytes is the size of the chart UDF's rendered result. It is made
+// deliberately large so shipping chart results dominates the link cost and
+// exercises the planner's strategy choice.
+const ChartBytes = 1800
+
+// New builds the demo catalog and its client UDF runtime. The runtime's UDF
+// metadata is carried into the catalog over the real announcement protocol,
+// exactly as a connecting client would register it.
+func New() (*catalog.Catalog, *client.Runtime, error) {
+	cat, err := NewCatalog()
+	if err != nil {
+		return nil, nil, err
+	}
+	rt, err := NewRuntime()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := Announce(rt, cat); err != nil {
+		return nil, nil, err
+	}
+	return cat, rt, nil
+}
+
+// NewCatalog builds the demo tables:
+//
+//	trades(Sym STRING, Day INT, Price FLOAT, Qty INT)        60 rows
+//	stocks(Sym STRING, Sector STRING, Quotes TIMESERIES)      6 rows
+//	incoming(Id INT, Blob BYTES)                              0 rows
+//
+// The empty incoming table exists so the documentation can demonstrate the
+// planner's degenerate-input fallback (an empty sample always plans Naive).
+func NewCatalog() (*catalog.Catalog, error) {
+	cat := catalog.New()
+
+	tradesSchema := types.NewSchema(
+		types.Column{Name: "Sym", Kind: types.KindString},
+		types.Column{Name: "Day", Kind: types.KindInt},
+		types.Column{Name: "Price", Kind: types.KindFloat},
+		types.Column{Name: "Qty", Kind: types.KindInt},
+	)
+	trades, err := storage.NewHeapTable("trades", tradesSchema)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 60; i++ {
+		if err := trades.Insert(types.NewTuple(
+			types.NewString(Symbols[i%len(Symbols)]),
+			types.NewInt(int64(i/len(Symbols))),
+			types.NewFloat(95+float64((i*37)%97)/10),
+			types.NewInt(int64(100*(1+(i*13)%7))),
+		)); err != nil {
+			return nil, err
+		}
+	}
+	if err := cat.AddTable(&catalog.Table{
+		Name: "trades", Schema: tradesSchema, Stats: trades.Stats(), Data: trades,
+	}); err != nil {
+		return nil, err
+	}
+
+	stocksSchema := types.NewSchema(
+		types.Column{Name: "Sym", Kind: types.KindString},
+		types.Column{Name: "Sector", Kind: types.KindString},
+		types.Column{Name: "Quotes", Kind: types.KindTimeSeries},
+	)
+	stocks, err := storage.NewHeapTable("stocks", stocksSchema)
+	if err != nil {
+		return nil, err
+	}
+	for s := range Symbols {
+		if err := stocks.Insert(types.NewTuple(
+			types.NewString(Symbols[s]),
+			types.NewString(sectors[s]),
+			types.NewTimeSeries(Quotes(s)),
+		)); err != nil {
+			return nil, err
+		}
+	}
+	if err := cat.AddTable(&catalog.Table{
+		Name: "stocks", Schema: stocksSchema, Stats: stocks.Stats(), Data: stocks,
+	}); err != nil {
+		return nil, err
+	}
+
+	incomingSchema := types.NewSchema(
+		types.Column{Name: "Id", Kind: types.KindInt},
+		types.Column{Name: "Blob", Kind: types.KindBytes},
+	)
+	incoming, err := storage.NewHeapTable("incoming", incomingSchema)
+	if err != nil {
+		return nil, err
+	}
+	if err := cat.AddTable(&catalog.Table{
+		Name: "incoming", Schema: incomingSchema, Stats: incoming.Stats(), Data: incoming,
+	}); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+// Quotes generates the deterministic quote series for symbol index s. Means
+// climb roughly five points per symbol, so aggregate UDFs over the series
+// order the symbols predictably.
+func Quotes(s int) types.TimeSeries {
+	out := make(types.TimeSeries, QuoteSamples)
+	base := 90 + 5*float64(s)
+	for j := 0; j < QuoteSamples; j++ {
+		out[j] = base + float64((s*31+j*17)%23) - 11
+	}
+	return out
+}
+
+// NewRuntime builds the demo client UDF runtime:
+//
+//	analyze(TIMESERIES) FLOAT    mean quote (small result)
+//	attractive(TIMESERIES) BOOL  mean ≥ AttractiveThreshold (selectivity ~0.5)
+//	chart(TIMESERIES) BYTES      rendered chart (large result, ChartBytes)
+//	score(BYTES) FLOAT           scores an incoming blob
+func NewRuntime() (*client.Runtime, error) {
+	rt := client.NewRuntime()
+	funcs := []*client.Func{
+		{
+			Name:        "analyze",
+			ArgKinds:    []types.Kind{types.KindTimeSeries},
+			ResultKind:  types.KindFloat,
+			ResultSize:  10,
+			PerCallCost: 1,
+			Body: func(args []types.Value) (types.Value, error) {
+				ts, err := args[0].Series()
+				if err != nil {
+					return types.Value{}, err
+				}
+				return types.NewFloat(ts.Mean()), nil
+			},
+		},
+		{
+			Name:        "attractive",
+			ArgKinds:    []types.Kind{types.KindTimeSeries},
+			ResultKind:  types.KindBool,
+			ResultSize:  3,
+			Selectivity: 0.5,
+			PerCallCost: 1,
+			Body: func(args []types.Value) (types.Value, error) {
+				ts, err := args[0].Series()
+				if err != nil {
+					return types.Value{}, err
+				}
+				return types.NewBool(ts.Mean() >= AttractiveThreshold), nil
+			},
+		},
+		{
+			Name:        "chart",
+			ArgKinds:    []types.Kind{types.KindTimeSeries},
+			ResultKind:  types.KindBytes,
+			ResultSize:  ChartBytes + 6,
+			PerCallCost: 4,
+			Body: func(args []types.Value) (types.Value, error) {
+				ts, err := args[0].Series()
+				if err != nil {
+					return types.Value{}, err
+				}
+				out := make([]byte, ChartBytes)
+				for j := range out {
+					out[j] = byte(int(ts[j%len(ts)]) + j)
+				}
+				return types.NewBytes(out), nil
+			},
+		},
+		{
+			Name:        "score",
+			ArgKinds:    []types.Kind{types.KindBytes},
+			ResultKind:  types.KindFloat,
+			ResultSize:  10,
+			PerCallCost: 1,
+			Body: func(args []types.Value) (types.Value, error) {
+				b, err := args[0].Bytes()
+				if err != nil {
+					return types.Value{}, err
+				}
+				sum := 0
+				for _, c := range b {
+					sum += int(c)
+				}
+				return types.NewFloat(float64(sum)), nil
+			},
+		},
+	}
+	for _, f := range funcs {
+		if err := rt.Register(f); err != nil {
+			return nil, err
+		}
+	}
+	return rt, nil
+}
+
+// Announce carries the runtime's UDF metadata into the catalog over the real
+// announcement protocol, as a connecting client runtime would.
+func Announce(rt *client.Runtime, cat *catalog.Catalog) error {
+	serverRaw, clientRaw := net.Pipe()
+	serverConn := wire.NewConn(serverRaw)
+	errCh := make(chan error, 1)
+	go func() { errCh <- rt.Announce(wire.NewConn(clientRaw)) }()
+	for {
+		msg, err := serverConn.Receive()
+		if err != nil {
+			return err
+		}
+		switch msg.Type {
+		case wire.MsgRegisterUDF:
+			reg, err := wire.DecodeRegisterUDF(msg.Payload)
+			if err != nil {
+				return err
+			}
+			if _, err := cat.RegisterClientUDF(reg); err != nil {
+				return err
+			}
+		case wire.MsgEnd:
+			_ = serverConn.Close()
+			return <-errCh
+		default:
+			return fmt.Errorf("demo: unexpected %s during announcement", msg.Type)
+		}
+	}
+}

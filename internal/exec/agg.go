@@ -113,6 +113,12 @@ func NewHashAggregate(input Operator, groupBy []int, aggs []Aggregate) (*HashAgg
 		}
 		cols = append(cols, types.Column{Name: name, Kind: kind})
 	}
+	if groupBy == nil {
+		// A nil group-by list must mean "one global group", but Tuple.Hash
+		// treats nil ordinals as "hash the whole tuple"; normalise so every
+		// input row folds into the same group state.
+		groupBy = []int{}
+	}
 	return &HashAggregate{
 		input: input, groupBy: groupBy, aggs: aggs,
 		schema:    types.NewSchema(cols...),

@@ -32,6 +32,9 @@ func (b *Binder) Bind(e Expr) (Expr, error) {
 	case *Const:
 		return n, nil
 	case *ColumnRef:
+		if n.bound {
+			return n, nil
+		}
 		ord, err := b.Schema.Ordinal(n.Qualifier, n.Name)
 		if err != nil {
 			return nil, err
@@ -127,6 +130,16 @@ func (b *Binder) Bind(e Expr) (Expr, error) {
 		return nil, fmt.Errorf("expr: unknown expression node %T", e)
 	}
 }
+
+// CheckComparable reports whether values of the two kinds may appear on the
+// two sides of a comparison operator. Front ends use it to type-check
+// comparisons before binding.
+func CheckComparable(a, b types.Kind) error { return checkComparable(a, b) }
+
+// ArithmeticKind returns the result kind of an arithmetic operator over
+// operands of the two kinds. Front ends use it to type-check arithmetic
+// before binding.
+func ArithmeticKind(a, b types.Kind) (types.Kind, error) { return arithmeticKind(a, b) }
 
 func checkComparable(a, bK types.Kind) error {
 	if a == types.KindNull || bK == types.KindNull {

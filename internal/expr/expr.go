@@ -129,6 +129,13 @@ func NewColumnRef(qualifier, name string) *ColumnRef {
 	return &ColumnRef{Qualifier: qualifier, Name: name, Ordinal: -1}
 }
 
+// BindColumnRef returns a pre-bound column reference carrying a display
+// name; front ends that resolve ordinals themselves use it so plans render
+// source-level names instead of "$N".
+func BindColumnRef(name string, ordinal int, kind types.Kind) *ColumnRef {
+	return &ColumnRef{Name: name, Ordinal: ordinal, Kind: kind, bound: true}
+}
+
 // ResultKind implements Expr.
 func (c *ColumnRef) ResultKind() types.Kind { return c.Kind }
 

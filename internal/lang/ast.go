@@ -1,0 +1,163 @@
+package lang
+
+import (
+	"csq/internal/expr"
+	"csq/internal/types"
+)
+
+// Query is the AST of one parsed rule: a head and a comma-separated body.
+type Query struct {
+	Head    Head
+	Clauses []Clause
+
+	// Source is the original query text, kept for error rendering.
+	Source string
+}
+
+// Head is the rule head: a relation name and the projected terms.
+type Head struct {
+	Name string
+	Pos  Pos
+	// Terms are the head's output columns, in order.
+	Terms []HeadTerm
+}
+
+// HeadTerm is one head output column: either a plain variable or an
+// aggregate over a variable (or "*" for count).
+type HeadTerm struct {
+	Pos Pos
+	// Var is the projected variable, or the aggregate argument variable.
+	Var string
+	// Agg names the aggregate function ("count", "sum", "min", "max",
+	// "avg"); empty for a plain variable term.
+	Agg string
+	// Star marks count(*).
+	Star bool
+	// Alias optionally names the aggregate's output column ("as Name").
+	Alias string
+}
+
+// Clause is one body clause: a data pattern, a udf application, or a
+// predicate.
+type Clause interface {
+	clausePos() Pos
+}
+
+// Pattern is a data pattern over a catalog table: table(term, ...), matched
+// positionally against the table's columns.
+type Pattern struct {
+	Name string
+	Pos  Pos
+	// Terms match the table columns positionally.
+	Terms []PatternTerm
+}
+
+func (p *Pattern) clausePos() Pos { return p.Pos }
+
+// termKind classifies a pattern term.
+type termKind int
+
+const (
+	termVar termKind = iota
+	termWildcard
+	termLiteral
+)
+
+// PatternTerm is one positional term of a data pattern.
+type PatternTerm struct {
+	Pos  Pos
+	Kind termKind
+	// Var is the variable name for termVar terms.
+	Var string
+	// Lit is the literal value for termLiteral terms.
+	Lit types.Value
+}
+
+// VarTerm is a positioned variable reference (udf clause arguments and
+// results).
+type VarTerm struct {
+	Pos  Pos
+	Name string
+}
+
+// UDFClause is an explicit client-site UDF application:
+// udf name(Args...) as Result.
+type UDFClause struct {
+	Pos Pos // position of the "udf" keyword
+	// Name is the UDF name as announced by the client runtime.
+	Name    string
+	NamePos Pos
+	// Args are the argument variables; each must be bound by a data pattern
+	// or an earlier udf clause.
+	Args []VarTerm
+	// Result is the fresh variable the UDF's result column binds.
+	Result VarTerm
+}
+
+func (u *UDFClause) clausePos() Pos { return u.Pos }
+
+// Predicate is a boolean expression clause filtering the joined relation.
+type Predicate struct {
+	Expr ExprNode
+}
+
+func (p *Predicate) clausePos() Pos { return p.Expr.exprPos() }
+
+// ExprNode is a node of a predicate expression.
+type ExprNode interface {
+	exprPos() Pos
+}
+
+// VarNode references a query variable.
+type VarNode struct {
+	Pos  Pos
+	Name string
+}
+
+func (n *VarNode) exprPos() Pos { return n.Pos }
+
+// WildNode is the anonymous variable; only valid inside data patterns, but
+// parsed everywhere so the compiler can report a positioned error.
+type WildNode struct {
+	Pos Pos
+}
+
+func (n *WildNode) exprPos() Pos { return n.Pos }
+
+// LitNode is a literal value.
+type LitNode struct {
+	Pos Pos
+	Val types.Value
+}
+
+func (n *LitNode) exprPos() Pos { return n.Pos }
+
+// BinNode is a binary operation; Op reuses the expression engine's operator
+// enum.
+type BinNode struct {
+	Pos         Pos // position of the operator
+	Op          expr.Op
+	Left, Right ExprNode
+}
+
+func (n *BinNode) exprPos() Pos { return n.Left.exprPos() }
+
+// UnNode is a unary operation (not, numeric negation).
+type UnNode struct {
+	Pos   Pos
+	Op    expr.Op
+	Input ExprNode
+}
+
+func (n *UnNode) exprPos() Pos { return n.Pos }
+
+// CallNode is a function call: a server-side UDF or a built-in. (A call
+// whose arguments are all variables, wildcards or literals initially parses
+// as a data pattern; see parser.classifyClause.)
+type CallNode struct {
+	Pos  Pos
+	Name string
+	Args []ExprNode
+}
+
+func (n *CallNode) exprPos() Pos { return n.Pos }

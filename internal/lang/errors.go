@@ -1,0 +1,66 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pos is a position in the query source. Line and Column are 1-based;
+// Column counts runes, not bytes.
+type Pos struct {
+	Line   int
+	Column int
+}
+
+// String implements fmt.Stringer.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Column) }
+
+// Error is a lex, parse or resolve failure positioned in the query source.
+// Its rendering includes the offending source line with a caret under the
+// position:
+//
+//	1:14: unknown table "trads"
+//	  high(P) :- trads(_, _, P, _).
+//	             ^
+type Error struct {
+	// Pos is where the problem was detected.
+	Pos Pos
+	// Msg describes the problem.
+	Msg string
+
+	src string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	head := fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+	line, ok := sourceLine(e.src, e.Pos.Line)
+	if !ok {
+		return head
+	}
+	var b strings.Builder
+	b.WriteString(head)
+	b.WriteString("\n  ")
+	b.WriteString(line)
+	b.WriteString("\n  ")
+	for i := 1; i < e.Pos.Column; i++ {
+		b.WriteByte(' ')
+	}
+	b.WriteByte('^')
+	return b.String()
+}
+
+// errf builds a positioned error over the given source.
+func errf(src string, pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...), src: src}
+}
+
+// sourceLine extracts the n-th (1-based) line of src for the caret snippet.
+// Tabs are flattened to single spaces so the rune-counted caret lines up.
+func sourceLine(src string, n int) (string, bool) {
+	lines := strings.Split(src, "\n")
+	if n < 1 || n > len(lines) {
+		return "", false
+	}
+	return strings.ReplaceAll(strings.TrimRight(lines[n-1], "\r"), "\t", " "), true
+}

@@ -1,0 +1,115 @@
+package lang
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"csq/internal/demo"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// badQueries is the catalogue of diagnostics the front end renders: every
+// entry must fail to parse or compile, and the golden file pins the exact
+// line:column position, message and caret snippet of each error.
+var badQueries = []string{
+	// Lexer errors.
+	"ans(A) :- trades(A, _, _, _), A = 'unterminated.",
+	"ans(A) :- trades(A, _, _, _), A = x'0a1'.",
+	"ans(A) :- trades(A, _, _, _), A ? 1.",
+	// Parser errors.
+	"Ans(A) :- trades(A, _, _, _).",
+	"ans() :- trades(_, _, _, _).",
+	"ans(sum(*)) :- trades(_, _, _, _).",
+	"ans(A) :- trades(A, _, _, _)",
+	"ans(A) :- trades(A, _, _, _). extra",
+	"ans(A) :- udf analyze(Q).",
+	"ans(A) :- trades(A, _, _, lowercase).",
+	"ans(A, max()) :- trades(A, _, _, _).",
+	// Resolver errors.
+	"ans(A) :- missing(A).",
+	"ans(A) :- analyze(A).",
+	"ans(A) :- trades(A, _, _).",
+	"ans(A) :- trades(A, _, _, _), stocks(S, _, _).",
+	"ans(A) :- trades(A, B, _, _), B = 'AAA'.",
+	"ans(A, B) :- trades(A, _, _, _).",
+	"ans(A) :- trades(A, _, _, _), Missing > 1.",
+	"ans(A) :- trades(A, _, _, _), A + 1 > 2.",
+	"ans(A) :- trades(A, _, P, _), P.",
+	"ans(A) :- trades(A, _, _, _), udf nosuch(A) as R.",
+	"ans(A) :- trades(A, _, _, _), udf analyze(A) as R.",
+	"ans(A) :- stocks(A, _, Q), udf analyze(Q) as A.",
+	"ans(A) :- stocks(A, _, Q), udf analyze(Unbound) as R.",
+	"ans(R) :- stocks(A, _, Q), R = analyze(Q).",
+	"ans(A) :- trades(A, _, _, _), nosuchfn(A) = 1.",
+	"ans(sum(A)) :- trades(A, _, _, _).",
+	"ans(A) :- stocks(A, Sector, Q), Q = Sector.",
+	"ans(A) :- trades(A, _, _, _), _ > 1.",
+}
+
+// TestErrorRenderingGolden pins the rendered diagnostics — position, message
+// and caret snippet — for every entry of badQueries.
+func TestErrorRenderingGolden(t *testing.T) {
+	cat, _, err := demo.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, src := range badQueries {
+		fmt.Fprintf(&b, "query: %s\n", src)
+		if _, err := Compile(cat, src); err != nil {
+			fmt.Fprintf(&b, "%s\n\n", err)
+		} else {
+			fmt.Fprintf(&b, "UNEXPECTEDLY COMPILED\n\n")
+		}
+	}
+	got := b.String()
+
+	if strings.Contains(got, "UNEXPECTEDLY COMPILED") {
+		t.Errorf("some bad queries compiled:\n%s", got)
+	}
+
+	path := filepath.Join("testdata", "errors.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("error rendering differs from %s (run with -update to regenerate)\ngot:\n%s", path, got)
+	}
+}
+
+// TestErrorPositions spot-checks that diagnostics carry the structured
+// position of the offending token, not just rendered text.
+func TestErrorPositions(t *testing.T) {
+	cat, _, err := demo.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cerr := Compile(cat, "ans(A) :-\n  trades(A, _, _, _),\n  Missing > 1.")
+	if cerr == nil {
+		t.Fatal("want error")
+	}
+	le, ok := cerr.(*Error)
+	if !ok {
+		t.Fatalf("error is %T, want *Error", cerr)
+	}
+	if le.Pos.Line != 3 || le.Pos.Column != 3 {
+		t.Errorf("error at %d:%d, want 3:3", le.Pos.Line, le.Pos.Column)
+	}
+	if !strings.Contains(cerr.Error(), "^") {
+		t.Errorf("rendered error lacks a caret snippet:\n%s", cerr)
+	}
+}

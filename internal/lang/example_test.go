@@ -1,0 +1,67 @@
+package lang_test
+
+import (
+	"fmt"
+
+	"csq/internal/demo"
+	"csq/internal/lang"
+	"csq/internal/logical"
+)
+
+// ExampleParse parses a rule and inspects its AST.
+func ExampleParse() {
+	q, err := lang.Parse("volume(Sym, sum(Qty) as Total) :- trades(Sym, _, _, Qty).")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q.Head.Name)
+	for _, term := range q.Head.Terms {
+		if term.Agg != "" {
+			fmt.Printf("aggregate %s(%s) as %s\n", term.Agg, term.Var, term.Alias)
+		} else {
+			fmt.Printf("variable %s\n", term.Var)
+		}
+	}
+	// Output:
+	// volume
+	// variable Sym
+	// aggregate sum(Qty) as Total
+}
+
+// ExampleCompile compiles a rule with a client-site UDF clause against the
+// demo catalog and prints the resulting logical tree. The compiler emits the
+// naive shape — filters and projections where the rule put them — and leaves
+// optimisation to logical.Rewrite.
+func ExampleCompile() {
+	cat, _, err := demo.New()
+	if err != nil {
+		panic(err)
+	}
+	root, err := lang.Compile(cat,
+		"picks(Sym) :- stocks(Sym, _, Q), udf attractive(Q) as Keep, Keep = true.")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(logical.Format(root))
+	// Output:
+	// project [0]
+	//   filter (Keep = true)
+	//     udf-apply [attractive(2)]
+	//       scan stocks
+}
+
+// ExampleCompile_errors shows the front end's error rendering: every lex,
+// parse and resolve failure carries its line:column position and a caret
+// snippet pointing into the source.
+func ExampleCompile_errors() {
+	cat, _, err := demo.New()
+	if err != nil {
+		panic(err)
+	}
+	_, err = lang.Compile(cat, "ans(X) :- nosuch(X).")
+	fmt.Println(err)
+	// Output:
+	// 1:11: unknown table "nosuch"
+	//   ans(X) :- nosuch(X).
+	//             ^
+}

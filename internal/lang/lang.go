@@ -1,0 +1,52 @@
+// Package lang implements the textual query front end: a small Datalog-style
+// query language that compiles to the logical plan IR in internal/logical.
+//
+// A query is a single rule
+//
+//	head(Term, ...) :- clause, clause, ... .
+//
+// whose body clauses are data patterns over catalog tables (with variable
+// unification), comparison/arithmetic predicates, and explicit client-site
+// UDF applications ("udf name(Args...) as Var"). The head projects variables
+// or aggregates them with count/sum/min/max/avg. See docs/QUERYLANG.md for
+// the full language reference.
+//
+// The pipeline is
+//
+//	Parse (lexer + recursive-descent parser, this package) →
+//	Compile (resolve names against internal/catalog, emit internal/logical) →
+//	logical.Rewrite → plan.Planner.PlanTree (unchanged)
+//
+// so text queries get the same rewrites and per-UDFApply cost-based strategy
+// choice (Naive/SemiJoin/ClientJoin) as hand-built trees.
+//
+// Every lexer, parser and resolver failure is reported as an *Error carrying
+// the 1-based line:column of the offending token and rendering a caret
+// snippet of the source line.
+package lang
+
+import (
+	"csq/internal/catalog"
+	"csq/internal/logical"
+)
+
+// Parse lexes and parses a query, returning its AST. Errors are *Error
+// values positioned in the source.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	return p.parseQuery()
+}
+
+// Compile parses the query and compiles it against the catalog into a
+// logical plan tree, ready for logical.Rewrite and plan lowering.
+func Compile(cat *catalog.Catalog, src string) (logical.Node, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return q.Compile(cat)
+}

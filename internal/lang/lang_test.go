@@ -1,0 +1,249 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"csq/internal/demo"
+	"csq/internal/logical"
+)
+
+// compileFormat compiles src against the demo catalog and returns the logical
+// tree rendered by logical.Format.
+func compileFormat(t *testing.T, src string) string {
+	t.Helper()
+	cat, _, err := demo.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := Compile(cat, src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return logical.Format(node)
+}
+
+func TestCompileShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "filter and project",
+			src:  "high(Sym, Price) :- trades(Sym, _, Price, _), Price > 102.5.",
+			want: "project [0 2]\n  filter (Price > 102.5)\n    scan trades\n",
+		},
+		{
+			name: "literal pattern term",
+			src:  "aaa(Day, Price) :- trades('AAA', Day, Price, _).",
+			want: "project [1 2]\n  filter (Sym = 'AAA')\n    scan trades\n",
+		},
+		{
+			name: "join on shared variable",
+			src:  "detail(Sym, Sector, Price) :- trades(Sym, _, Price, _), stocks(Sym, Sector, _).",
+			want: "project [0 5 2]\n  join left[0]=right[0]\n    scan trades\n    scan stocks\n",
+		},
+		{
+			name: "group aggregate",
+			src:  "volume(Sym, sum(Qty) as Total) :- trades(Sym, _, _, Qty).",
+			want: "aggregate group=[0] aggs=[SUM(3)]\n  scan trades\n",
+		},
+		{
+			name: "global count",
+			src:  "n(count(*)) :- trades(_, _, _, _).",
+			want: "aggregate group=[] aggs=[COUNT(*)]\n  scan trades\n",
+		},
+		{
+			name: "one udf clause",
+			src:  "scored(Sym, Score) :- stocks(Sym, _, Q), udf analyze(Q) as Score.",
+			want: "project [0 3]\n  udf-apply [analyze(2)]\n    scan stocks\n",
+		},
+		{
+			name: "adjacent udf clauses share one apply",
+			src:  "report(Sym, Score, Chart) :- stocks(Sym, _, Q), udf analyze(Q) as Score, udf chart(Q) as Chart, Score > 100.",
+			want: "project [0 3 4]\n  filter (Score > 100)\n    udf-apply [analyze(2) chart(2)]\n      scan stocks\n",
+		},
+		{
+			name: "independent udf clauses share one apply",
+			src:  "both(Sym, M, K) :- stocks(Sym, _, Q), udf analyze(Q) as M, udf attractive(Q) as K.",
+			want: "project [0 3 4]\n  udf-apply [analyze(2) attractive(2)]\n    scan stocks\n",
+		},
+		{
+			name: "chained udf clause splits the apply",
+			src:  "deep(Sym, S) :- stocks(Sym, _, Q), udf chart(Q) as C, udf score(C) as S.",
+			want: "project [0 4]\n  udf-apply [score(3)]\n    udf-apply [chart(2)]\n      scan stocks\n",
+		},
+		{
+			name: "repeated variable in one pattern",
+			src:  "self(Sym) :- stocks(Sym, Sym, _).",
+			want: "project [0]\n  filter (Sym = Sector)\n    scan stocks\n",
+		},
+		{
+			name: "aggregate after group restores head order",
+			src:  "mix(max(Price) as Top, Sym) :- trades(Sym, _, Price, _).",
+			want: "project [1 0]\n  aggregate group=[0] aggs=[MAX(2)]\n    scan trades\n",
+		},
+		{
+			name: "arithmetic predicate",
+			src:  "value(Sym, Day) :- trades(Sym, Day, Price, Qty), Price * Qty > 50000.0.",
+			want: "project [0 1]\n  filter ((Price * Qty) > 50000)\n    scan trades\n",
+		},
+		{
+			name: "predicates conjoin into one filter",
+			src:  "band(Sym) :- trades(Sym, Day, Price, _), Price > 100.0, Day < 5.",
+			want: "project [0]\n  filter ((Price > 100) AND (Day < 5))\n    scan trades\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := compileFormat(t, tc.src); got != tc.want {
+				t.Errorf("compiled tree mismatch\nquery: %s\ngot:\n%s\nwant:\n%s", tc.src, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCompiledTreesRewrite checks the compiler's naive output feeds the
+// rewriter: pushable predicates are absorbed into the UDF apply.
+func TestCompiledTreesRewrite(t *testing.T) {
+	cat, _, err := demo.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := Compile(cat, "picks(Sym) :- stocks(Sym, _, Q), udf attractive(Q) as Keep, Keep = true.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten, err := logical.Rewrite(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := logical.Format(rewritten)
+	want := "udf-apply [attractive(1)] pushable=(Keep = true) project=[0]\n  project [0 2]\n    scan stocks\n"
+	if got != want {
+		t.Errorf("rewritten tree mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q, err := Parse(`x(A) :- t(A, 1, -2, 3.5, .5, 1e3, 'it\'s', x'0a1b', true, false, _).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, ok := q.Clauses[0].(*Pattern)
+	if !ok {
+		t.Fatalf("clause is %T, want *Pattern", q.Clauses[0])
+	}
+	var got []string
+	for _, term := range pat.Terms[1:] {
+		if term.Kind != termLiteral && term.Kind != termWildcard {
+			t.Fatalf("unexpected term kind %v", term.Kind)
+		}
+		if term.Kind == termWildcard {
+			got = append(got, "_")
+			continue
+		}
+		got = append(got, term.Lit.Kind().String()+":"+term.Lit.String())
+	}
+	want := []string{
+		"INT:1", "INT:-2", "FLOAT:3.5", "FLOAT:0.5", "FLOAT:1000",
+		"STRING:it's", "BYTES:<bytes 2>", "BOOL:true", "BOOL:false", "_",
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("literal terms\ngot:  %v\nwant: %v", got, want)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `# header comment
+ans(Sym) :-   # trailing comment
+    trades(Sym, _, _, _).   # another`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("comments should lex away: %v", err)
+	}
+}
+
+func TestParsePositions(t *testing.T) {
+	q, err := Parse("ans(A) :-\n  trades(A, _, _, _),\n  A != 'AAA'.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := q.Clauses[0].(*Pattern)
+	if pat.Pos.Line != 2 || pat.Pos.Column != 3 {
+		t.Errorf("pattern at %d:%d, want 2:3", pat.Pos.Line, pat.Pos.Column)
+	}
+	pred := q.Clauses[1].(*Predicate)
+	if pos := pred.Expr.exprPos(); pos.Line != 3 {
+		t.Errorf("predicate on line %d, want 3", pos.Line)
+	}
+}
+
+// TestCompilePredicateShapes pins the compiled form of the predicate
+// grammar's remaining corners: boolean connectives, negation, unary minus,
+// builtin calls (scalar and time-series), inequality and operator precedence.
+func TestCompilePredicateShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "or",
+			src:  "a(Sym) :- stocks(Sym, Sector, _), Sector = 'tech' or Sector = 'retail'.",
+			want: "project [0]\n  filter ((Sector = 'tech') OR (Sector = 'retail'))\n    scan stocks\n",
+		},
+		{
+			name: "not",
+			src:  "b(Sym) :- stocks(Sym, Sector, _), not Sector = 'tech'.",
+			want: "project [0]\n  filter (NOT (Sector = 'tech'))\n    scan stocks\n",
+		},
+		{
+			name: "explicit and",
+			src:  "c(Sym) :- trades(Sym, Day, _, Qty), Day >= 1 and Qty <= 400.",
+			want: "project [0]\n  filter ((Day >= 1) AND (Qty <= 400))\n    scan trades\n",
+		},
+		{
+			name: "unary minus",
+			src:  "d(Sym) :- trades(Sym, _, Price, _), -Price < -100.0.",
+			want: "project [0]\n  filter ((-Price) < (-100))\n    scan trades\n",
+		},
+		{
+			name: "string builtin",
+			src:  "e(Sym) :- stocks(Sym, Sector, _), length(Sector) = 4.",
+			want: "project [0]\n  filter (length(Sector) = 4)\n    scan stocks\n",
+		},
+		{
+			name: "builtin over arithmetic",
+			src:  "f(Sym) :- trades(Sym, _, Price, _), abs(Price - 100.0) < 1.0.",
+			want: "project [0]\n  filter (abs((Price - 100)) < 1)\n    scan trades\n",
+		},
+		{
+			name: "min max aggregates",
+			src:  "g(Sym, min(Price) as Lo, max(Price) as Hi) :- trades(Sym, _, Price, _).",
+			want: "aggregate group=[0] aggs=[MIN(2) MAX(2)]\n  scan trades\n",
+		},
+		{
+			name: "time-series builtin",
+			src:  "h(Sym) :- stocks(Sym, _, Q), ts_mean(Q) > 101.0.",
+			want: "project [0]\n  filter (ts_mean(Q) > 101)\n    scan stocks\n",
+		},
+		{
+			name: "inequality",
+			src:  "i(Sym) :- trades(Sym, Day, _, _), Day != 3.",
+			want: "project [0]\n  filter (Day <> 3)\n    scan trades\n",
+		},
+		{
+			name: "arithmetic precedence",
+			src:  "j(Sym) :- trades(Sym, Day, Price, _), Day + 1 * 2 = 5, Price / 2.0 > 50.0.",
+			want: "project [0]\n  filter (((Day + (1 * 2)) = 5) AND ((Price / 2) > 50))\n    scan trades\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := compileFormat(t, tc.src); got != tc.want {
+				t.Errorf("compiled tree mismatch\nquery: %s\ngot:\n%s\nwant:\n%s", tc.src, got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,300 @@
+package lang
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+
+	"csq/internal/types"
+)
+
+// lexer turns query text into tokens, tracking 1-based line/column positions
+// in runes. Comments run from '#' to end of line.
+type lexer struct {
+	src   string
+	runes []rune
+	i     int
+	line  int
+	col   int
+}
+
+// lex tokenizes the whole source, appending a tEOF token.
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src, runes: []rune(src), line: 1, col: 1}
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Column: lx.col} }
+
+func (lx *lexer) peek() rune {
+	if lx.i >= len(lx.runes) {
+		return 0
+	}
+	return lx.runes[lx.i]
+}
+
+func (lx *lexer) peekAt(n int) rune {
+	if lx.i+n >= len(lx.runes) {
+		return 0
+	}
+	return lx.runes[lx.i+n]
+}
+
+func (lx *lexer) advance() rune {
+	r := lx.runes[lx.i]
+	lx.i++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *lexer) skipSpace() {
+	for lx.i < len(lx.runes) {
+		r := lx.peek()
+		if r == '#' {
+			for lx.i < len(lx.runes) && lx.peek() != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		if !unicode.IsSpace(r) {
+			return
+		}
+		lx.advance()
+	}
+}
+
+func (lx *lexer) next() (token, error) {
+	lx.skipSpace()
+	pos := lx.pos()
+	if lx.i >= len(lx.runes) {
+		return token{kind: tEOF, pos: pos}, nil
+	}
+	r := lx.peek()
+	switch {
+	case r == '(':
+		lx.advance()
+		return token{kind: tLParen, text: "(", pos: pos}, nil
+	case r == ')':
+		lx.advance()
+		return token{kind: tRParen, text: ")", pos: pos}, nil
+	case r == ',':
+		lx.advance()
+		return token{kind: tComma, text: ",", pos: pos}, nil
+	case r == '.' && !isDigit(lx.peekAt(1)):
+		lx.advance()
+		return token{kind: tDot, text: ".", pos: pos}, nil
+	case r == ':':
+		lx.advance()
+		if lx.peek() != '-' {
+			return token{}, errf(lx.src, pos, "expected ':-' (rule arrow), got ':'")
+		}
+		lx.advance()
+		return token{kind: tTurnstile, text: ":-", pos: pos}, nil
+	case r == '=':
+		lx.advance()
+		return token{kind: tEq, text: "=", pos: pos}, nil
+	case r == '!':
+		lx.advance()
+		if lx.peek() != '=' {
+			return token{}, errf(lx.src, pos, "expected '!=', got '!'")
+		}
+		lx.advance()
+		return token{kind: tNe, text: "!=", pos: pos}, nil
+	case r == '<':
+		lx.advance()
+		switch lx.peek() {
+		case '=':
+			lx.advance()
+			return token{kind: tLe, text: "<=", pos: pos}, nil
+		case '>':
+			lx.advance()
+			return token{kind: tNe, text: "<>", pos: pos}, nil
+		}
+		return token{kind: tLt, text: "<", pos: pos}, nil
+	case r == '>':
+		lx.advance()
+		if lx.peek() == '=' {
+			lx.advance()
+			return token{kind: tGe, text: ">=", pos: pos}, nil
+		}
+		return token{kind: tGt, text: ">", pos: pos}, nil
+	case r == '+':
+		lx.advance()
+		return token{kind: tPlus, text: "+", pos: pos}, nil
+	case r == '-':
+		lx.advance()
+		return token{kind: tMinus, text: "-", pos: pos}, nil
+	case r == '*':
+		lx.advance()
+		return token{kind: tStar, text: "*", pos: pos}, nil
+	case r == '/':
+		lx.advance()
+		return token{kind: tSlash, text: "/", pos: pos}, nil
+	case r == '\'':
+		return lx.lexString(pos)
+	case (r == 'x' || r == 'X') && lx.peekAt(1) == '\'':
+		return lx.lexBytes(pos)
+	case isDigit(r) || (r == '.' && isDigit(lx.peekAt(1))):
+		return lx.lexNumber(pos)
+	case isIdentStart(r):
+		return lx.lexIdent(pos), nil
+	default:
+		return token{}, errf(lx.src, pos, "unexpected character %q", string(r))
+	}
+}
+
+func (lx *lexer) lexIdent(pos Pos) token {
+	var b strings.Builder
+	for lx.i < len(lx.runes) && isIdentPart(lx.peek()) {
+		b.WriteRune(lx.advance())
+	}
+	text := b.String()
+	if text == "_" {
+		return token{kind: tWildcard, text: text, pos: pos}
+	}
+	if k, ok := keywords[text]; ok {
+		t := token{kind: k, text: text, pos: pos}
+		switch k {
+		case tTrue:
+			t.val = types.NewBool(true)
+		case tFalse:
+			t.val = types.NewBool(false)
+		}
+		return t
+	}
+	first := []rune(text)[0]
+	if unicode.IsUpper(first) {
+		return token{kind: tVar, text: text, pos: pos}
+	}
+	return token{kind: tName, text: text, pos: pos}
+}
+
+func (lx *lexer) lexNumber(pos Pos) (token, error) {
+	var b strings.Builder
+	isFloat := false
+	for lx.i < len(lx.runes) && isDigit(lx.peek()) {
+		b.WriteRune(lx.advance())
+	}
+	if lx.peek() == '.' && isDigit(lx.peekAt(1)) {
+		isFloat = true
+		b.WriteRune(lx.advance())
+		for lx.i < len(lx.runes) && isDigit(lx.peek()) {
+			b.WriteRune(lx.advance())
+		}
+	}
+	if r := lx.peek(); r == 'e' || r == 'E' {
+		isFloat = true
+		b.WriteRune(lx.advance())
+		if r := lx.peek(); r == '+' || r == '-' {
+			b.WriteRune(lx.advance())
+		}
+		if !isDigit(lx.peek()) {
+			return token{}, errf(lx.src, pos, "malformed number %q: exponent needs digits", b.String())
+		}
+		for lx.i < len(lx.runes) && isDigit(lx.peek()) {
+			b.WriteRune(lx.advance())
+		}
+	}
+	text := b.String()
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, errf(lx.src, pos, "malformed number %q", text)
+		}
+		return token{kind: tFloat, text: text, pos: pos, val: types.NewFloat(f)}, nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return token{}, errf(lx.src, pos, "integer %q out of range", text)
+	}
+	return token{kind: tInt, text: text, pos: pos, val: types.NewInt(n)}, nil
+}
+
+func (lx *lexer) lexString(pos Pos) (token, error) {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for {
+		if lx.i >= len(lx.runes) || lx.peek() == '\n' {
+			return token{}, errf(lx.src, pos, "unterminated string literal")
+		}
+		r := lx.advance()
+		switch r {
+		case '\'':
+			s := b.String()
+			return token{kind: tString, text: "'" + s + "'", pos: pos, val: types.NewString(s)}, nil
+		case '\\':
+			if lx.i >= len(lx.runes) {
+				return token{}, errf(lx.src, pos, "unterminated string literal")
+			}
+			esc := lx.advance()
+			switch esc {
+			case '\'', '\\':
+				b.WriteRune(esc)
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			default:
+				return token{}, errf(lx.src, pos, "unknown escape \\%s in string literal", string(esc))
+			}
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+func (lx *lexer) lexBytes(pos Pos) (token, error) {
+	lx.advance() // x
+	lx.advance() // opening quote
+	var hex strings.Builder
+	for {
+		if lx.i >= len(lx.runes) || lx.peek() == '\n' {
+			return token{}, errf(lx.src, pos, "unterminated bytes literal")
+		}
+		r := lx.advance()
+		if r == '\'' {
+			break
+		}
+		hex.WriteRune(r)
+	}
+	digits := hex.String()
+	if len(digits)%2 != 0 {
+		return token{}, errf(lx.src, pos, "bytes literal needs an even number of hex digits")
+	}
+	out := make([]byte, 0, len(digits)/2)
+	for i := 0; i < len(digits); i += 2 {
+		n, err := strconv.ParseUint(digits[i:i+2], 16, 8)
+		if err != nil {
+			return token{}, errf(lx.src, pos, "bytes literal: %q is not a hex byte", digits[i:i+2])
+		}
+		out = append(out, byte(n))
+	}
+	return token{kind: tBytes, text: "x'" + digits + "'", pos: pos, val: types.NewBytes(out)}, nil
+}
+
+func isDigit(r rune) bool { return r >= '0' && r <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,75 @@
+package lang
+
+import "csq/internal/types"
+
+// tokenKind enumerates the lexical token classes.
+type tokenKind int
+
+const (
+	tEOF tokenKind = iota
+	// tName is a lower-case-leading identifier: a table, UDF or builtin name.
+	tName
+	// tVar is an upper-case-leading identifier: a query variable.
+	tVar
+	// tWildcard is the anonymous variable "_".
+	tWildcard
+	tInt
+	tFloat
+	tString
+	tBytes
+	tLParen
+	tRParen
+	tComma
+	tDot
+	tTurnstile // ":-"
+	tEq
+	tNe
+	tLt
+	tLe
+	tGt
+	tGe
+	tPlus
+	tMinus
+	tStar
+	tSlash
+	// Reserved words (always lower-case; upper-case spellings are variables).
+	tUDF
+	tAs
+	tAnd
+	tOr
+	tNot
+	tTrue
+	tFalse
+)
+
+// token is one lexical token with its source position and decoded literal
+// value (for literal kinds).
+type token struct {
+	kind tokenKind
+	// text is the raw spelling, used in error messages.
+	text string
+	pos  Pos
+	// val holds the decoded value of literal tokens.
+	val types.Value
+}
+
+// describe renders the token for "unexpected ..." parse errors.
+func (t token) describe() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return "'" + t.text + "'"
+}
+
+// keywords maps reserved spellings to their token kinds. Only exact
+// lower-case spellings are reserved; Count, AS etc. lex as variables or are
+// plain names.
+var keywords = map[string]tokenKind{
+	"udf":   tUDF,
+	"as":    tAs,
+	"and":   tAnd,
+	"or":    tOr,
+	"not":   tNot,
+	"true":  tTrue,
+	"false": tFalse,
+}

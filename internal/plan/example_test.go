@@ -1,0 +1,57 @@
+package plan_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"csq/internal/demo"
+	"csq/internal/exec"
+	"csq/internal/lang"
+	"csq/internal/netsim"
+	"csq/internal/plan"
+)
+
+// ExamplePlanner_PlanTree compiles a textual query against the demo catalog
+// and plans it over an in-process client link. The link observation is fixed
+// (symmetric 3600 B/s, 200 ms RTT) instead of probed, so the strategy
+// decision is deterministic; docs/QUERYLANG.md documents the same setup.
+func ExamplePlanner_PlanTree() {
+	cat, rt, err := demo.New()
+	if err != nil {
+		panic(err)
+	}
+	root, err := lang.Compile(cat,
+		"scored(Sym, Score) :- stocks(Sym, _, Q), udf analyze(Q) as Score.")
+	if err != nil {
+		panic(err)
+	}
+
+	planner := plan.NewPlanner(exec.NewInProcessLink(rt, netsim.LinkConfig{}))
+	planner.Config.Link = &exec.LinkObservation{
+		DownBytesPerSec: 3600,
+		UpBytesPerSec:   3600,
+		Asymmetry:       1,
+		RTT:             200 * time.Millisecond,
+	}
+	tp, err := planner.PlanTree(context.Background(), root, cat)
+	if err != nil {
+		panic(err)
+	}
+	for _, ap := range tp.Applies {
+		fmt.Println(ap.Decision.Strategy)
+	}
+
+	op, err := tp.NewOperator()
+	if err != nil {
+		panic(err)
+	}
+	rows, err := exec.Collect(context.Background(), op)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d rows\n", len(rows))
+	// Output:
+	// semi-join
+	// 6 rows
+}

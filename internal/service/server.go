@@ -12,6 +12,7 @@ import (
 
 	"csq/internal/exec"
 	"csq/internal/expr"
+	"csq/internal/lang"
 	"csq/internal/logical"
 	"csq/internal/plan"
 	"csq/internal/types"
@@ -76,7 +77,7 @@ func (c *stallGuardConn) Write(p []byte) (int, error) {
 }
 
 // serverCaps is the capability subset this server supports.
-const serverCaps = wire.CapCancel
+const serverCaps = wire.CapCancel | wire.CapTextQuery
 
 // NewServer builds a wire front-end over the service.
 func NewServer(svc *Service) *Server {
@@ -306,9 +307,14 @@ func (s *Server) sendError(conn *wire.Conn, session uint64, msg string) error {
 	return conn.Send(wire.MsgError, wire.EncodeError(&wire.ErrorMsg{SessionID: session, Message: msg}))
 }
 
-// buildTree assembles the spec's logical tree: scan → [filter] → [udf-apply
-// with pushable/projection] over the named catalog table.
+// buildTree assembles the spec's logical tree. A textual query (spec.Text) is
+// parsed, resolved and compiled server-side against the service catalog;
+// otherwise the structural fields describe the classic scan → [filter] →
+// [udf-apply with pushable/projection] shape over one named table.
 func (s *Server) buildTree(spec *wire.QuerySpec) (logical.Node, error) {
+	if spec.Text != "" {
+		return lang.Compile(s.svc.cat, spec.Text)
+	}
 	table, err := s.svc.cat.Table(spec.Table)
 	if err != nil {
 		return nil, err
@@ -586,6 +592,21 @@ func (r *Requester) Submit(spec wire.QuerySpec) (*RemoteQuery, error) {
 		return nil, fmt.Errorf("service: query rejected: %s", ev.ack.Error)
 	}
 	return &RemoteQuery{r: r, id: spec.QueryID, caps: ev.ack.Caps, ch: ch}, nil
+}
+
+// SubmitText submits a textual query (see docs/QUERYLANG.md) for server-side
+// parsing and planning. The spec carries the query's envelope — ClientAddr,
+// MemBudget, TimeoutMillis — while its structural fields are ignored. A server
+// too old to understand query text rejects the spec at decode time, so the
+// submission fails cleanly rather than misbehaving.
+func (r *Requester) SubmitText(text string, spec wire.QuerySpec) (*RemoteQuery, error) {
+	spec.Text = text
+	spec.Table = ""
+	spec.Filter = nil
+	spec.UDFs = nil
+	spec.Pushable = nil
+	spec.Project = nil
+	return r.Submit(spec)
 }
 
 func (r *Requester) drop(id uint64) {

@@ -29,6 +29,10 @@ const (
 	// CapStats: the server appends a lifecycle-stats line to the final MsgEnd
 	// (reserved; not yet populated).
 	CapStats uint32 = 1 << 1
+	// CapTextQuery: the server parses, resolves and plans textual queries
+	// carried in QuerySpec.Text. Requesters must not send Text to a server
+	// that has not echoed this bit.
+	CapTextQuery uint32 = 1 << 2
 )
 
 // QuerySpec is the wire form of a service query: the common
@@ -62,6 +66,13 @@ type QuerySpec struct {
 	MemBudget int64
 	// TimeoutMillis, when > 0, bounds the query's wall-clock time.
 	TimeoutMillis int64
+	// Text, when non-empty, is a textual query (see docs/QUERYLANG.md) the
+	// server parses and plans; Table, Filter, UDFs, Pushable and Project are
+	// then ignored. Text is encoded as an optional trailing field — specs
+	// without it are byte-identical to the pre-text encoding, and decoders
+	// treat a missing trailer as empty — so old requesters and old servers
+	// interoperate; the feature is gated on CapTextQuery.
+	Text string
 }
 
 // QueryAck is the server's admission answer to a MsgQuery.
@@ -81,8 +92,8 @@ type Cancel struct {
 
 // EncodeQuerySpec serialises a QuerySpec.
 func EncodeQuerySpec(q *QuerySpec) ([]byte, error) {
-	if q.Table == "" {
-		return nil, fmt.Errorf("wire: query spec needs a table")
+	if q.Table == "" && q.Text == "" {
+		return nil, fmt.Errorf("wire: query spec needs a table or query text")
 	}
 	var dst []byte
 	dst = binary.LittleEndian.AppendUint64(dst, q.QueryID)
@@ -101,6 +112,9 @@ func EncodeQuerySpec(q *QuerySpec) ([]byte, error) {
 	dst = appendString(dst, q.ClientAddr)
 	dst = binary.AppendUvarint(dst, uint64(q.MemBudget))
 	dst = binary.AppendUvarint(dst, uint64(q.TimeoutMillis))
+	if q.Text != "" {
+		dst = appendString(dst, q.Text)
+	}
 	return dst, nil
 }
 
@@ -183,6 +197,14 @@ func DecodeQuerySpec(src []byte) (*QuerySpec, error) {
 	}
 	off += c
 	q.TimeoutMillis = int64(timeout)
+	if off < len(src) {
+		text, n, err := readString(src[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: query spec text: %w", err)
+		}
+		q.Text = text
+		off += n
+	}
 	if off != len(src) {
 		return nil, fmt.Errorf("wire: query spec: %d trailing bytes", len(src)-off)
 	}
