@@ -7,8 +7,10 @@
 //
 // Usage:
 //
-//	udfserverd [-addr :7443] [-max-concurrent 8] [-mem-budget 67108864]
-//	           [-hard-mem-limit 0] [-timeout 30s] [-spill-dir ""]
+//	udfserverd [-addr :7443] [-max-concurrent 8] [-max-queued 64]
+//	           [-max-queue-wait 0] [-mem-budget 67108864]
+//	           [-hard-mem-limit 0] [-timeout 30s] [-stall-timeout 0]
+//	           [-drain-timeout 10s] [-spill-dir ""]
 //	           [-demo-rows 0] [-stats-every 0]
 //	           [-max-redials 0] [-redial-backoff 0]
 //
@@ -16,6 +18,14 @@
 // how often a lost UDF session is redialled before the operator degrades
 // onto its surviving sessions, and how long to back off between attempts
 // (doubling per attempt, capped and jittered).
+//
+// Overload and shutdown behavior (see docs/OPERATIONS.md): -max-queued and
+// -max-queue-wait bound the admission queue; queries past the bound are shed
+// with typed retryable rejects. -stall-timeout arms the stuck-query watchdog.
+// SIGTERM/SIGINT drains gracefully — running queries finish (up to
+// -drain-timeout), queued and new ones are shed as draining; a second signal
+// aborts the drain and cancels everything. When -spill-dir is set, startup
+// sweeps it for spill namespaces orphaned by a crashed previous run.
 //
 // With -demo-rows N the daemon seeds an "objects" table with N deterministic
 // rows (ID string, Payload bytes, Extra bytes) so a fresh build can be
@@ -26,6 +36,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -43,19 +54,119 @@ import (
 	"csq/internal/types"
 )
 
+// options collects the daemon's flag values so they can be validated (and
+// tested) as one unit before anything binds or seeds.
+type options struct {
+	addr          string
+	maxConcurrent int
+	maxQueued     int
+	maxQueueWait  time.Duration
+	memBudget     int64
+	hardLimit     int64
+	timeout       time.Duration
+	stallTimeout  time.Duration
+	drainTimeout  time.Duration
+	spillDir      string
+	statsEvery    time.Duration
+	redialBackoff time.Duration
+}
+
+// validate rejects nonsensical settings with a one-line error before the
+// daemon binds a socket or seeds a catalog.
+func (o *options) validate() error {
+	if o.addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	if o.maxConcurrent < 1 {
+		return fmt.Errorf("-max-concurrent must be >= 1 (got %d)", o.maxConcurrent)
+	}
+	if o.maxQueued < 1 {
+		return fmt.Errorf("-max-queued must be >= 1 (got %d)", o.maxQueued)
+	}
+	if o.maxQueueWait < 0 {
+		return fmt.Errorf("-max-queue-wait must be >= 0 (got %v)", o.maxQueueWait)
+	}
+	if o.memBudget < 0 {
+		return fmt.Errorf("-mem-budget must be >= 0 (got %d)", o.memBudget)
+	}
+	if o.hardLimit < 0 {
+		return fmt.Errorf("-hard-mem-limit must be >= 0 (got %d)", o.hardLimit)
+	}
+	if o.hardLimit > 0 && o.memBudget > o.hardLimit {
+		return fmt.Errorf("-mem-budget (%d) must not exceed -hard-mem-limit (%d)", o.memBudget, o.hardLimit)
+	}
+	if o.timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0 (got %v)", o.timeout)
+	}
+	if o.stallTimeout < 0 {
+		return fmt.Errorf("-stall-timeout must be >= 0 (got %v)", o.stallTimeout)
+	}
+	if o.drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be > 0 (got %v)", o.drainTimeout)
+	}
+	if o.statsEvery < 0 {
+		return fmt.Errorf("-stats-every must be >= 0 (got %v)", o.statsEvery)
+	}
+	if o.redialBackoff < 0 {
+		return fmt.Errorf("-redial-backoff must be >= 0 (got %v)", o.redialBackoff)
+	}
+	if o.spillDir != "" {
+		if err := probeSpillDir(o.spillDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// probeSpillDir verifies the spill directory exists (creating it if needed)
+// and is writable, by round-tripping a probe file.
+func probeSpillDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("-spill-dir %q is not usable: %v", dir, err)
+	}
+	f, err := os.CreateTemp(dir, "csq-probe-*")
+	if err != nil {
+		return fmt.Errorf("-spill-dir %q is not writable: %v", dir, err)
+	}
+	name := f.Name()
+	_ = f.Close()
+	_ = os.Remove(name)
+	return nil
+}
+
 func main() {
-	addr := flag.String("addr", ":7443", "listen address for requester connections")
-	maxConcurrent := flag.Int("max-concurrent", service.DefaultMaxConcurrent, "global admission limit (concurrent queries)")
-	memBudget := flag.Int64("mem-budget", 64<<20, "per-query soft memory budget in bytes (spill threshold, 0 = unlimited)")
-	hardLimit := flag.Int64("hard-mem-limit", 0, "per-query hard memory limit in bytes (query fails beyond it, 0 = none)")
-	timeout := flag.Duration("timeout", 0, "default per-query deadline (0 = none)")
-	spillDir := flag.String("spill-dir", "", "directory for spill runs (empty = system temp dir)")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":7443", "listen address for requester connections")
+	flag.IntVar(&o.maxConcurrent, "max-concurrent", service.DefaultMaxConcurrent, "global admission limit (concurrent queries)")
+	flag.IntVar(&o.maxQueued, "max-queued", service.DefaultMaxQueued, "admission queue bound; submissions past it are shed as overloaded")
+	flag.DurationVar(&o.maxQueueWait, "max-queue-wait", 0, "absolute cap on one query's admission wait (0 = deadline-derived only)")
+	flag.Int64Var(&o.memBudget, "mem-budget", 64<<20, "per-query soft memory budget in bytes (spill threshold, 0 = unlimited)")
+	flag.Int64Var(&o.hardLimit, "hard-mem-limit", 0, "per-query hard memory limit in bytes (query fails beyond it, 0 = none)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "default per-query deadline (0 = none)")
+	flag.DurationVar(&o.stallTimeout, "stall-timeout", 0, "cancel queries with no progress for this long (0 = watchdog off)")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "how long SIGTERM waits for running queries before cancelling them")
+	flag.StringVar(&o.spillDir, "spill-dir", "", "directory for spill runs (empty = system temp dir, no crash recovery)")
 	demoRows := flag.Int("demo-rows", 0, "seed an 'objects' demo table with this many rows")
 	demoCatalog := flag.Bool("demo", false, "seed the documentation's demo catalog (trades, stocks, incoming) and serve its client UDFs")
-	statsEvery := flag.Duration("stats-every", 0, "print per-query lifecycle stats on this interval (0 = off)")
+	flag.DurationVar(&o.statsEvery, "stats-every", 0, "print per-query lifecycle stats on this interval (0 = off)")
 	maxRedials := flag.Int("max-redials", 0, "reconnection attempts per lost UDF session (0 = default, negative = degrade immediately)")
-	redialBackoff := flag.Duration("redial-backoff", 0, "base backoff between session redial attempts, doubling per attempt (0 = default)")
+	flag.DurationVar(&o.redialBackoff, "redial-backoff", 0, "base backoff between session redial attempts, doubling per attempt (0 = default)")
 	flag.Parse()
+	if err := o.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "udfserverd: %v\n", err)
+		os.Exit(2)
+	}
+
+	if o.spillDir != "" {
+		// Reclaim spill namespaces a crashed previous run left behind; live
+		// servers sharing the root are untouched (the sweep is pid-aware).
+		removed, bytes, err := storage.SweepSpillDirs(o.spillDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "udfserverd: spill sweep: %v\n", err)
+		} else if len(removed) > 0 {
+			fmt.Printf("udfserverd: reclaimed %d orphaned spill namespace(s), %d bytes\n", len(removed), bytes)
+		}
+	}
 
 	cat := catalog.New()
 	if *demoCatalog {
@@ -87,21 +198,28 @@ func main() {
 	}
 
 	cfg := service.Config{
-		MaxConcurrent:  *maxConcurrent,
-		MemBudget:      *memBudget,
-		HardMemLimit:   *hardLimit,
-		DefaultTimeout: *timeout,
-		TempDir:        *spillDir,
+		MaxConcurrent:  o.maxConcurrent,
+		MaxQueued:      o.maxQueued,
+		MaxQueueWait:   o.maxQueueWait,
+		MemBudget:      o.memBudget,
+		HardMemLimit:   o.hardLimit,
+		DefaultTimeout: o.timeout,
+		StallTimeout:   o.stallTimeout,
+		TempDir:        o.spillDir,
 	}
-	cfg.Planner.Retry = exec.RetryConfig{MaxRedials: *maxRedials, Backoff: *redialBackoff}
+	cfg.Planner.Retry = exec.RetryConfig{MaxRedials: *maxRedials, Backoff: o.redialBackoff}
 	svc := service.New(cat, cfg)
 	srv := service.NewServer(svc)
 
-	if *statsEvery > 0 {
+	if o.statsEvery > 0 {
 		go func() {
-			t := time.NewTicker(*statsEvery)
+			t := time.NewTicker(o.statsEvery)
 			defer t.Stop()
 			for range t.C {
+				ss := svc.Stats()
+				fmt.Printf("udfserverd: service active=%d admitted=%d shed_overload=%d shed_draining=%d stall_cancels=%d queue=%d/%d wait_p99=%v\n",
+					ss.Active, ss.Admission.Admitted, ss.Admission.ShedOverload, ss.Admission.ShedDraining,
+					ss.StallCancels, ss.Admission.Queued, ss.Admission.QueuedPeak, ss.Admission.WaitP99)
 				for _, st := range svc.Queries() {
 					fmt.Printf("udfserverd: query %d %s rows=%d mem_peak=%dB spills=%d spilled=%dB strategies=%v redials=%d failovers=%d sessions_lost=%d err=%q\n",
 						st.ID, st.State, st.Rows, st.MemPeakBytes, st.SpillEvents, st.SpilledBytes, st.Strategies,
@@ -111,19 +229,43 @@ func main() {
 		}()
 	}
 
-	sig := make(chan os.Signal, 1)
+	// SIGTERM/SIGINT starts a graceful drain: running queries get up to
+	// -drain-timeout to finish and flush their final frames, queued and new
+	// submissions are shed as draining. A second signal aborts the drain.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	shutdownDone := make(chan struct{})
 	go func() {
 		<-sig
-		fmt.Println("udfserverd: shutting down")
-		srv.Close()
+		fmt.Printf("udfserverd: draining (up to %v; signal again to abort)\n", o.drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+		defer cancel()
+		done := make(chan error, 1)
+		go func() { done <- srv.Shutdown(ctx) }()
+		select {
+		case err := <-done:
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "udfserverd: drain incomplete: %v\n", err)
+			} else {
+				fmt.Println("udfserverd: drained cleanly")
+			}
+		case <-sig:
+			fmt.Println("udfserverd: second signal, aborting drain")
+			cancel()
+			srv.Close()
+			<-done
+		}
+		close(shutdownDone)
 	}()
 
-	fmt.Printf("udfserverd: listening on %s (admission=%d, mem-budget=%dB)\n", *addr, *maxConcurrent, *memBudget)
-	if err := srv.ListenAndServe(*addr); err != nil {
+	fmt.Printf("udfserverd: listening on %s (admission=%d, queue=%d, mem-budget=%dB)\n", o.addr, o.maxConcurrent, o.maxQueued, o.memBudget)
+	if err := srv.ListenAndServe(o.addr); err != nil {
 		fmt.Fprintf(os.Stderr, "udfserverd: %v\n", err)
 		os.Exit(1)
 	}
+	// A nil return means the listener closed under us — the signal handler is
+	// mid-drain; wait for it so admitted queries flush before the process exits.
+	<-shutdownDone
 }
 
 // seedDemo creates the demo table the README's walk-through queries.

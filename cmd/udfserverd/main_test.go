@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// validOptions returns a baseline that passes validation; tests perturb one
+// field at a time.
+func validOptions() options {
+	return options{
+		addr:          ":7443",
+		maxConcurrent: 8,
+		maxQueued:     64,
+		drainTimeout:  10 * time.Second,
+		memBudget:     64 << 20,
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	o := validOptions()
+	if err := o.validate(); err != nil {
+		t.Fatalf("baseline options rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsNonsense(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantSub string
+	}{
+		{"empty addr", func(o *options) { o.addr = "" }, "-addr"},
+		{"zero concurrency", func(o *options) { o.maxConcurrent = 0 }, "-max-concurrent"},
+		{"negative concurrency", func(o *options) { o.maxConcurrent = -3 }, "-max-concurrent"},
+		{"zero queue", func(o *options) { o.maxQueued = 0 }, "-max-queued"},
+		{"negative queue wait", func(o *options) { o.maxQueueWait = -time.Second }, "-max-queue-wait"},
+		{"negative mem budget", func(o *options) { o.memBudget = -1 }, "-mem-budget"},
+		{"negative hard limit", func(o *options) { o.hardLimit = -1 }, "-hard-mem-limit"},
+		{"budget above hard limit", func(o *options) { o.memBudget = 100; o.hardLimit = 50 }, "-mem-budget"},
+		{"negative timeout", func(o *options) { o.timeout = -time.Second }, "-timeout"},
+		{"negative stall timeout", func(o *options) { o.stallTimeout = -time.Second }, "-stall-timeout"},
+		{"zero drain timeout", func(o *options) { o.drainTimeout = 0 }, "-drain-timeout"},
+		{"negative stats interval", func(o *options) { o.statsEvery = -time.Second }, "-stats-every"},
+		{"negative redial backoff", func(o *options) { o.redialBackoff = -time.Second }, "-redial-backoff"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := validOptions()
+			tc.mutate(&o)
+			err := o.validate()
+			if err == nil {
+				t.Fatalf("validation accepted nonsense")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name the offending flag %q", err, tc.wantSub)
+			}
+			if strings.ContainsRune(err.Error(), '\n') {
+				t.Fatalf("error is not one line: %q", err)
+			}
+		})
+	}
+}
+
+func TestValidateSpillDir(t *testing.T) {
+	o := validOptions()
+	o.spillDir = filepath.Join(t.TempDir(), "spill") // created by the probe
+	if err := o.validate(); err != nil {
+		t.Fatalf("creatable spill dir rejected: %v", err)
+	}
+	if fi, err := os.Stat(o.spillDir); err != nil || !fi.IsDir() {
+		t.Fatalf("probe did not create the spill dir: %v", err)
+	}
+
+	if os.Getuid() == 0 {
+		t.Skip("root writes anywhere; unwritable-dir case is meaningless")
+	}
+	locked := filepath.Join(t.TempDir(), "locked")
+	if err := os.Mkdir(locked, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	o.spillDir = filepath.Join(locked, "spill")
+	if err := o.validate(); err == nil {
+		t.Fatal("unwritable spill dir accepted")
+	}
+}

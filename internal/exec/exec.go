@@ -214,6 +214,7 @@ func NetStatsOf(op Operator) NetStats {
 // which is noise next to its per-row evaluation and allocation costs.
 type baseState struct {
 	ctx    context.Context
+	prog   *Progress
 	opened bool
 	closed bool
 }
@@ -221,6 +222,7 @@ type baseState struct {
 // markOpen records a successful Open and the query context it ran under.
 func (b *baseState) markOpen(ctx context.Context) {
 	b.ctx = ctx
+	b.prog = ProgressFrom(ctx)
 	b.opened = true
 	b.closed = false
 }
@@ -232,6 +234,10 @@ func (b *baseState) checkOpen() error {
 	if b.closed {
 		return fmt.Errorf("exec: operator used after Close")
 	}
+	// Every live batch (or row, on the scalar path) boundary is a heartbeat:
+	// the stuck-query watchdog sees the counter freeze exactly when the
+	// operator tree stops getting here.
+	b.prog.Tick()
 	if b.ctx != nil {
 		// Returned unwrapped so callers observe context.Canceled /
 		// context.DeadlineExceeded with errors.Is.

@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
+
+	"csq/internal/storage"
 )
 
 // MemTracker is the per-query memory governor. Memory-hungry operators (the
@@ -27,6 +30,17 @@ type MemTracker struct {
 	hard    int64  // hard failure threshold; <= 0 means none
 	tempDir string // spill directory; empty means the system temp dir
 
+	// Crash-safe spill namespacing: when a spill root is configured and a
+	// query ID is bound, every spill run is a retained (named) file inside a
+	// per-query namespace directory under the root. The namespace is created
+	// lazily on first spill, removed by CleanupSpill when the query finishes,
+	// and reclaimed by storage.SweepSpillDirs after a crash.
+	nsQueryID uint64
+	nsBound   bool
+	nsMu      sync.Mutex
+	nsDir     string
+	nsErr     error
+
 	used         atomic.Int64
 	peak         atomic.Int64
 	spillEvents  atomic.Int64
@@ -48,6 +62,50 @@ func (t *MemTracker) SetHardLimit(n int64) { t.hard = n }
 
 // SetTempDir sets the directory spill runs are created in.
 func (t *MemTracker) SetTempDir(dir string) { t.tempDir = dir }
+
+// BindSpillNamespace enables crash-safe per-query spill namespacing: spill
+// runs become retained files inside storage.SpillNamespace(tempDir, queryID),
+// created on first spill. Without a configured temp dir the call is a no-op
+// and runs stay anonymous (unlinked) in the system temp dir.
+func (t *MemTracker) BindSpillNamespace(queryID uint64) {
+	if t == nil || t.tempDir == "" {
+		return
+	}
+	t.nsQueryID = queryID
+	t.nsBound = true
+}
+
+// NewSpillRun creates one spill run governed by this tracker: a retained run
+// inside the query's namespace when one is bound, an anonymous unlinked run
+// in the temp dir otherwise. Nil-safe.
+func (t *MemTracker) NewSpillRun() (*storage.RunWriter, error) {
+	if t == nil || !t.nsBound {
+		return storage.NewRunWriter(t.TempDir())
+	}
+	t.nsMu.Lock()
+	if t.nsDir == "" && t.nsErr == nil {
+		t.nsDir, t.nsErr = storage.CreateSpillNamespace(t.tempDir, t.nsQueryID)
+	}
+	dir, err := t.nsDir, t.nsErr
+	t.nsMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return storage.NewRetainedRunWriter(dir)
+}
+
+// CleanupSpill removes the query's spill namespace (and any runs a failed
+// query left inside it). Safe to call whether or not anything spilled.
+func (t *MemTracker) CleanupSpill() {
+	if t == nil {
+		return
+	}
+	t.nsMu.Lock()
+	dir := t.nsDir
+	t.nsDir, t.nsErr = "", nil
+	t.nsMu.Unlock()
+	_ = storage.RemoveSpillNamespace(dir)
+}
 
 // TempDir returns the spill directory ("" selects the system temp dir).
 func (t *MemTracker) TempDir() string {

@@ -1,0 +1,58 @@
+package exec
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Progress is a per-query heartbeat counter. Every operator bumps it at its
+// batch boundaries (the same points the query context is checked), and the
+// spill loops bump it at their periodic context checks — so the counter
+// advances whenever the query is doing work, and freezes exactly when the
+// query is wedged: a hung session dial, a peer that stopped answering, an
+// operator deadlocked on a dead link.
+//
+// The service's stuck-query watchdog compares snapshots of the counter
+// between sweeps and cancels queries whose count stopped advancing inside the
+// stall window. A nil *Progress is valid and counts nothing, so operators
+// tick unconditionally.
+type Progress struct {
+	n atomic.Int64
+}
+
+// Tick records one unit of forward progress. Safe (and free) on nil.
+func (p *Progress) Tick() {
+	if p != nil {
+		p.n.Add(1)
+	}
+}
+
+// Count returns the heartbeats recorded so far. Zero on nil.
+func (p *Progress) Count() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.n.Load()
+}
+
+// progressKey carries the query's Progress through the Open-time context.
+type progressKey struct{}
+
+// WithProgress returns a context carrying the heartbeat counter; operators
+// pick it up in Open. The service layer installs one per query.
+func WithProgress(ctx context.Context, p *Progress) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressKey{}, p)
+}
+
+// ProgressFrom extracts the query's heartbeat counter from an Open context;
+// it returns nil (a valid, no-op counter) when none is installed.
+func ProgressFrom(ctx context.Context) *Progress {
+	if ctx == nil {
+		return nil
+	}
+	p, _ := ctx.Value(progressKey{}).(*Progress)
+	return p
+}

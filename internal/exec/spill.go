@@ -48,12 +48,13 @@ func spillPartitions(n int) int {
 	return n
 }
 
-// newRunSet creates one spill run per partition, discarding everything on
-// failure.
-func newRunSet(dir string, parts int) ([]*storage.RunWriter, error) {
+// newRunSet creates one spill run per partition through the query's tracker
+// (retained namespaced runs under a managed spill root, anonymous unlinked
+// runs otherwise), discarding everything on failure.
+func newRunSet(tracker *MemTracker, parts int) ([]*storage.RunWriter, error) {
 	runs := make([]*storage.RunWriter, parts)
 	for i := range runs {
-		w, err := storage.NewRunWriter(dir)
+		w, err := tracker.NewSpillRun()
 		if err != nil {
 			for _, open := range runs[:i] {
 				_ = open.Discard()
@@ -131,7 +132,7 @@ func beginJoinSpill(j *HashJoin) (*joinSpill, error) {
 	tracker := j.mem.t
 	sp := &joinSpill{j: j, parts: spillPartitions(j.SpillPartitions)}
 	var err error
-	sp.rightRuns, err = newRunSet(tracker.TempDir(), sp.parts)
+	sp.rightRuns, err = newRunSet(tracker, sp.parts)
 	if err != nil {
 		return nil, err
 	}
@@ -172,15 +173,17 @@ func (sp *joinSpill) run(ctx context.Context) error {
 	j := sp.j
 	tracker := j.mem.t
 	var err error
-	sp.leftRuns, err = newRunSet(tracker.TempDir(), sp.parts)
+	sp.leftRuns, err = newRunSet(tracker, sp.parts)
 	if err != nil {
 		return err
 	}
 	if err := j.left.Open(ctx); err != nil {
 		return err
 	}
+	prog := ProgressFrom(ctx)
 	batch := make([]types.Tuple, DefaultBatchSize)
 	for {
+		prog.Tick()
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -204,7 +207,7 @@ func (sp *joinSpill) run(ctx context.Context) error {
 	for _, w := range sp.leftRuns {
 		spilled += w.Bytes()
 	}
-	sp.outRuns, err = newRunSet(tracker.TempDir(), sp.parts)
+	sp.outRuns, err = newRunSet(tracker, sp.parts)
 	if err != nil {
 		return err
 	}
@@ -248,6 +251,7 @@ func (sp *joinSpill) joinPartition(ctx context.Context, p int) error {
 	defer func() { _ = rr.Close() }()
 	sp.rightRuns[p] = nil
 
+	prog := ProgressFrom(ctx)
 	table := make(map[uint64][]joinBucket)
 	var charged int64
 	defer func() { j.mem.t.Shrink(charged) }()
@@ -264,6 +268,7 @@ func (sp *joinSpill) joinPartition(ctx context.Context, p int) error {
 	}
 	for i := 0; ; i++ {
 		if i%1024 == 0 {
+			prog.Tick()
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -300,6 +305,7 @@ func (sp *joinSpill) joinPartition(ctx context.Context, p int) error {
 	var outScratch []byte
 	for i := 0; ; i++ {
 		if i%1024 == 0 {
+			prog.Tick()
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -418,11 +424,11 @@ func beginAggSpill(h *HashAggregate, states []*aggState) (*aggSpill, error) {
 	tracker := h.mem.t
 	sp := &aggSpill{parts: spillPartitions(h.SpillPartitions), groupBy: h.groupBy, nAggs: len(h.aggs)}
 	var err error
-	sp.stateRuns, err = newRunSet(tracker.TempDir(), sp.parts)
+	sp.stateRuns, err = newRunSet(tracker, sp.parts)
 	if err != nil {
 		return nil, err
 	}
-	sp.rawRuns, err = newRunSet(tracker.TempDir(), sp.parts)
+	sp.rawRuns, err = newRunSet(tracker, sp.parts)
 	if err != nil {
 		discardRuns(sp.stateRuns)
 		return nil, err
@@ -506,8 +512,10 @@ func (sp *aggSpill) finish(ctx context.Context, h *HashAggregate) ([]types.Tuple
 		raw += w.Bytes()
 	}
 	h.mem.t.NoteSpillBytes(raw)
+	prog := ProgressFrom(ctx)
 	var results []types.Tuple
 	for p := 0; p < sp.parts; p++ {
+		prog.Tick()
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -560,6 +568,7 @@ func (sp *aggSpill) finish(ctx context.Context, h *HashAggregate) ([]types.Tuple
 		sp.rawRuns[p] = nil
 		for i := 0; ; i++ {
 			if i%1024 == 0 {
+				prog.Tick()
 				if err := ctx.Err(); err != nil {
 					_ = rr.Close()
 					h.mem.t.Shrink(charged)

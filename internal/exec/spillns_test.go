@@ -1,0 +1,82 @@
+package exec
+
+import (
+	"os"
+	"testing"
+
+	"csq/internal/storage"
+)
+
+// TestMemTrackerSpillNamespace checks the tracker's crash-safe spill plumbing:
+// with a bound namespace, runs are retained files inside the query's
+// directory; CleanupSpill removes the directory; without a binding (or
+// without a temp dir) runs stay anonymous.
+func TestMemTrackerSpillNamespace(t *testing.T) {
+	root := t.TempDir()
+	tr := NewMemTracker(0)
+	tr.SetTempDir(root)
+	tr.BindSpillNamespace(42)
+
+	w, err := tr.NewSpillRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("rec")); err != nil {
+		t.Fatal(err)
+	}
+	ns := storage.SpillNamespace(root, 42)
+	files, err := os.ReadDir(ns)
+	if err != nil {
+		t.Fatalf("namespace dir not created: %v", err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("namespace holds %d files, want 1", len(files))
+	}
+	if err := w.Discard(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second run reuses the lazily created namespace.
+	w2, err := tr.NewSpillRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := w2.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.CleanupSpill()
+	if _, err := os.Stat(ns); !os.IsNotExist(err) {
+		t.Fatalf("CleanupSpill left the namespace behind")
+	}
+	_ = r2.Close() // file already gone with the namespace; close is still safe
+
+	// Unbound tracker: anonymous unlinked runs, nothing on disk.
+	anon := NewMemTracker(0)
+	anon.SetTempDir(root)
+	wa, err := anon.NewSpillRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("anonymous run left %d entries in the spill root", len(entries))
+	}
+	if err := wa.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	anon.CleanupSpill() // no-op
+
+	// Nil tracker stays nil-safe.
+	var nilT *MemTracker
+	wn, err := nilT.NewSpillRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = wn.Discard()
+	nilT.BindSpillNamespace(1)
+	nilT.CleanupSpill()
+}

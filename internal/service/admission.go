@@ -1,0 +1,271 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csq/internal/wire"
+)
+
+// admission is the service's deadline-aware admission controller. It replaces
+// a flat semaphore with three load-shedding rules, so overload degrades into
+// typed refusals instead of an unbounded queue of doomed queries:
+//
+//   - The wait queue is bounded: once maxQueued queries are already waiting
+//     for a slot, further submissions are shed immediately with
+//     wire.RejectOverloaded and a retry-after hint scaled by the queue depth.
+//   - Each queued query's wait is bounded by a queue-time budget derived from
+//     its own deadline: a query may spend at most queueFraction of its
+//     remaining wall-clock budget waiting for admission (capped by the
+//     configured absolute maximum). A query whose budget elapses is shed as
+//     overloaded — it still had time to run elsewhere, which burning its whole
+//     deadline in the queue would have destroyed.
+//   - Once the controller drains (graceful shutdown), every waiter and every
+//     later submission is shed with wire.RejectDraining; running queries keep
+//     their slots until they finish.
+//
+// Shed queries never held a slot and never executed, so the typed errors are
+// safe to retry idempotently.
+type admission struct {
+	slots     chan struct{}
+	maxQueued int
+	maxWait   time.Duration // absolute queue-wait cap; <= 0 means none
+
+	mu      sync.Mutex
+	queued  int
+	drainCh chan struct{} // closed on drain
+	drained bool
+
+	admitted      atomic.Int64
+	shedOverload  atomic.Int64
+	shedDeadline  atomic.Int64 // subset of overload sheds caused by the queue-time budget
+	shedDraining  atomic.Int64
+	waits         waitHistogram
+	queuedPeak    atomic.Int64
+	waitMaxNanos  atomic.Int64
+	retryAfterCap time.Duration
+}
+
+// queueFraction is the share of a query's remaining deadline it may spend
+// waiting for admission before it is shed.
+const queueFraction = 0.5
+
+// Defaults for the admission controller's bounds.
+const (
+	// DefaultMaxQueued bounds how many queries may wait for a slot.
+	DefaultMaxQueued = 64
+	// defaultRetryAfterBase scales the retry-after hint by queue depth.
+	defaultRetryAfterBase = 25 * time.Millisecond
+	// defaultRetryAfterCap bounds the retry-after hint.
+	defaultRetryAfterCap = 5 * time.Second
+)
+
+func newAdmission(maxConcurrent, maxQueued int, maxWait time.Duration) *admission {
+	if maxQueued < 1 {
+		maxQueued = DefaultMaxQueued
+	}
+	return &admission{
+		slots:         make(chan struct{}, maxConcurrent),
+		maxQueued:     maxQueued,
+		maxWait:       maxWait,
+		drainCh:       make(chan struct{}),
+		retryAfterCap: defaultRetryAfterCap,
+	}
+}
+
+// retryAfter estimates how long a shed submitter should back off: proportional
+// to the queue pressure at shed time, bounded by the cap.
+func (a *admission) retryAfter(queued int) time.Duration {
+	d := defaultRetryAfterBase * time.Duration(queued+1)
+	if d > a.retryAfterCap {
+		d = a.retryAfterCap
+	}
+	return d
+}
+
+// acquire obtains an execution slot, waiting within the query's queue-time
+// budget. On success it returns the release function and the time spent
+// queued. Shed and cancelled queries return a typed error and no slot.
+func (a *admission) acquire(ctx context.Context) (release func(), wait time.Duration, err error) {
+	start := time.Now()
+
+	// Fast path: a free slot admits immediately, bypassing the queue bound.
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		a.waits.observe(0)
+		return func() { <-a.slots }, 0, nil
+	default:
+	}
+
+	a.mu.Lock()
+	if a.drained {
+		a.mu.Unlock()
+		a.shedDraining.Add(1)
+		return nil, 0, &wire.RejectError{Reason: wire.RejectDraining}
+	}
+	if a.queued >= a.maxQueued {
+		hint := a.retryAfter(a.queued)
+		a.mu.Unlock()
+		a.shedOverload.Add(1)
+		return nil, 0, &wire.RejectError{Reason: wire.RejectOverloaded, RetryAfter: hint}
+	}
+	a.queued++
+	if q := int64(a.queued); q > a.queuedPeak.Load() {
+		a.queuedPeak.Store(q)
+	}
+	drainCh := a.drainCh
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.queued--
+		a.mu.Unlock()
+	}()
+
+	// The queue-time budget: a deadline query may burn at most queueFraction
+	// of its remaining time waiting, so a shed still leaves it time to run
+	// elsewhere; the absolute cap (when configured) bounds deadline-free
+	// queries too.
+	budget := a.maxWait
+	if dl, ok := ctx.Deadline(); ok {
+		b := time.Duration(float64(time.Until(dl)) * queueFraction)
+		if b <= 0 {
+			a.shedOverload.Add(1)
+			a.shedDeadline.Add(1)
+			a.mu.Lock()
+			hint := a.retryAfter(a.queued)
+			a.mu.Unlock()
+			return nil, 0, &wire.RejectError{Reason: wire.RejectOverloaded, RetryAfter: hint}
+		}
+		if budget <= 0 || b < budget {
+			budget = b
+		}
+	}
+	var timeout <-chan time.Time
+	if budget > 0 {
+		t := time.NewTimer(budget)
+		defer t.Stop()
+		timeout = t.C
+	}
+
+	select {
+	case a.slots <- struct{}{}:
+		wait = time.Since(start)
+		a.admitted.Add(1)
+		a.waits.observe(wait)
+		for {
+			max := a.waitMaxNanos.Load()
+			if int64(wait) <= max || a.waitMaxNanos.CompareAndSwap(max, int64(wait)) {
+				break
+			}
+		}
+		return func() { <-a.slots }, wait, nil
+	case <-ctx.Done():
+		return nil, time.Since(start), ctx.Err()
+	case <-timeout:
+		a.shedOverload.Add(1)
+		a.shedDeadline.Add(1)
+		a.mu.Lock()
+		hint := a.retryAfter(a.queued)
+		a.mu.Unlock()
+		return nil, time.Since(start), &wire.RejectError{Reason: wire.RejectOverloaded, RetryAfter: hint}
+	case <-drainCh:
+		a.shedDraining.Add(1)
+		return nil, time.Since(start), &wire.RejectError{Reason: wire.RejectDraining}
+	}
+}
+
+// drain sheds every queued query and refuses later submissions; running
+// queries are unaffected. Idempotent.
+func (a *admission) drain() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.drained {
+		a.drained = true
+		close(a.drainCh)
+	}
+}
+
+// waitHistogram is a lock-free power-of-two histogram of admission waits,
+// from which quantiles are estimated without retaining per-query samples.
+// Bucket i counts waits in [2^(i-1), 2^i) milliseconds; bucket 0 is < 1ms,
+// the last bucket is the overflow.
+type waitHistogram struct {
+	buckets [17]atomic.Int64 // <1ms .. <32.8s, then overflow
+}
+
+func (h *waitHistogram) observe(d time.Duration) {
+	ms := d.Milliseconds()
+	i := 0
+	for ms > 0 && i < len(h.buckets)-1 {
+		ms >>= 1
+		i++
+	}
+	h.buckets[i].Add(1)
+}
+
+// quantile estimates the q-quantile (0 < q <= 1) as the upper bound of the
+// bucket where the cumulative count crosses it. Zero when nothing was
+// observed.
+func (h *waitHistogram) quantile(q float64) time.Duration {
+	var total int64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(float64(total) * q)
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			return time.Duration(1<<uint(i)) * time.Millisecond
+		}
+	}
+	return time.Duration(1<<uint(len(h.buckets)-1)) * time.Millisecond
+}
+
+// AdmissionStats is a point-in-time snapshot of the admission controller.
+type AdmissionStats struct {
+	// Admitted counts queries granted an execution slot.
+	Admitted int64
+	// ShedOverload counts queries shed with wire.RejectOverloaded (queue
+	// full, or queue-time budget elapsed).
+	ShedOverload int64
+	// ShedDeadline is the subset of ShedOverload shed because the queue-time
+	// budget derived from their deadline elapsed.
+	ShedDeadline int64
+	// ShedDraining counts queries shed because the service was draining.
+	ShedDraining int64
+	// Queued is the current wait-queue depth; QueuedPeak its high-water mark.
+	Queued     int
+	QueuedPeak int64
+	// WaitP50/WaitP99 are bucketed estimates of the admission-wait quantiles.
+	WaitP50 time.Duration
+	WaitP99 time.Duration
+	// WaitMax is the longest admission wait granted so far.
+	WaitMax time.Duration
+}
+
+func (a *admission) stats() AdmissionStats {
+	a.mu.Lock()
+	queued := a.queued
+	a.mu.Unlock()
+	return AdmissionStats{
+		Admitted:     a.admitted.Load(),
+		ShedOverload: a.shedOverload.Load(),
+		ShedDeadline: a.shedDeadline.Load(),
+		ShedDraining: a.shedDraining.Load(),
+		Queued:       queued,
+		QueuedPeak:   a.queuedPeak.Load(),
+		WaitP50:      a.waits.quantile(0.50),
+		WaitP99:      a.waits.quantile(0.99),
+		WaitMax:      time.Duration(a.waitMaxNanos.Load()),
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"csq/internal/catalog"
 	"csq/internal/exec"
@@ -103,4 +104,60 @@ func BenchmarkServiceConcurrent8(b *testing.B) {
 			wg.Wait()
 		}
 	})
+}
+
+// BenchmarkServiceOverloadShed measures the cost of refusing work: the one
+// execution slot and the one queue seat are pinned, so every measured
+// submission takes the typed shed path — handle registration, the admission
+// controller's queue-full refusal, and the terminal StateShed bookkeeping.
+// This is the path a server leans on hardest when it is already saturated,
+// so it must stay cheap; the /batch variant is gated by benchrun.
+func BenchmarkServiceOverloadShed(b *testing.B) {
+	cat := benchCatalog(b, 64)
+	svc := New(cat, Config{MaxConcurrent: 1, MaxQueued: 1, Planner: plan.Config{Link: fixedLink()}})
+	defer svc.Close()
+	tree := benchTree(b, cat)
+
+	// Pin the slot with a query whose sink blocks, then park a second query
+	// on the single queue seat.
+	started := make(chan struct{})
+	hold := make(chan struct{})
+	var once sync.Once
+	blocker, err := svc.Submit(context.Background(), Request{Tree: tree, OnBatch: func([]types.Tuple) error {
+		once.Do(func() { close(started) })
+		<-hold
+		return nil
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-started
+	queued, err := svc.Submit(context.Background(), Request{Tree: tree})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for svc.Stats().Admission.Queued < 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q, err := svc.Submit(context.Background(), Request{Tree: tree})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, werr := q.Wait(); werr == nil {
+				b.Fatal("saturated submission was not shed")
+			}
+		}
+	})
+
+	close(hold)
+	if _, err := blocker.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := queued.Wait(); err != nil {
+		b.Fatal(err)
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"csq/internal/exec"
@@ -45,6 +46,11 @@ type Server struct {
 	// DefaultWriteStallTimeout.
 	WriteStallTimeout time.Duration
 
+	// streams counts in-flight result-stream goroutines, so Shutdown can
+	// wait for every admitted query's terminal frame to flush before the
+	// connections drop.
+	streams sync.WaitGroup
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -77,7 +83,7 @@ func (c *stallGuardConn) Write(p []byte) (int, error) {
 }
 
 // serverCaps is the capability subset this server supports.
-const serverCaps = wire.CapCancel | wire.CapTextQuery
+const serverCaps = wire.CapCancel | wire.CapTextQuery | wire.CapReject
 
 // NewServer builds a wire front-end over the service.
 func NewServer(svc *Service) *Server {
@@ -151,6 +157,51 @@ func (s *Server) Close() {
 		_ = c.Close()
 	}
 	s.svc.Close()
+}
+
+// Shutdown drains the server gracefully: it stops accepting connections,
+// drains the service (running queries finish, queued and new ones are shed
+// with typed draining rejects), waits for every admitted query's result
+// stream to flush its terminal frame, then closes the requester connections.
+// If ctx expires first the stragglers are cancelled and the connections are
+// closed anyway. It returns ctx's error when the drain timed out.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	if alreadyClosed {
+		return nil
+	}
+	err := s.svc.Shutdown(ctx)
+	// Every query is terminal now; its stream goroutine only has the End (or
+	// Error/Reject) frame left to write. Give those writes until ctx expires.
+	flushed := make(chan struct{})
+	go func() {
+		s.streams.Wait()
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return err
 }
 
 // handleConn is one requester connection's control loop.
@@ -228,18 +279,20 @@ func (s *Server) handleConn(nc net.Conn) {
 			}
 			q, serr := s.svc.Submit(context.Background(), req)
 			if serr != nil {
-				_ = s.sendError(conn, spec.QueryID, serr.Error())
+				s.sendFailure(conn, ack.Caps, spec.QueryID, serr)
 				continue
 			}
 			owned.Lock()
 			owned.queries[spec.QueryID] = q
 			owned.Unlock()
-			go func(id uint64) {
-				s.streamResult(conn, id, q)
+			s.streams.Add(1)
+			go func(id uint64, caps uint32) {
+				defer s.streams.Done()
+				s.streamResult(conn, caps, id, q)
 				owned.Lock()
 				delete(owned.queries, id)
 				owned.Unlock()
-			}(spec.QueryID)
+			}(spec.QueryID, ack.Caps)
 		case wire.MsgCancel:
 			c, err := wire.DecodeCancel(msg.Payload)
 			if err != nil {
@@ -293,14 +346,33 @@ func (s *Server) buildRequest(conn *wire.Conn, spec *wire.QuerySpec) (Request, e
 }
 
 // streamResult waits the query out and terminates its result stream with an
-// End (row count) or an Error frame.
-func (s *Server) streamResult(conn *wire.Conn, id uint64, q *Query) {
+// End (row count), a typed QueryReject (shed queries, when the requester
+// negotiated CapReject) or an Error frame.
+func (s *Server) streamResult(conn *wire.Conn, caps uint32, id uint64, q *Query) {
 	res, err := q.Wait()
 	if err != nil {
-		_ = s.sendError(conn, id, err.Error())
+		s.sendFailure(conn, caps, id, err)
 		return
 	}
 	_ = conn.Send(wire.MsgEnd, wire.EncodeEnd(&wire.End{SessionID: id, Rows: uint64(res.RowCount)}))
+}
+
+// sendFailure terminates a query's stream: sheds travel as typed MsgQueryReject
+// frames when the requester negotiated CapReject (so it can classify them as
+// retryable and honor the retry-after hint), everything else — including sheds
+// to pre-CapReject peers — degrades to a plain MsgError.
+func (s *Server) sendFailure(conn *wire.Conn, caps uint32, id uint64, err error) {
+	var re *wire.RejectError
+	if caps&wire.CapReject != 0 && errors.As(err, &re) {
+		qr := &wire.QueryReject{
+			QueryID:          id,
+			Reason:           re.Reason,
+			RetryAfterMillis: re.RetryAfter.Milliseconds(),
+		}
+		_ = conn.Send(wire.MsgQueryReject, wire.EncodeQueryReject(qr))
+		return
+	}
+	_ = s.sendError(conn, id, err.Error())
 }
 
 func (s *Server) sendError(conn *wire.Conn, session uint64, msg string) error {
@@ -381,11 +453,38 @@ func (s *Server) buildTree(spec *wire.QuerySpec) (logical.Node, error) {
 type Requester struct {
 	conn *wire.Conn
 
+	queueHWM atomic.Int64 // deepest any query's event queue ever got
+	queueHot atomic.Int64 // deliveries that found a queue past the warn depth
+
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]*eventQueue
 	readErr error
 	started bool
+}
+
+// EventQueueWarnDepth is the per-query event-buffer depth past which the
+// requester counts deliveries as hot (QueueStats.HotDeliveries). The buffer
+// stays unbounded — dropping or blocking would wedge the shared read loop —
+// but a depth this deep means a collector is badly behind its stream.
+const EventQueueWarnDepth = 1024
+
+// RequesterQueueStats reports the pressure on the requester's per-query event
+// buffers.
+type RequesterQueueStats struct {
+	// HighWater is the deepest any query's event buffer ever got.
+	HighWater int
+	// HotDeliveries counts frames delivered to a buffer already deeper than
+	// EventQueueWarnDepth.
+	HotDeliveries int64
+}
+
+// QueueStats returns the event-buffer pressure counters.
+func (r *Requester) QueueStats() RequesterQueueStats {
+	return RequesterQueueStats{
+		HighWater:     int(r.queueHWM.Load()),
+		HotDeliveries: r.queueHot.Load(),
+	}
 }
 
 type requesterEvent struct {
@@ -414,14 +513,16 @@ func newEventQueue() *eventQueue {
 	return q
 }
 
-// push appends an event; it never blocks.
-func (q *eventQueue) push(ev requesterEvent) {
+// push appends an event and returns the resulting depth; it never blocks.
+func (q *eventQueue) push(ev requesterEvent) int {
 	q.mu.Lock()
 	if !q.closed {
 		q.evs = append(q.evs, ev)
 	}
+	depth := len(q.evs)
 	q.mu.Unlock()
 	q.cond.Signal()
+	return depth
 }
 
 // close wakes every waiter; pending events stay readable.
@@ -522,6 +623,14 @@ func (r *Requester) readLoop() {
 				continue
 			}
 			r.deliver(e.SessionID, requesterEvent{err: fmt.Errorf("service: %s", e.Message), done: true})
+		case wire.MsgQueryReject:
+			rej, err := wire.DecodeQueryReject(msg.Payload)
+			if err != nil {
+				continue
+			}
+			// The typed error wraps wire.ErrOverloaded / wire.ErrServerDraining,
+			// so wire.Classify sees it as retryable.
+			r.deliver(rej.QueryID, requesterEvent{err: rej.Err(), done: true})
 		}
 	}
 }
@@ -530,8 +639,18 @@ func (r *Requester) deliver(id uint64, ev requesterEvent) {
 	r.mu.Lock()
 	q := r.pending[id]
 	r.mu.Unlock()
-	if q != nil {
-		q.push(ev)
+	if q == nil {
+		return
+	}
+	depth := int64(q.push(ev))
+	for {
+		hwm := r.queueHWM.Load()
+		if depth <= hwm || r.queueHWM.CompareAndSwap(hwm, depth) {
+			break
+		}
+	}
+	if depth > EventQueueWarnDepth {
+		r.queueHot.Add(1)
 	}
 }
 
@@ -657,4 +776,66 @@ func (q *RemoteQuery) Collect() ([]types.Tuple, error) {
 // cancelled query (the error crosses the wire as text).
 func ErrIsCanceled(err error) bool {
 	return err != nil && strings.Contains(err.Error(), "context canceled")
+}
+
+// RetryPolicy governs ExecuteWithRetry: how many submit attempts a shed query
+// gets, and how the waits between them are computed.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget (first try included). Values
+	// < 1 select DefaultRetryAttempts.
+	MaxAttempts int
+	// Backoff shapes the waits between attempts; the zero value selects the
+	// wire package's defaults (20ms base, 2s cap, jittered).
+	Backoff wire.Backoff
+}
+
+// DefaultRetryAttempts is the attempt budget when RetryPolicy leaves it zero.
+const DefaultRetryAttempts = 4
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts < 1 {
+		return DefaultRetryAttempts
+	}
+	return p.MaxAttempts
+}
+
+// ExecuteWithRetry submits the spec and collects its rows, resubmitting under
+// the policy's budget while the failure is retryable (wire.Classify): a typed
+// overload or draining shed, or a tripped client-side circuit breaker.
+// Resubmission is safe — a shed query never held a slot and never executed,
+// so no partial effects exist to duplicate. When the server's reject carried
+// a retry-after hint longer than the backoff's next delay, the hint wins.
+// Fatal errors and cancellations return immediately.
+func (r *Requester) ExecuteWithRetry(ctx context.Context, spec wire.QuerySpec, pol RetryPolicy) ([]types.Tuple, error) {
+	attempts := pol.maxAttempts()
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			d := pol.Backoff.Delay(attempt - 1)
+			var re *wire.RejectError
+			if errors.As(lastErr, &re) && re.RetryAfter > d {
+				d = re.RetryAfter
+			}
+			if err := wire.SleepCtx(ctx, d); err != nil {
+				return nil, err
+			}
+		}
+		q, err := r.Submit(spec)
+		if err != nil {
+			if wire.Classify(err) == wire.ClassRetryable {
+				lastErr = err
+				continue
+			}
+			return nil, err
+		}
+		rows, err := q.Collect()
+		if err == nil {
+			return rows, nil
+		}
+		if wire.Classify(err) != wire.ClassRetryable {
+			return rows, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("service: retry budget exhausted after %d attempts: %w", attempts, lastErr)
 }

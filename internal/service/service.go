@@ -26,6 +26,7 @@ import (
 	"csq/internal/logical"
 	"csq/internal/plan"
 	"csq/internal/types"
+	"csq/internal/wire"
 )
 
 // State is a query's lifecycle state.
@@ -45,6 +46,9 @@ const (
 	StateFailed
 	// StateCanceled: terminated by cancellation or deadline.
 	StateCanceled
+	// StateShed: refused by the admission controller (overload or drain)
+	// without ever holding a slot; safe to retry elsewhere.
+	StateShed
 )
 
 // String implements fmt.Stringer.
@@ -62,6 +66,8 @@ func (s State) String() string {
 		return "failed"
 	case StateCanceled:
 		return "canceled"
+	case StateShed:
+		return "shed"
 	default:
 		return "unknown"
 	}
@@ -69,7 +75,7 @@ func (s State) String() string {
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateShed
 }
 
 // Defaults for Config fields left zero.
@@ -100,6 +106,20 @@ type Config struct {
 	// KeepFinished bounds how many finished queries stay visible in Queries.
 	// Values < 1 select DefaultKeepFinished.
 	KeepFinished int
+	// MaxQueued bounds how many queries may wait for an admission slot before
+	// further submissions are shed as overloaded. Values < 1 select
+	// DefaultMaxQueued.
+	MaxQueued int
+	// MaxQueueWait caps how long any query may wait for admission, on top of
+	// the per-query queue-time budget derived from its deadline. 0 = no cap.
+	MaxQueueWait time.Duration
+	// StallTimeout enables the stuck-query watchdog: a planning or running
+	// query whose progress heartbeat does not advance for this long is
+	// cancelled with ErrStalled. 0 disables the watchdog.
+	StallTimeout time.Duration
+	// WatchdogInterval is how often the watchdog sweeps. Values <= 0 select
+	// a quarter of StallTimeout.
+	WatchdogInterval time.Duration
 	// Planner carries base planner knobs (sample rows, sketch size, probe
 	// size, session caps, session retry policy, a fixed link observation for
 	// tests). The service manages StatsCache, LinkKey and MemBudget per query
@@ -152,6 +172,10 @@ type QueryStats struct {
 	Started   time.Time // admission granted
 	Finished  time.Time
 	Rows      int64
+	// AdmissionWait is how long the query waited for an execution slot.
+	AdmissionWait time.Duration
+	// Stalled reports that the stuck-query watchdog cancelled the query.
+	Stalled bool
 	// Memory governance, from the query's MemTracker.
 	MemPeakBytes int64
 	SpillEvents  int64
@@ -181,30 +205,47 @@ type Result struct {
 	Stats QueryStats
 }
 
+// ErrStalled is the cancellation cause the stuck-query watchdog records when
+// it kills a query whose progress heartbeat froze for the stall window. It
+// surfaces from Wait via the query's error (state StateFailed).
+var ErrStalled = errors.New("service: query stalled: no progress within the stall window")
+
 // Service runs queries.
 type Service struct {
 	cat   *catalog.Catalog
 	cfg   Config
 	cache *plan.StatsCache
-	sem   chan struct{}
+	adm   *admission
 
-	nextID atomic.Uint64
+	nextID       atomic.Uint64
+	stallCancels atomic.Int64
+
+	wdStop chan struct{} // nil when the watchdog is disabled
+	wdDone chan struct{}
+	wdOnce sync.Once
 
 	mu       sync.Mutex
 	queries  map[uint64]*Query
 	finished []uint64 // finished query IDs in completion order, for pruning
+	draining bool
 	closed   bool
 }
 
 // New builds a service over the given catalog.
 func New(cat *catalog.Catalog, cfg Config) *Service {
-	return &Service{
+	s := &Service{
 		cat:     cat,
 		cfg:     cfg,
 		cache:   plan.NewStatsCache(),
-		sem:     make(chan struct{}, cfg.maxConcurrent()),
+		adm:     newAdmission(cfg.maxConcurrent(), cfg.MaxQueued, cfg.MaxQueueWait),
 		queries: make(map[uint64]*Query),
 	}
+	if cfg.StallTimeout > 0 {
+		s.wdStop = make(chan struct{})
+		s.wdDone = make(chan struct{})
+		go s.watchdog()
+	}
+	return s
 }
 
 // StatsCache exposes the cross-query statistics cache (shared by every
@@ -213,10 +254,16 @@ func (s *Service) StatsCache() *plan.StatsCache { return s.cache }
 
 // Query is the handle of one submitted query.
 type Query struct {
-	id     uint64
-	svc    *Service
-	cancel context.CancelFunc
-	done   chan struct{}
+	id          uint64
+	svc         *Service
+	cancelCause context.CancelCauseFunc
+	cancelTimer context.CancelFunc // releases the deadline timer; nil without one
+	done        chan struct{}
+	prog        *exec.Progress
+
+	// Watchdog bookkeeping, touched only by the watchdog goroutine.
+	wdCount int64
+	wdSince time.Time
 
 	collect bool
 	onBatch func([]types.Tuple) error
@@ -229,6 +276,8 @@ type Query struct {
 	submitted       time.Time
 	started         time.Time
 	finished        time.Time
+	admissionWait   time.Duration
+	stalled         bool
 	tracker         *exec.MemTracker
 	strategies      []string
 	sessionsPlanned []int
@@ -239,8 +288,17 @@ type Query struct {
 // ID returns the query's service-wide identifier.
 func (q *Query) ID() uint64 { return q.id }
 
+// cancelWith terminates the query's context, recording cause (nil means plain
+// cancellation) so finish can classify why the query died.
+func (q *Query) cancelWith(cause error) {
+	q.cancelCause(cause)
+	if q.cancelTimer != nil {
+		q.cancelTimer()
+	}
+}
+
 // Cancel aborts the query. Safe to call at any time, any number of times.
-func (q *Query) Cancel() { q.cancel() }
+func (q *Query) Cancel() { q.cancelWith(nil) }
 
 // Done is closed when the query reaches a terminal state.
 func (q *Query) Done() <-chan struct{} { return q.done }
@@ -271,6 +329,8 @@ func (q *Query) statsLocked() QueryStats {
 		Started:         q.started,
 		Finished:        q.finished,
 		Rows:            q.rowCount,
+		AdmissionWait:   q.admissionWait,
+		Stalled:         q.stalled,
 		Strategies:      append([]string(nil), q.strategies...),
 		SessionsPlanned: append([]int(nil), q.sessionsPlanned...),
 		Faults:          q.faults,
@@ -298,32 +358,38 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Query, error) {
 	if timeout == 0 {
 		timeout = s.cfg.DefaultTimeout
 	}
-	var qctx context.Context
-	var cancel context.CancelFunc
+	var timerCancel context.CancelFunc
 	if timeout > 0 {
-		qctx, cancel = context.WithTimeout(ctx, timeout)
-	} else {
-		qctx, cancel = context.WithCancel(ctx)
+		ctx, timerCancel = context.WithTimeout(ctx, timeout)
 	}
+	qctx, cancel := context.WithCancelCause(ctx)
 	q := &Query{
-		id:        s.nextID.Add(1),
-		svc:       s,
-		cancel:    cancel,
-		done:      make(chan struct{}),
-		collect:   req.OnBatch == nil,
-		onBatch:   req.OnBatch,
-		state:     StateQueued,
-		submitted: time.Now(),
+		id:          s.nextID.Add(1),
+		svc:         s,
+		cancelCause: cancel,
+		cancelTimer: timerCancel,
+		done:        make(chan struct{}),
+		prog:        &exec.Progress{},
+		collect:     req.OnBatch == nil,
+		onBatch:     req.OnBatch,
+		state:       StateQueued,
+		submitted:   time.Now(),
 	}
-	// The closed check and the registration share one critical section, so a
-	// Submit racing Close either registers before Close's snapshot (and is
-	// cancelled and awaited by it) or observes closed and is refused — a
-	// query can never start against a service that has finished closing.
+	// The closed/draining check and the registration share one critical
+	// section, so a Submit racing Close or Shutdown either registers before
+	// their snapshot (and is cancelled or awaited by it) or observes the flag
+	// and is refused — a query can never start against a service that has
+	// finished closing or begun draining.
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		cancel()
+		q.cancelWith(nil)
 		return nil, fmt.Errorf("service: closed")
+	}
+	if s.draining {
+		s.mu.Unlock()
+		q.cancelWith(nil)
+		return nil, &wire.RejectError{Reason: wire.RejectDraining}
 	}
 	s.queries[q.id] = q
 	s.mu.Unlock()
@@ -364,18 +430,167 @@ func (s *Service) Queries() []QueryStats {
 	return out
 }
 
-// Close cancels every active query and refuses new submissions.
+// Close cancels every active query and refuses new submissions. It is the
+// abrupt counterpart of Shutdown: in-flight queries are cancelled, not given
+// time to finish.
 func (s *Service) Close() {
 	s.mu.Lock()
 	s.closed = true
+	s.draining = true
+	active := make([]*Query, 0, len(s.queries))
+	for _, q := range s.queries {
+		active = append(active, q)
+	}
+	s.mu.Unlock()
+	s.adm.drain()
+	for _, q := range active {
+		q.cancelWith(nil)
+		<-q.done
+	}
+	s.stopWatchdog()
+}
+
+// Shutdown drains the service gracefully: new submissions and queued queries
+// are shed as draining (typed, retryable elsewhere), while queries already
+// holding a slot run to completion. If ctx expires first the stragglers are
+// cancelled. The watchdog is stopped; the service refuses all work afterwards.
+// It returns ctx's error when the drain timed out, nil on a clean drain.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.draining = true
+	active := make([]*Query, 0, len(s.queries))
+	for _, q := range s.queries {
+		active = append(active, q)
+	}
+	s.mu.Unlock()
+	s.adm.drain()
+	var err error
+	if !alreadyClosed {
+		err = awaitOrCancel(ctx, active)
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.stopWatchdog()
+	return err
+}
+
+// awaitOrCancel waits for every query to finish; when ctx expires it cancels
+// them all and still waits, so no query goroutine outlives the drain.
+func awaitOrCancel(ctx context.Context, qs []*Query) error {
+	var err error
+	for _, q := range qs {
+		if err == nil {
+			select {
+			case <-q.done:
+				continue
+			case <-ctx.Done():
+				err = ctx.Err()
+				for _, r := range qs {
+					r.cancelWith(nil)
+				}
+			}
+		}
+		<-q.done
+	}
+	return err
+}
+
+// stopWatchdog stops the watchdog goroutine and waits for it. Idempotent,
+// no-op when the watchdog was never started.
+func (s *Service) stopWatchdog() {
+	if s.wdStop == nil {
+		return
+	}
+	s.wdOnce.Do(func() { close(s.wdStop) })
+	<-s.wdDone
+}
+
+// watchdog periodically sweeps active queries for frozen progress heartbeats.
+func (s *Service) watchdog() {
+	defer close(s.wdDone)
+	interval := s.cfg.WatchdogInterval
+	if interval <= 0 {
+		interval = s.cfg.StallTimeout / 4
+	}
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.wdStop:
+			return
+		case <-ticker.C:
+			s.sweepStalled(time.Now())
+		}
+	}
+}
+
+// sweepStalled cancels (with ErrStalled) every planning or running query whose
+// heartbeat count has not advanced for the stall window. The per-query
+// bookkeeping (wdCount/wdSince) is owned by this goroutine alone.
+func (s *Service) sweepStalled(now time.Time) {
+	s.mu.Lock()
 	active := make([]*Query, 0, len(s.queries))
 	for _, q := range s.queries {
 		active = append(active, q)
 	}
 	s.mu.Unlock()
 	for _, q := range active {
-		q.cancel()
-		<-q.done
+		q.mu.Lock()
+		state := q.state
+		q.mu.Unlock()
+		if state != StatePlanning && state != StateRunning {
+			q.wdSince = time.Time{}
+			continue
+		}
+		count := q.prog.Count()
+		if q.wdSince.IsZero() || count != q.wdCount {
+			q.wdCount, q.wdSince = count, now
+			continue
+		}
+		if now.Sub(q.wdSince) >= s.cfg.StallTimeout {
+			s.stallCancels.Add(1)
+			q.cancelWith(ErrStalled)
+			q.wdSince = now // one cancel per stall, not one per sweep
+		}
+	}
+}
+
+// ServiceStats is a point-in-time snapshot of the service's health.
+type ServiceStats struct {
+	// Admission snapshots the admission controller (slots granted, sheds by
+	// cause, queue depth and wait quantiles).
+	Admission AdmissionStats
+	// StallCancels counts queries the stuck-query watchdog killed.
+	StallCancels int64
+	// Active counts queries in non-terminal states.
+	Active int
+	// Draining reports that the service is shutting down.
+	Draining bool
+}
+
+// Stats returns a point-in-time snapshot of the service's health.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	active := 0
+	for _, q := range s.queries {
+		q.mu.Lock()
+		if !q.state.Terminal() {
+			active++
+		}
+		q.mu.Unlock()
+	}
+	draining := s.draining
+	s.mu.Unlock()
+	return ServiceStats{
+		Admission:    s.adm.stats(),
+		StallCancels: s.stallCancels.Load(),
+		Active:       active,
+		Draining:     draining,
 	}
 }
 
@@ -402,18 +617,23 @@ func (q *Query) run(ctx context.Context, req Request) {
 		q.finish(ctx, err)
 	}()
 
-	// Admission: the global limit bounds how many queries plan and execute
-	// concurrently; a cancelled query leaves the queue immediately.
-	select {
-	case q.svc.sem <- struct{}{}:
-	case <-ctx.Done():
-		err = ctx.Err()
+	// The heartbeat counter rides the context into every operator's Open, so
+	// the watchdog sees progress from whatever the query ends up running.
+	ctx = exec.WithProgress(ctx, q.prog)
+
+	// Admission: the controller bounds concurrency and queueing, shedding
+	// queries (typed, retryable) rather than queueing them past their
+	// deadline's usefulness; a cancelled query leaves the queue immediately.
+	release, wait, aerr := q.svc.adm.acquire(ctx)
+	if aerr != nil {
+		err = aerr
 		return
 	}
-	defer func() { <-q.svc.sem }()
+	defer release()
 
 	q.mu.Lock()
 	q.started = time.Now()
+	q.admissionWait = wait
 	q.state = StatePlanning
 	q.mu.Unlock()
 
@@ -421,6 +641,7 @@ func (q *Query) run(ctx context.Context, req Request) {
 	tracker := exec.NewMemTracker(budget)
 	tracker.SetHardLimit(hard)
 	tracker.SetTempDir(q.svc.cfg.TempDir)
+	tracker.BindSpillNamespace(q.id)
 	q.mu.Lock()
 	q.tracker = tracker
 	q.mu.Unlock()
@@ -509,25 +730,37 @@ func (q *Query) drive(ctx context.Context, op exec.Operator) error {
 func (q *Query) finish(ctx context.Context, err error) {
 	// A context that ended takes over the error classification: whatever
 	// low-level failure the teardown surfaced (a slammed connection deadline,
-	// a torn-down session), the query was cancelled or timed out, and it
-	// reports that, uniformly, as the context error. A query that completed
+	// a torn-down session), the query was cancelled, timed out or stall-killed,
+	// and it reports that, uniformly, as the cancellation cause — which
+	// preserves the reason (ErrStalled from the watchdog, DeadlineExceeded
+	// from a timeout, Canceled from a plain cancel). A query that completed
 	// cleanly before the context ended keeps its success.
 	if cerr := ctx.Err(); cerr != nil && err != nil {
-		err = cerr
+		err = context.Cause(ctx)
 	}
+	var reject *wire.RejectError
 	q.mu.Lock()
 	q.err = err
 	q.finished = time.Now()
 	switch {
 	case err == nil:
 		q.state = StateDone
+	case errors.As(err, &reject):
+		q.state = StateShed
+	case errors.Is(err, ErrStalled):
+		q.state = StateFailed
+		q.stalled = true
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		q.state = StateCanceled
 	default:
 		q.state = StateFailed
 	}
+	tracker := q.tracker
 	q.mu.Unlock()
-	q.cancel() // release the context's resources
+	// Whatever retained spill runs the query's namespace still holds (a
+	// failed query's half-written partitions) go with it.
+	tracker.CleanupSpill()
+	q.cancelWith(nil) // release the context's resources
 	close(q.done)
 	q.svc.retire(q)
 }

@@ -9,10 +9,17 @@ import (
 )
 
 // Spill runs: length-prefixed record files backing the execution engine's
-// Grace-style partitioning. A RunWriter appends records to an anonymous
-// temporary file (the name is unlinked immediately after creation, so a
-// crashed process leaks no files); Finish rewinds the same descriptor into a
-// RunReader that replays the records in append order.
+// Grace-style partitioning. A RunWriter appends records to a temporary file;
+// Finish rewinds the same descriptor into a RunReader that replays the
+// records in append order.
+//
+// Two lifecycles exist. NewRunWriter unlinks the file immediately after
+// creation (anonymous: the descriptor is the only reference, so a crashed
+// process leaks nothing, but nothing is observable either). NewRetainedRunWriter
+// keeps the file named inside a per-query spill namespace directory — the
+// run is visible to operators and accounting, is removed when the writer or
+// its reader closes, and a crash leaves it behind for the startup sweep
+// (SweepSpillDirs) to reclaim.
 //
 // Records are opaque byte strings — the execution layer encodes tuples (and,
 // for order-preserving join spills, sequence prefixes) with the deterministic
@@ -22,6 +29,7 @@ import (
 type RunWriter struct {
 	f    *os.File
 	bw   *bufio.Writer
+	path string // non-empty for retained runs; removed on Discard/reader Close
 	size int64
 	recs int64
 }
@@ -41,6 +49,18 @@ func NewRunWriter(dir string) (*RunWriter, error) {
 		return nil, fmt.Errorf("storage: unlink spill run: %w", err)
 	}
 	return &RunWriter{f: f, bw: bufio.NewWriterSize(f, 64<<10)}, nil
+}
+
+// NewRetainedRunWriter creates a named spill run in dir. The file stays
+// linked until the writer (or the reader Finish hands it to) is closed; a
+// process killed mid-spill leaves it on disk inside its query's namespace
+// directory, where the next startup's SweepSpillDirs reclaims it.
+func NewRetainedRunWriter(dir string) (*RunWriter, error) {
+	f, err := os.CreateTemp(dir, "csq-spill-*.run")
+	if err != nil {
+		return nil, fmt.Errorf("storage: create spill run: %w", err)
+	}
+	return &RunWriter{f: f, bw: bufio.NewWriterSize(f, 64<<10), path: f.Name()}, nil
 }
 
 // Append writes one record.
@@ -73,18 +93,22 @@ func (w *RunWriter) Finish() (*RunReader, error) {
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
 		return nil, fmt.Errorf("storage: spill rewind: %w", err)
 	}
-	r := &RunReader{f: w.f, br: bufio.NewReaderSize(w.f, 64<<10), recs: w.recs}
-	w.f, w.bw = nil, nil
+	r := &RunReader{f: w.f, br: bufio.NewReaderSize(w.f, 64<<10), path: w.path, recs: w.recs}
+	w.f, w.bw, w.path = nil, nil, ""
 	return r, nil
 }
 
-// Discard releases the run without reading it (error paths).
+// Discard releases the run without reading it (error paths); retained runs
+// are removed from disk.
 func (w *RunWriter) Discard() error {
 	if w.f == nil {
 		return nil
 	}
 	err := w.f.Close()
-	w.f, w.bw = nil, nil
+	if w.path != "" {
+		_ = os.Remove(w.path)
+	}
+	w.f, w.bw, w.path = nil, nil, ""
 	return err
 }
 
@@ -92,6 +116,7 @@ func (w *RunWriter) Discard() error {
 type RunReader struct {
 	f    *os.File
 	br   *bufio.Reader
+	path string
 	buf  []byte
 	recs int64
 }
@@ -122,12 +147,15 @@ func (r *RunReader) Next() ([]byte, error) {
 // Records returns the total number of records in the run.
 func (r *RunReader) Records() int64 { return r.recs }
 
-// Close releases the run's file.
+// Close releases the run's file; retained runs are removed from disk.
 func (r *RunReader) Close() error {
 	if r.f == nil {
 		return nil
 	}
 	err := r.f.Close()
-	r.f, r.br = nil, nil
+	if r.path != "" {
+		_ = os.Remove(r.path)
+	}
+	r.f, r.br, r.path = nil, nil, ""
 	return err
 }

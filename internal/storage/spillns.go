@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// Per-query spill namespaces. When the operator configures a spill directory
+// (udfserverd -spill-dir), each query's retained spill runs live inside one
+// directory named after the owning process and query:
+//
+//	<root>/csq-q<pid>-<queryID>.spill/csq-spill-*.run
+//
+// A query that finishes (however it finishes) removes its namespace. A
+// process that dies mid-spill cannot — so every daemon startup sweeps the
+// root and reclaims the namespaces of processes that no longer exist. The
+// pid in the name makes the sweep safe for roots shared by several live
+// server processes: only dead owners' directories are removed.
+
+// spillNSPrefix and spillNSSuffix frame a namespace directory name.
+const (
+	spillNSPrefix = "csq-q"
+	spillNSSuffix = ".spill"
+)
+
+// SpillNamespace returns the namespace directory path for a query of the
+// current process.
+func SpillNamespace(root string, queryID uint64) string {
+	return filepath.Join(root, fmt.Sprintf("%s%d-%d%s", spillNSPrefix, os.Getpid(), queryID, spillNSSuffix))
+}
+
+// CreateSpillNamespace creates (and returns) the query's namespace directory.
+func CreateSpillNamespace(root string, queryID uint64) (string, error) {
+	dir := SpillNamespace(root, queryID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("storage: create spill namespace: %w", err)
+	}
+	return dir, nil
+}
+
+// RemoveSpillNamespace deletes a query's namespace directory and everything
+// in it. Missing directories are not an error.
+func RemoveSpillNamespace(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("storage: remove spill namespace: %w", err)
+	}
+	return nil
+}
+
+// parseSpillNamespace extracts the owning pid from a namespace directory
+// name; ok is false for names that are not spill namespaces.
+func parseSpillNamespace(name string) (pid int, ok bool) {
+	if !strings.HasPrefix(name, spillNSPrefix) || !strings.HasSuffix(name, spillNSSuffix) {
+		return 0, false
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(name, spillNSPrefix), spillNSSuffix)
+	dash := strings.IndexByte(body, '-')
+	if dash <= 0 {
+		return 0, false
+	}
+	pid, err := strconv.Atoi(body[:dash])
+	if err != nil || pid <= 0 {
+		return 0, false
+	}
+	if _, err := strconv.ParseUint(body[dash+1:], 10, 64); err != nil {
+		return 0, false
+	}
+	return pid, true
+}
+
+// pidAlive reports whether a process with the given pid exists. Signal 0
+// probes existence without delivering anything; EPERM still means "exists".
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || err == syscall.EPERM
+}
+
+// SweepSpillDirs reclaims orphaned spill namespaces under root: every
+// namespace directory whose owning process is no longer alive is removed,
+// along with whatever runs a crash left inside it. Namespaces of live
+// processes (including this one) are untouched. It returns the reclaimed
+// directory names and the total bytes of run data they held. A missing root
+// sweeps nothing.
+func SweepSpillDirs(root string) (removed []string, bytes int64, err error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("storage: sweep spill dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		pid, ok := parseSpillNamespace(e.Name())
+		if !ok || pidAlive(pid) {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		bytes += dirSize(dir)
+		if rerr := os.RemoveAll(dir); rerr != nil {
+			return removed, bytes, fmt.Errorf("storage: sweep spill dir: %w", rerr)
+		}
+		removed = append(removed, e.Name())
+	}
+	return removed, bytes, nil
+}
+
+// dirSize sums the sizes of the regular files directly inside dir (spill
+// namespaces are flat). Errors are ignored: the sweep is best-effort
+// accounting over a directory it is about to delete.
+func dirSize(dir string) int64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil && info.Mode().IsRegular() {
+			total += info.Size()
+		}
+	}
+	return total
+}

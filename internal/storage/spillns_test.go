@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func TestRetainedRunLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewRetainedRunWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retained runs stay linked while open — a crash here would leave the
+	// file for the sweep.
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("retained run left %d files on disk while open, want 1", len(files))
+	}
+	rec, err := r.Next()
+	if err != nil || string(rec) != "alpha" {
+		t.Fatalf("Next = %q, %v; want alpha", rec, err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ = os.ReadDir(dir)
+	if len(files) != 0 {
+		t.Fatalf("reader Close left %d files, want 0", len(files))
+	}
+
+	// Discard also removes the file.
+	w2, err := NewRetainedRunWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ = os.ReadDir(dir)
+	if len(files) != 0 {
+		t.Fatalf("Discard left %d files, want 0", len(files))
+	}
+}
+
+func TestSpillNamespaceNamesRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	dir, err := CreateSpillNamespace(root, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir != SpillNamespace(root, 42) {
+		t.Fatalf("CreateSpillNamespace dir %q != SpillNamespace %q", dir, SpillNamespace(root, 42))
+	}
+	pid, ok := parseSpillNamespace(filepath.Base(dir))
+	if !ok || pid != os.Getpid() {
+		t.Fatalf("parse(%q) = %d, %v; want this pid", filepath.Base(dir), pid, ok)
+	}
+	for _, bad := range []string{
+		"csq-q.spill", "csq-q-1.spill", "csq-q0-1.spill", "csq-qx-1.spill",
+		"csq-q12-x.spill", "csq-q12-3", "other-12-3.spill", "csq-q-12-3",
+	} {
+		if _, ok := parseSpillNamespace(bad); ok {
+			t.Fatalf("parse accepted junk name %q", bad)
+		}
+	}
+	if err := RemoveSpillNamespace(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := RemoveSpillNamespace(dir); err != nil {
+		t.Fatalf("removing a missing namespace errored: %v", err)
+	}
+	if err := RemoveSpillNamespace(""); err != nil {
+		t.Fatalf("removing the empty namespace errored: %v", err)
+	}
+}
+
+// deadPid returns the pid of a process that has already exited.
+func deadPid(t *testing.T) int {
+	t.Helper()
+	cmd := exec.Command("true")
+	if err := cmd.Run(); err != nil {
+		t.Skipf("cannot spawn helper process: %v", err)
+	}
+	return cmd.ProcessState.Pid()
+}
+
+func TestSweepSpillDirs(t *testing.T) {
+	root := t.TempDir()
+
+	// A namespace owned by this (live) process, holding one run.
+	liveDir, err := CreateSpillNamespace(root, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A namespace owned by a dead process, holding orphaned run data.
+	dead := deadPid(t)
+	deadName := "csq-q" + strconv.Itoa(dead) + "-9.spill"
+	deadDir := filepath.Join(root, deadName)
+	if err := os.Mkdir(deadDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(deadDir, "csq-spill-1.run"), make([]byte, 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Unrelated entries the sweep must not touch.
+	if err := os.Mkdir(filepath.Join(root, "notours"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "stray.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, bytes, err := SweepSpillDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != deadName {
+		t.Fatalf("sweep removed %v, want exactly %q", removed, deadName)
+	}
+	if bytes != 4096 {
+		t.Fatalf("sweep reported %d reclaimed bytes, want 4096", bytes)
+	}
+	if _, err := os.Stat(deadDir); !os.IsNotExist(err) {
+		t.Fatalf("dead namespace still on disk")
+	}
+	for _, keep := range []string{liveDir, filepath.Join(root, "notours"), filepath.Join(root, "stray.txt")} {
+		if _, err := os.Stat(keep); err != nil {
+			t.Fatalf("sweep touched %s: %v", keep, err)
+		}
+	}
+
+	// Missing root sweeps nothing.
+	if removed, _, err := SweepSpillDirs(filepath.Join(root, "missing")); err != nil || len(removed) != 0 {
+		t.Fatalf("sweep of missing root = %v, %v; want clean no-op", removed, err)
+	}
+}

@@ -2,7 +2,9 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"time"
 )
 
 // Query-service framing: a requester submits queries to a running query
@@ -33,7 +35,111 @@ const (
 	// carried in QuerySpec.Text. Requesters must not send Text to a server
 	// that has not echoed this bit.
 	CapTextQuery uint32 = 1 << 2
+	// CapReject: the server terminates shed or drained queries with a typed
+	// MsgQueryReject (reason + retry-after hint) instead of a generic
+	// MsgError, so the requester can classify the refusal as retryable.
+	CapReject uint32 = 1 << 3
 )
+
+// RejectReason explains why the server refused to run a query.
+type RejectReason uint8
+
+const (
+	// RejectOverloaded: the admission queue was full or the query's deadline
+	// left no useful queueing budget; the query never ran and is safe to
+	// resubmit after the retry-after hint.
+	RejectOverloaded RejectReason = iota
+	// RejectDraining: the server is shutting down gracefully and shed the
+	// query before it ran; resubmit against another (or the restarted)
+	// server.
+	RejectDraining
+)
+
+// String names the reason for logs and error messages.
+func (r RejectReason) String() string {
+	switch r {
+	case RejectOverloaded:
+		return "overloaded"
+	case RejectDraining:
+		return "draining"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrOverloaded is the sentinel a shed query's error unwraps to: the server
+// refused the query under load without running any of it, so an idempotent
+// resubmission is safe. Classify reports it retryable.
+var ErrOverloaded = errors.New("wire: server overloaded, query shed")
+
+// ErrServerDraining is the sentinel a drained query's error unwraps to: the
+// server is shutting down and shed the query before it ran. Classify reports
+// it retryable (against a restarted or different server).
+var ErrServerDraining = errors.New("wire: server draining, query shed")
+
+// RejectError is the typed error for a query the server refused to run. It
+// unwraps to ErrOverloaded or ErrServerDraining so callers can match with
+// errors.Is, and carries the server's retry-after hint.
+type RejectError struct {
+	Reason RejectReason
+	// RetryAfter is the server's backoff hint; zero means "immediately".
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *RejectError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("wire: query rejected: server %s (retry after %s)", e.Reason, e.RetryAfter)
+	}
+	return fmt.Sprintf("wire: query rejected: server %s", e.Reason)
+}
+
+// Unwrap maps the reason onto its sentinel.
+func (e *RejectError) Unwrap() error {
+	if e.Reason == RejectDraining {
+		return ErrServerDraining
+	}
+	return ErrOverloaded
+}
+
+// QueryReject is the wire form of a typed refusal (server→requester).
+type QueryReject struct {
+	QueryID uint64
+	Reason  RejectReason
+	// RetryAfterMillis is the server's resubmission backoff hint.
+	RetryAfterMillis int64
+}
+
+// Err converts the frame into the typed error requesters surface.
+func (q *QueryReject) Err() error {
+	return &RejectError{Reason: q.Reason, RetryAfter: time.Duration(q.RetryAfterMillis) * time.Millisecond}
+}
+
+// EncodeQueryReject serialises a QueryReject.
+func EncodeQueryReject(q *QueryReject) []byte {
+	var dst []byte
+	dst = binary.LittleEndian.AppendUint64(dst, q.QueryID)
+	dst = append(dst, byte(q.Reason))
+	dst = binary.AppendUvarint(dst, uint64(q.RetryAfterMillis))
+	return dst
+}
+
+// DecodeQueryReject deserialises a QueryReject.
+func DecodeQueryReject(src []byte) (*QueryReject, error) {
+	if len(src) < 9 {
+		return nil, fmt.Errorf("wire: query reject too short")
+	}
+	q := &QueryReject{QueryID: binary.LittleEndian.Uint64(src), Reason: RejectReason(src[8])}
+	retry, c := binary.Uvarint(src[9:])
+	if c <= 0 {
+		return nil, fmt.Errorf("wire: query reject: bad retry-after")
+	}
+	if 9+c != len(src) {
+		return nil, fmt.Errorf("wire: query reject: %d trailing bytes", len(src)-9-c)
+	}
+	q.RetryAfterMillis = int64(retry)
+	return q, nil
+}
 
 // QuerySpec is the wire form of a service query: the common
 // filter→UDF-apply→pushable-filter→project shape over one stored table, plus

@@ -71,6 +71,11 @@ func Classify(err error) ErrClass {
 	if errors.Is(err, ErrCircuitOpen) {
 		return ClassFatal
 	}
+	// Typed server refusals: the query never ran (shed under overload, or
+	// shed by a draining server), so an idempotent resubmission is safe.
+	if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrServerDraining) {
+		return ClassRetryable
+	}
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
 		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) ||
 		errors.Is(err, os.ErrDeadlineExceeded) {

@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestQueryRejectRoundTrip(t *testing.T) {
+	cases := []QueryReject{
+		{QueryID: 1, Reason: RejectOverloaded, RetryAfterMillis: 250},
+		{QueryID: 1<<63 + 9, Reason: RejectDraining, RetryAfterMillis: 0},
+		{QueryID: 0, Reason: RejectOverloaded, RetryAfterMillis: 1 << 40},
+	}
+	for _, c := range cases {
+		got, err := DecodeQueryReject(EncodeQueryReject(&c))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", c, err)
+		}
+		if *got != c {
+			t.Fatalf("round trip: got %+v, want %+v", *got, c)
+		}
+	}
+}
+
+func TestQueryRejectDecodeRejectsJunk(t *testing.T) {
+	for _, bad := range [][]byte{
+		nil,
+		make([]byte, 8), // too short: no reason byte
+		append(EncodeQueryReject(&QueryReject{QueryID: 3}), 0xFF), // trailing bytes
+	} {
+		if _, err := DecodeQueryReject(bad); err == nil {
+			t.Fatalf("decode accepted junk payload of %d bytes", len(bad))
+		}
+	}
+}
+
+func TestRejectErrorTypedAndRetryable(t *testing.T) {
+	over := (&QueryReject{QueryID: 5, Reason: RejectOverloaded, RetryAfterMillis: 40}).Err()
+	if !errors.Is(over, ErrOverloaded) {
+		t.Fatalf("overload reject does not unwrap to ErrOverloaded: %v", over)
+	}
+	var re *RejectError
+	if !errors.As(over, &re) || re.RetryAfter != 40*time.Millisecond {
+		t.Fatalf("overload reject lost its retry-after: %v", over)
+	}
+	if Classify(over) != ClassRetryable {
+		t.Fatalf("overload reject classified %v, want retryable", Classify(over))
+	}
+
+	drain := (&QueryReject{QueryID: 5, Reason: RejectDraining}).Err()
+	if !errors.Is(drain, ErrServerDraining) {
+		t.Fatalf("draining reject does not unwrap to ErrServerDraining: %v", drain)
+	}
+	if Classify(drain) != ClassRetryable {
+		t.Fatalf("draining reject classified %v, want retryable", Classify(drain))
+	}
+
+	if MsgQueryReject.String() != "QUERY_REJECT" {
+		t.Fatalf("MsgQueryReject.String() = %q", MsgQueryReject.String())
+	}
+	if RejectOverloaded.String() != "overloaded" || RejectDraining.String() != "draining" {
+		t.Fatalf("reason strings: %q / %q", RejectOverloaded, RejectDraining)
+	}
+}

@@ -82,6 +82,13 @@ const (
 	// MsgCancel aborts a running query (requester→server). Only sent when the
 	// server's MsgQueryAck confirmed CapCancel.
 	MsgCancel
+	// MsgQueryReject terminates a query's result stream with a typed refusal
+	// (server→requester): the server shed the query under overload or is
+	// draining for shutdown. The payload carries the reason and a retry-after
+	// hint, so a requester can distinguish a retryable shed from a fatal error
+	// and resubmit. Only sent when the server's MsgQueryAck confirmed
+	// CapReject; older requesters receive a MsgError instead.
+	MsgQueryReject
 )
 
 // String implements fmt.Stringer.
@@ -115,6 +122,8 @@ func (t MsgType) String() string {
 		return "QUERY_ACK"
 	case MsgCancel:
 		return "CANCEL"
+	case MsgQueryReject:
+		return "QUERY_REJECT"
 	default:
 		return "INVALID"
 	}
