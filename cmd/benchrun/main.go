@@ -9,8 +9,11 @@
 // benchrun exits non-zero. Wire-codec benchmarks (the internal/wire package)
 // are additionally gated on bytes_per_op — allocated bytes are deterministic
 // there, so an encoder that starts copying or loses its pooling is caught
-// even when allocation counts stay flat. CI runs this against the committed
-// BENCH_exec.json. ns/op comparisons are normalized by the suite-wide median
+// even when allocation counts stay flat. Columnar scan benchmarks
+// (internal/exec ColumnarScan/*) are gated on their custom bytesread/op
+// metric — on-disk bytes read per scan — so a zone-map pruning or projection
+// regression fails CI even when timing noise hides it. CI runs this against
+// the committed BENCH_exec.json. ns/op comparisons are normalized by the suite-wide median
 // speed ratio, so a baseline generated on different hardware does not trip
 // the gate; allocs/op and bytes_per_op are compared directly.
 //
@@ -41,6 +44,10 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// BytesReadPerOp is the custom bytesread/op metric of the columnar scan
+	// benchmarks: on-disk bytes actually read per scan. 0 for benchmarks
+	// that do not report it.
+	BytesReadPerOp float64 `json:"bytesread_per_op,omitempty"`
 }
 
 // Report is the BENCH_exec.json document.
@@ -60,7 +67,8 @@ type Ratios struct {
 
 // benchLine matches e.g.
 // BenchmarkHashJoin/batch-8  100  1159133 ns/op  2695789 B/op  862 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// BenchmarkColumnarScan/pruned-8  50  382612 ns/op  22868 bytesread/op  1623982 B/op  67 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) bytesread/op)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
 	benchtime := flag.String("benchtime", "100x", "value passed to -benchtime")
@@ -154,8 +162,9 @@ func compareToBaseline(results []Result, baselinePath string, maxRegress float64
 	batchCompared := 0
 	for _, r := range results {
 		gateBytes := isWireBench(r)
+		gateBytesRead := isColumnarScanBench(r)
 		isBatch := strings.HasSuffix(r.Name, "/batch")
-		if !isBatch && !gateBytes {
+		if !isBatch && !gateBytes && !gateBytesRead {
 			continue
 		}
 		b, ok := base[r.Package+" "+r.Name]
@@ -188,6 +197,15 @@ func compareToBaseline(results []Result, baselinePath string, maxRegress float64
 			problems = append(problems, fmt.Sprintf("%s %s: %d bytes_per_op vs baseline %d",
 				r.Package, r.Name, r.BytesPerOp, b.BytesPerOp))
 		}
+		// On-disk bytes read per scan are fully deterministic (fixed data,
+		// fixed segment layout, fixed encoding), so the columnar scan gate
+		// compares the custom bytesread/op metric directly. A regression here
+		// means zone-map pruning or required-column projection stopped
+		// skipping reads — exactly the failure ns/op noise can hide.
+		if gateBytesRead && r.BytesReadPerOp > b.BytesReadPerOp*(1+maxRegress)+bytesSlack {
+			problems = append(problems, fmt.Sprintf("%s %s: %.0f bytesread_per_op vs baseline %.0f",
+				r.Package, r.Name, r.BytesReadPerOp, b.BytesReadPerOp))
+		}
 	}
 	// The backstop counts only /batch benchmarks: wire-codec matches must not
 	// be able to keep the gate "green" after the batch paths silently vanish
@@ -204,6 +222,13 @@ func compareToBaseline(results []Result, baselinePath string, maxRegress float64
 // is explicit: every benchmark of internal/wire, nothing else.
 func isWireBench(r Result) bool {
 	return r.Package == "./internal/wire"
+}
+
+// isColumnarScanBench reports whether a result is a columnar scan benchmark —
+// the ones reporting the custom bytesread/op metric (on-disk bytes actually
+// read), which is deterministic and gated directly against the baseline.
+func isColumnarScanBench(r Result) bool {
+	return r.Package == "./internal/exec" && strings.HasPrefix(r.Name, "ColumnarScan/")
 }
 
 // medianNsRatio estimates the machine-speed factor between this run and the
@@ -241,20 +266,25 @@ func runPackage(pkg, benchtime string) ([]Result, error) {
 		}
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
+		var bytesRead float64
 		var bytesOp, allocsOp int64
 		if m[4] != "" {
-			bytesOp, _ = strconv.ParseInt(m[4], 10, 64)
+			bytesRead, _ = strconv.ParseFloat(m[4], 64)
 		}
 		if m[5] != "" {
-			allocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+			bytesOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if m[6] != "" {
+			allocsOp, _ = strconv.ParseInt(m[6], 10, 64)
 		}
 		results = append(results, Result{
-			Package:     pkg,
-			Name:        strings.TrimPrefix(m[1], "Benchmark"),
-			Iterations:  iters,
-			NsPerOp:     ns,
-			BytesPerOp:  bytesOp,
-			AllocsPerOp: allocsOp,
+			Package:        pkg,
+			Name:           strings.TrimPrefix(m[1], "Benchmark"),
+			Iterations:     iters,
+			NsPerOp:        ns,
+			BytesPerOp:     bytesOp,
+			AllocsPerOp:    allocsOp,
+			BytesReadPerOp: bytesRead,
 		})
 	}
 	if len(results) == 0 {

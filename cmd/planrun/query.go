@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -14,15 +15,29 @@ import (
 )
 
 // explainQuery compiles a textual query (docs/QUERYLANG.md) against the demo
-// dataset and renders all three planning layers — the compiled logical tree,
-// the rewritten tree, and the lowered physical plan with each UDF apply's
-// strategy decision. The link observation is fixed (symmetric 3600 B/s, 200 ms
-// RTT) instead of probed, so the output is deterministic and golden-testable.
+// dataset — extended with ctrades, a columnar copy of trades — and renders
+// all three planning layers: the compiled logical tree, the rewritten tree,
+// and the lowered physical plan with each UDF apply's strategy decision. The
+// link observation is fixed (symmetric 3600 B/s, 200 ms RTT) instead of
+// probed, so the output is deterministic and golden-testable. The query is
+// then executed once; when it touched columnar storage the scan I/O counters
+// (segments scanned and pruned by zone maps, on-disk bytes read) are
+// appended, so the effect of the printed pruning estimate is visible.
 func explainQuery(text string) (string, error) {
 	cat, rt, err := demo.New()
 	if err != nil {
 		return "", err
 	}
+	dir, err := os.MkdirTemp("", "csq-ctrades-")
+	if err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(dir)
+	ct, err := demo.AddColumnarTrades(cat, dir)
+	if err != nil {
+		return "", err
+	}
+	defer ct.Close()
 	root, err := lang.Compile(cat, text)
 	if err != nil {
 		return "", err
@@ -38,7 +53,20 @@ func explainQuery(text string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return "EXPLAIN " + strings.TrimSpace(text) + "\n" + tp.Explain(), nil
+	out := "EXPLAIN " + strings.TrimSpace(text) + "\n" + tp.Explain()
+	op, err := tp.NewOperator()
+	if err != nil {
+		return "", err
+	}
+	rec := &exec.ScanStatsRecorder{}
+	if _, err := exec.Collect(exec.WithScanStats(context.Background(), rec), op); err != nil {
+		return "", err
+	}
+	if st := rec.Stats(); st.SegmentsScanned+st.SegmentsPruned > 0 {
+		out += fmt.Sprintf("scan i/o: segments scanned=%d pruned=%d, bytes read=%d\n",
+			st.SegmentsScanned, st.SegmentsPruned, st.BytesRead)
+	}
+	return out, nil
 }
 
 // runQuery compiles, plans and executes a textual query against the demo

@@ -59,6 +59,47 @@ func TestQueryExplainGolden(t *testing.T) {
 	}
 }
 
+// columnarQueries exercise the columnar demo table ctrades: a Day range that
+// zone maps prune to one of four segments, and a full aggregate sweep.
+var columnarQueries = []string{
+	"recent(Sym, Price) :- ctrades(Sym, Day, Price, _), Day > 7.",
+	"cvolume(Sym, sum(Qty) as Total) :- ctrades(Sym, _, _, Qty).",
+}
+
+// TestColumnarQueryExplainGolden pins the -query -explain rendering for
+// columnar scans: the rewritten tree's pushdown annotations, the physical
+// plan's plan-time segment-pruning estimate, and the executed scan I/O
+// counters (segment sizes and encoded bytes are deterministic).
+//
+// Regenerate with: go test ./cmd/planrun -run TestColumnarQueryExplainGolden -update
+func TestColumnarQueryExplainGolden(t *testing.T) {
+	var b strings.Builder
+	for i, q := range columnarQueries {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		out, err := explainQuery(q)
+		if err != nil {
+			t.Fatalf("explain %q: %v", q, err)
+		}
+		b.WriteString(out)
+	}
+	got := b.String()
+	const path = "testdata/query_explain_columnar.golden"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("columnar -query -explain output drifted from golden file %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
 // TestRunQueryResults spot-checks executed -query output for a scalar
 // aggregate and the empty-table fallback.
 func TestRunQueryResults(t *testing.T) {

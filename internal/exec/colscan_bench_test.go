@@ -1,0 +1,83 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"csq/internal/expr"
+	"csq/internal/storage/colstore"
+	"csq/internal/types"
+)
+
+// Columnar scan benchmarks, with a bytesread/op metric reporting the on-disk
+// bytes each scan actually reads — the quantity zone-map pruning and
+// required-column projection exist to shrink. cmd/benchrun parses the metric
+// and gates it against BENCH_exec.json like the wire codec byte counts, so a
+// pruning or projection regression (reading segments or columns it should
+// skip) fails CI even when ns/op noise hides it.
+
+// benchColstore builds a columnar table of n rows whose ID column grows
+// monotonically, so ID range predicates prune whole segments.
+func benchColstore(b *testing.B, n, segmentRows int) *colstore.Table {
+	b.Helper()
+	schema := types.NewSchema(
+		types.Column{Name: "ID", Kind: types.KindInt},
+		types.Column{Name: "Sym", Kind: types.KindString},
+		types.Column{Name: "Price", Kind: types.KindFloat},
+	)
+	tbl, err := colstore.Create(b.TempDir(), "bench", schema, colstore.Options{SegmentRows: segmentRows})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { tbl.Close() })
+	rows := make([]types.Tuple, n)
+	for i := range rows {
+		rows[i] = types.Tuple{
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("SYM%02d", i%16)),
+			types.NewFloat(float64(i) * 1.25),
+		}
+	}
+	if err := tbl.InsertBatch(rows); err != nil {
+		b.Fatal(err)
+	}
+	if err := tbl.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return tbl
+}
+
+// runColumnar drains one fresh scan per iteration and reports bytesread/op.
+func runColumnar(b *testing.B, tbl *colstore.Table, required []int, prunable []expr.Expr) {
+	b.Helper()
+	rec := &ScanStatsRecorder{}
+	ctx := WithScanStats(context.Background(), rec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(ctx, NewColumnarScan(tbl, "", required, prunable)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rec.Stats().BytesRead)/float64(b.N), "bytesread/op")
+}
+
+func BenchmarkColumnarScan(b *testing.B) {
+	const rows, segmentRows = 8192, 512
+	tbl := benchColstore(b, rows, segmentRows)
+	// ID >= 7*rows/8: zone maps keep 2 of 16 segments.
+	pred := expr.NewBinary(expr.OpGe,
+		expr.NewBoundColumnRef(0, types.KindInt),
+		expr.NewConst(types.NewInt(int64(rows-rows/8))))
+
+	b.Run("full", func(b *testing.B) {
+		runColumnar(b, tbl, nil, nil)
+	})
+	b.Run("pruned", func(b *testing.B) {
+		runColumnar(b, tbl, nil, []expr.Expr{pred})
+	})
+	b.Run("projected", func(b *testing.B) {
+		runColumnar(b, tbl, []int{0}, nil)
+	})
+}

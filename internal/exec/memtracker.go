@@ -224,6 +224,15 @@ func (a *memAccount) grow(n int64) error {
 	return nil
 }
 
+// shrink returns n bytes of the account to the tracker.
+func (a *memAccount) shrink(n int64) {
+	if n == 0 {
+		return
+	}
+	a.t.Shrink(n)
+	a.n.Add(-n)
+}
+
 // releaseAll returns the whole account to the tracker.
 func (a *memAccount) releaseAll() {
 	if n := a.n.Swap(0); n != 0 {

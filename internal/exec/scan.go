@@ -17,7 +17,7 @@ type TableScan struct {
 	table  storage.Relation
 	alias  string
 	schema *types.Schema
-	it     *storage.TableIterator
+	it     storage.RowIterator
 }
 
 // NewTableScan returns a scan over the relation. When alias is non-empty the

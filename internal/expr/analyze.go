@@ -43,6 +43,44 @@ func Conjoin(es []Expr) Expr {
 	return out
 }
 
+// SplitColConstComparison recognizes a comparison between a bound column
+// reference and a constant, in either operand order. It returns the column
+// ordinal, the constant, and the operator normalized so the column sits on the
+// left (`5 < col` becomes `col > 5`). Such conjuncts are the ones a zone map
+// can evaluate against segment min/max bounds.
+func SplitColConstComparison(b *Binary) (col int, val types.Value, op Op, ok bool) {
+	if b == nil || !b.Op.IsComparison() {
+		return 0, types.Value{}, 0, false
+	}
+	if c, isCol := b.Left.(*ColumnRef); isCol && c.Bound() {
+		if k, isConst := b.Right.(*Const); isConst {
+			return c.Ordinal, k.Value, b.Op, true
+		}
+	}
+	if c, isCol := b.Right.(*ColumnRef); isCol && c.Bound() {
+		if k, isConst := b.Left.(*Const); isConst {
+			return c.Ordinal, k.Value, mirrorComparison(b.Op), true
+		}
+	}
+	return 0, types.Value{}, 0, false
+}
+
+// mirrorComparison flips a comparison operator across its operands.
+func mirrorComparison(op Op) Op {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default: // OpEq, OpNe are symmetric
+		return op
+	}
+}
+
 // PushableToClient reports whether the bound expression can be evaluated at
 // the client given the set of input-column ordinals that will be present at
 // the client (availableCols) and the names of the client-site UDFs whose

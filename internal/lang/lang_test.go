@@ -120,7 +120,7 @@ func TestCompiledTreesRewrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := logical.Format(rewritten)
-	want := "udf-apply [attractive(1)] pushable=(Keep = true) project=[0]\n  project [0 2]\n    scan stocks\n"
+	want := "udf-apply [attractive(1)] pushable=(Keep = true) project=[0]\n  project [0 2]\n    scan stocks cols=[0 2]\n"
 	if got != want {
 		t.Errorf("rewritten tree mismatch\ngot:\n%s\nwant:\n%s", got, want)
 	}

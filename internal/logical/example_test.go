@@ -60,5 +60,5 @@ func ExampleRewrite() {
 	// rewrites to:
 	// udf-apply [attractive(1)] pushable=(Keep = true) project=[0]
 	//   project [0 2]
-	//     scan stocks
+	//     scan stocks cols=[0 2]
 }

@@ -71,6 +71,20 @@ type Scan struct {
 	// Alias optionally re-qualifies the produced columns (FROM t AS a).
 	Alias string
 
+	// Required is the scan-pushdown annotation installed by the rewriter's
+	// annotate-scan-required rule: the table ordinals the plan above the scan
+	// actually reads, or nil for all of them. The schema is unaffected — a
+	// columnar scan still produces full-width tuples, but materializes only
+	// these positions (the rest stay NULL placeholders nothing above reads).
+	// Row-store scans ignore it.
+	Required []int
+	// Prunable is the scan-pushdown annotation installed by the rewriter's
+	// annotate-scan-prunable rule: the conjuncts of the filter directly above
+	// the scan of the form <column> <cmp> <constant>. They are advisory — the
+	// filter itself stays in the tree and still runs row by row — but a
+	// zone-mapped storage backend may use them to skip whole segments.
+	Prunable []expr.Expr
+
 	schema *types.Schema
 }
 
@@ -100,6 +114,20 @@ func NewScanByName(cat *catalog.Catalog, name, alias string) (*Scan, error) {
 	return NewScan(t, alias)
 }
 
+// WithPushdown returns a copy of the scan carrying the given pushdown
+// annotations; a nil required or prunable keeps the scan's current value for
+// that annotation (the two annotation rules write disjoint fields).
+func (s *Scan) WithPushdown(required []int, prunable []expr.Expr) *Scan {
+	out := &Scan{Table: s.Table, Alias: s.Alias, Required: s.Required, Prunable: s.Prunable, schema: s.schema}
+	if required != nil {
+		out.Required = append([]int(nil), required...)
+	}
+	if prunable != nil {
+		out.Prunable = append([]expr.Expr(nil), prunable...)
+	}
+	return out
+}
+
 // Schema implements Node.
 func (s *Scan) Schema() *types.Schema { return s.schema }
 
@@ -108,10 +136,22 @@ func (s *Scan) Children() []Node { return nil }
 
 // String implements Node.
 func (s *Scan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scan %s", s.Table.Name)
 	if s.Alias != "" {
-		return fmt.Sprintf("scan %s as %s", s.Table.Name, s.Alias)
+		fmt.Fprintf(&b, " as %s", s.Alias)
 	}
-	return fmt.Sprintf("scan %s", s.Table.Name)
+	if s.Required != nil {
+		fmt.Fprintf(&b, " cols=%v", s.Required)
+	}
+	if len(s.Prunable) > 0 {
+		parts := make([]string, len(s.Prunable))
+		for i, p := range s.Prunable {
+			parts[i] = p.String()
+		}
+		fmt.Fprintf(&b, " prune=[%s]", strings.Join(parts, " "))
+	}
+	return b.String()
 }
 
 // Values produces an in-memory relation; it is the logical counterpart of

@@ -51,6 +51,8 @@ func DefaultRules() []Rule {
 		{Name: "compose-projects", Apply: composeProjects},
 		{Name: "prune-udf-apply-input", Apply: pruneUDFApplyInput},
 		{Name: "drop-identity-project", Apply: dropIdentityProject},
+		{Name: "annotate-scan-prunable", Apply: annotateScanPrunable},
+		{Name: "annotate-scan-required", Apply: annotateScanRequired},
 	}
 }
 
@@ -417,6 +419,131 @@ func pruneUDFApplyInput(n Node) (Node, bool, error) {
 	}
 	out, err := newUDFApply(input, udfs, pushable, project)
 	return out, err == nil, err
+}
+
+// annotateScanPrunable installs the prunable-predicate annotation on a scan
+// directly below a filter: the conjuncts of the form <column> <cmp>
+// <constant> a zone-mapped storage backend can evaluate against segment
+// min/max summaries. The filter node is kept — rows are still filtered one by
+// one — so the annotation is purely an access-path hint and the rule is a
+// no-op for row-store scans. It writes only the Prunable field (the
+// required-columns annotation belongs to annotateScanRequired), which keeps the two
+// rules from oscillating, and refires only when the computed conjunct set
+// changes, which keeps the fixpoint finite.
+func annotateScanPrunable(n Node) (Node, bool, error) {
+	f, ok := n.(*Filter)
+	if !ok {
+		return n, false, nil
+	}
+	sc, ok := f.Input.(*Scan)
+	if !ok {
+		return n, false, nil
+	}
+	prunable := prunableConjuncts(f.Pred, sc.Schema().Len())
+	if exprListEqual(prunable, sc.Prunable) {
+		return n, false, nil
+	}
+	if prunable == nil {
+		prunable = []expr.Expr{} // explicitly clear a stale annotation
+	}
+	out, err := NewFilter(sc.WithPushdown(nil, prunable), f.Pred)
+	return out, err == nil, err
+}
+
+// annotateScanRequired installs the required-columns annotation on a scan
+// below a positional projection (optionally with a filter in between): the
+// union of the projected ordinals and the filter's column references is
+// everything the plan above can observe, so a columnar scan only needs to
+// materialize those positions. Like annotateScanPrunable it writes a single
+// field and refires only on change.
+func annotateScanRequired(n Node) (Node, bool, error) {
+	p, ok := n.(*Project)
+	if !ok {
+		return n, false, nil
+	}
+	var f *Filter
+	sc, ok := p.Input.(*Scan)
+	if !ok {
+		if f, ok = p.Input.(*Filter); !ok {
+			return n, false, nil
+		}
+		if sc, ok = f.Input.(*Scan); !ok {
+			return n, false, nil
+		}
+	}
+	needed := map[int]bool{}
+	for _, o := range p.Ordinals {
+		needed[o] = true
+	}
+	if f != nil {
+		for _, o := range expr.Columns(f.Pred) {
+			needed[o] = true
+		}
+	}
+	width := sc.Schema().Len()
+	keep := make([]int, 0, len(needed))
+	for o := 0; o < width; o++ {
+		if needed[o] {
+			keep = append(keep, o)
+		}
+	}
+	if len(keep) == width && sc.Required == nil {
+		return n, false, nil // full width: annotation would say nothing
+	}
+	if intsEqual(keep, sc.Required) {
+		return n, false, nil
+	}
+	input := Node(sc.WithPushdown(keep, nil))
+	var err error
+	if f != nil {
+		if input, err = NewFilter(input, f.Pred); err != nil {
+			return nil, false, err
+		}
+	}
+	out, err := NewProject(input, p.Ordinals)
+	return out, err == nil, err
+}
+
+// prunableConjuncts returns the conjuncts of pred of the form <bound column>
+// <cmp> <constant> (either operand order) over the first width ordinals.
+func prunableConjuncts(pred expr.Expr, width int) []expr.Expr {
+	var out []expr.Expr
+	for _, c := range expr.Conjuncts(pred) {
+		b, ok := c.(*expr.Binary)
+		if !ok {
+			continue
+		}
+		if col, _, _, ok := expr.SplitColConstComparison(b); ok && col < width {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// exprListEqual compares two expression lists by rendered form (expressions
+// are immutable, so the rendering identifies them).
+func exprListEqual(a, b []expr.Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			return false
+		}
+	}
+	return true
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // dropIdentityProject removes a projection that returns its input unchanged.

@@ -1,0 +1,60 @@
+package plan
+
+import (
+	"csq/internal/exec"
+	"csq/internal/logical"
+	"csq/internal/storage/colstore"
+)
+
+// Plan-time zone-map evaluation for columnar scans. The rewriter annotates a
+// Scan with its prunable filter conjuncts; when the catalog entry is backed
+// by a column-segment table, the planner can evaluate those conjuncts against
+// the current zone maps before running anything, yielding the number of
+// segments a scan will actually read. The cardinality prior and EXPLAIN both
+// use it, so a selective range predicate shrinks the scan's estimated rows
+// the same way it shrinks its disk reads at run time.
+
+// pruneEstimate is the plan-time pruning outcome for one columnar scan.
+type pruneEstimate struct {
+	// Survive and Total count the segments the scan will read versus all
+	// on-disk segments of the table.
+	Survive, Total int
+	// Rows counts the rows of the surviving segments plus the unsegmented
+	// tail (which zone maps never cover).
+	Rows int
+	// TotalRows counts every row the scan would read unpruned.
+	TotalRows int
+}
+
+// rowFraction returns the fraction of table rows the pruned scan reads.
+func (e pruneEstimate) rowFraction() float64 {
+	if e.TotalRows <= 0 {
+		return 1
+	}
+	return float64(e.Rows) / float64(e.TotalRows)
+}
+
+// scanPruneEstimate evaluates the scan's prunable conjuncts against the
+// table's current zone maps. ok is false when the scan is not backed by a
+// columnar table — the estimate only applies to the segment-skipping access
+// path.
+func scanPruneEstimate(sc *logical.Scan) (pruneEstimate, bool) {
+	ct, isCol := sc.Table.Data.(*colstore.Table)
+	if !isCol {
+		return pruneEstimate{}, false
+	}
+	snap := ct.Snapshot()
+	preds := exec.PrunePredicates(sc.Prunable)
+	est := pruneEstimate{Total: snap.NumSegments()}
+	for i := 0; i < snap.NumSegments(); i++ {
+		est.TotalRows += snap.SegmentRowCount(i)
+		if snap.SegmentMayMatch(i, preds) {
+			est.Survive++
+			est.Rows += snap.SegmentRowCount(i)
+		}
+	}
+	tail := len(snap.Tail())
+	est.Rows += tail
+	est.TotalRows += tail
+	return est, true
+}

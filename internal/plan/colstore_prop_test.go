@@ -1,0 +1,249 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"csq/internal/catalog"
+	"csq/internal/exec"
+	"csq/internal/expr"
+	"csq/internal/logical"
+	"csq/internal/netsim"
+	"csq/internal/storage"
+	"csq/internal/storage/colstore"
+	"csq/internal/types"
+)
+
+// Property test: any query tree generated from the PR-4 shape grammar,
+// rooted at a table scan, returns byte-identical results whether the table is
+// a row-store HeapTable or a disk-backed columnar table — across all three
+// client-site strategies and under a spill-inducing memory budget. The
+// columnar path differs from the heap path in every layer this test crosses
+// (zone-map pruning, required-column materialization, per-segment decode,
+// memory charging), so identity here pins the engine's core contract: the
+// storage format is invisible to results.
+
+// colPropSchema is the shared table layout; A grows monotonically with
+// insertion order so its zone maps actually prune range predicates.
+func colPropSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "A", Kind: types.KindInt},
+		types.Column{Name: "B", Kind: types.KindInt},
+		types.Column{Name: "S", Kind: types.KindString},
+	)
+}
+
+func colPropRows(n int) []types.Tuple {
+	r := rand.New(rand.NewSource(7))
+	tags := []string{"x", "y", "z"}
+	rows := make([]types.Tuple, n)
+	for i := range rows {
+		rows[i] = types.NewTuple(
+			types.NewInt(int64(i/8)),
+			types.NewInt(int64(r.Intn(4))),
+			types.NewString(tags[r.Intn(len(tags))]),
+		)
+	}
+	return rows
+}
+
+// colPropTree grows a query tree above the scan from the PR-4 grammar
+// productions: prunable filters, positional projections, limits, distincts,
+// aggregates, joins against generated leaves, and UDF applications.
+func colPropTree(r *rand.Rand, node logical.Node, depth int) (logical.Node, error) {
+	for step := 0; step < depth; step++ {
+		schema := node.Schema()
+		ints := intCols(schema)
+		var err error
+		switch r.Intn(7) {
+		case 0: // comparison filter on an int column (prunable when above the scan)
+			if len(ints) == 0 {
+				continue
+			}
+			col := ints[r.Intn(len(ints))]
+			ops := []expr.Op{expr.OpLe, expr.OpGt, expr.OpEq}
+			pred := expr.NewBinary(ops[r.Intn(len(ops))],
+				expr.NewBoundColumnRef(col, types.KindInt),
+				expr.NewConst(types.NewInt(int64(r.Intn(30)))))
+			node, err = logical.NewFilter(node, pred)
+		case 1: // positional projection (random non-empty subset, shuffled)
+			perm := r.Perm(schema.Len())
+			node, err = logical.NewProject(node, perm[:1+r.Intn(schema.Len())])
+		case 2: // limit
+			node, err = logical.NewLimit(node, r.Intn(200))
+		case 3: // distinct
+			var ords []int
+			if r.Intn(2) == 0 && len(ints) > 0 {
+				ords = []int{ints[0]}
+			}
+			node, err = logical.NewDistinct(node, ords)
+		case 4: // join with a generated leaf on the first int columns
+			if len(ints) == 0 {
+				continue
+			}
+			leafSchema := types.NewSchema(
+				types.Column{Name: "K", Kind: types.KindInt},
+				types.Column{Name: "T", Kind: types.KindString},
+			)
+			n := 1 + r.Intn(12)
+			leafRows := make([]types.Tuple, n)
+			for i := range leafRows {
+				leafRows[i] = types.NewTuple(
+					types.NewInt(int64(r.Intn(20))),
+					types.NewString(fmt.Sprintf("t%d", i%3)),
+				)
+			}
+			var right *logical.Values
+			if right, err = logical.NewValues(leafSchema, leafRows); err != nil {
+				return nil, err
+			}
+			node, err = logical.NewJoin(node, right, []int{ints[0]}, []int{0}, nil)
+		case 5: // aggregate: group by first column, COUNT(*) + SUM(first int)
+			if len(ints) == 0 {
+				continue
+			}
+			node, err = logical.NewAggregate(node, []int{0}, []exec.Aggregate{
+				{Func: exec.AggCount, Ordinal: -1, Name: "n"},
+				{Func: exec.AggSum, Ordinal: ints[0], Name: "s"},
+			})
+		case 6: // UDF application over the first int column
+			if len(ints) == 0 {
+				continue
+			}
+			udfs := []exec.UDFBinding{{Name: "Inc", ArgOrdinals: []int{ints[0]}, ResultKind: types.KindInt}}
+			if r.Intn(2) == 0 {
+				udfs = append(udfs, exec.UDFBinding{Name: "IsOdd", ArgOrdinals: []int{ints[0]}, ResultKind: types.KindBool})
+			}
+			node, err = logical.NewUDFApply(node, udfs)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return node, nil
+}
+
+// collectBudgeted runs the operator under a spill-inducing soft budget and
+// returns the row keys.
+func collectBudgeted(t *testing.T, op exec.Operator, budget int64) []string {
+	t.Helper()
+	tracker := exec.NewMemTracker(budget)
+	tracker.SetTempDir(t.TempDir())
+	ctx := exec.WithMemTracker(context.Background(), tracker)
+	if err := op.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var out []types.Tuple
+	batch := make([]types.Tuple, exec.DefaultBatchSize)
+	for {
+		n, err := op.NextBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		for _, row := range batch[:n] {
+			out = append(out, row.Clone())
+		}
+	}
+	if err := op.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return tupleKeys(t, out)
+}
+
+func TestColumnarMatchesHeapProperty(t *testing.T) {
+	rt := propRuntime(t)
+	link := exec.NewInProcessLink(rt, netsim.Unlimited())
+
+	const tableRows = 240
+	rows := colPropRows(tableRows)
+	schema := colPropSchema()
+
+	heap, err := storage.NewHeapTable("t", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if err := heap.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col, err := colstore.Create(t.TempDir(), "t", schema, colstore.Options{SegmentRows: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	if err := col.InsertBatch(rows); err != nil { // 7 segments + 16-row tail
+		t.Fatal(err)
+	}
+
+	catFor := func(data any) *catalog.Catalog {
+		cat := testCatalog(t, rt)
+		if err := cat.AddTable(&catalog.Table{
+			Name: "t", Schema: schema,
+			Stats: catalog.TableStats{RowCount: tableRows, AvgRowSize: 24},
+			Data:  data,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return cat
+	}
+	heapCat, colCat := catFor(heap), catFor(col)
+
+	// Small enough that aggregates, joins and distincts over 240 rows spill.
+	const budget = 2048
+	strategies := []Strategy{StrategyNaive, StrategySemiJoin, StrategyClientJoin}
+
+	const trees = 30
+	for seed := 0; seed < trees; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			build := func(cat *catalog.Catalog) logical.Node {
+				r := rand.New(rand.NewSource(int64(seed)))
+				sc, err := logical.NewScanByName(cat, "t", "")
+				if err != nil {
+					t.Fatal(err)
+				}
+				node, err := colPropTree(r, sc, 2+r.Intn(3))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return node
+			}
+
+			p := NewPlanner(link)
+			p.Config.Link = &exec.LinkObservation{Asymmetry: 1}
+			p.Config.MemBudget = budget
+
+			heapPlan, err := p.PlanTree(context.Background(), build(heapCat), heapCat)
+			if err != nil {
+				t.Fatalf("planning heap tree: %v", err)
+			}
+			colPlan, err := p.PlanTree(context.Background(), build(colCat), colCat)
+			if err != nil {
+				t.Fatalf("planning columnar tree: %v", err)
+			}
+
+			run := func(tp *TreePlan, s Strategy) []string {
+				for _, ap := range tp.Applies {
+					ap.Decision.Strategy = s
+				}
+				op, err := tp.NewOperator()
+				if err != nil {
+					t.Fatalf("lowering with %s: %v", s, err)
+				}
+				return collectBudgeted(t, op, budget)
+			}
+			for _, s := range strategies {
+				want := run(heapPlan, s)
+				got := run(colPlan, s)
+				requireSameRows(t, got, want,
+					fmt.Sprintf("strategy %s\n%s", s, logical.Format(colPlan.Root)))
+			}
+		})
+	}
+}

@@ -43,7 +43,20 @@ func writeLine(b *strings.Builder, depth int, s string) {
 func (tp *TreePlan) physicalInto(b *strings.Builder, n logical.Node, depth int) {
 	switch t := n.(type) {
 	case *logical.Scan:
-		writeLine(b, depth, fmt.Sprintf("table-scan %s", t.Table.Name))
+		pe, columnar := scanPruneEstimate(t)
+		if !columnar {
+			writeLine(b, depth, fmt.Sprintf("table-scan %s", t.Table.Name))
+			break
+		}
+		line := fmt.Sprintf("columnar-scan %s", t.Table.Name)
+		if t.Required != nil {
+			line += fmt.Sprintf(" cols=%v", t.Required)
+		}
+		if len(t.Prunable) > 0 {
+			line += fmt.Sprintf(" prune=%v", t.Prunable)
+		}
+		line += fmt.Sprintf(" [segments %d/%d after pruning]", pe.Survive, pe.Total)
+		writeLine(b, depth, line)
 	case *logical.Values:
 		writeLine(b, depth, fmt.Sprintf("values-scan (%d rows)", len(t.Rows)))
 	case *logical.Filter:

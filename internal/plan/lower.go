@@ -11,6 +11,7 @@ import (
 	"csq/internal/expr"
 	"csq/internal/logical"
 	"csq/internal/storage"
+	"csq/internal/storage/colstore"
 )
 
 // This file is the physical lowering layer: it walks a rewritten logical
@@ -158,6 +159,9 @@ func (lw *lowerer) spillPartitionsFor(n logical.Node) int {
 func (lw *lowerer) lower(n logical.Node) (exec.Operator, error) {
 	switch t := n.(type) {
 	case *logical.Scan:
+		if ct, ok := t.Table.Data.(*colstore.Table); ok {
+			return exec.NewColumnarScan(ct, t.Alias, t.Required, t.Prunable), nil
+		}
 		data, ok := t.Table.Data.(storage.Relation)
 		if !ok {
 			return nil, fmt.Errorf("plan: scan of %q: catalog entry has no storage handle", t.Table.Name)

@@ -61,6 +61,12 @@ func estimateMem(root logical.Node, decisions map[*logical.UDFApply]*Decision) m
 			if est.RowBytes <= 0 {
 				est.RowBytes = defaultRowBytes(t.Schema())
 			}
+			// A columnar scan with prunable predicates reads only the
+			// segments whose zone maps may match; scale the prior to the
+			// rows it will actually produce into the filter above.
+			if pe, ok := scanPruneEstimate(t); ok && len(t.Prunable) > 0 {
+				est.Rows *= pe.rowFraction()
+			}
 		case *logical.Values:
 			est.Rows = float64(len(t.Rows))
 			for _, r := range t.Rows {

@@ -146,7 +146,15 @@ func sampleCacheKey(spec applySpec, cfg Config) (string, bool) {
 		if !ok {
 			return "", false
 		}
-		versions = append(versions, fmt.Sprintf("%s@%d", strings.ToLower(sc.Table.Name), v.Version()))
+		ver := fmt.Sprintf("%s@%d", strings.ToLower(sc.Table.Name), v.Version())
+		// Segmented backends additionally key on their segment-set version:
+		// a flush moves rows between the unsegmented tail and the zone-mapped
+		// segments without changing the row count, which changes how much a
+		// pruned scan reads and therefore what the sampling pass measures.
+		if sv, ok := sc.Table.Data.(storage.SegmentVersioned); ok {
+			ver += "/" + sv.SegmentSetVersion()
+		}
+		versions = append(versions, ver)
 	}
 	sort.Strings(versions)
 	fmt.Fprintf(&b, "tables=%s", strings.Join(versions, ","))

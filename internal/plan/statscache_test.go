@@ -24,7 +24,7 @@ type countingRelation struct {
 	scans atomic.Int64
 }
 
-func (c *countingRelation) Iterator() *storage.TableIterator {
+func (c *countingRelation) Iterator() storage.RowIterator {
 	c.scans.Add(1)
 	return c.HeapTable.Iterator()
 }

@@ -20,7 +20,7 @@ type panicRelation struct{ schema *types.Schema }
 
 func (p *panicRelation) Name() string          { return "boom" }
 func (p *panicRelation) Schema() *types.Schema { return p.schema }
-func (p *panicRelation) Iterator() *storage.TableIterator {
+func (p *panicRelation) Iterator() storage.RowIterator {
 	panic("injected scan panic")
 }
 

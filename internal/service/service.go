@@ -180,6 +180,9 @@ type QueryStats struct {
 	MemPeakBytes int64
 	SpillEvents  int64
 	SpilledBytes int64
+	// Scan aggregates the storage I/O of the query's columnar scans:
+	// segments scanned and pruned, on-disk bytes read, decode time.
+	Scan exec.ScanStats
 	// Strategies lists the chosen strategy per UDF application.
 	Strategies []string
 	// SessionsPlanned lists the planned session-pool size per UDF
@@ -279,6 +282,7 @@ type Query struct {
 	admissionWait   time.Duration
 	stalled         bool
 	tracker         *exec.MemTracker
+	scanStats       *exec.ScanStatsRecorder
 	strategies      []string
 	sessionsPlanned []int
 	faults          exec.FaultStats
@@ -344,6 +348,7 @@ func (q *Query) statsLocked() QueryStats {
 		st.SpillEvents = q.tracker.SpillEvents()
 		st.SpilledBytes = q.tracker.SpilledBytes()
 	}
+	st.Scan = q.scanStats.Stats()
 	return st
 }
 
@@ -642,8 +647,10 @@ func (q *Query) run(ctx context.Context, req Request) {
 	tracker.SetHardLimit(hard)
 	tracker.SetTempDir(q.svc.cfg.TempDir)
 	tracker.BindSpillNamespace(q.id)
+	scanStats := &exec.ScanStatsRecorder{}
 	q.mu.Lock()
 	q.tracker = tracker
+	q.scanStats = scanStats
 	q.mu.Unlock()
 
 	planner := plan.NewPlanner(req.Link)
@@ -677,7 +684,7 @@ func (q *Query) run(ctx context.Context, req Request) {
 		err = lerr
 		return
 	}
-	err = q.drive(exec.WithMemTracker(ctx, tracker), op)
+	err = q.drive(exec.WithScanStats(exec.WithMemTracker(ctx, tracker), scanStats), op)
 }
 
 // drive executes the operator tree, streaming or accumulating batches. The

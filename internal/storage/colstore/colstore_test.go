@@ -1,0 +1,303 @@
+package colstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"csq/internal/types"
+)
+
+func testSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "ID", Kind: types.KindInt},
+		types.Column{Name: "Price", Kind: types.KindFloat},
+		types.Column{Name: "Sym", Kind: types.KindString},
+	)
+}
+
+func testRows(n int) []types.Tuple {
+	rows := make([]types.Tuple, n)
+	for i := range rows {
+		var sym types.Value
+		if i%7 == 3 {
+			sym = types.Null(types.KindString)
+		} else {
+			sym = types.NewString(fmt.Sprintf("SYM%02d", i%5))
+		}
+		rows[i] = types.Tuple{
+			types.NewInt(int64(i)),
+			types.NewFloat(float64(i) / 4),
+			sym,
+		}
+	}
+	return rows
+}
+
+func encodeAll(t *testing.T, rows []types.Tuple) []byte {
+	t.Helper()
+	var buf []byte
+	var err error
+	for _, r := range rows {
+		buf, err = types.EncodeTuple(buf, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf
+}
+
+// TestRoundTrip inserts rows across several segments plus a buffered tail and
+// verifies the iterator returns them byte-identically and in order.
+func TestRoundTrip(t *testing.T) {
+	tbl, err := Create(t.TempDir(), "quotes", testSchema(), Options{SegmentRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	rows := testRows(100) // 6 full segments + 4-row tail
+	if err := tbl.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.RowCount(); got != 100 {
+		t.Fatalf("RowCount = %d, want 100", got)
+	}
+	if got := tbl.Snapshot().NumSegments(); got != 6 {
+		t.Fatalf("NumSegments = %d, want 6", got)
+	}
+
+	it := tbl.Iterator()
+	if it.Len() != 100 {
+		t.Fatalf("iterator Len = %d, want 100", it.Len())
+	}
+	var got []types.Tuple
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	if err := it.(*rowIterator).Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeAll(t, got), encodeAll(t, rows)) {
+		t.Fatal("iterated rows differ from inserted rows")
+	}
+
+	// Batch path, reset first.
+	it.Reset()
+	var batched []types.Tuple
+	dst := make([]types.Tuple, 7)
+	for {
+		n := it.NextBatch(dst)
+		if n == 0 {
+			break
+		}
+		batched = append(batched, dst[:n]...)
+	}
+	if !bytes.Equal(encodeAll(t, batched), encodeAll(t, rows)) {
+		t.Fatal("batched rows differ from inserted rows")
+	}
+}
+
+// TestReopen closes and reopens the table and verifies schema, rows and zone
+// maps survive.
+func TestReopen(t *testing.T) {
+	dir := t.TempDir()
+	tbl, err := Create(dir, "quotes", testSchema(), Options{SegmentRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := testRows(30)
+	if err := tbl.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Close(); err != nil { // flushes the 6-row tail
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Name() != "quotes" {
+		t.Fatalf("reopened name = %q", re.Name())
+	}
+	if !re.Schema().Equal(testSchema()) {
+		t.Fatalf("reopened schema = %v", re.Schema())
+	}
+	if re.RowCount() != 30 {
+		t.Fatalf("reopened RowCount = %d, want 30", re.RowCount())
+	}
+	snap := re.Snapshot()
+	if snap.NumSegments() != 4 {
+		t.Fatalf("reopened NumSegments = %d, want 4", snap.NumSegments())
+	}
+	zm := snap.ZoneMap(0, 0)
+	if !zm.HasMinMax {
+		t.Fatal("segment 0 column 0 has no zone map")
+	}
+	if min, _ := zm.Min.Int(); min != 0 {
+		t.Fatalf("segment 0 min = %d, want 0", min)
+	}
+	if max, _ := zm.Max.Int(); max != 7 {
+		t.Fatalf("segment 0 max = %d, want 7", max)
+	}
+
+	var got []types.Tuple
+	it := re.Iterator()
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	if !bytes.Equal(encodeAll(t, got), encodeAll(t, rows)) {
+		t.Fatal("reopened rows differ from inserted rows")
+	}
+}
+
+// TestZoneMapPruning exercises SegmentMayMatch over every prunable operator.
+func TestZoneMapPruning(t *testing.T) {
+	tbl, err := Create(t.TempDir(), "quotes", testSchema(), Options{SegmentRows: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	if err := tbl.InsertBatch(testRows(40)); err != nil { // col 0: [0..9][10..19][20..29][30..39]
+		t.Fatal(err)
+	}
+	snap := tbl.Snapshot()
+	if snap.NumSegments() != 4 {
+		t.Fatalf("NumSegments = %d", snap.NumSegments())
+	}
+	cases := []struct {
+		name string
+		pred PrunePredicate
+		want [4]bool // may-match per segment
+	}{
+		{"eq-15", PrunePredicate{Col: 0, Op: PruneEq, Value: types.NewInt(15)}, [4]bool{false, true, false, false}},
+		{"lt-10", PrunePredicate{Col: 0, Op: PruneLt, Value: types.NewInt(10)}, [4]bool{true, false, false, false}},
+		{"le-10", PrunePredicate{Col: 0, Op: PruneLe, Value: types.NewInt(10)}, [4]bool{true, true, false, false}},
+		{"gt-29", PrunePredicate{Col: 0, Op: PruneGt, Value: types.NewInt(29)}, [4]bool{false, false, false, true}},
+		{"ge-29", PrunePredicate{Col: 0, Op: PruneGe, Value: types.NewInt(29)}, [4]bool{false, false, true, true}},
+		{"ne-5", PrunePredicate{Col: 0, Op: PruneNe, Value: types.NewInt(5)}, [4]bool{true, true, true, true}},
+		{"eq-null", PrunePredicate{Col: 0, Op: PruneEq, Value: types.Null(types.KindInt)}, [4]bool{false, false, false, false}},
+		{"float-cross-kind", PrunePredicate{Col: 0, Op: PruneLt, Value: types.NewFloat(9.5)}, [4]bool{true, false, false, false}},
+	}
+	for _, tc := range cases {
+		for seg := 0; seg < 4; seg++ {
+			got := snap.SegmentMayMatch(seg, []PrunePredicate{tc.pred})
+			if got != tc.want[seg] {
+				t.Errorf("%s: segment %d MayMatch = %v, want %v", tc.name, seg, got, tc.want[seg])
+			}
+		}
+	}
+}
+
+// TestProjectedRead verifies ReadSegment decodes only the requested columns
+// and reads fewer bytes doing so.
+func TestProjectedRead(t *testing.T) {
+	tbl, err := Create(t.TempDir(), "quotes", testSchema(), Options{SegmentRows: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	rows := testRows(32)
+	if err := tbl.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	snap := tbl.Snapshot()
+	full, fullBytes, _, err := snap.ReadSegment(0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, projBytes, _, err := snap.ReadSegment(0, []int{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if projBytes >= fullBytes {
+		t.Fatalf("projected read of %d bytes not smaller than full read of %d", projBytes, fullBytes)
+	}
+	for r := range rows {
+		if len(full[r]) != 3 || len(proj[r]) != 3 {
+			t.Fatalf("row %d: wrong width", r)
+		}
+		fs, _ := full[r][2].Str()
+		ps, _ := proj[r][2].Str()
+		if fs != ps || full[r][2].IsNull() != proj[r][2].IsNull() {
+			t.Fatalf("row %d column 2 differs between full and projected read", r)
+		}
+		if !proj[r][0].IsNull() || !proj[r][1].IsNull() {
+			t.Fatalf("row %d: unrequested columns are not NULL placeholders", r)
+		}
+	}
+}
+
+// TestSnapshotIsolation verifies a snapshot taken before inserts and flushes
+// does not observe them.
+func TestSnapshotIsolation(t *testing.T) {
+	tbl, err := Create(t.TempDir(), "quotes", testSchema(), Options{SegmentRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	rows := testRows(12)
+	if err := tbl.InsertBatch(rows[:10]); err != nil {
+		t.Fatal(err)
+	}
+	it := tbl.Iterator()
+	v1 := tbl.SegmentSetVersion()
+	if err := tbl.InsertBatch(rows[10:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v2 := tbl.SegmentSetVersion(); v2 == v1 {
+		t.Fatalf("SegmentSetVersion unchanged across flush: %q", v2)
+	}
+	count := 0
+	for {
+		_, ok := it.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 10 {
+		t.Fatalf("snapshot saw %d rows, want 10", count)
+	}
+}
+
+// TestDictCodecFallback checks both codecs appear on a table whose columns
+// differ in redundancy: the low-cardinality string column should pick the
+// dictionary form, the dense unique int column the plain form.
+func TestDictCodecFallback(t *testing.T) {
+	tbl, err := Create(t.TempDir(), "quotes", testSchema(), Options{SegmentRows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	if err := tbl.InsertBatch(testRows(64)); err != nil {
+		t.Fatal(err)
+	}
+	snap := tbl.Snapshot()
+	var tag [1]byte
+	codec := func(col int) byte {
+		cm := snap.segs[0].cols[col]
+		if _, err := tbl.dataF.ReadAt(tag[:], cm.off); err != nil {
+			t.Fatal(err)
+		}
+		return tag[0]
+	}
+	if c := codec(0); c != codecPlain {
+		t.Errorf("unique int column used codec %d, want plain", c)
+	}
+	if c := codec(2); c != codecDict {
+		t.Errorf("5-distinct string column used codec %d, want dict", c)
+	}
+}

@@ -1,0 +1,282 @@
+package colstore
+
+import (
+	"fmt"
+
+	"csq/internal/storage"
+	"csq/internal/types"
+)
+
+// PruneOp is a comparison a zone map can evaluate against a constant.
+type PruneOp uint8
+
+// Prunable comparison operators, matching the row-level comparison semantics
+// of the expression engine (NULL never compares true).
+const (
+	PruneEq PruneOp = iota
+	PruneNe
+	PruneLt
+	PruneLe
+	PruneGt
+	PruneGe
+)
+
+// PrunePredicate is one conjunct of the form <column> <op> <constant> that a
+// scan may use to skip whole segments via zone maps. It is advisory: a
+// segment that survives pruning still has the full row-level predicate
+// applied above the scan, so pruning only needs to be conservative (never
+// skip a segment that could contain a matching row).
+type PrunePredicate struct {
+	Col   int
+	Op    PruneOp
+	Value types.Value
+}
+
+// Snapshot is a consistent view of a table's segments and buffered tail, the
+// read surface of the vectorized columnar scan. Snapshots stay valid across
+// concurrent inserts and flushes (segments are immutable and the tail prefix
+// is never mutated in place), but not across Close.
+type Snapshot struct {
+	t    *Table
+	segs []segmentMeta
+	tail []types.Tuple
+}
+
+// Snapshot captures the current segments and tail.
+func (t *Table) Snapshot() *Snapshot {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return &Snapshot{
+		t:    t,
+		segs: t.segs[:len(t.segs):len(t.segs)],
+		tail: t.tail[:len(t.tail):len(t.tail)],
+	}
+}
+
+// NumSegments returns the number of on-disk segments in the snapshot.
+func (s *Snapshot) NumSegments() int { return len(s.segs) }
+
+// SegmentRowCount returns the number of rows of segment i.
+func (s *Snapshot) SegmentRowCount(i int) int { return s.segs[i].rows }
+
+// SegmentBytes returns the on-disk size of segment i restricted to the given
+// columns (all columns when cols is nil).
+func (s *Snapshot) SegmentBytes(i int, cols []int) int64 {
+	var n int64
+	if cols == nil {
+		for _, cm := range s.segs[i].cols {
+			n += cm.size
+		}
+		return n
+	}
+	for _, c := range cols {
+		n += s.segs[i].cols[c].size
+	}
+	return n
+}
+
+// ZoneMap returns the zone map of column col of segment i.
+func (s *Snapshot) ZoneMap(i, col int) ZoneMap { return s.segs[i].cols[col].zm }
+
+// Tail returns the buffered rows not yet flushed to a segment. Zone maps do
+// not cover them; a scan emits them after the segments.
+func (s *Snapshot) Tail() []types.Tuple { return s.tail }
+
+// TotalRows returns the number of rows the snapshot covers.
+func (s *Snapshot) TotalRows() int {
+	n := len(s.tail)
+	for _, seg := range s.segs {
+		n += seg.rows
+	}
+	return n
+}
+
+// SegmentMayMatch reports whether segment i could contain a row satisfying
+// every predicate. It errs on the side of true: only a zone map that proves
+// no row can match lets the scan skip the segment.
+func (s *Snapshot) SegmentMayMatch(i int, preds []PrunePredicate) bool {
+	for _, p := range preds {
+		if p.Col < 0 || p.Col >= len(s.segs[i].cols) {
+			continue
+		}
+		if !zoneMayMatch(s.segs[i].cols[p.Col].zm, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// zoneMayMatch evaluates one predicate against one zone map.
+func zoneMayMatch(zm ZoneMap, p PrunePredicate) bool {
+	if zm.Rows == 0 {
+		return false
+	}
+	// A comparison is never true on a NULL operand: a constant NULL matches
+	// nothing, and a column that is entirely NULL matches nothing.
+	if p.Value.IsNull() || zm.Nulls == zm.Rows {
+		return false
+	}
+	if !zm.HasMinMax {
+		return true
+	}
+	cmpMin, err := types.Compare(zm.Min, p.Value)
+	if err != nil {
+		return true // incomparable kinds: cannot prove anything
+	}
+	cmpMax, err := types.Compare(zm.Max, p.Value)
+	if err != nil {
+		return true
+	}
+	switch p.Op {
+	case PruneEq:
+		return cmpMin <= 0 && cmpMax >= 0
+	case PruneNe:
+		// Only an all-equal segment (min == max == v, no nulls) cannot
+		// contain a differing row.
+		return !(cmpMin == 0 && cmpMax == 0 && zm.Nulls == 0)
+	case PruneLt:
+		return cmpMin < 0
+	case PruneLe:
+		return cmpMin <= 0
+	case PruneGt:
+		return cmpMax > 0
+	case PruneGe:
+		return cmpMax >= 0
+	default:
+		return true
+	}
+}
+
+// ReadSegment materializes segment i as full-width tuples, decoding only the
+// given columns (all when cols is nil); positions of unrequested columns are
+// left as NULL placeholders. It returns the tuples, which stay valid
+// indefinitely, and the number of on-disk bytes read.
+func (s *Snapshot) ReadSegment(i int, cols []int, buf []byte) ([]types.Tuple, int64, []byte, error) {
+	seg := s.segs[i]
+	width := s.t.schema.Len()
+	arena := make([]types.Value, seg.rows*width)
+	tuples := make([]types.Tuple, seg.rows)
+	for r := range tuples {
+		tuples[r] = types.Tuple(arena[r*width : (r+1)*width : (r+1)*width])
+	}
+	want := cols
+	if want == nil {
+		want = make([]int, width)
+		for c := range want {
+			want[c] = c
+		}
+	}
+	var bytesRead int64
+	for _, col := range want {
+		if col < 0 || col >= width {
+			return nil, 0, buf, fmt.Errorf("colstore: column %d out of range", col)
+		}
+		cm := seg.cols[col]
+		if int64(cap(buf)) < cm.size {
+			buf = make([]byte, cm.size)
+		}
+		chunk := buf[:cm.size]
+		if _, err := s.t.dataF.ReadAt(chunk, cm.off); err != nil {
+			return nil, 0, buf, fmt.Errorf("colstore: read segment %d column %d: %w", i, col, err)
+		}
+		bytesRead += cm.size
+		vals, err := decodeColumnChunk(chunk, seg.rows)
+		if err != nil {
+			return nil, 0, buf, fmt.Errorf("colstore: segment %d: %w", i, err)
+		}
+		for r, v := range vals {
+			tuples[r][col] = v[0]
+		}
+	}
+	return tuples, bytesRead, buf, nil
+}
+
+// Iterator implements storage.Relation with a row-at-a-time view over a
+// snapshot: segments are decoded lazily, one at a time, then the tail is
+// emitted. Disk errors end the iteration early; Err reports them (the
+// vectorized ColumnarScan in the execution engine is the error-aware path).
+func (t *Table) Iterator() storage.RowIterator {
+	return &rowIterator{snap: t.Snapshot()}
+}
+
+type rowIterator struct {
+	snap     *Snapshot
+	seg      int           // next segment to decode
+	cur      []types.Tuple // decoded rows of the current segment (or the tail)
+	pos      int
+	buf      []byte
+	tailDone bool
+	err      error
+}
+
+// Next implements storage.RowIterator.
+func (it *rowIterator) Next() (types.Tuple, bool) {
+	for {
+		if it.pos < len(it.cur) {
+			t := it.cur[it.pos]
+			it.pos++
+			return t, true
+		}
+		if !it.advance() {
+			return nil, false
+		}
+	}
+}
+
+// NextBatch implements storage.RowIterator.
+func (it *rowIterator) NextBatch(dst []types.Tuple) int {
+	filled := 0
+	for filled < len(dst) {
+		if it.pos < len(it.cur) {
+			n := copy(dst[filled:], it.cur[it.pos:])
+			filled += n
+			it.pos += n
+			continue
+		}
+		if !it.advance() {
+			break
+		}
+	}
+	return filled
+}
+
+// advance loads the next non-empty segment (or the tail) into cur.
+func (it *rowIterator) advance() bool {
+	if it.err != nil {
+		return false
+	}
+	it.pos = 0
+	for it.seg < len(it.snap.segs) {
+		i := it.seg
+		it.seg++
+		tuples, _, buf, err := it.snap.ReadSegment(i, nil, it.buf)
+		it.buf = buf
+		if err != nil {
+			it.err = err
+			it.cur = nil
+			return false
+		}
+		if len(tuples) > 0 {
+			it.cur = tuples
+			return true
+		}
+	}
+	if !it.tailDone {
+		it.tailDone = true
+		it.cur = it.snap.tail
+		return len(it.cur) > 0
+	}
+	it.cur = nil
+	return false
+}
+
+// Reset implements storage.RowIterator.
+func (it *rowIterator) Reset() {
+	it.seg, it.pos, it.cur, it.tailDone, it.err = 0, 0, nil, false, nil
+}
+
+// Len implements storage.RowIterator.
+func (it *rowIterator) Len() int { return it.snap.TotalRows() }
+
+// Err returns the first disk error the iterator hit, if any.
+func (it *rowIterator) Err() error { return it.err }

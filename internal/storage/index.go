@@ -123,7 +123,7 @@ func (idx *SortedIndex) Len() int { return len(idx.rows) }
 
 // Scan returns an iterator over the rows in key order.
 func (idx *SortedIndex) Scan() *TableIterator {
-	return &TableIterator{rows: idx.rows}
+	return NewSliceIterator(idx.rows)
 }
 
 // SeekGE returns the position of the first row whose key is >= the probe's

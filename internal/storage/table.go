@@ -1,7 +1,8 @@
-// Package storage implements the in-memory storage engine: heap tables with
+// Package storage implements the storage engines: in-memory heap tables with
 // tuple iterators, hash and ordered indexes, and the statistics maintenance
 // the optimizer's cost model relies on (row counts, average row sizes and
-// distinct-value fractions).
+// distinct-value fractions). The disk-backed columnar engine lives in the
+// colstore subpackage and plugs in behind the same Relation seam.
 package storage
 
 import (
@@ -14,17 +15,31 @@ import (
 	"csq/internal/types"
 )
 
+// RowIterator is a snapshot iterator over a relation's rows. Implementations
+// are single-goroutine; a fresh iterator is obtained per scan.
+type RowIterator interface {
+	// Next returns the next tuple, or (nil, false) when exhausted.
+	Next() (types.Tuple, bool)
+	// NextBatch fills up to len(dst) tuples into dst and returns how many
+	// were filled; 0 means the snapshot is exhausted.
+	NextBatch(dst []types.Tuple) int
+	// Reset rewinds the iterator to the beginning of its snapshot.
+	Reset()
+	// Len returns the number of rows in the snapshot.
+	Len() int
+}
+
 // Relation is the read surface the execution engine scans: any named,
 // schema'd row source that can hand out snapshot iterators. *HeapTable is the
-// storage engine's implementation; tests wrap it (e.g. to count scans) and
-// future storage backends implement it directly.
+// in-memory implementation, colstore.Table the disk-backed columnar one;
+// tests wrap either (e.g. to count scans).
 type Relation interface {
 	// Name returns the relation name.
 	Name() string
 	// Schema returns the relation's column layout. Callers must not modify it.
 	Schema() *types.Schema
 	// Iterator returns an iterator over a consistent snapshot of the rows.
-	Iterator() *TableIterator
+	Iterator() RowIterator
 }
 
 // Versioned is implemented by relations that track a monotonically increasing
@@ -35,18 +50,43 @@ type Versioned interface {
 	Version() uint64
 }
 
+// SegmentVersioned is implemented by relations that store their rows as a
+// set of immutable segments (the columnar engine): the returned string
+// identifies the exact segment set plus buffered tail a scan would observe.
+// The planner's statistics cache extends its keys with it, since zone-map
+// pruning makes sampled statistics depend on the segment set, not just the
+// row data version.
+type SegmentVersioned interface {
+	// SegmentSetVersion identifies the current segment set; it changes
+	// whenever segments are added or the buffered tail changes.
+	SegmentSetVersion() string
+}
+
+// heapChunkRows is the capacity of one heap-table chunk. Chunks are sealed
+// once full and never touched again, so a snapshot is a copy of two slice
+// headers no matter how many rows the table holds.
+const heapChunkRows = 1024
+
 // HeapTable is an append-only in-memory relation. It is safe for concurrent
 // readers and writers; iteration sees a consistent snapshot of the rows
 // present when the iterator was created.
+//
+// Rows live in an immutable chunk list: all chunks but the last are sealed
+// (full and never mutated), and the last chunk only ever has new rows
+// appended within its fixed capacity. Taking a snapshot is therefore O(1) —
+// a bounded copy of the chunk-list header plus the active chunk's length —
+// instead of O(rows), however large the table grows.
 type HeapTable struct {
 	name   string
 	schema *types.Schema
 
 	version atomic.Uint64
 
-	mu   sync.RWMutex
-	rows []types.Tuple
-	size int64 // accumulated encoded size of all rows
+	mu     sync.RWMutex
+	sealed [][]types.Tuple // full, immutable chunks
+	active []types.Tuple   // append-only tail chunk, cap == heapChunkRows
+	rows   int             // total row count
+	size   int64           // accumulated encoded size of all rows
 }
 
 // NewHeapTable creates an empty heap table with the given name and schema.
@@ -73,7 +113,15 @@ func (h *HeapTable) Insert(t types.Tuple) error {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.rows = append(h.rows, t.Clone())
+	if h.active == nil {
+		h.active = make([]types.Tuple, 0, heapChunkRows)
+	}
+	h.active = append(h.active, t.Clone())
+	if len(h.active) == cap(h.active) {
+		h.sealed = append(h.sealed, h.active)
+		h.active = nil
+	}
+	h.rows++
 	h.size += int64(t.Size())
 	h.version.Add(1)
 	return nil
@@ -119,38 +167,44 @@ func (h *HeapTable) validate(t types.Tuple) error {
 func (h *HeapTable) RowCount() int {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	return len(h.rows)
+	return h.rows
 }
 
 // AvgRowSize returns the mean encoded row size in bytes (0 for empty tables).
 func (h *HeapTable) AvgRowSize() int {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	if len(h.rows) == 0 {
+	if h.rows == 0 {
 		return 0
 	}
-	return int(h.size / int64(len(h.rows)))
+	return int(h.size / int64(h.rows))
 }
 
-// snapshot returns the current rows slice; the slice header is copied so
-// appends by writers do not affect the snapshot, and rows themselves are
-// immutable by convention.
-func (h *HeapTable) snapshot() []types.Tuple {
+// snapshot returns the chunk list as of now. Sealed chunks are immutable and
+// the active chunk's occupied prefix is immutable, so copying the chunk-list
+// header and capping the active chunk at its current length yields a
+// consistent snapshot without copying any rows.
+func (h *HeapTable) snapshot() [][]types.Tuple {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	return h.rows[:len(h.rows):len(h.rows)]
+	chunks := h.sealed[:len(h.sealed):len(h.sealed)]
+	if len(h.active) > 0 {
+		chunks = append(chunks, h.active[:len(h.active):len(h.active)])
+	}
+	return chunks
 }
 
 // Iterator returns an iterator over a snapshot of the table.
-func (h *HeapTable) Iterator() *TableIterator {
-	return &TableIterator{rows: h.snapshot()}
+func (h *HeapTable) Iterator() RowIterator {
+	return newChunkIterator(h.snapshot())
 }
 
 // Truncate removes all rows.
 func (h *HeapTable) Truncate() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.rows = nil
+	h.sealed, h.active = nil, nil
+	h.rows = 0
 	h.size = 0
 	h.version.Add(1)
 }
@@ -159,21 +213,27 @@ func (h *HeapTable) Truncate() {
 // average row size and the per-column distinct fraction (the paper's D when
 // restricted to the UDF argument columns).
 func (h *HeapTable) Stats() catalog.TableStats {
-	rows := h.snapshot()
+	chunks := h.snapshot()
+	rows := 0
+	for _, c := range chunks {
+		rows += len(c)
+	}
 	stats := catalog.TableStats{
-		RowCount:         len(rows),
+		RowCount:         rows,
 		AvgRowSize:       h.AvgRowSize(),
 		DistinctFraction: make(map[int]float64, h.schema.Len()),
 	}
-	if len(rows) == 0 {
+	if rows == 0 {
 		return stats
 	}
 	for col := 0; col < h.schema.Len(); col++ {
-		seen := make(map[string]struct{}, len(rows))
-		for _, r := range rows {
-			seen[r.Key([]int{col})] = struct{}{}
+		seen := make(map[string]struct{}, rows)
+		for _, c := range chunks {
+			for _, r := range c {
+				seen[r.Key([]int{col})] = struct{}{}
+			}
 		}
-		stats.DistinctFraction[col] = float64(len(seen)) / float64(len(rows))
+		stats.DistinctFraction[col] = float64(len(seen)) / float64(rows)
 	}
 	return stats
 }
@@ -182,46 +242,86 @@ func (h *HeapTable) Stats() catalog.TableStats {
 // projected onto the given columns — the paper's D parameter for a UDF whose
 // argument columns are ordinals.
 func (h *HeapTable) DistinctFractionOn(ordinals []int) float64 {
-	rows := h.snapshot()
-	if len(rows) == 0 {
+	chunks := h.snapshot()
+	rows := 0
+	for _, c := range chunks {
+		rows += len(c)
+	}
+	if rows == 0 {
 		return 1
 	}
-	seen := make(map[string]struct{}, len(rows))
-	for _, r := range rows {
-		seen[r.Key(ordinals)] = struct{}{}
+	seen := make(map[string]struct{}, rows)
+	for _, c := range chunks {
+		for _, r := range c {
+			seen[r.Key(ordinals)] = struct{}{}
+		}
 	}
-	return float64(len(seen)) / float64(len(rows))
+	return float64(len(seen)) / float64(rows)
 }
 
-// TableIterator iterates over a snapshot of a heap table.
+// TableIterator iterates over a snapshot of in-memory rows (a heap table's
+// chunk list, or a single materialized slice such as a sorted index).
 type TableIterator struct {
-	rows []types.Tuple
-	pos  int
+	chunks [][]types.Tuple
+	ci     int // current chunk
+	pos    int // position within the current chunk
+	total  int
+}
+
+// newChunkIterator builds an iterator over a chunk list.
+func newChunkIterator(chunks [][]types.Tuple) *TableIterator {
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	return &TableIterator{chunks: chunks, total: total}
+}
+
+// NewSliceIterator returns an iterator over a single row slice; the caller
+// must not mutate the occupied prefix afterwards.
+func NewSliceIterator(rows []types.Tuple) *TableIterator {
+	if len(rows) == 0 {
+		return &TableIterator{}
+	}
+	return &TableIterator{chunks: [][]types.Tuple{rows}, total: len(rows)}
 }
 
 // Next returns the next tuple, or (nil, false) when exhausted.
 func (it *TableIterator) Next() (types.Tuple, bool) {
-	if it.pos >= len(it.rows) {
-		return nil, false
+	for it.ci < len(it.chunks) {
+		if c := it.chunks[it.ci]; it.pos < len(c) {
+			t := c[it.pos]
+			it.pos++
+			return t, true
+		}
+		it.ci++
+		it.pos = 0
 	}
-	t := it.rows[it.pos]
-	it.pos++
-	return t, true
+	return nil, false
 }
 
 // NextBatch copies up to len(dst) tuples into dst and returns how many were
 // copied; 0 means the snapshot is exhausted.
 func (it *TableIterator) NextBatch(dst []types.Tuple) int {
-	n := copy(dst, it.rows[it.pos:])
-	it.pos += n
-	return n
+	filled := 0
+	for filled < len(dst) && it.ci < len(it.chunks) {
+		c := it.chunks[it.ci]
+		n := copy(dst[filled:], c[it.pos:])
+		filled += n
+		it.pos += n
+		if it.pos >= len(c) {
+			it.ci++
+			it.pos = 0
+		}
+	}
+	return filled
 }
 
 // Reset rewinds the iterator to the beginning of its snapshot.
-func (it *TableIterator) Reset() { it.pos = 0 }
+func (it *TableIterator) Reset() { it.ci, it.pos = 0, 0 }
 
 // Len returns the number of rows in the snapshot.
-func (it *TableIterator) Len() int { return len(it.rows) }
+func (it *TableIterator) Len() int { return it.total }
 
 // Store is a named collection of heap tables; the execution engine resolves
 // base-table scans against it. It is kept separate from the catalog so that
