@@ -17,10 +17,20 @@
 // speed ratio, so a baseline generated on different hardware does not trip
 // the gate; allocs/op and bytes_per_op are compared directly.
 //
+// With -service it instead runs cmd/loadgen's committed serving-suite
+// scenarios (closed/open loop, caches on/off) against in-process servers and
+// gates qps/p50/p99 per scenario within a wide multiplicative tolerance of
+// the committed BENCH_service.json, plus two machine-independent invariants:
+// cache hit rates must hold, and the cached closed-loop p50 must not exceed
+// the uncached one. CI runs this as its own job.
+//
 // Usage:
 //
 //	go run ./cmd/benchrun [-benchtime 100x] [-out BENCH_exec.json]
 //	                      [-compare BENCH_exec.json] [-maxregress 0.25] [pkg ...]
+//	go run ./cmd/benchrun -service [-servicebaseline BENCH_service.json]
+//	                      [-serviceout BENCH_service_fresh.json]
+//	                      [-serviceduration 2s] [-servicetol 4.0]
 package main
 
 import (
@@ -75,7 +85,28 @@ func main() {
 	out := flag.String("out", "BENCH_exec.json", "output JSON path")
 	compare := flag.String("compare", "", "baseline JSON to gate regressions against")
 	maxRegress := flag.Float64("maxregress", 0.25, "allowed fractional ns/op or allocs/op regression on batch paths")
+	svcGate := flag.Bool("service", false, "run cmd/loadgen's serving suite and gate it against -servicebaseline instead of go-bench suites")
+	svcBaseline := flag.String("servicebaseline", "BENCH_service.json", "committed serving baseline to gate against (with -service)")
+	svcOut := flag.String("serviceout", "BENCH_service_fresh.json", "where to write the fresh serving report (with -service)")
+	svcDuration := flag.String("serviceduration", "2s", "per-scenario measurement window (with -service)")
+	svcTol := flag.Float64("servicetol", 4.0, "multiplicative slack on qps/p50/p99 vs the serving baseline (with -service)")
 	flag.Parse()
+
+	if *svcGate {
+		problems, err := runServiceGate(*svcBaseline, *svcOut, *svcDuration, *svcTol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: service gate: %v\n", err)
+			os.Exit(1)
+		}
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintf(os.Stderr, "benchrun: SERVICE REGRESSION: %s\n", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchrun: serving suite within %.1fx of %s\n", *svcTol, *svcBaseline)
+		return
+	}
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
 		pkgs = []string{"./internal/exec", "./internal/wire", "./internal/service"}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+)
+
+// serviceScenario mirrors cmd/loadgen's Scenario (decoded from its JSON).
+type serviceScenario struct {
+	Name        string  `json:"name"`
+	Concurrency int     `json:"concurrency"`
+	Rate        float64 `json:"rate,omitempty"`
+	Tenants     int     `json:"tenants"`
+	PlanCache   bool    `json:"plan_cache"`
+	ResultCache bool    `json:"result_cache"`
+	Prepared    bool    `json:"prepared"`
+}
+
+// serviceMetrics mirrors cmd/loadgen's Metrics.
+type serviceMetrics struct {
+	Scenario      serviceScenario `json:"scenario"`
+	Requests      int64           `json:"requests"`
+	Errors        int64           `json:"errors"`
+	Shed          int64           `json:"shed"`
+	QPS           float64         `json:"qps"`
+	P50Ms         float64         `json:"p50_ms"`
+	P99Ms         float64         `json:"p99_ms"`
+	PlanHitRate   float64         `json:"plan_hit_rate"`
+	ResultHitRate float64         `json:"result_hit_rate"`
+}
+
+// serviceReport mirrors cmd/loadgen's Report (the BENCH_service.json shape).
+type serviceReport struct {
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	Duration    string           `json:"duration"`
+	Query       string           `json:"query"`
+	Scenarios   []serviceMetrics `json:"scenarios"`
+}
+
+// runServiceGate runs cmd/loadgen's committed scenario suite and gates the
+// fresh numbers against the committed BENCH_service.json baseline. Returns
+// the gate's problems (empty = pass).
+//
+// Wall-clock latency and throughput vary across machines, so the per-scenario
+// gates are deliberately wide multiplicative bounds (tol, default 4x): they
+// catch a serving-path collapse (a cache that stopped hitting, a scheduler
+// that serialised everything), not small drift. Two machine-independent
+// invariants are gated tightly: eligible scenarios must keep hitting their
+// caches, and the cached closed-loop scenario must not be slower at the
+// median than the uncached one — if it is, the hot path stopped paying for
+// itself.
+func runServiceGate(baselinePath, outPath, duration string, tol float64) ([]string, error) {
+	cmd := exec.Command("go", "run", "./cmd/loadgen", "-suite", "-duration", duration, "-out", outPath)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("loadgen suite: %w", err)
+	}
+	fresh, err := readServiceReport(outPath)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := readServiceReport(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+
+	freshByName := make(map[string]serviceMetrics, len(fresh.Scenarios))
+	for _, m := range fresh.Scenarios {
+		freshByName[m.Scenario.Name] = m
+	}
+	var problems []string
+	for _, base := range baseline.Scenarios {
+		m, ok := freshByName[base.Scenario.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("scenario %q vanished from the fresh suite", base.Scenario.Name))
+			continue
+		}
+		if m.Errors > 0 {
+			problems = append(problems, fmt.Sprintf("%s: %d request errors", base.Scenario.Name, m.Errors))
+		}
+		if base.QPS > 0 && m.QPS < base.QPS/tol {
+			problems = append(problems, fmt.Sprintf("%s: qps %.0f vs baseline %.0f (more than %.1fx down)",
+				base.Scenario.Name, m.QPS, base.QPS, tol))
+		}
+		if base.P50Ms > 0 && m.P50Ms > base.P50Ms*tol {
+			problems = append(problems, fmt.Sprintf("%s: p50 %.3fms vs baseline %.3fms (more than %.1fx up)",
+				base.Scenario.Name, m.P50Ms, base.P50Ms, tol))
+		}
+		if base.P99Ms > 0 && m.P99Ms > base.P99Ms*tol {
+			problems = append(problems, fmt.Sprintf("%s: p99 %.3fms vs baseline %.3fms (more than %.1fx up)",
+				base.Scenario.Name, m.P99Ms, base.P99Ms, tol))
+		}
+		// Cache-efficacy invariants are machine-independent: a closed-loop
+		// scenario with the result cache on replays one query shape over
+		// static data, so its hit rate collapsing means the serving path
+		// broke, however fast the hardware is.
+		if base.Scenario.ResultCache && m.ResultHitRate >= 0 && m.ResultHitRate < 0.5 {
+			problems = append(problems, fmt.Sprintf("%s: result-cache hit rate %.2f < 0.5",
+				base.Scenario.Name, m.ResultHitRate))
+		}
+		if base.Scenario.PlanCache && !base.Scenario.ResultCache && m.PlanHitRate >= 0 && m.PlanHitRate < 0.5 {
+			problems = append(problems, fmt.Sprintf("%s: plan-cache hit rate %.2f < 0.5",
+				base.Scenario.Name, m.PlanHitRate))
+		}
+	}
+	// The headline claim, gated within one run so machine speed cancels out:
+	// serving the hot query from the caches must not be slower than planning
+	// and executing it every time.
+	cached, cok := freshByName["closed_cached"]
+	uncached, uok := freshByName["closed_uncached"]
+	if cok && uok && uncached.P50Ms > 0 && cached.P50Ms > uncached.P50Ms {
+		problems = append(problems, fmt.Sprintf(
+			"cached closed-loop p50 %.3fms is slower than uncached %.3fms — the serving path stopped paying for itself",
+			cached.P50Ms, uncached.P50Ms))
+	}
+	return problems, nil
+}
+
+func readServiceReport(path string) (*serviceReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r serviceReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &r, nil
+}

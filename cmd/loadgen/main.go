@@ -1,0 +1,435 @@
+// Command loadgen drives the query service with a multi-tenant hot-query
+// workload over TCP loopback and reports throughput and latency percentiles.
+// It is the measurement half of the heavy-traffic serving path: the same
+// query shape arriving from several tenants at once, exactly the storm the
+// prepared-statement plan slots, the version-keyed result cache and the fair
+// scheduler exist to absorb.
+//
+// Two arrival models are supported:
+//
+//   - closed loop (default): -concurrency requester goroutines each submit,
+//     wait for the full result, and immediately submit again — throughput is
+//     latency-bound, the classic benchmark loop;
+//   - open loop (-rate R): arrivals fire on a fixed schedule of R per second
+//     regardless of completions, so queueing delay shows up in the measured
+//     latency instead of throttling the generator.
+//
+// Requests are spread round-robin over -tenants tenants (named t0, t1, ...,
+// weighted 4:2:1:1... so the fair scheduler has something to arbitrate), and
+// a quarter of them carry a short deadline so the deadline-aware admission
+// path stays exercised. With -prepared each connection prepares the query
+// once and replays it by statement ID.
+//
+// Usage:
+//
+//	loadgen [-addr host:port] [-query text] [-duration 2s] [-concurrency 8]
+//	        [-rate 0] [-tenants 4] [-prepared] [-caches] [-out report.json]
+//	loadgen -suite [-duration 2s] [-out BENCH_service.json]
+//
+// Without -addr an in-process server over the demo catalog is started on a
+// loopback listener; -caches controls its plan/result caches and shared
+// scans. -suite runs the committed scenario set (closed/uncached,
+// closed/cached, open/cached) against in-process servers and writes the
+// BENCH_service.json document cmd/benchrun gates in CI.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csq/internal/demo"
+	"csq/internal/service"
+	"csq/internal/wire"
+)
+
+// Scenario is one load shape.
+type Scenario struct {
+	Name string `json:"name"`
+	// Concurrency is the closed-loop worker count (and the connection count
+	// in both models).
+	Concurrency int `json:"concurrency"`
+	// Rate is the open-loop arrival rate per second; 0 selects closed loop.
+	Rate float64 `json:"rate,omitempty"`
+	// Tenants is how many tenants the requests are spread over.
+	Tenants int `json:"tenants"`
+	// PlanCache enables the version-keyed plan cache on the in-process server.
+	PlanCache bool `json:"plan_cache"`
+	// ResultCache enables the version-keyed result cache (and shared scans).
+	ResultCache bool `json:"result_cache"`
+	// Prepared replays the query via prepared statements.
+	Prepared bool `json:"prepared"`
+}
+
+// Metrics is one scenario's measured outcome.
+type Metrics struct {
+	Scenario Scenario `json:"scenario"`
+	Requests int64    `json:"requests"`
+	Errors   int64    `json:"errors"`
+	Shed     int64    `json:"shed"`
+	QPS      float64  `json:"qps"`
+	P50Ms    float64  `json:"p50_ms"`
+	P99Ms    float64  `json:"p99_ms"`
+	// Hit rates come from the in-process server's stats; absent (-1) when
+	// driving a remote server.
+	PlanHitRate   float64 `json:"plan_hit_rate"`
+	ResultHitRate float64 `json:"result_hit_rate"`
+}
+
+// Report is the BENCH_service.json document.
+type Report struct {
+	GeneratedAt string    `json:"generated_at"`
+	GoVersion   string    `json:"go_version"`
+	Duration    string    `json:"duration"`
+	Query       string    `json:"query"`
+	Scenarios   []Metrics `json:"scenarios"`
+}
+
+// defaultQuery is a deterministic UDF-free aggregate over the demo catalog —
+// pure, so the result cache may serve it.
+const defaultQuery = "volume(Sym, sum(Qty) as Total) :- trades(Sym, _, _, Qty)."
+
+// tenantWeights produces the 4:2:1:1... weight ladder for n tenants.
+func tenantWeights(n int) map[string]service.TenantPolicy {
+	pol := make(map[string]service.TenantPolicy, n)
+	for i := 0; i < n; i++ {
+		w := 1
+		switch i {
+		case 0:
+			w = 4
+		case 1:
+			w = 2
+		}
+		pol[fmt.Sprintf("t%d", i)] = service.TenantPolicy{Weight: w}
+	}
+	return pol
+}
+
+// startServer runs an in-process query server over the demo catalog on a
+// loopback listener, returning its address and a shutdown func.
+func startServer(sc Scenario) (string, *service.Service, func(), error) {
+	cat, _, err := demo.New()
+	if err != nil {
+		return "", nil, nil, err
+	}
+	cfg := service.Config{
+		MaxConcurrent: runtime.GOMAXPROCS(0),
+		MaxQueued:     256,
+		Tenants:       tenantWeights(sc.Tenants),
+	}
+	if sc.PlanCache {
+		cfg.PlanCacheEntries = 64
+	}
+	if sc.ResultCache {
+		cfg.ResultCacheBytes = 64 << 20
+		cfg.SharedScans = true
+	}
+	svc := service.New(cat, cfg)
+	srv := service.NewServer(svc)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		svc.Close()
+		return "", nil, nil, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), svc, srv.Close, nil
+}
+
+// worker issues requests over one connection until stop closes (closed loop)
+// or drains arrivals from arrivals (open loop).
+type worker struct {
+	addr     string
+	query    string
+	tenant   string
+	prepared bool
+
+	latencies []time.Duration
+	errors    int64
+	shed      int64
+}
+
+// spec builds the request envelope for one submission: every fourth request
+// carries a tight deadline to keep deadline-aware admission in play.
+func (w *worker) spec(i int) wire.QuerySpec {
+	s := wire.QuerySpec{Tenant: w.tenant}
+	if i%4 == 3 {
+		s.TimeoutMillis = 2000
+	}
+	return s
+}
+
+// runClosed is the closed loop: submit, wait, repeat until deadline.
+func (w *worker) runClosed(deadline time.Time) error {
+	r, err := service.Dial(w.addr)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	var st *service.RemoteStatement
+	if w.prepared {
+		if st, err = r.PrepareText(w.query, wire.QuerySpec{Tenant: w.tenant}); err != nil {
+			return err
+		}
+	}
+	for i := 0; time.Now().Before(deadline); i++ {
+		start := time.Now()
+		err := w.issue(r, st, i)
+		w.observe(start, err)
+	}
+	return nil
+}
+
+// runOpen drains the shared arrival ticker: each tick is one submission,
+// issued without waiting for earlier ones to finish.
+func (w *worker) runOpen(arrivals <-chan struct{}) error {
+	r, err := service.Dial(w.addr)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	var st *service.RemoteStatement
+	if w.prepared {
+		if st, err = r.PrepareText(w.query, wire.QuerySpec{Tenant: w.tenant}); err != nil {
+			return err
+		}
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	i := 0
+	for range arrivals {
+		i++
+		seq := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			err := w.issue(r, st, seq)
+			mu.Lock()
+			w.observeLocked(start, err)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// issue runs one request to completion.
+func (w *worker) issue(r *service.Requester, st *service.RemoteStatement, i int) error {
+	if st != nil {
+		spec := w.spec(i)
+		q, err := st.Exec(wire.ExecPrepared{Tenant: spec.Tenant, TimeoutMillis: spec.TimeoutMillis})
+		if err != nil {
+			return err
+		}
+		_, err = q.Collect()
+		return err
+	}
+	q, err := r.SubmitText(w.query, w.spec(i))
+	if err != nil {
+		return err
+	}
+	_, err = q.Collect()
+	return err
+}
+
+func (w *worker) observe(start time.Time, err error) { w.observeLocked(start, err) }
+
+func (w *worker) observeLocked(start time.Time, err error) {
+	if err != nil {
+		var re *wire.RejectError
+		if errors.As(err, &re) || wire.Classify(err) == wire.ClassRetryable {
+			w.shed++
+		} else {
+			w.errors++
+		}
+		return
+	}
+	w.latencies = append(w.latencies, time.Since(start))
+}
+
+// percentile returns the p-th percentile of sorted durations in ms.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// run executes one scenario and aggregates its metrics.
+func run(sc Scenario, addr, query string, dur time.Duration) (Metrics, error) {
+	var svc *service.Service
+	if addr == "" {
+		var stop func()
+		var err error
+		addr, svc, stop, err = startServer(sc)
+		if err != nil {
+			return Metrics{}, err
+		}
+		defer stop()
+	}
+
+	workers := make([]*worker, sc.Concurrency)
+	for i := range workers {
+		workers[i] = &worker{
+			addr:     addr,
+			query:    query,
+			tenant:   fmt.Sprintf("t%d", i%sc.Tenants),
+			prepared: sc.Prepared,
+		}
+	}
+
+	start := time.Now()
+	deadline := start.Add(dur)
+	var wg sync.WaitGroup
+	var launchErr atomic.Value
+	var arrivals chan struct{}
+	if sc.Rate > 0 {
+		arrivals = make(chan struct{})
+		go func() {
+			defer close(arrivals)
+			interval := time.Duration(float64(time.Second) / sc.Rate)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for now := range t.C {
+				if !now.Before(deadline) {
+					return
+				}
+				arrivals <- struct{}{}
+			}
+		}()
+	}
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			var err error
+			if arrivals != nil {
+				err = w.runOpen(arrivals)
+			} else {
+				err = w.runClosed(deadline)
+			}
+			if err != nil {
+				launchErr.Store(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := launchErr.Load().(error); err != nil {
+		return Metrics{}, err
+	}
+
+	var all []time.Duration
+	m := Metrics{Scenario: sc, PlanHitRate: -1, ResultHitRate: -1}
+	for _, w := range workers {
+		all = append(all, w.latencies...)
+		m.Errors += w.errors
+		m.Shed += w.shed
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	m.Requests = int64(len(all)) + m.Errors + m.Shed
+	m.QPS = float64(len(all)) / elapsed.Seconds()
+	m.P50Ms = percentile(all, 0.50)
+	m.P99Ms = percentile(all, 0.99)
+	if svc != nil {
+		cs := svc.Stats().Caches
+		m.PlanHitRate = rate(cs.PlanHits, cs.PlanMisses)
+		m.ResultHitRate = rate(cs.ResultHits, cs.ResultMisses)
+	}
+	return m, nil
+}
+
+func rate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// suiteScenarios is the committed scenario set BENCH_service.json records.
+func suiteScenarios() []Scenario {
+	return []Scenario{
+		{Name: "closed_uncached", Concurrency: 8, Tenants: 4},
+		{Name: "closed_plancache", Concurrency: 8, Tenants: 4, PlanCache: true, Prepared: true},
+		{Name: "closed_cached", Concurrency: 8, Tenants: 4, PlanCache: true, ResultCache: true, Prepared: true},
+		{Name: "open_cached", Concurrency: 8, Rate: 200, Tenants: 4, PlanCache: true, ResultCache: true, Prepared: true},
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "", "server address (empty = in-process demo server on loopback)")
+	query := flag.String("query", defaultQuery, "textual query to replay (docs/QUERYLANG.md)")
+	dur := flag.Duration("duration", 2*time.Second, "measurement window per scenario")
+	concurrency := flag.Int("concurrency", 8, "closed-loop workers / connections")
+	rateFlag := flag.Float64("rate", 0, "open-loop arrival rate per second (0 = closed loop)")
+	tenants := flag.Int("tenants", 4, "tenants to spread requests over")
+	prepared := flag.Bool("prepared", true, "replay via prepared statements")
+	caches := flag.Bool("caches", true, "enable plan/result caches and shared scans on the in-process server")
+	suite := flag.Bool("suite", false, "run the committed scenario set and write the BENCH_service.json document")
+	out := flag.String("out", "", "write the JSON report here instead of stdout")
+	flag.Parse()
+
+	var scenarios []Scenario
+	if *suite {
+		scenarios = suiteScenarios()
+	} else {
+		scenarios = []Scenario{{
+			Name:        "custom",
+			Concurrency: *concurrency,
+			Rate:        *rateFlag,
+			Tenants:     *tenants,
+			PlanCache:   *caches,
+			ResultCache: *caches,
+			Prepared:    *prepared,
+		}}
+	}
+
+	report := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Duration:    dur.String(),
+		Query:       *query,
+	}
+	for _, sc := range scenarios {
+		m, err := run(sc, *addr, *query, *dur)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %s: %v\n", sc.Name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: %-16s qps=%.0f p50=%.3fms p99=%.3fms requests=%d shed=%d errors=%d plan_hit=%.2f result_hit=%.2f\n",
+			sc.Name, m.QPS, m.P50Ms, m.P99Ms, m.Requests, m.Shed, m.Errors, m.PlanHitRate, m.ResultHitRate)
+		report.Scenarios = append(report.Scenarios, m)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %d scenario(s) to %s\n", len(report.Scenarios), *out)
+}

@@ -381,15 +381,21 @@ func main() {
 	noexec := flag.Bool("noexec", false, "skip executing the planned operators; plan only")
 	explain := flag.Bool("explain", false, "print the logical, rewritten and physical plan for a Figure-8 workload and exit")
 	query := flag.String("query", "", "compile and run a textual query (docs/QUERYLANG.md) against the demo dataset; with -explain, print its plans instead")
+	repeat := flag.Int("repeat", 1, "with -query: run it this many times through a caching service, printing per-run wall time and plan/result cache hits")
 	verbose := flag.Bool("v", false, "print every sample point")
 	flag.Parse()
 
 	if *query != "" {
-		run := runQuery
-		if *explain {
-			run = explainQuery
+		var out string
+		var err error
+		switch {
+		case *explain:
+			out, err = explainQuery(*query)
+		case *repeat > 1:
+			out, err = runQueryRepeat(*query, *repeat)
+		default:
+			out, err = runQuery(*query)
 		}
-		out, err := run(*query)
 		if err != nil {
 			fatal(err)
 		}

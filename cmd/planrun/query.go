@@ -12,6 +12,8 @@ import (
 	"csq/internal/lang"
 	"csq/internal/netsim"
 	"csq/internal/plan"
+	"csq/internal/service"
+	"csq/internal/types"
 )
 
 // explainQuery compiles a textual query (docs/QUERYLANG.md) against the demo
@@ -69,6 +71,80 @@ func explainQuery(text string) (string, error) {
 	return out, nil
 }
 
+// runQueryRepeat executes a textual query n times through a caching service
+// over the demo dataset, printing the rows once (from the first run) and one
+// line per run with its wall time and plan/result cache annotations — the
+// quickest way to see the hot-query serving path (prepared-plan reuse plus the
+// version-keyed result cache) pay off.
+func runQueryRepeat(text string, n int) (string, error) {
+	cat, rt, err := demo.New()
+	if err != nil {
+		return "", err
+	}
+	root, err := lang.Compile(cat, text)
+	if err != nil {
+		return "", err
+	}
+	svc := service.New(cat, service.Config{
+		PlanCacheEntries: 16,
+		ResultCacheBytes: 64 << 20,
+	})
+	defer svc.Close()
+	ps, err := svc.Prepare(service.Request{
+		Tree:    root,
+		Link:    exec.NewInProcessLink(rt, netsim.LinkConfig{}),
+		LinkKey: "demo-inproc",
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for run := 1; run <= n; run++ {
+		start := time.Now()
+		res, err := ps.Execute(context.Background(), service.Request{})
+		if err != nil {
+			return "", err
+		}
+		if run == 1 {
+			b.WriteString(renderRows(root.Schema(), res.Rows))
+		}
+		annotate := func(hit bool) string {
+			if hit {
+				return "hit"
+			}
+			return "miss"
+		}
+		planNote := annotate(res.Stats.PlanFromCache)
+		if res.Stats.ResultFromCache {
+			// A result-cache hit never reaches the planner at all.
+			planNote = "skipped"
+		}
+		fmt.Fprintf(&b, "run %d: %v  plan=%s result=%s\n",
+			run, time.Since(start).Round(time.Microsecond),
+			planNote, annotate(res.Stats.ResultFromCache))
+	}
+	return b.String(), nil
+}
+
+// renderRows formats a result set as the tab-separated table runQuery prints.
+func renderRows(schema *types.Schema, rows []types.Tuple) string {
+	var b strings.Builder
+	names := make([]string, schema.Len())
+	for i, col := range schema.Columns {
+		names[i] = col.Name
+	}
+	fmt.Fprintf(&b, "%s\n", strings.Join(names, "\t"))
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Fprintf(&b, "%s\n", strings.Join(cells, "\t"))
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(rows))
+	return b.String()
+}
+
 // runQuery compiles, plans and executes a textual query against the demo
 // dataset, printing the result schema, every row and the row count.
 func runQuery(text string) (string, error) {
@@ -99,20 +175,5 @@ func runQuery(text string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	var b strings.Builder
-	schema := root.Schema()
-	names := make([]string, schema.Len())
-	for i, col := range schema.Columns {
-		names[i] = col.Name
-	}
-	fmt.Fprintf(&b, "%s\n", strings.Join(names, "\t"))
-	for _, row := range rows {
-		cells := make([]string, len(row))
-		for i, v := range row {
-			cells[i] = v.String()
-		}
-		fmt.Fprintf(&b, "%s\n", strings.Join(cells, "\t"))
-	}
-	fmt.Fprintf(&b, "(%d rows)\n", len(rows))
-	return b.String(), nil
+	return renderRows(root.Schema(), rows), nil
 }

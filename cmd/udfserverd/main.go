@@ -13,6 +13,15 @@
 //	           [-drain-timeout 10s] [-spill-dir ""]
 //	           [-demo-rows 0] [-stats-every 0]
 //	           [-max-redials 0] [-redial-backoff 0]
+//	           [-plan-cache 0] [-result-cache 0] [-shared-scans]
+//	           [-tenant name:weight[:quota]]...
+//
+// -plan-cache, -result-cache and -shared-scans enable the hot-query serving
+// path: a version-keyed plan cache (entries), a version-keyed result cache
+// (bytes) for deterministic pure-UDF queries, and cross-query coalescing of
+// concurrent columnar segment decodes. Repeated -tenant flags configure the
+// fair scheduler's per-tenant weights and optional concurrency quotas;
+// unnamed tenants run at weight 1. See docs/OPERATIONS.md.
 //
 // -max-redials and -redial-backoff tune the fault-tolerant session layer:
 // how often a lost UDF session is redialled before the operator degrades
@@ -42,6 +51,9 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,6 +81,61 @@ type options struct {
 	spillDir      string
 	statsEvery    time.Duration
 	redialBackoff time.Duration
+	planCache     int
+	resultCache   int64
+	sharedScans   bool
+	tenants       tenantFlags
+}
+
+// tenantFlags parses repeated -tenant name:weight[:quota] flags into the
+// service's per-tenant scheduling policies.
+type tenantFlags struct {
+	policies map[string]service.TenantPolicy
+}
+
+func (t *tenantFlags) String() string {
+	if t == nil || len(t.policies) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(t.policies))
+	for n := range t.policies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		p := t.policies[n]
+		if p.MaxConcurrent > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d:%d", n, p.Weight, p.MaxConcurrent))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s:%d", n, p.Weight))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *tenantFlags) Set(v string) error {
+	fields := strings.Split(v, ":")
+	if len(fields) < 2 || len(fields) > 3 || fields[0] == "" {
+		return fmt.Errorf("want name:weight[:quota], got %q", v)
+	}
+	weight, err := strconv.Atoi(fields[1])
+	if err != nil || weight < 1 {
+		return fmt.Errorf("weight in %q must be a positive integer", v)
+	}
+	pol := service.TenantPolicy{Weight: weight}
+	if len(fields) == 3 {
+		quota, err := strconv.Atoi(fields[2])
+		if err != nil || quota < 1 {
+			return fmt.Errorf("quota in %q must be a positive integer", v)
+		}
+		pol.MaxConcurrent = quota
+	}
+	if t.policies == nil {
+		t.policies = make(map[string]service.TenantPolicy)
+	}
+	t.policies[fields[0]] = pol
+	return nil
 }
 
 // validate rejects nonsensical settings with a one-line error before the
@@ -109,6 +176,12 @@ func (o *options) validate() error {
 	}
 	if o.redialBackoff < 0 {
 		return fmt.Errorf("-redial-backoff must be >= 0 (got %v)", o.redialBackoff)
+	}
+	if o.planCache < 0 {
+		return fmt.Errorf("-plan-cache must be >= 0 (got %d)", o.planCache)
+	}
+	if o.resultCache < 0 {
+		return fmt.Errorf("-result-cache must be >= 0 (got %d)", o.resultCache)
 	}
 	if o.spillDir != "" {
 		if err := probeSpillDir(o.spillDir); err != nil {
@@ -151,6 +224,10 @@ func main() {
 	flag.DurationVar(&o.statsEvery, "stats-every", 0, "print per-query lifecycle stats on this interval (0 = off)")
 	maxRedials := flag.Int("max-redials", 0, "reconnection attempts per lost UDF session (0 = default, negative = degrade immediately)")
 	flag.DurationVar(&o.redialBackoff, "redial-backoff", 0, "base backoff between session redial attempts, doubling per attempt (0 = default)")
+	flag.IntVar(&o.planCache, "plan-cache", 0, "version-keyed plan cache capacity in entries (0 = off)")
+	flag.Int64Var(&o.resultCache, "result-cache", 0, "version-keyed result cache budget in bytes (0 = off)")
+	flag.BoolVar(&o.sharedScans, "shared-scans", false, "coalesce concurrent columnar segment decodes across queries")
+	flag.Var(&o.tenants, "tenant", "tenant scheduling policy name:weight[:quota] (repeatable)")
 	flag.Parse()
 	if err := o.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "udfserverd: %v\n", err)
@@ -206,6 +283,11 @@ func main() {
 		DefaultTimeout: o.timeout,
 		StallTimeout:   o.stallTimeout,
 		TempDir:        o.spillDir,
+
+		PlanCacheEntries: o.planCache,
+		ResultCacheBytes: o.resultCache,
+		SharedScans:      o.sharedScans,
+		Tenants:          o.tenants.policies,
 	}
 	cfg.Planner.Retry = exec.RetryConfig{MaxRedials: *maxRedials, Backoff: o.redialBackoff}
 	svc := service.New(cat, cfg)
@@ -220,6 +302,16 @@ func main() {
 				fmt.Printf("udfserverd: service active=%d admitted=%d shed_overload=%d shed_draining=%d stall_cancels=%d queue=%d/%d wait_p99=%v\n",
 					ss.Active, ss.Admission.Admitted, ss.Admission.ShedOverload, ss.Admission.ShedDraining,
 					ss.StallCancels, ss.Admission.Queued, ss.Admission.QueuedPeak, ss.Admission.WaitP99)
+				cs := ss.Caches
+				fmt.Printf("udfserverd: caches stats=%s plan=%s result=%s result_bytes=%d result_entries=%d shared_segs=%d/%d\n",
+					hitRate(cs.StatsHits, cs.StatsMisses), hitRate(cs.PlanHits, cs.PlanMisses),
+					hitRate(cs.ResultHits, cs.ResultMisses), cs.ResultBytes, cs.ResultEntries,
+					cs.SharedSegments, cs.SharedSegments+cs.LedSegments)
+				for _, name := range ss.Admission.TenantNames() {
+					ts := ss.Admission.Tenants[name]
+					fmt.Printf("udfserverd: tenant %s weight=%d quota=%d running=%d queued=%d admitted=%d shed=%d\n",
+						name, ts.Weight, ts.Quota, ts.Running, ts.Queued, ts.Admitted, ts.Shed)
+				}
 				for _, st := range svc.Queries() {
 					fmt.Printf("udfserverd: query %d %s rows=%d mem_peak=%dB spills=%d spilled=%dB strategies=%v redials=%d failovers=%d sessions_lost=%d err=%q\n",
 						st.ID, st.State, st.Rows, st.MemPeakBytes, st.SpillEvents, st.SpilledBytes, st.Strategies,
@@ -266,6 +358,15 @@ func main() {
 	// A nil return means the listener closed under us — the signal handler is
 	// mid-drain; wait for it so admitted queries flush before the process exits.
 	<-shutdownDone
+}
+
+// hitRate renders a cache's hits/lookups counters as "hits/total (rate)".
+func hitRate(hits, misses int64) string {
+	total := hits + misses
+	if total == 0 {
+		return "0/0"
+	}
+	return fmt.Sprintf("%d/%d (%.0f%%)", hits, total, 100*float64(hits)/float64(total))
 }
 
 // seedDemo creates the demo table the README's walk-through queries.

@@ -64,6 +64,12 @@ type UDF struct {
 	// Selectivity is the fraction of tuples that satisfy the UDF when it is
 	// used as a predicate (only meaningful for boolean-returning UDFs).
 	Selectivity float64
+
+	// Pure declares the function deterministic and side-effect free: equal
+	// arguments always produce equal results. Only queries whose UDFs are all
+	// declared pure are eligible for the service's result cache — an impure
+	// UDF (random, time-dependent, stateful) must re-execute on every query.
+	Pure bool
 }
 
 // Validate checks that the UDF declaration is self-consistent.
@@ -237,6 +243,7 @@ func (c *Catalog) RegisterClientUDF(r *wire.RegisterUDF) (*UDF, error) {
 		ResultSize:  r.ResultSize,
 		PerCallCost: r.PerCallCost,
 		Selectivity: r.Selectivity,
+		Pure:        r.Pure,
 	}
 	if err := u.Validate(); err != nil {
 		return nil, err

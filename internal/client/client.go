@@ -36,6 +36,9 @@ type Func struct {
 	Selectivity float64
 	// PerCallCost is the client CPU cost per invocation in arbitrary units.
 	PerCallCost float64
+	// Pure declares the function deterministic and side-effect free; the
+	// server only result-caches queries whose UDFs are all declared pure.
+	Pure bool
 	// Body is the implementation. The args slice is a scratch buffer that is
 	// only valid for the duration of the call; implementations must copy it
 	// (not the values, which are immutable) if they retain it.
@@ -162,6 +165,7 @@ func (r *Runtime) Announce(conn *wire.Conn) error {
 			ResultSize:  f.ResultSize,
 			Selectivity: f.Selectivity,
 			PerCallCost: f.PerCallCost,
+			Pure:        f.Pure,
 		}
 		if err := conn.Send(wire.MsgRegisterUDF, wire.EncodeRegisterUDF(msg)); err != nil {
 			return fmt.Errorf("client: announce %s: %w", f.Name, err)

@@ -161,6 +161,7 @@ func NewRuntime() (*client.Runtime, error) {
 			ResultKind:  types.KindFloat,
 			ResultSize:  10,
 			PerCallCost: 1,
+			Pure:        true,
 			Body: func(args []types.Value) (types.Value, error) {
 				ts, err := args[0].Series()
 				if err != nil {
@@ -176,6 +177,7 @@ func NewRuntime() (*client.Runtime, error) {
 			ResultSize:  3,
 			Selectivity: 0.5,
 			PerCallCost: 1,
+			Pure:        true,
 			Body: func(args []types.Value) (types.Value, error) {
 				ts, err := args[0].Series()
 				if err != nil {
@@ -190,6 +192,7 @@ func NewRuntime() (*client.Runtime, error) {
 			ResultKind:  types.KindBytes,
 			ResultSize:  ChartBytes + 6,
 			PerCallCost: 4,
+			Pure:        true,
 			Body: func(args []types.Value) (types.Value, error) {
 				ts, err := args[0].Series()
 				if err != nil {
@@ -208,6 +211,7 @@ func NewRuntime() (*client.Runtime, error) {
 			ResultKind:  types.KindFloat,
 			ResultSize:  10,
 			PerCallCost: 1,
+			Pure:        true,
 			Body: func(args []types.Value) (types.Value, error) {
 				b, err := args[0].Bytes()
 				if err != nil {

@@ -3,7 +3,6 @@ package exec
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"csq/internal/expr"
 	"csq/internal/storage/colstore"
@@ -28,6 +27,7 @@ type ColumnarScan struct {
 
 	snap    *colstore.Snapshot
 	rec     *ScanStatsRecorder
+	share   *ScanShare
 	mem     memAccount
 	seg     int // next segment to consider
 	cur     []types.Tuple
@@ -117,6 +117,7 @@ func (s *ColumnarScan) Open(ctx context.Context) error {
 	}
 	s.snap = s.table.Snapshot()
 	s.rec = ScanStatsFrom(ctx)
+	s.share = ScanShareFrom(ctx)
 	s.mem = memAccount{t: MemTrackerFrom(ctx)}
 	s.seg, s.pos, s.cur, s.curMem = 0, 0, nil, 0
 	s.tailPos, s.inTail = 0, false
@@ -178,16 +179,14 @@ func (s *ColumnarScan) advance() (bool, error) {
 			s.rec.notePruned(1)
 			continue
 		}
-		start := time.Now()
-		tuples, bytesRead, buf, err := s.snap.ReadSegment(i, s.required, s.buf)
-		s.buf = buf
+		tuples, footprint, err := s.readSegmentShared(i)
 		if err != nil {
 			return false, fmt.Errorf("exec: columnar scan: %w", err)
 		}
-		s.rec.noteScanned(bytesRead, time.Since(start).Nanoseconds())
 		// Charge roughly the decoded footprint: the value arena plus the
-		// encoded payload it carries.
-		charge := bytesRead + int64(len(tuples))*tupleMemOverhead
+		// encoded payload it carries. Shared decodes charge the same amount —
+		// the bytes were read by a peer, but this query retains them too.
+		charge := footprint + int64(len(tuples))*tupleMemOverhead
 		if err := s.mem.grow(charge); err != nil {
 			return false, err
 		}

@@ -20,6 +20,10 @@ type ScanStats struct {
 	// DecodeNs is the total wall time in nanoseconds spent reading and
 	// decoding segments.
 	DecodeNs int64
+	// SegmentsShared counts the segments obtained by attaching to another
+	// query's in-flight decode (shared scans): no disk read and no decode
+	// work were spent on them by this query.
+	SegmentsShared int64
 }
 
 // Add accumulates other into s.
@@ -28,6 +32,7 @@ func (s *ScanStats) Add(other ScanStats) {
 	s.SegmentsPruned += other.SegmentsPruned
 	s.BytesRead += other.BytesRead
 	s.DecodeNs += other.DecodeNs
+	s.SegmentsShared += other.SegmentsShared
 }
 
 // ScanStatsRecorder collects ScanStats across all scans of one query. Like the
@@ -39,6 +44,7 @@ type ScanStatsRecorder struct {
 	segmentsPruned  atomic.Int64
 	bytesRead       atomic.Int64
 	decodeNs        atomic.Int64
+	segmentsShared  atomic.Int64
 }
 
 // noteScanned records one decoded segment.
@@ -49,6 +55,14 @@ func (r *ScanStatsRecorder) noteScanned(bytes, decodeNs int64) {
 	r.segmentsScanned.Add(1)
 	r.bytesRead.Add(bytes)
 	r.decodeNs.Add(decodeNs)
+}
+
+// noteShared records n segments served by a peer's in-flight decode.
+func (r *ScanStatsRecorder) noteShared(n int64) {
+	if r == nil {
+		return
+	}
+	r.segmentsShared.Add(n)
 }
 
 // notePruned records n segments skipped via zone maps.
@@ -69,6 +83,7 @@ func (r *ScanStatsRecorder) Stats() ScanStats {
 		SegmentsPruned:  r.segmentsPruned.Load(),
 		BytesRead:       r.bytesRead.Load(),
 		DecodeNs:        r.decodeNs.Load(),
+		SegmentsShared:  r.segmentsShared.Load(),
 	}
 }
 

@@ -1,0 +1,226 @@
+package plan
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"csq/internal/catalog"
+	"csq/internal/logical"
+	"csq/internal/storage"
+)
+
+// This file implements the prepared-statement plan cache and the version-keyed
+// cache identities the service's hot-query fast paths are built on. Both reuse
+// the StatsCache's invalidation scheme: a key embeds the data version of every
+// scanned relation (plus the segment-set version for columnar backends) and
+// the catalog version, so any write or catalog mutation invalidates implicitly
+// by changing the key — the cached entry is never purged eagerly, it simply
+// stops being found. PAPERS.md's incremental integrity-checking line grounds
+// this: a cached answer stays valid exactly until a base fact it depends on
+// changes.
+
+// TreeVersionKey derives the version-stamped identity of a logical tree: the
+// rendered tree plus the data version of every scanned relation and the
+// catalog version. Two trees with equal keys are guaranteed to compute the
+// same result (same shape over same data), which is what both the plan cache
+// and the service's result cache key on.
+//
+// ok is false when the identity cannot be established: some leaf of the tree
+// is not a Scan over version-reporting storage (e.g. a Values literal), so
+// staleness could not be detected.
+func TreeVersionKey(root logical.Node, cat *catalog.Catalog) (key string, ok bool) {
+	versions, ok := leafVersions(root)
+	if !ok {
+		return "", false
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "tables=%s", strings.Join(versions, ","))
+	if cat != nil {
+		fmt.Fprintf(&b, "|cat=%d", cat.Version())
+	}
+	fmt.Fprintf(&b, "|tree=%s", logical.Format(root))
+	return b.String(), true
+}
+
+// leafVersions collects the version stamp of every leaf of the tree, or
+// ok == false when a leaf is not a versioned Scan.
+func leafVersions(n logical.Node) (versions []string, ok bool) {
+	if n == nil {
+		return nil, false
+	}
+	children := n.Children()
+	if len(children) == 0 {
+		sc, isScan := n.(*logical.Scan)
+		if !isScan {
+			return nil, false
+		}
+		v, isVersioned := sc.Table.Data.(storage.Versioned)
+		if !isVersioned {
+			return nil, false
+		}
+		ver := fmt.Sprintf("%s@%d", strings.ToLower(sc.Table.Name), v.Version())
+		// Segmented backends additionally key on the segment-set version: a
+		// flush reshapes segments without changing row contents, which changes
+		// plan costs (pruning estimates) even though results are unaffected.
+		if sv, isSeg := sc.Table.Data.(storage.SegmentVersioned); isSeg {
+			ver += "/" + sv.SegmentSetVersion()
+		}
+		return []string{ver}, true
+	}
+	for _, c := range children {
+		vs, cok := leafVersions(c)
+		if !cok {
+			return nil, false
+		}
+		versions = append(versions, vs...)
+	}
+	sort.Strings(versions)
+	return versions, true
+}
+
+// PureTree reports whether every UDF applied anywhere in the tree is declared
+// Pure in the catalog (deterministic, side-effect free). UDF-free trees are
+// trivially pure. Only pure trees are eligible for result caching — an impure
+// UDF must re-execute per query.
+func PureTree(root logical.Node, cat *catalog.Catalog) bool {
+	for _, apply := range logical.Applies(root) {
+		for _, u := range apply.UDFs {
+			if cat == nil {
+				return false
+			}
+			udf, err := cat.UDF(u.Name)
+			if err != nil || !udf.Pure {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PlanCacheKey derives the plan cache key for a logical tree under a planner
+// configuration, or ok == false when the plan is not cacheable. It extends
+// TreeVersionKey with everything else the planning pass depends on: the
+// sampling configuration, the link identity (probe observations differ per
+// link) and the memory budget (it sizes spill fan-out and the spill-expected
+// flag baked into decisions).
+func PlanCacheKey(root logical.Node, cat *catalog.Catalog, cfg Config) (key string, ok bool) {
+	base, ok := TreeVersionKey(root, cat)
+	if !ok {
+		return "", false
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	fmt.Fprintf(&b, "|rows=%d|sketch=%d|probe=%d|sessions=%d|budget=%d|link=%s",
+		cfg.sampleRows(), cfg.sketchSize(), cfg.ProbeBytes, cfg.maxSessions(), cfg.MemBudget, cfg.LinkKey)
+	if cfg.Link != nil {
+		fmt.Fprintf(&b, "|obs=%v", *cfg.Link)
+	}
+	return b.String(), true
+}
+
+// PlanCache is the cross-query prepared-plan cache: repeated queries with the
+// same shape over unchanged data reuse the whole TreePlan — rewrite, sampling,
+// probing and strategy choice all skipped — instead of planning from scratch.
+// Entries are LRU-evicted beyond a fixed count; staleness needs no eviction
+// at all because version-stamped keys stop matching the moment data changes.
+//
+// A cached TreePlan is safe to share across concurrent queries: it is
+// read-only after planning and NewOperator builds fresh operators per call.
+type PlanCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used; values are *planEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type planEntry struct {
+	key  string
+	plan *TreePlan
+}
+
+// NewPlanCache returns a cache bounded to max plans (<= 0 means a small
+// default).
+func NewPlanCache(max int) *PlanCache {
+	if max <= 0 {
+		max = 64
+	}
+	return &PlanCache{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Lookup returns the cached plan for key, if any.
+func (c *PlanCache) Lookup(key string) (*TreePlan, bool) {
+	if c == nil || key == "" {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.order.MoveToFront(el)
+	return el.Value.(*planEntry).plan, true
+}
+
+// Store records a plan under key, evicting the least recently used entries
+// beyond the cache's bound.
+func (c *PlanCache) Store(key string, tp *TreePlan) {
+	if c == nil || key == "" || tp == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*planEntry).plan = tp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&planEntry{key: key, plan: tp})
+	for len(c.entries) > c.max {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*planEntry).key)
+	}
+}
+
+// Hits returns how many planning passes the cache has saved.
+func (c *PlanCache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+// Misses returns how many lookups fell through to a live planning pass.
+func (c *PlanCache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses.Load()
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"csq/internal/logical"
+	"csq/internal/plan"
+)
+
+// PreparedStatement is a query registered once and executed many times: the
+// parse/resolve work happened at Prepare time (the caller hands a logical
+// tree) and the rewrite/sample/probe/choose planning pass runs at most once
+// per data version — the statement holds its own single-plan slot keyed like
+// the plan cache, so repeated executions over unchanged data skip planning
+// entirely, and the first execution after a write re-plans automatically.
+// The slot works even when the service's global plan cache is disabled;
+// when both exist they cooperate (the slot is checked first).
+//
+// A statement is safe for concurrent use: executions are ordinary service
+// queries and the slot is mutex-guarded.
+type PreparedStatement struct {
+	svc *Service
+	req Request // template: tree, link, tenant, budgets
+
+	mu       sync.Mutex
+	lastKey  string
+	lastPlan *plan.TreePlan
+}
+
+// Prepare registers a statement for repeated execution. The tree is validated
+// by a trial rewrite so malformed statements fail here, not on first execute.
+func (s *Service) Prepare(req Request) (*PreparedStatement, error) {
+	if req.Tree == nil {
+		return nil, fmt.Errorf("service: prepared statement has no logical tree")
+	}
+	if _, err := logical.Rewrite(req.Tree); err != nil {
+		return nil, fmt.Errorf("service: prepare: %w", err)
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("service: closed")
+	}
+	return &PreparedStatement{svc: s, req: req}, nil
+}
+
+// cachedPlan returns the slot's plan when its version-stamped key matches.
+func (ps *PreparedStatement) cachedPlan(key string) *plan.TreePlan {
+	if ps == nil || key == "" {
+		return nil
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.lastKey == key {
+		return ps.lastPlan
+	}
+	return nil
+}
+
+// storePlan records the latest plan and its key in the slot.
+func (ps *PreparedStatement) storePlan(key string, tp *plan.TreePlan) {
+	if ps == nil || key == "" || tp == nil {
+		return
+	}
+	ps.mu.Lock()
+	ps.lastKey, ps.lastPlan = key, tp
+	ps.mu.Unlock()
+}
+
+// Submit starts one execution of the statement, applying the request template
+// with per-execution overrides (zero-valued fields of over inherit the
+// template). The returned handle behaves exactly like an ad-hoc query's.
+func (ps *PreparedStatement) Submit(ctx context.Context, over Request) (*Query, error) {
+	req := ps.req
+	req.stmt = ps
+	if over.MemBudget != 0 {
+		req.MemBudget = over.MemBudget
+	}
+	if over.Timeout != 0 {
+		req.Timeout = over.Timeout
+	}
+	if over.Tenant != "" {
+		req.Tenant = over.Tenant
+	}
+	if over.OnBatch != nil {
+		req.OnBatch = over.OnBatch
+	}
+	if over.Link != nil {
+		req.Link = over.Link
+		req.LinkKey = over.LinkKey
+	}
+	return ps.svc.Submit(ctx, req)
+}
+
+// Execute runs the statement once and waits for its result.
+func (ps *PreparedStatement) Execute(ctx context.Context, over Request) (*Result, error) {
+	q, err := ps.Submit(ctx, over)
+	if err != nil {
+		return nil, err
+	}
+	return q.Wait()
+}

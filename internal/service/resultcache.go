@@ -1,0 +1,151 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"csq/internal/exec"
+	"csq/internal/types"
+)
+
+// resultCache is the service's version-keyed result cache: a deterministic
+// query whose UDFs are all catalog-declared pure can serve its entire result
+// from memory when an identical query ran before over unchanged data. Keys
+// come from plan.TreeVersionKey — the rendered logical tree plus the data
+// version of every scanned table (and segment set) and the catalog version —
+// so any write or catalog mutation invalidates implicitly: the stale entry
+// simply stops being found and ages out of the LRU. This is the
+// trigger-on-update reasoning of incremental integrity checking (Decker):
+// a cached answer is exactly as fresh as the base facts it was derived from.
+//
+// Memory is governed like a query's: every stored result is charged to a
+// service-level exec.MemTracker and least-recently-used entries are evicted
+// until the cache is back under its byte budget. Single results larger than
+// maxEntryFraction of the budget are not cached at all (they would evict
+// everything else for one query's benefit).
+type resultCache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used; values are *resultEntry
+	tracker *exec.MemTracker
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type resultEntry struct {
+	key   string
+	rows  []types.Tuple
+	bytes int64
+}
+
+// maxEntryFraction bounds one cached result's share of the cache budget.
+const maxEntryFraction = 8
+
+// tupleOverhead approximates the in-memory bookkeeping of one retained tuple
+// beyond its encoded payload (slice header, value headers), mirroring the
+// execution engine's accounting.
+const tupleOverhead = 48
+
+// newResultCache returns a cache bounded to budget bytes.
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+		tracker: exec.NewMemTracker(budget),
+	}
+}
+
+// resultBytes estimates the retained footprint of a result set.
+func resultBytes(rows []types.Tuple) int64 {
+	var n int64
+	for _, t := range rows {
+		n += int64(t.Size()) + tupleOverhead
+	}
+	return n
+}
+
+// lookup returns the cached rows for key, if any. Callers must not mutate the
+// returned tuples (they are shared across queries; tuples are immutable by
+// engine convention).
+func (c *resultCache) lookup(key string) ([]types.Tuple, bool) {
+	if c == nil || key == "" {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.order.MoveToFront(el)
+	return el.Value.(*resultEntry).rows, true
+}
+
+// store records a result under key, evicting least-recently-used entries
+// until the cache is under budget. Oversized results are dropped.
+func (c *resultCache) store(key string, rows []types.Tuple) {
+	if c == nil || key == "" {
+		return
+	}
+	bytes := resultBytes(rows)
+	if budget := c.tracker.Budget(); budget > 0 && bytes > budget/maxEntryFraction {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Same key means same data versions, hence the same result; keep the
+		// incumbent and just refresh its recency.
+		c.order.MoveToFront(el)
+		return
+	}
+	_ = c.tracker.Grow(bytes) // budget tracker: never a hard limit
+	c.entries[key] = c.order.PushFront(&resultEntry{key: key, rows: rows, bytes: bytes})
+	for c.tracker.OverBudget() && c.order.Len() > 1 {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		e := c.order.Remove(back).(*resultEntry)
+		delete(c.entries, e.key)
+		c.tracker.Shrink(e.bytes)
+	}
+}
+
+// Hits returns how many queries were served entirely from the cache.
+func (c *resultCache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+// Misses returns how many eligible lookups fell through to execution.
+func (c *resultCache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses.Load()
+}
+
+// UsedBytes returns the cache's current retained footprint.
+func (c *resultCache) UsedBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.tracker.Used()
+}
+
+// Len returns the number of cached results.
+func (c *resultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

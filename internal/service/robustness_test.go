@@ -183,15 +183,15 @@ func blockerRequest(t *testing.T, cat *catalog.Catalog, started chan struct{}, h
 // ---- admission controller units -------------------------------------------
 
 func TestAdmissionQueueFullShedsTyped(t *testing.T) {
-	a := newAdmission(1, 1, 0)
-	rel1, _, err := a.acquire(context.Background())
+	a := newAdmission(1, 1, 0, nil)
+	rel1, _, err := a.acquire(context.Background(), "")
 	if err != nil {
 		t.Fatalf("first acquire: %v", err)
 	}
 	// One waiter occupies the whole queue.
 	waiterErr := make(chan error, 1)
 	go func() {
-		rel, _, err := a.acquire(context.Background())
+		rel, _, err := a.acquire(context.Background(), "")
 		if err == nil {
 			rel()
 		}
@@ -200,7 +200,7 @@ func TestAdmissionQueueFullShedsTyped(t *testing.T) {
 	waitForQueued(t, a, 1)
 
 	// The next submission finds the queue full and is shed, typed.
-	_, _, err = a.acquire(context.Background())
+	_, _, err = a.acquire(context.Background(), "")
 	var re *wire.RejectError
 	if !errors.As(err, &re) || re.Reason != wire.RejectOverloaded {
 		t.Fatalf("queue-full acquire returned %v, want typed overload reject", err)
@@ -226,8 +226,8 @@ func TestAdmissionQueueFullShedsTyped(t *testing.T) {
 }
 
 func TestAdmissionDeadlineBudgetSheds(t *testing.T) {
-	a := newAdmission(1, 8, 0)
-	rel, _, err := a.acquire(context.Background())
+	a := newAdmission(1, 8, 0, nil)
+	rel, _, err := a.acquire(context.Background(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestAdmissionDeadlineBudgetSheds(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, wait, err := a.acquire(ctx)
+	_, wait, err := a.acquire(ctx, "")
 	if !errors.Is(err, wire.ErrOverloaded) {
 		t.Fatalf("deadline-budget acquire returned %v, want overload shed", err)
 	}
@@ -255,15 +255,15 @@ func TestAdmissionDeadlineBudgetSheds(t *testing.T) {
 }
 
 func TestAdmissionDrainShedsWaiters(t *testing.T) {
-	a := newAdmission(1, 8, 0)
-	rel, _, err := a.acquire(context.Background())
+	a := newAdmission(1, 8, 0, nil)
+	rel, _, err := a.acquire(context.Background(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer rel()
 	waiterErr := make(chan error, 1)
 	go func() {
-		_, _, err := a.acquire(context.Background())
+		_, _, err := a.acquire(context.Background(), "")
 		waiterErr <- err
 	}()
 	waitForQueued(t, a, 1)
@@ -272,7 +272,7 @@ func TestAdmissionDrainShedsWaiters(t *testing.T) {
 	if err := <-waiterErr; !errors.Is(err, wire.ErrServerDraining) {
 		t.Fatalf("drained waiter got %v, want wire.ErrServerDraining", err)
 	}
-	if _, _, err := a.acquire(context.Background()); !errors.Is(err, wire.ErrServerDraining) {
+	if _, _, err := a.acquire(context.Background(), ""); !errors.Is(err, wire.ErrServerDraining) {
 		t.Fatalf("post-drain acquire got %v, want wire.ErrServerDraining", err)
 	}
 	a.drain() // idempotent
@@ -282,8 +282,8 @@ func TestAdmissionDrainShedsWaiters(t *testing.T) {
 }
 
 func TestAdmissionCancelWhileQueued(t *testing.T) {
-	a := newAdmission(1, 8, 0)
-	rel, _, err := a.acquire(context.Background())
+	a := newAdmission(1, 8, 0, nil)
+	rel, _, err := a.acquire(context.Background(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +291,7 @@ func TestAdmissionCancelWhileQueued(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	waiterErr := make(chan error, 1)
 	go func() {
-		_, _, err := a.acquire(ctx)
+		_, _, err := a.acquire(ctx, "")
 		waiterErr <- err
 	}()
 	waitForQueued(t, a, 1)

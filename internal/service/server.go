@@ -83,7 +83,7 @@ func (c *stallGuardConn) Write(p []byte) (int, error) {
 }
 
 // serverCaps is the capability subset this server supports.
-const serverCaps = wire.CapCancel | wire.CapTextQuery | wire.CapReject
+const serverCaps = wire.CapCancel | wire.CapTextQuery | wire.CapReject | wire.CapPrepared
 
 // NewServer builds a wire front-end over the service.
 func NewServer(svc *Service) *Server {
@@ -211,6 +211,9 @@ func (s *Server) handleConn(nc net.Conn) {
 		sync.Mutex
 		queries map[uint64]*Query
 	}{queries: make(map[uint64]*Query)}
+	// Prepared statements live for the connection; they hold no slots or
+	// sessions, so disconnect cleanup is just letting the map go.
+	stmts := make(map[uint64]*connStatement)
 	defer func() {
 		// A dying requester connection cancels every query it owns; the
 		// per-query contexts tear their UDF sessions down.
@@ -293,6 +296,71 @@ func (s *Server) handleConn(nc net.Conn) {
 				delete(owned.queries, id)
 				owned.Unlock()
 			}(spec.QueryID, ack.Caps)
+		case wire.MsgPrepare:
+			// A prepared statement arrives as a QuerySpec whose QueryID is the
+			// statement ID; the tree is built (and a textual query compiled)
+			// once, here, and executions reference the statement by ID.
+			spec, err := wire.DecodeQuerySpec(msg.Payload)
+			if err != nil {
+				_ = s.sendError(conn, 0, fmt.Sprintf("bad prepare: %v", err))
+				continue
+			}
+			var ps *PreparedStatement
+			if _, dup := stmts[spec.QueryID]; dup {
+				err = fmt.Errorf("statement ID %d is already prepared on this connection", spec.QueryID)
+			} else {
+				var req Request
+				if req, err = s.buildStatementTemplate(spec); err == nil {
+					ps, err = s.svc.Prepare(req)
+				}
+			}
+			ack := &wire.QueryAck{QueryID: spec.QueryID, OK: err == nil, Caps: spec.Caps & serverCaps}
+			if err != nil {
+				ack.Error = err.Error()
+			} else {
+				stmts[spec.QueryID] = &connStatement{ps: ps, caps: ack.Caps}
+			}
+			if sendErr := conn.Send(wire.MsgPrepareAck, wire.EncodeQueryAck(ack)); sendErr != nil {
+				return
+			}
+		case wire.MsgExecPrepared:
+			ep, err := wire.DecodeExecPrepared(msg.Payload)
+			if err != nil {
+				_ = s.sendError(conn, 0, fmt.Sprintf("bad exec prepared: %v", err))
+				continue
+			}
+			st := stmts[ep.StatementID]
+			if st == nil {
+				_ = s.sendError(conn, ep.QueryID, fmt.Sprintf("statement %d is not prepared on this connection", ep.StatementID))
+				continue
+			}
+			owned.Lock()
+			_, dup := owned.queries[ep.QueryID]
+			owned.Unlock()
+			if dup {
+				_ = s.sendError(conn, ep.QueryID, fmt.Sprintf("query ID %d is already in flight on this connection", ep.QueryID))
+				continue
+			}
+			over := Request{Tenant: ep.Tenant, MemBudget: ep.MemBudget, OnBatch: s.batchSender(conn, ep.QueryID)}
+			if ep.TimeoutMillis > 0 {
+				over.Timeout = time.Duration(ep.TimeoutMillis) * time.Millisecond
+			}
+			q, serr := st.ps.Submit(context.Background(), over)
+			if serr != nil {
+				s.sendFailure(conn, st.caps, ep.QueryID, serr)
+				continue
+			}
+			owned.Lock()
+			owned.queries[ep.QueryID] = q
+			owned.Unlock()
+			s.streams.Add(1)
+			go func(id uint64, caps uint32) {
+				defer s.streams.Done()
+				s.streamResult(conn, caps, id, q)
+				owned.Lock()
+				delete(owned.queries, id)
+				owned.Unlock()
+			}(ep.QueryID, st.caps)
 		case wire.MsgCancel:
 			c, err := wire.DecodeCancel(msg.Payload)
 			if err != nil {
@@ -311,9 +379,18 @@ func (s *Server) handleConn(nc net.Conn) {
 	}
 }
 
-// buildRequest translates a QuerySpec into a service request; the caller
-// submits it after acknowledging, and streams results via streamResult.
-func (s *Server) buildRequest(conn *wire.Conn, spec *wire.QuerySpec) (Request, error) {
+// connStatement is a prepared statement owned by one requester connection,
+// along with the capability subset its prepare negotiated (so execution
+// failures degrade the same way the ack promised).
+type connStatement struct {
+	ps   *PreparedStatement
+	caps uint32
+}
+
+// buildStatementTemplate translates a QuerySpec into a prepared statement's
+// request template: the tree and resource envelope, but no per-execution
+// result sink — each execution attaches its own, keyed by its own query ID.
+func (s *Server) buildStatementTemplate(spec *wire.QuerySpec) (Request, error) {
 	tree, err := s.buildTree(spec)
 	if err != nil {
 		return Request{}, err
@@ -321,6 +398,7 @@ func (s *Server) buildRequest(conn *wire.Conn, spec *wire.QuerySpec) (Request, e
 	req := Request{
 		Tree:      tree,
 		MemBudget: spec.MemBudget,
+		Tenant:    spec.Tenant,
 	}
 	if spec.TimeoutMillis > 0 {
 		req.Timeout = time.Duration(spec.TimeoutMillis) * time.Millisecond
@@ -329,12 +407,29 @@ func (s *Server) buildRequest(conn *wire.Conn, spec *wire.QuerySpec) (Request, e
 		req.Link = &exec.DialLink{Addr: spec.ClientAddr, DialTimeout: s.DialTimeout}
 		req.LinkKey = spec.ClientAddr
 	}
+	return req, nil
+}
+
+// buildRequest translates a QuerySpec into a service request; the caller
+// submits it after acknowledging, and streams results via streamResult.
+func (s *Server) buildRequest(conn *wire.Conn, spec *wire.QuerySpec) (Request, error) {
+	req, err := s.buildStatementTemplate(spec)
+	if err != nil {
+		return Request{}, err
+	}
 	// Results are streamed straight onto the control connection as they are
 	// produced; Conn.Send serialises concurrent queries' frames.
-	req.OnBatch = func(batch []types.Tuple) error {
+	req.OnBatch = s.batchSender(conn, spec.QueryID)
+	return req, nil
+}
+
+// batchSender returns an OnBatch sink that frames result batches under id on
+// the shared control connection.
+func (s *Server) batchSender(conn *wire.Conn, id uint64) func([]types.Tuple) error {
+	return func(batch []types.Tuple) error {
 		payload := wire.GetBuffer()
 		defer wire.PutBuffer(payload)
-		b := wire.TupleBatch{SessionID: spec.QueryID, Tuples: batch}
+		b := wire.TupleBatch{SessionID: id, Tuples: batch}
 		data, err := wire.AppendTupleBatch(*payload, &b)
 		if err != nil {
 			return err
@@ -342,7 +437,6 @@ func (s *Server) buildRequest(conn *wire.Conn, spec *wire.QuerySpec) (Request, e
 		*payload = data
 		return conn.Send(wire.MsgResultBatch, data)
 	}
-	return req, nil
 }
 
 // streamResult waits the query out and terminates its result stream with an
@@ -599,7 +693,7 @@ func (r *Requester) readLoop() {
 			return
 		}
 		switch msg.Type {
-		case wire.MsgQueryAck:
+		case wire.MsgQueryAck, wire.MsgPrepareAck:
 			ack, err := wire.DecodeQueryAck(msg.Payload)
 			if err != nil {
 				continue
@@ -726,6 +820,105 @@ func (r *Requester) SubmitText(text string, spec wire.QuerySpec) (*RemoteQuery, 
 	spec.Pushable = nil
 	spec.Project = nil
 	return r.Submit(spec)
+}
+
+// RemoteStatement is a statement prepared on the server over this requester's
+// connection: the tree was built (or the text compiled) and validated once,
+// and each Exec ships only a statement ID plus per-execution overrides. It is
+// only handed out when the server echoed CapPrepared.
+type RemoteStatement struct {
+	r    *Requester
+	id   uint64
+	caps uint32
+}
+
+// Prepare registers the spec as a server-side prepared statement. The spec's
+// QueryID and Caps are managed by the requester; the resource envelope
+// (ClientAddr, MemBudget, TimeoutMillis, Tenant) becomes the statement's
+// template, overridable per execution. Servers that have not negotiated
+// CapPrepared fail the call cleanly.
+func (r *Requester) Prepare(spec wire.QuerySpec) (*RemoteStatement, error) {
+	r.mu.Lock()
+	if !r.started {
+		r.started = true
+		go r.readLoop()
+	}
+	if r.readErr != nil {
+		err := r.readErr
+		r.mu.Unlock()
+		return nil, err
+	}
+	r.nextID++
+	spec.QueryID = r.nextID
+	spec.Caps = serverCaps
+	ch := newEventQueue()
+	r.pending[spec.QueryID] = ch
+	r.mu.Unlock()
+	defer r.drop(spec.QueryID)
+
+	payload, err := wire.EncodeQuerySpec(&spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.conn.Send(wire.MsgPrepare, payload); err != nil {
+		return nil, err
+	}
+	ev, ok := ch.pop()
+	if ev.err != nil {
+		return nil, ev.err
+	}
+	if !ok || ev.ack == nil {
+		r.mu.Lock()
+		err := r.readErr
+		r.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("service: expected PREPARE_ACK")
+	}
+	if !ev.ack.OK {
+		return nil, fmt.Errorf("service: prepare rejected: %s", ev.ack.Error)
+	}
+	if ev.ack.Caps&wire.CapPrepared == 0 {
+		return nil, fmt.Errorf("service: server did not negotiate prepared statements")
+	}
+	return &RemoteStatement{r: r, id: spec.QueryID, caps: ev.ack.Caps}, nil
+}
+
+// PrepareText prepares a textual query (see docs/QUERYLANG.md) server-side.
+func (r *Requester) PrepareText(text string, spec wire.QuerySpec) (*RemoteStatement, error) {
+	spec.Text = text
+	spec.Table = ""
+	spec.Filter = nil
+	spec.UDFs = nil
+	spec.Pushable = nil
+	spec.Project = nil
+	return r.Prepare(spec)
+}
+
+// Exec starts one execution of the statement. over's StatementID and QueryID
+// are managed by the requester; its remaining fields override the statement's
+// template (zero values inherit). Unlike Submit there is no per-execution
+// admission ack — rejections surface from Collect as typed reject errors.
+func (st *RemoteStatement) Exec(over wire.ExecPrepared) (*RemoteQuery, error) {
+	r := st.r
+	r.mu.Lock()
+	if r.readErr != nil {
+		err := r.readErr
+		r.mu.Unlock()
+		return nil, err
+	}
+	r.nextID++
+	over.StatementID = st.id
+	over.QueryID = r.nextID
+	ch := newEventQueue()
+	r.pending[over.QueryID] = ch
+	r.mu.Unlock()
+	if err := r.conn.Send(wire.MsgExecPrepared, wire.EncodeExecPrepared(&over)); err != nil {
+		r.drop(over.QueryID)
+		return nil, err
+	}
+	return &RemoteQuery{r: r, id: over.QueryID, caps: st.caps, ch: ch}, nil
 }
 
 func (r *Requester) drop(id uint64) {

@@ -125,6 +125,25 @@ type Config struct {
 	// tests). The service manages StatsCache, LinkKey and MemBudget per query
 	// on top of it.
 	Planner plan.Config
+
+	// Hot-query serving knobs. All three default to off so a zero Config
+	// behaves exactly like the pre-caching service.
+
+	// PlanCacheEntries, when > 0, enables the cross-query prepared-plan cache
+	// with that many LRU slots: repeated queries with the same shape over
+	// unchanged data skip rewrite, sampling, probing and strategy choice.
+	PlanCacheEntries int
+	// ResultCacheBytes, when > 0, enables the version-keyed result cache with
+	// that byte budget: deterministic queries (UDF-free, or catalog-declared
+	// pure UDFs only) over unchanged data are answered from memory.
+	ResultCacheBytes int64
+	// SharedScans, when true, coalesces concurrent identical segment decodes
+	// across queries: followers attach to the leader's in-flight read instead
+	// of decoding the same columnar segment independently.
+	SharedScans bool
+	// Tenants configures per-tenant scheduling (DRR weight, running quota).
+	// Tenants absent from the map get weight 1 and no quota.
+	Tenants map[string]TenantPolicy
 }
 
 func (c Config) maxConcurrent() int {
@@ -161,6 +180,13 @@ type Request struct {
 	// instead of accumulating rows in the result. The callback owns the
 	// tuples; returning an error aborts the query.
 	OnBatch func(batch []types.Tuple) error
+	// Tenant names the accounting principal the query runs under; the fair
+	// scheduler queues and meters per tenant. Empty selects DefaultTenant.
+	Tenant string
+
+	// stmt attaches the query to a prepared statement's plan slot; set by
+	// PreparedStatement.Submit.
+	stmt *PreparedStatement
 }
 
 // QueryStats is a point-in-time snapshot of one query's lifecycle.
@@ -196,6 +222,14 @@ type QueryStats struct {
 	// StatsFromCache reports that at least one application's sampling
 	// statistics were served by the cross-query cache.
 	StatsFromCache bool
+	// Tenant is the accounting principal the query ran under.
+	Tenant string
+	// PlanFromCache reports that the whole TreePlan was reused (plan cache or
+	// prepared statement) instead of planned from scratch.
+	PlanFromCache bool
+	// ResultFromCache reports that the result was served entirely from the
+	// version-keyed result cache without planning or executing anything.
+	ResultFromCache bool
 }
 
 // Result is a finished query's output.
@@ -220,6 +254,11 @@ type Service struct {
 	cache *plan.StatsCache
 	adm   *admission
 
+	// Hot-query serving state; each is nil when its Config knob is off.
+	planCache   *plan.PlanCache
+	resultCache *resultCache
+	scanShare   *exec.ScanShare
+
 	nextID       atomic.Uint64
 	stallCancels atomic.Int64
 
@@ -240,8 +279,17 @@ func New(cat *catalog.Catalog, cfg Config) *Service {
 		cat:     cat,
 		cfg:     cfg,
 		cache:   plan.NewStatsCache(),
-		adm:     newAdmission(cfg.maxConcurrent(), cfg.MaxQueued, cfg.MaxQueueWait),
+		adm:     newAdmission(cfg.maxConcurrent(), cfg.MaxQueued, cfg.MaxQueueWait, cfg.Tenants),
 		queries: make(map[uint64]*Query),
+	}
+	if cfg.PlanCacheEntries > 0 {
+		s.planCache = plan.NewPlanCache(cfg.PlanCacheEntries)
+	}
+	if cfg.ResultCacheBytes > 0 {
+		s.resultCache = newResultCache(cfg.ResultCacheBytes)
+	}
+	if cfg.SharedScans {
+		s.scanShare = exec.NewScanShare()
 	}
 	if cfg.StallTimeout > 0 {
 		s.wdStop = make(chan struct{})
@@ -271,11 +319,15 @@ type Query struct {
 	collect bool
 	onBatch func([]types.Tuple) error
 
+	tenant string
+
 	mu              sync.Mutex
 	state           State
 	err             error
 	rows            []types.Tuple
 	rowCount        int64
+	cacheRows       []types.Tuple // result-cache accumulation when not collecting
+	accumForCache   bool
 	submitted       time.Time
 	started         time.Time
 	finished        time.Time
@@ -287,6 +339,8 @@ type Query struct {
 	sessionsPlanned []int
 	faults          exec.FaultStats
 	statsFromCache  bool
+	planFromCache   bool
+	resultFromCache bool
 }
 
 // ID returns the query's service-wide identifier.
@@ -339,6 +393,9 @@ func (q *Query) statsLocked() QueryStats {
 		SessionsPlanned: append([]int(nil), q.sessionsPlanned...),
 		Faults:          q.faults,
 		StatsFromCache:  q.statsFromCache,
+		Tenant:          q.tenant,
+		PlanFromCache:   q.planFromCache,
+		ResultFromCache: q.resultFromCache,
 	}
 	if q.err != nil {
 		st.Err = q.err.Error()
@@ -379,6 +436,10 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Query, error) {
 		onBatch:     req.OnBatch,
 		state:       StateQueued,
 		submitted:   time.Now(),
+	}
+	q.tenant = req.Tenant
+	if q.tenant == "" {
+		q.tenant = DefaultTenant
 	}
 	// The closed/draining check and the registration share one critical
 	// section, so a Submit racing Close or Shutdown either registers before
@@ -565,11 +626,36 @@ func (s *Service) sweepStalled(now time.Time) {
 	}
 }
 
+// CacheStats snapshots every cross-query cache the service runs: the
+// planner's statistics cache (always on), the prepared-plan cache, the
+// version-keyed result cache, and the shared-scan coalescer.
+type CacheStats struct {
+	// StatsHits/StatsMisses count the plan.StatsCache's sampling-pass
+	// lookups (probe observations are keyed separately and not counted).
+	StatsHits   int64
+	StatsMisses int64
+	// PlanHits/PlanMisses count whole-TreePlan reuse via the plan cache.
+	PlanHits   int64
+	PlanMisses int64
+	// ResultHits/ResultMisses count result-cache lookups by eligible queries;
+	// ResultBytes/ResultEntries describe its current occupancy.
+	ResultHits    int64
+	ResultMisses  int64
+	ResultBytes   int64
+	ResultEntries int
+	// SharedSegments counts segment decodes served by attaching to a peer's
+	// in-flight read; LedSegments the decodes performed on behalf of queries.
+	SharedSegments int64
+	LedSegments    int64
+}
+
 // ServiceStats is a point-in-time snapshot of the service's health.
 type ServiceStats struct {
-	// Admission snapshots the admission controller (slots granted, sheds by
-	// cause, queue depth and wait quantiles).
+	// Admission snapshots the fair scheduler (slots granted, sheds by cause,
+	// queue depth, wait quantiles, per-tenant shares).
 	Admission AdmissionStats
+	// Caches snapshots the cross-query caches' hit rates and occupancy.
+	Caches CacheStats
 	// StallCancels counts queries the stuck-query watchdog killed.
 	StallCancels int64
 	// Active counts queries in non-terminal states.
@@ -592,7 +678,19 @@ func (s *Service) Stats() ServiceStats {
 	draining := s.draining
 	s.mu.Unlock()
 	return ServiceStats{
-		Admission:    s.adm.stats(),
+		Admission: s.adm.stats(),
+		Caches: CacheStats{
+			StatsHits:      s.cache.Hits(),
+			StatsMisses:    s.cache.Misses(),
+			PlanHits:       s.planCache.Hits(),
+			PlanMisses:     s.planCache.Misses(),
+			ResultHits:     s.resultCache.Hits(),
+			ResultMisses:   s.resultCache.Misses(),
+			ResultBytes:    s.resultCache.UsedBytes(),
+			ResultEntries:  s.resultCache.Len(),
+			SharedSegments: s.scanShare.SharedSegments(),
+			LedSegments:    s.scanShare.LedSegments(),
+		},
 		StallCancels: s.stallCancels.Load(),
 		Active:       active,
 		Draining:     draining,
@@ -626,10 +724,27 @@ func (q *Query) run(ctx context.Context, req Request) {
 	// the watchdog sees progress from whatever the query ends up running.
 	ctx = exec.WithProgress(ctx, q.prog)
 
-	// Admission: the controller bounds concurrency and queueing, shedding
+	// Result-cache fast path: a deterministic query over unchanged data is
+	// answered from memory before it ever competes for an admission slot —
+	// a hit consumes no scheduler capacity at all. The key embeds every
+	// scanned table's data version and the catalog version, so a concurrent
+	// write simply makes the lookup miss; a hit can never be stale.
+	var resultKey string
+	if rc := q.svc.resultCache; rc != nil {
+		if key, ok := plan.TreeVersionKey(req.Tree, q.svc.cat); ok && plan.PureTree(req.Tree, q.svc.cat) {
+			if rows, hit := rc.lookup(key); hit {
+				err = q.serveCached(ctx, rows)
+				return
+			}
+			resultKey = key
+		}
+	}
+
+	// Admission: the scheduler bounds global and per-tenant concurrency and
+	// queueing, dealing slots to tenants by deficit round robin and shedding
 	// queries (typed, retryable) rather than queueing them past their
 	// deadline's usefulness; a cancelled query leaves the queue immediately.
-	release, wait, aerr := q.svc.adm.acquire(ctx)
+	release, wait, aerr := q.svc.adm.acquire(ctx, q.tenant)
 	if aerr != nil {
 		err = aerr
 		return
@@ -659,10 +774,44 @@ func (q *Query) run(ctx context.Context, req Request) {
 	planner.Config.LinkKey = req.LinkKey
 	planner.Config.MemBudget = budget
 
-	tp, perr := planner.PlanTree(ctx, req.Tree, q.svc.cat)
-	if perr != nil {
-		err = perr
-		return
+	// Plan reuse, in preference order: the prepared statement's own slot
+	// (works even with the global cache off), then the cross-query plan
+	// cache. Both are keyed on the version-stamped tree identity plus the
+	// planning configuration, so a write re-plans instead of reusing
+	// decisions made over different data. A reused TreePlan is read-only and
+	// NewOperator builds fresh operators, so sharing across queries is safe.
+	var tp *plan.TreePlan
+	var planKey string
+	if req.stmt != nil || q.svc.planCache != nil {
+		planKey, _ = plan.PlanCacheKey(req.Tree, q.svc.cat, planner.Config)
+	}
+	if planKey != "" {
+		if req.stmt != nil {
+			tp = req.stmt.cachedPlan(planKey)
+		}
+		if tp == nil {
+			if cached, hit := q.svc.planCache.Lookup(planKey); hit {
+				tp = cached
+			}
+		}
+	}
+	if tp != nil {
+		q.mu.Lock()
+		q.planFromCache = true
+		q.mu.Unlock()
+	} else {
+		var perr error
+		tp, perr = planner.PlanTree(ctx, req.Tree, q.svc.cat)
+		if perr != nil {
+			err = perr
+			return
+		}
+		if planKey != "" {
+			if req.stmt != nil {
+				req.stmt.storePlan(planKey, tp)
+			}
+			q.svc.planCache.Store(planKey, tp)
+		}
 	}
 	strategies := make([]string, 0, len(tp.Applies))
 	planned := make([]int, 0, len(tp.Applies))
@@ -684,7 +833,64 @@ func (q *Query) run(ctx context.Context, req Request) {
 		err = lerr
 		return
 	}
-	err = q.drive(exec.WithScanStats(exec.WithMemTracker(ctx, tracker), scanStats), op)
+	q.mu.Lock()
+	q.accumForCache = resultKey != "" && !q.collect
+	q.mu.Unlock()
+	ectx := exec.WithScanStats(exec.WithMemTracker(ctx, tracker), scanStats)
+	if q.svc.scanShare != nil {
+		ectx = exec.WithScanShare(ectx, q.svc.scanShare)
+	}
+	err = q.drive(ectx, op)
+
+	// Store the result only if the version-stamped key still matches: a write
+	// that landed anywhere between the key computation and now may or may not
+	// be reflected in what the operators read, so the answer is only known to
+	// correspond to the keyed versions when nothing changed underneath it.
+	if err == nil && resultKey != "" {
+		if key, ok := plan.TreeVersionKey(req.Tree, q.svc.cat); ok && key == resultKey {
+			q.mu.Lock()
+			rows := q.rows
+			if !q.collect {
+				rows = q.cacheRows
+			}
+			q.cacheRows = nil
+			q.mu.Unlock()
+			q.svc.resultCache.store(resultKey, rows)
+		}
+	}
+}
+
+// serveCached streams a cached result to the query's sink. The cached tuples
+// are shared across queries and immutable; only the slice headers are copied.
+func (q *Query) serveCached(ctx context.Context, rows []types.Tuple) error {
+	q.mu.Lock()
+	q.started = time.Now()
+	q.state = StateRunning
+	q.resultFromCache = true
+	q.mu.Unlock()
+	for off := 0; off < len(rows); off += exec.DefaultBatchSize {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := off + exec.DefaultBatchSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		batch := rows[off:end]
+		q.mu.Lock()
+		q.rowCount += int64(len(batch))
+		if q.collect {
+			q.rows = append(q.rows, batch...)
+		}
+		q.mu.Unlock()
+		q.prog.Tick()
+		if q.onBatch != nil {
+			if err := q.onBatch(batch); err != nil {
+				return fmt.Errorf("service: result sink: %w", err)
+			}
+		}
+	}
+	return nil
 }
 
 // drive executes the operator tree, streaming or accumulating batches. The
@@ -722,6 +928,12 @@ func (q *Query) drive(ctx context.Context, op exec.Operator) error {
 		q.rowCount += int64(n)
 		if q.collect {
 			q.rows = append(q.rows, batch[:n]...)
+		}
+		if q.accumForCache {
+			// Streaming queries eligible for the result cache also retain the
+			// rows (tuples are never recycled by the engine, so retention is
+			// a slice append, not a deep copy).
+			q.cacheRows = append(q.cacheRows, batch[:n]...)
 		}
 		q.mu.Unlock()
 		if q.onBatch != nil {

@@ -351,6 +351,9 @@ func EncodeRegisterUDF(r *RegisterUDF) []byte {
 	dst = binary.AppendUvarint(dst, uint64(r.ResultSize))
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Selectivity))
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.PerCallCost))
+	if r.Pure {
+		dst = append(dst, 1)
+	}
 	return dst
 }
 
@@ -387,5 +390,10 @@ func DecodeRegisterUDF(src []byte) (*RegisterUDF, error) {
 	r.ResultSize = int(size)
 	r.Selectivity = math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
 	r.PerCallCost = math.Float64frombits(binary.LittleEndian.Uint64(src[off+8:]))
+	// Optional trailing purity byte: announcements from pre-purity clients
+	// end at the floats and read as impure.
+	if off+16 < len(src) {
+		r.Pure = src[off+16] != 0
+	}
 	return r, nil
 }

@@ -39,6 +39,10 @@ const (
 	// MsgQueryReject (reason + retry-after hint) instead of a generic
 	// MsgError, so the requester can classify the refusal as retryable.
 	CapReject uint32 = 1 << 3
+	// CapPrepared: the server accepts MsgPrepare / MsgExecPrepared prepared-
+	// statement frames. Requesters must not send them to a server that has not
+	// echoed this bit in a MsgQueryAck or MsgPrepareAck.
+	CapPrepared uint32 = 1 << 4
 )
 
 // RejectReason explains why the server refused to run a query.
@@ -179,6 +183,13 @@ type QuerySpec struct {
 	// treat a missing trailer as empty — so old requesters and old servers
 	// interoperate; the feature is gated on CapTextQuery.
 	Text string
+	// Tenant names the accounting principal the query runs under; the
+	// service's fair scheduler queues and meters per tenant. Empty means the
+	// shared default tenant. Like Text it is an optional trailing field (a
+	// spec with a tenant always encodes the Text field, even when empty, so
+	// the trailer order is unambiguous); old servers ignore it and schedule
+	// the query under the default tenant.
+	Tenant string
 }
 
 // QueryAck is the server's admission answer to a MsgQuery.
@@ -218,8 +229,11 @@ func EncodeQuerySpec(q *QuerySpec) ([]byte, error) {
 	dst = appendString(dst, q.ClientAddr)
 	dst = binary.AppendUvarint(dst, uint64(q.MemBudget))
 	dst = binary.AppendUvarint(dst, uint64(q.TimeoutMillis))
-	if q.Text != "" {
+	if q.Text != "" || q.Tenant != "" {
 		dst = appendString(dst, q.Text)
+	}
+	if q.Tenant != "" {
+		dst = appendString(dst, q.Tenant)
 	}
 	return dst, nil
 }
@@ -311,6 +325,14 @@ func DecodeQuerySpec(src []byte) (*QuerySpec, error) {
 		q.Text = text
 		off += n
 	}
+	if off < len(src) {
+		tenant, n, err := readString(src[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: query spec tenant: %w", err)
+		}
+		q.Tenant = tenant
+		off += n
+	}
 	if off != len(src) {
 		return nil, fmt.Errorf("wire: query spec: %d trailing bytes", len(src)-off)
 	}
@@ -347,6 +369,69 @@ func DecodeQueryAck(src []byte) (*QueryAck, error) {
 		a.Caps = binary.LittleEndian.Uint32(src[9+n:])
 	}
 	return a, nil
+}
+
+// ExecPrepared runs a previously prepared statement. Prepared statements are
+// per-connection: StatementID is the QueryID the MsgPrepare's QuerySpec
+// carried, and QueryID is the fresh ID this execution's result stream uses.
+// The per-execution overrides mirror QuerySpec's resource envelope; zero
+// values inherit the prepared spec's settings.
+type ExecPrepared struct {
+	// StatementID names the prepared statement on this connection.
+	StatementID uint64
+	// QueryID identifies this execution; result batches carry it.
+	QueryID uint64
+	// MemBudget, when > 0, overrides the statement's spill budget in bytes.
+	MemBudget int64
+	// TimeoutMillis, when > 0, bounds this execution's wall-clock time.
+	TimeoutMillis int64
+	// Tenant, when non-empty, overrides the statement's tenant.
+	Tenant string
+}
+
+// EncodeExecPrepared serialises an ExecPrepared.
+func EncodeExecPrepared(e *ExecPrepared) []byte {
+	var dst []byte
+	dst = binary.LittleEndian.AppendUint64(dst, e.StatementID)
+	dst = binary.LittleEndian.AppendUint64(dst, e.QueryID)
+	dst = binary.AppendUvarint(dst, uint64(e.MemBudget))
+	dst = binary.AppendUvarint(dst, uint64(e.TimeoutMillis))
+	dst = appendString(dst, e.Tenant)
+	return dst
+}
+
+// DecodeExecPrepared deserialises an ExecPrepared.
+func DecodeExecPrepared(src []byte) (*ExecPrepared, error) {
+	if len(src) < 16 {
+		return nil, fmt.Errorf("wire: exec prepared too short")
+	}
+	e := &ExecPrepared{
+		StatementID: binary.LittleEndian.Uint64(src),
+		QueryID:     binary.LittleEndian.Uint64(src[8:]),
+	}
+	off := 16
+	budget, c := binary.Uvarint(src[off:])
+	if c <= 0 {
+		return nil, fmt.Errorf("wire: exec prepared: bad budget")
+	}
+	off += c
+	e.MemBudget = int64(budget)
+	timeout, c := binary.Uvarint(src[off:])
+	if c <= 0 {
+		return nil, fmt.Errorf("wire: exec prepared: bad timeout")
+	}
+	off += c
+	e.TimeoutMillis = int64(timeout)
+	tenant, n, err := readString(src[off:])
+	if err != nil {
+		return nil, fmt.Errorf("wire: exec prepared tenant: %w", err)
+	}
+	e.Tenant = tenant
+	off += n
+	if off != len(src) {
+		return nil, fmt.Errorf("wire: exec prepared: %d trailing bytes", len(src)-off)
+	}
+	return e, nil
 }
 
 // EncodeCancel serialises a Cancel.

@@ -89,6 +89,21 @@ const (
 	// and resubmit. Only sent when the server's MsgQueryAck confirmed
 	// CapReject; older requesters receive a MsgError instead.
 	MsgQueryReject
+	// MsgPrepare registers a prepared statement (requester→server): the
+	// payload is a QuerySpec whose QueryID becomes the statement ID on this
+	// connection. The server parses, rewrites and plans it once; later
+	// MsgExecPrepared frames re-run the cached plan. Only sent when the
+	// server's MsgQueryAck (of any prior query) or MsgPrepareAck confirmed
+	// CapPrepared.
+	MsgPrepare
+	// MsgPrepareAck answers a MsgPrepare (server→requester) with the
+	// statement's validity and the supported capability subset. It reuses the
+	// QueryAck payload encoding with QueryID = statement ID.
+	MsgPrepareAck
+	// MsgExecPrepared executes a prepared statement (requester→server). The
+	// payload names the statement ID plus a fresh per-execution QueryID;
+	// results stream back exactly as for MsgQuery.
+	MsgExecPrepared
 )
 
 // String implements fmt.Stringer.
@@ -124,6 +139,12 @@ func (t MsgType) String() string {
 		return "CANCEL"
 	case MsgQueryReject:
 		return "QUERY_REJECT"
+	case MsgPrepare:
+		return "PREPARE"
+	case MsgPrepareAck:
+		return "PREPARE_ACK"
+	case MsgExecPrepared:
+		return "EXEC_PREPARED"
 	default:
 		return "INVALID"
 	}
@@ -451,6 +472,11 @@ type RegisterUDF struct {
 	ResultSize  int
 	Selectivity float64
 	PerCallCost float64
+	// Pure declares the function deterministic and side-effect free, making
+	// queries over it eligible for server-side result caching. It is encoded
+	// as an optional trailing byte that pre-purity servers ignore; its absence
+	// reads as false (never cache), so old peers stay correct.
+	Pure bool
 }
 
 // End signals the end of a stream for a session.
